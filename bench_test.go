@@ -1,0 +1,245 @@
+package fibbing_test
+
+// One benchmark per figure and quantitative claim of the paper, driving
+// the same code paths as cmd/experiments. Shape checks are enforced by
+// the experiments package itself (Result.Check); a benchmark fails if its
+// experiment stops reproducing.
+
+import (
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/experiments"
+	"fibbing.net/fibbing/internal/fib"
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/ospf"
+	"fibbing.net/fibbing/internal/te"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+func runChecked(b *testing.B, f func() (*experiments.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Check) > 0 {
+			b.Fatalf("%s: %v", r.ID, r.Check)
+		}
+	}
+}
+
+// BenchmarkFig1aShortestPaths regenerates Figure 1a (IGP shortest paths
+// overlapping on B-R2-C).
+func BenchmarkFig1aShortestPaths(b *testing.B) { runChecked(b, experiments.Fig1a) }
+
+// BenchmarkFig1bOverload regenerates Figure 1b (the surge loads B-R2 and
+// R2-C with 200 relative units).
+func BenchmarkFig1bOverload(b *testing.B) { runChecked(b, experiments.Fig1b) }
+
+// BenchmarkFig1cAugmentation regenerates Figure 1c (three lies: fB cost 2
+// via R3, two fA cost 3 via R1).
+func BenchmarkFig1cAugmentation(b *testing.B) { runChecked(b, experiments.Fig1c) }
+
+// BenchmarkFig1dSplits regenerates Figure 1d (uneven splits cut the max
+// load from 200 to 66.7).
+func BenchmarkFig1dSplits(b *testing.B) { runChecked(b, experiments.Fig1d) }
+
+// BenchmarkFig2Timeseries regenerates Figure 2 (throughput over time on
+// A-R1, B-R2, B-R3 under the 1/+30/+31 schedule) with the controller.
+func BenchmarkFig2Timeseries(b *testing.B) {
+	runChecked(b, func() (*experiments.Result, error) {
+		return experiments.Fig2(true, 60*time.Second)
+	})
+}
+
+// BenchmarkFig2NoController regenerates the counterfactual run (the
+// bottleneck saturates, flows starve).
+func BenchmarkFig2NoController(b *testing.B) {
+	runChecked(b, func() (*experiments.Result, error) {
+		return experiments.Fig2(false, 60*time.Second)
+	})
+}
+
+// BenchmarkDemoQoE regenerates the demo's observable result: smooth
+// playback with the controller, stutter without.
+func BenchmarkDemoQoE(b *testing.B) {
+	runChecked(b, func() (*experiments.Result, error) {
+		return experiments.DemoQoE(60 * time.Second)
+	})
+}
+
+// BenchmarkOverheadVsRSVPTE regenerates the §2 overhead comparison
+// (lies + plain IP vs tunnels + signalling + encapsulation).
+func BenchmarkOverheadVsRSVPTE(b *testing.B) { runChecked(b, experiments.OverheadVsRSVPTE) }
+
+// BenchmarkMinMaxOptimality regenerates the §2 optimality claim (Fibbing
+// realises the LP optimum; ECMP and weight search cannot).
+func BenchmarkMinMaxOptimality(b *testing.B) { runChecked(b, experiments.MinMaxOptimality) }
+
+// BenchmarkWeightChangeVsLie regenerates the §1 claim (weight changes are
+// network-wide reconvergence events; a lie is one LSA).
+func BenchmarkWeightChangeVsLie(b *testing.B) { runChecked(b, experiments.WeightChangeVsLie) }
+
+// BenchmarkPerDestinationIsolation regenerates the §2 granularity claim
+// (lies for one prefix leave other prefixes untouched).
+func BenchmarkPerDestinationIsolation(b *testing.B) {
+	runChecked(b, experiments.PerDestinationIsolation)
+}
+
+// BenchmarkABRExtension regenerates the adaptive-bitrate extension (with
+// ABR, Fibbing's gain shows as delivered bitrate instead of stalls).
+func BenchmarkABRExtension(b *testing.B) {
+	runChecked(b, func() (*experiments.Result, error) {
+		return experiments.ABRExtension(60 * time.Second)
+	})
+}
+
+// BenchmarkReactionLatency regenerates the reaction timeline (surge ->
+// decision -> full delivery per wave).
+func BenchmarkReactionLatency(b *testing.B) {
+	runChecked(b, func() (*experiments.Result, error) {
+		return experiments.ReactionLatency(60 * time.Second)
+	})
+}
+
+// --- Ablation benchmarks for DESIGN.md's design choices -----------------
+
+// BenchmarkECMPHashBalance measures the statistical quality of the
+// weighted per-flow hash (design choice: FNV-1a + avalanche finalizer).
+func BenchmarkECMPHashBalance(b *testing.B) {
+	table := fib.NewTable(1)
+	if err := table.Install(fib.Route{
+		Prefix: topo.Fig1BluePrefix,
+		NextHops: []fib.NextHop{
+			{Node: 1, Weight: 2},
+			{Node: 2, Weight: 1},
+		},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	worst := 0.0
+	for i := 0; i < b.N; i++ {
+		count := 0
+		const flows = 4096
+		for f := 0; f < flows; f++ {
+			key := fib.FlowKey{
+				Src:     ospf.Loopback(0),
+				Dst:     ospf.HostAddr(topo.Fig1BluePrefix, f),
+				SrcPort: uint16(f), DstPort: 8080, Proto: 6,
+			}
+			nh, _, _ := table.Select(key.Dst, key)
+			if nh.Node == 1 {
+				count++
+			}
+		}
+		dev := float64(count)/flows - 2.0/3.0
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > worst {
+			worst = dev
+		}
+		if dev > 0.05 {
+			b.Fatalf("weighted hash deviation %.3f from 2/3", dev)
+		}
+	}
+	b.ReportMetric(worst, "worst-split-deviation")
+}
+
+// BenchmarkRatioApproximationSweep measures the quantisation error of
+// split ratios across denominator bounds (design choice: bounded ECMP
+// weight denominators).
+func BenchmarkRatioApproximationSweep(b *testing.B) {
+	targets := [][]float64{
+		{1.0 / 3, 2.0 / 3}, {0.37, 0.63}, {0.1, 0.2, 0.7}, {0.05, 0.95},
+	}
+	for _, denom := range []int{4, 8, 16, 32} {
+		denom := denom
+		b.Run(benchName("denom", denom), func(b *testing.B) {
+			worst := 0.0
+			for i := 0; i < b.N; i++ {
+				for _, tgt := range targets {
+					w, err := fibbing.ApproxWeights(tgt, denom)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if e := fibbing.WeightsError(w, tgt); e > worst {
+						worst = e
+					}
+				}
+			}
+			b.ReportMetric(worst, "worst-ratio-error")
+		})
+	}
+}
+
+// BenchmarkAugmentationStrategies compares the lie count and cost of the
+// two augmentation algorithms on the Figure 1 requirement (design choice:
+// equal-cost add-paths vs global pin-all + reduction).
+func BenchmarkAugmentationStrategies(b *testing.B) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	dag := fibbing.Fig1DAG(tp)
+	b.Run("add-paths", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			aug, err := fibbing.AugmentAddPaths(tp, topo.Fig1BluePrefixName, dag)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if aug.LieCount() != 3 {
+				b.Fatalf("lies = %d", aug.LieCount())
+			}
+		}
+	})
+	b.Run("pin-all-reduced", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			aug, err := fibbing.AugmentPinAll(tp, topo.Fig1BluePrefixName, dag)
+			if err != nil {
+				b.Fatal(err)
+			}
+			red, err := fibbing.ReduceLies(tp, topo.Fig1BluePrefixName, aug, dag)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if red.LieCount() >= aug.LieCount() {
+				b.Fatalf("no reduction: %d -> %d", aug.LieCount(), red.LieCount())
+			}
+		}
+	})
+}
+
+// BenchmarkLPScaling measures min-max LP solve time as topology size
+// grows (design choice: dense two-phase simplex on stdlib only).
+func BenchmarkLPScaling(b *testing.B) {
+	for _, nodes := range []int{8, 16, 24} {
+		nodes := nodes
+		b.Run(benchName("nodes", nodes), func(b *testing.B) {
+			tp := topo.RandomConnected(topo.RandomOpts{
+				Nodes: nodes, Degree: 3, MaxWeight: 5, Prefixes: 2,
+				Capacity: 10e6, Seed: int64(nodes),
+			})
+			demands := topo.RandomDemands(tp, 6, 1e6, 3e6, int64(nodes))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := te.SolveMinMax(tp, demands); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(k string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return k + "=0"
+	}
+	var buf []byte
+	for v > 0 {
+		buf = append([]byte{digits[v%10]}, buf...)
+		v /= 10
+	}
+	return k + "=" + string(buf)
+}

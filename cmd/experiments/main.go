@@ -1,0 +1,55 @@
+// Command experiments regenerates every figure and quantitative claim of
+// the paper and prints a report with one table per experiment.
+//
+// Usage:
+//
+//	experiments [-fig2 60s] [-only fig1d] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fibbing.net/fibbing/internal/experiments"
+)
+
+func main() {
+	fig2 := flag.Duration("fig2", 60*time.Second, "duration of the Figure 2 timeline")
+	only := flag.String("only", "", "run only the experiment with this id (e.g. fig1d, fig2-with)")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	flag.Parse()
+
+	results, err := experiments.All(*fig2)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	failed := false
+	for _, r := range results {
+		if *only != "" && r.ID != *only {
+			continue
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n", r.ID, r.Caption)
+			if err := r.Table.RenderCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		} else {
+			var b strings.Builder
+			r.Render(&b)
+			fmt.Print(b.String())
+		}
+		if len(r.Check) > 0 {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "experiments: some paper-pinned checks FAILED (see above)")
+		os.Exit(1)
+	}
+}

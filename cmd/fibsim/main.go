@@ -1,0 +1,117 @@
+// Command fibsim is a one-shot analytic what-if tool: given a topology
+// (the paper's Figure 1 by default, or a topology file) and a demand set,
+// it prints the plain-IGP link loads, the LP-optimal min-max utilisation,
+// the Fibbing realisation (lies and achieved utilisation), and the
+// RSVP-TE baseline — the full §2 comparison for arbitrary inputs.
+//
+// Usage:
+//
+//	fibsim [-topo file] [-demand ingress:prefix:bps]... [-denom 16]
+//	fibsim -demand B:blue:8M -demand A:blue:8M
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fibbing.net/fibbing/internal/metrics"
+	"fibbing.net/fibbing/internal/te"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+type demandFlags []string
+
+func (d *demandFlags) String() string { return strings.Join(*d, ",") }
+func (d *demandFlags) Set(s string) error {
+	*d = append(*d, s)
+	return nil
+}
+
+func main() {
+	topoFile := flag.String("topo", "", "topology file (default: the paper's Figure 1)")
+	denom := flag.Int("denom", 16, "max ECMP weight denominator for split quantisation")
+	var demands demandFlags
+	flag.Var(&demands, "demand", "demand as ingress:prefix:bps (repeatable), e.g. B:blue:8M")
+	flag.Parse()
+
+	if err := run(*topoFile, demands, *denom); err != nil {
+		fmt.Fprintf(os.Stderr, "fibsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(topoFile string, demandSpecs []string, denom int) error {
+	var t *topo.Topology
+	if topoFile == "" {
+		t = topo.Fig1(topo.Fig1Opts{})
+	} else {
+		f, err := os.Open(topoFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		t, err = topo.Parse(f)
+		if err != nil {
+			return err
+		}
+	}
+
+	var demands []topo.Demand
+	if len(demandSpecs) == 0 {
+		demands = topo.Fig1Demands(t, 8e6)
+		fmt.Println("no -demand given: using the Figure 1 surge (8 Mbit/s at A and B)")
+	}
+	for _, spec := range demandSpecs {
+		d, err := topo.ParseDemandSpec(t, spec)
+		if err != nil {
+			return err
+		}
+		demands = append(demands, d)
+	}
+
+	// Plain IGP.
+	loads, err := te.IGPLoads(t, demands)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n-- plain IGP (ECMP shortest paths) --")
+	for _, line := range te.FormatLoads(t, loads) {
+		fmt.Println("  ", line)
+	}
+	fmt.Printf("  max utilisation: %.3f\n", te.MaxUtilOfLoads(t, loads))
+
+	// LP + Fibbing.
+	fb, err := te.RealizeMinMax(t, demands, denom)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n-- Fibbing (LP-optimal splits realised with fake nodes) --")
+	fmt.Printf("  LP optimum θ*: %.3f\n", fb.Optimal)
+	fmt.Printf("  realised:      %.3f (quantised to ECMP weights, denominator <= %d)\n", fb.Realised, denom)
+	fmt.Printf("  lies injected: %d\n", fb.Lies)
+	for prefix, lies := range fb.PerPrefixLies {
+		for _, l := range lies {
+			fmt.Printf("    %s: fake node at %s via %s cost %d\n",
+				prefix, t.Name(l.Attach), t.Name(l.Via), l.Cost)
+		}
+	}
+
+	// RSVP-TE baseline.
+	rsvp, err := te.PlaceTunnels(t, demands)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\n-- MPLS RSVP-TE baseline (CSPF tunnels) --")
+	tb := metrics.NewTable("tunnels", "signal msgs", "state entries", "encap B/pkt", "max util")
+	tb.AddRow(len(rsvp.Tunnels), rsvp.SignalingMessages, rsvp.StateEntries,
+		rsvp.EncapBytesPerPacket, rsvp.MaxUtilisation)
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	if len(rsvp.Unplaced) > 0 {
+		fmt.Printf("  unplaced demands: %v\n", rsvp.Unplaced)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package fibbing is a from-scratch Go reproduction of "Fibbing in
+// action: On-demand load-balancing for better video delivery" (Tilmans,
+// Vissicchio, Vanbever, Rexford — SIGCOMM 2016 demo), including every
+// substrate the demo runs on: a link-state IGP with wire-encoded LSAs and
+// reliable flooding, weighted-ECMP FIBs, a fluid data-plane simulator, an
+// SNMPv2c monitoring stack, video streaming with QoE accounting, the
+// traffic-engineering solvers (min-max LP, weight search, RSVP-TE/CSPF),
+// and the Fibbing controller itself.
+//
+// The implementation lives under internal/; see README.md for the map,
+// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+// paper-vs-measured record. The root-level benchmarks (bench_test.go)
+// regenerate every figure of the paper:
+//
+//	go test -bench=. -benchmem .
+//
+// Runnable entry points:
+//
+//	go run ./examples/quickstart     # topology -> requirement -> lies
+//	go run ./examples/videodelivery  # the paper's Figure 2 timeline
+//	go run ./examples/unevenlb       # uneven ECMP ratios on the wire
+//	go run ./examples/flashcrowd     # Poisson crowd on a random network
+//	go run ./cmd/experiments         # every figure/table, checked
+//	go run ./cmd/fibsim              # analytic what-if for any topology
+//	go run ./cmd/fibbingd            # live demo daemon with real SNMP/UDP
+package fibbing

@@ -1,0 +1,110 @@
+// Quickstart: build the paper's Figure 1 network, look at its IGP
+// routing, express the Figure 1c requirement (even split at B, 1:2 split
+// at A), compile it into fake nodes, and verify the result — all in a few
+// calls against the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/te"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+func main() {
+	// 1. The topology of the paper's Figure 1 (weights as published).
+	network := topo.Fig1(topo.Fig1Opts{})
+	fmt.Println("topology:")
+	fmt.Print(indent(network.String()))
+
+	// 2. Plain IGP routing towards the blue prefix.
+	views, err := fibbing.IGPView(network, topo.Fig1BluePrefixName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nIGP next hops towards blue:")
+	for _, name := range []string{"A", "B", "R1", "R2", "R3", "R4"} {
+		n := network.MustNode(name)
+		fmt.Printf("  %-3s -> %s\n", name, formatHops(network, views[n]))
+	}
+
+	// 3. The flash crowd: 8 Mbit/s surges at A and B overload B-R2.
+	demands := topo.Fig1Demands(network, 8e6)
+	loads, err := te.IGPLoads(network, demands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmax utilisation before Fibbing: %.2f\n", te.MaxUtilOfLoads(network, loads))
+
+	// 4. The requirement of Figure 1c/1d: B splits evenly over R2/R3,
+	//    A splits 1/3 : 2/3 over B/R1.
+	requirement := fibbing.Fig1DAG(network)
+	aug, err := fibbing.AugmentAddPaths(network, topo.Fig1BluePrefixName, requirement)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompiled %d lies:\n", aug.LieCount())
+	for _, l := range aug.Lies {
+		fmt.Printf("  fake node at %s, forwarding to %s, announced cost %d\n",
+			network.Name(l.Attach), network.Name(l.Via), l.Cost)
+	}
+
+	// 5. Verify and measure the effect.
+	if err := fibbing.Verify(network, topo.Fig1BluePrefixName, aug.Lies, requirement); err != nil {
+		log.Fatal(err)
+	}
+	after, err := te.LoadsWithLies(network,
+		map[string][]fibbing.Lie{topo.Fig1BluePrefixName: aug.Lies}, demands)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("max utilisation after Fibbing:  %.2f\n", te.MaxUtilOfLoads(network, after))
+	fmt.Println("\nper-link loads after Fibbing (bit/s):")
+	for _, line := range te.FormatLoads(network, after) {
+		fmt.Println("  " + line)
+	}
+}
+
+func formatHops(t *topo.Topology, v fibbing.RouteView) string {
+	if v.Local {
+		return "local delivery"
+	}
+	out := ""
+	for nh, w := range v.NextHops {
+		if out != "" {
+			out += ", "
+		}
+		out += fmt.Sprintf("%s (weight %d)", t.Name(nh), w)
+	}
+	if out == "" {
+		return "unreachable"
+	}
+	return out
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

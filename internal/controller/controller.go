@@ -1,0 +1,340 @@
+// Package controller implements the paper's Fibbing controller: it
+// monitors link loads over SNMP, learns of new video clients from the
+// servers, and — when a surge threatens congestion — computes additional
+// equal-cost paths and uneven splitting ratios, compiles them into fake
+// nodes, and injects them into the IGP through its point of presence.
+// When the surge subsides it withdraws the lies, returning the network to
+// pure IGP routing.
+package controller
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/monitor"
+	"fibbing.net/fibbing/internal/southbound"
+	"fibbing.net/fibbing/internal/te"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// Config parameterises the controller's policy.
+type Config struct {
+	// TargetUtilisation is the post-reaction utilisation the controller
+	// aims for (default 0.75). Reactions trigger on monitor alarms.
+	TargetUtilisation float64
+	// MaxDenom bounds the ECMP weight denominator when realising
+	// fractional splits (default 16, i.e. at most 16 fake nodes per
+	// router per destination).
+	MaxDenom int
+	// WithdrawBelow: when every watched link drops below this
+	// utilisation (monitor clear alarms), lies are withdrawn
+	// (default 0.2).
+	WithdrawBelow float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.TargetUtilisation <= 0 {
+		c.TargetUtilisation = 0.75
+	}
+	if c.MaxDenom <= 0 {
+		c.MaxDenom = 16
+	}
+	if c.WithdrawBelow <= 0 {
+		c.WithdrawBelow = 0.2
+	}
+	return c
+}
+
+// Decision records one controller action, for logs and experiments.
+type Decision struct {
+	At       time.Duration
+	Prefix   string
+	Strategy string // "local-ecmp", "lp-optimal", "withdraw"
+	Lies     int
+	Detail   string
+}
+
+// Controller is the demo's control loop. It is driven by callbacks from
+// the monitor (alarms) and the video servers (client notifications); all
+// callbacks run on the simulation scheduler's goroutine.
+type Controller struct {
+	topo *topo.Topology
+	lies *southbound.LieManager
+	cfg  Config
+	now  func() time.Duration
+
+	// demand model: prefix -> ingress -> aggregate bit/s, maintained
+	// from server notifications.
+	demand map[string]map[topo.NodeID]float64
+
+	// raised tracks links with active congestion alarms.
+	raised map[topo.LinkID]bool
+
+	Decisions []Decision
+	// Errors collects reaction failures (the controller keeps running).
+	Errors []error
+}
+
+// New builds a controller injecting lies through the given manager.
+func New(t *topo.Topology, lies *southbound.LieManager, cfg Config, now func() time.Duration) *Controller {
+	return &Controller{
+		topo:   t,
+		lies:   lies,
+		cfg:    cfg.withDefaults(),
+		now:    now,
+		demand: make(map[string]map[topo.NodeID]float64),
+		raised: make(map[topo.LinkID]bool),
+	}
+}
+
+// ClientJoined registers a new video session (server notification).
+func (c *Controller) ClientJoined(prefix string, ingress topo.NodeID, rate float64) {
+	m := c.demand[prefix]
+	if m == nil {
+		m = make(map[topo.NodeID]float64)
+		c.demand[prefix] = m
+	}
+	m[ingress] += rate
+}
+
+// ClientLeft unregisters a finished session.
+func (c *Controller) ClientLeft(prefix string, ingress topo.NodeID, rate float64) {
+	if m := c.demand[prefix]; m != nil {
+		m[ingress] -= rate
+		if m[ingress] <= 1e-9 {
+			delete(m, ingress)
+		}
+	}
+}
+
+// Demands snapshots the current demand model.
+func (c *Controller) Demands() []topo.Demand {
+	var out []topo.Demand
+	names := make([]string, 0, len(c.demand))
+	for name := range c.demand {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ingresses := make([]topo.NodeID, 0, len(c.demand[name]))
+		for in := range c.demand[name] {
+			ingresses = append(ingresses, in)
+		}
+		sort.Slice(ingresses, func(i, j int) bool { return ingresses[i] < ingresses[j] })
+		for _, in := range ingresses {
+			out = append(out, topo.Demand{Ingress: in, PrefixName: name, Volume: c.demand[name][in]})
+		}
+	}
+	return out
+}
+
+// HandleAlarm reacts to monitor threshold crossings.
+func (c *Controller) HandleAlarm(a monitor.Alarm) {
+	if a.Raised {
+		c.raised[a.Link] = true
+		c.react(a)
+		return
+	}
+	delete(c.raised, a.Link)
+	if len(c.raised) == 0 {
+		c.maybeWithdraw()
+	}
+}
+
+// react computes and injects lies for every prefix with demand. Policy:
+//  1. Local ECMP spreading (the demo's first move, Figure 1c's fB): at
+//     the hot link's head router, add unused downhill neighbors as
+//     equal-cost paths. Accepted if predicted utilisation meets target.
+//  2. LP-optimal splits (the demo's second move, Figure 1d's fA pair):
+//     solve min-max utilisation, quantise the splits, realise with
+//     equal-cost lies (or pin-all if paths must be removed).
+func (c *Controller) react(a monitor.Alarm) {
+	demands := c.Demands()
+	if len(demands) == 0 {
+		return
+	}
+	for _, prefix := range c.prefixesWithDemand() {
+		if err := c.reactForPrefix(prefix, demands, a); err != nil {
+			c.Errors = append(c.Errors, fmt.Errorf("controller: %s: %w", prefix, err))
+		}
+	}
+}
+
+func (c *Controller) prefixesWithDemand() []string {
+	var out []string
+	for name, m := range c.demand {
+		if len(m) > 0 {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// predictedMaxUtil computes the fluid max utilisation of routing the
+// current demands over the network with the currently installed lies.
+func (c *Controller) predictedMaxUtil(demands []topo.Demand) (float64, error) {
+	liesByPrefix := make(map[string][]fibbing.Lie)
+	for _, d := range demands {
+		if _, ok := liesByPrefix[d.PrefixName]; !ok {
+			liesByPrefix[d.PrefixName] = c.lies.Installed(d.PrefixName)
+		}
+	}
+	loads, err := te.LoadsWithLies(c.topo, liesByPrefix, demands)
+	if err != nil {
+		return 0, err
+	}
+	return te.MaxUtilOfLoads(c.topo, loads), nil
+}
+
+func (c *Controller) reactForPrefix(prefix string, demands []topo.Demand, a monitor.Alarm) error {
+	// Skip when the lies already installed (e.g. by an earlier alarm in
+	// the same poll cycle) are predicted to keep utilisation at target:
+	// the alarm is stale.
+	if util, err := c.predictedMaxUtil(demands); err == nil && util <= c.cfg.TargetUtilisation {
+		return nil
+	}
+
+	// Tier 1: local equal-cost spreading at the congested link's head.
+	hot := c.topo.Link(a.Link)
+	if lies, ok := c.tryLocalSpread(prefix, demands, hot.From); ok {
+		changed, err := c.lies.Apply(prefix, lies)
+		if err != nil {
+			return err
+		}
+		if changed {
+			c.log(prefix, "local-ecmp", len(lies),
+				fmt.Sprintf("ECMP at %s after %s hit %.0f%%", c.topo.Name(hot.From), a.Name, 100*a.Utilisation))
+		}
+		return nil
+	}
+
+	// Tier 2: LP-optimal splits.
+	opt, err := te.SolveMinMax(c.topo, demands)
+	if err != nil {
+		return err
+	}
+	splits := opt.Splits[prefix]
+	dag, err := fibbing.SplitsToDAG(splits, c.cfg.MaxDenom)
+	if err != nil {
+		return err
+	}
+	// Drop attachment routers from the DAG: their delivery is local.
+	p, _ := c.topo.PrefixByName(prefix)
+	for _, at := range p.Attachments {
+		delete(dag, at.Node)
+	}
+	aug, err := fibbing.AugmentAddPaths(c.topo, prefix, dag)
+	strategy := "lp-optimal"
+	if err != nil {
+		// The optimum removes IGP paths: fall back to global pinning.
+		aug, err = fibbing.AugmentPinAll(c.topo, prefix, dag)
+		if err != nil {
+			return err
+		}
+		aug, err = fibbing.ReduceLies(c.topo, prefix, aug, dag)
+		if err != nil {
+			return err
+		}
+		strategy = "lp-optimal-pinned"
+	}
+	if err := fibbing.Verify(c.topo, prefix, aug.Lies, dag); err != nil {
+		return fmt.Errorf("refusing unverifiable augmentation: %w", err)
+	}
+	changed, err := c.lies.Apply(prefix, aug.Lies)
+	if err != nil {
+		return err
+	}
+	if changed {
+		c.log(prefix, strategy, len(aug.Lies),
+			fmt.Sprintf("θ*=%.3f after %s hit %.0f%%", opt.MaxUtilisation, a.Name, 100*a.Utilisation))
+	}
+	return nil
+}
+
+// tryLocalSpread builds the tier-1 requirement: hot router keeps its IGP
+// next hops and adds every unused downhill neighbor, evenly. Returns ok
+// when the lies exist and the predicted max utilisation meets the target.
+func (c *Controller) tryLocalSpread(prefix string, demands []topo.Demand, hot topo.NodeID) ([]fibbing.Lie, bool) {
+	views, err := fibbing.IGPView(c.topo, prefix)
+	if err != nil {
+		return nil, false
+	}
+	hv, ok := views[hot]
+	if !ok || hv.Local || len(hv.NextHops) == 0 {
+		return nil, false
+	}
+	desired := fibbing.NextHopWeights{}
+	for nh := range hv.NextHops {
+		desired[nh] = 1
+	}
+	added := false
+	for _, lid := range c.topo.OutLinks(hot) {
+		v := c.topo.Link(lid).To
+		if c.topo.Node(v).Host || desired[v] > 0 {
+			continue
+		}
+		vv, ok := views[v]
+		if !ok {
+			continue
+		}
+		if vv.Local || (len(vv.NextHops) > 0 && vv.Dist < hv.Dist) {
+			desired[v] = 1
+			added = true
+		}
+	}
+	if !added {
+		return nil, false
+	}
+	dag := fibbing.DAG{hot: desired}
+	aug, err := fibbing.AugmentAddPaths(c.topo, prefix, dag)
+	if err != nil {
+		return nil, false
+	}
+	// Keep lies already installed for this prefix that tier 2 put in
+	// earlier? No: tier 1 only fires on fresh congestion; reconciliation
+	// in the lie manager keeps shared lies stable anyway.
+	loads, err := te.LoadsWithLies(c.topo, map[string][]fibbing.Lie{prefix: aug.Lies}, demands)
+	if err != nil {
+		return nil, false
+	}
+	if te.MaxUtilOfLoads(c.topo, loads) > c.cfg.TargetUtilisation {
+		return nil, false
+	}
+	if err := fibbing.Verify(c.topo, prefix, aug.Lies, dag); err != nil {
+		return nil, false
+	}
+	return aug.Lies, true
+}
+
+// maybeWithdraw removes all lies once the network would stay below the
+// withdraw threshold on plain IGP routing with current demands.
+func (c *Controller) maybeWithdraw() {
+	if c.lies.LieCount() == 0 {
+		return
+	}
+	demands := c.Demands()
+	if len(demands) > 0 {
+		loads, err := te.IGPLoads(c.topo, demands)
+		if err != nil {
+			c.Errors = append(c.Errors, err)
+			return
+		}
+		if te.MaxUtilOfLoads(c.topo, loads) > c.cfg.WithdrawBelow {
+			return // IGP alone would congest again; keep the lies
+		}
+	}
+	if err := c.lies.WithdrawAll(); err != nil {
+		c.Errors = append(c.Errors, err)
+		return
+	}
+	c.log("*", "withdraw", 0, "surge over; network back to pure IGP")
+}
+
+func (c *Controller) log(prefix, strategy string, lies int, detail string) {
+	c.Decisions = append(c.Decisions, Decision{
+		At: c.now(), Prefix: prefix, Strategy: strategy, Lies: lies, Detail: detail,
+	})
+}

@@ -1,0 +1,220 @@
+package controller
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/flashcrowd"
+	"fibbing.net/fibbing/internal/metrics"
+	"fibbing.net/fibbing/internal/topo"
+	"fibbing.net/fibbing/internal/video"
+)
+
+// TestFig2WithController is the paper's headline demo: as the flash crowd
+// grows, the controller injects lies that add equal-cost paths and uneven
+// splits, keeping every link below capacity while total delivered
+// throughput keeps increasing. Reproduces Figure 2's shape.
+func TestFig2WithController(t *testing.T) {
+	sim, res, err := RunFig2(true, 60*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aR1, bR2, bR3 := res.Series[0], res.Series[1], res.Series[2]
+
+	// Phase 1 (0-15s): a single 0.5 Mbit/s video on B-R2; nothing on
+	// B-R3 or A-R1.
+	if v := bR2.At(10 * time.Second); math.Abs(v-62500) > 6300 {
+		t.Fatalf("phase1 B-R2 = %v byte/s, want ~62500", v)
+	}
+	if v := bR3.At(10 * time.Second); v > 1000 {
+		t.Fatalf("phase1 B-R3 = %v, want ~0", v)
+	}
+	if v := aR1.At(10 * time.Second); v > 1000 {
+		t.Fatalf("phase1 A-R1 = %v, want ~0", v)
+	}
+
+	// Phase 2 (15-35s): 31 videos from S1; the controller must have
+	// activated B-R3 (ECMP at B), with both B links carrying real load
+	// and neither saturated.
+	capacityBps := topo.DefaultFig1Capacity / 8 // byte/s
+	p2r2 := bR2.MeanInWindow(25*time.Second, 34*time.Second)
+	p2r3 := bR3.MeanInWindow(25*time.Second, 34*time.Second)
+	if p2r3 < 0.2*capacityBps/2 {
+		t.Fatalf("phase2 B-R3 = %v byte/s: ECMP at B not activated", p2r3)
+	}
+	total2 := p2r2 + p2r3
+	want2 := 31 * flashRateBytes()
+	if math.Abs(total2-want2) > 0.1*want2 {
+		t.Fatalf("phase2 total B egress = %v, want ~%v", total2, want2)
+	}
+	if bR2.MaxInWindow(22*time.Second, 35*time.Second) > capacityBps {
+		t.Fatalf("phase2 B-R2 above capacity")
+	}
+
+	// Phase 3 (35-60s): 31 more videos from S2; A-R1 must carry ~2/3 of
+	// A's traffic, and all 62 videos must be delivered in full.
+	p3a := aR1.MeanInWindow(48*time.Second, 59*time.Second)
+	wantA := 31 * flashRateBytes() * 2 / 3
+	if math.Abs(p3a-wantA) > 0.35*wantA {
+		t.Fatalf("phase3 A-R1 = %v byte/s, want ~%v (2/3 of A's traffic)", p3a, wantA)
+	}
+	totalWant := 62 * flashRateBytes() * 8 // bit/s
+	if tt := sim.Net.TotalThroughput(); math.Abs(tt-totalWant) > 0.02*totalWant {
+		t.Fatalf("total delivered = %v bit/s, want ~%v (no starvation)", tt, totalWant)
+	}
+	if res.MaxUtilisation > 0.95 {
+		t.Fatalf("max utilisation = %v: congestion not prevented", res.MaxUtilisation)
+	}
+
+	// The controller's moves mirror the demo narrative: first local ECMP
+	// at B, then the LP-optimal uneven split at A.
+	if len(res.Decisions) < 2 {
+		t.Fatalf("decisions = %+v", res.Decisions)
+	}
+	if res.Decisions[0].Strategy != "local-ecmp" {
+		t.Fatalf("first decision = %+v, want local-ecmp", res.Decisions[0])
+	}
+	foundLP := false
+	for _, d := range res.Decisions {
+		if d.Strategy == "lp-optimal" && d.Lies == 3 {
+			foundLP = true
+		}
+	}
+	if !foundLP {
+		t.Fatalf("no 3-lie lp-optimal decision: %+v", res.Decisions)
+	}
+	if res.LiveLies != 3 {
+		t.Fatalf("live lies = %d, want 3 (fB + 2xfA)", res.LiveLies)
+	}
+	if len(sim.Ctrl.Errors) > 0 {
+		t.Fatalf("controller errors: %v", sim.Ctrl.Errors)
+	}
+}
+
+func flashRateBytes() float64 { return 0.5e6 / 8 }
+
+// TestFig2WithoutController is the counterfactual: with the controller
+// disabled, the second wave saturates B-R2 and flows starve.
+func TestFig2WithoutController(t *testing.T) {
+	sim, res, err := RunFig2(false, 60*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bR3 := res.Series[2]
+	if v := bR3.Max(); v > 1000 {
+		t.Fatalf("B-R3 used without controller: %v", v)
+	}
+	// 62 videos x 0.5 Mbit/s = 31 Mbit/s demanded; only 16 fits through
+	// B-R2. Delivered throughput must be capped at the bottleneck.
+	tt := sim.Net.TotalThroughput()
+	if tt > topo.DefaultFig1Capacity*1.01 {
+		t.Fatalf("throughput %v exceeds the single-path bottleneck", tt)
+	}
+	if res.MaxUtilisation < 0.99 {
+		t.Fatalf("bottleneck not saturated: %v", res.MaxUtilisation)
+	}
+	if res.LiveLies != 0 || len(res.Decisions) != 0 {
+		t.Fatalf("disabled controller acted: %+v", res.Decisions)
+	}
+}
+
+// TestQoEWithVsWithout reproduces the demo's observable result: smooth
+// playback with Fibbing, stuttering without.
+func TestQoEWithVsWithout(t *testing.T) {
+	_, with, err := RunFig2(true, 60*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, without, err := RunFig2(false, 60*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggWith := video.AggregateQoE(with.QoE)
+	aggWithout := video.AggregateQoE(without.QoE)
+	if aggWith.Sessions != 62 || aggWithout.Sessions != 62 {
+		t.Fatalf("sessions = %d / %d", aggWith.Sessions, aggWithout.Sessions)
+	}
+	if aggWith.MeanRebuffer > 0.01 {
+		t.Fatalf("with controller: rebuffer %v, want ~0 (smooth)", aggWith.MeanRebuffer)
+	}
+	if aggWithout.MeanRebuffer < 0.1 {
+		t.Fatalf("without controller: rebuffer %v, want substantial stutter", aggWithout.MeanRebuffer)
+	}
+	if aggWithout.TotalStalls == 0 {
+		t.Fatalf("without controller: no stalls recorded")
+	}
+}
+
+// TestWithdrawAfterSurge verifies the full lifecycle: lies appear during
+// the surge and are withdrawn once the crowd leaves.
+func TestWithdrawAfterSurge(t *testing.T) {
+	sim, err := NewSim(SimOpts{WithCtrl: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 20-second surge of 31 videos, then quiet.
+	err = sim.Runner.Schedule([]flashcrowd.Wave{
+		{At: 2 * time.Second, Ingress: topo.Fig1B, Flows: 31, Rate: 0.5e6, Hold: 20 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(15 * time.Second)
+	if sim.Lies.LieCount() == 0 {
+		t.Fatalf("no lies during surge")
+	}
+	sim.Run(60 * time.Second)
+	if sim.Lies.LieCount() != 0 {
+		t.Fatalf("lies not withdrawn after surge: %d", sim.Lies.LieCount())
+	}
+	withdrew := false
+	for _, d := range sim.Ctrl.Decisions {
+		if d.Strategy == "withdraw" {
+			withdrew = true
+		}
+	}
+	if !withdrew {
+		t.Fatalf("no withdraw decision: %+v", sim.Ctrl.Decisions)
+	}
+	if len(sim.Ctrl.Errors) > 0 {
+		t.Fatalf("controller errors: %v", sim.Ctrl.Errors)
+	}
+}
+
+func TestDemandTracking(t *testing.T) {
+	sim, err := NewSim(SimOpts{WithCtrl: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := sim.Topo.MustNode("B")
+	sim.Ctrl.ClientJoined("blue", b, 1e6)
+	sim.Ctrl.ClientJoined("blue", b, 1e6)
+	d := sim.Ctrl.Demands()
+	if len(d) != 1 || d[0].Volume != 2e6 || d[0].Ingress != b {
+		t.Fatalf("demands = %+v", d)
+	}
+	sim.Ctrl.ClientLeft("blue", b, 1e6)
+	sim.Ctrl.ClientLeft("blue", b, 1e6)
+	if len(sim.Ctrl.Demands()) != 0 {
+		t.Fatalf("demands not drained: %+v", sim.Ctrl.Demands())
+	}
+}
+
+// TestFig2SeriesTable smoke-tests the experiment rendering used by
+// cmd/experiments.
+func TestFig2SeriesTable(t *testing.T) {
+	_, res, err := RunFig2(true, 50*time.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := metrics.SeriesTable(5*time.Second, res.Series...)
+	var sb strings.Builder
+	if err := tb.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if len(sb.String()) == 0 {
+		t.Fatalf("empty table")
+	}
+}

@@ -1,0 +1,82 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/flashcrowd"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// TestLinkFailureDuringAugmentedState is the stress case beyond the demo:
+// the controller has already installed fB (ECMP at B); then the B-R3 link
+// — which only exists in the forwarding state because of the lie — fails.
+// The IGP must fall back to B-R2 without blackholing, flows must keep
+// being delivered (at the bottleneck rate), and healing must restore the
+// split without any controller intervention.
+func TestLinkFailureDuringAugmentedState(t *testing.T) {
+	sim, err := NewSim(SimOpts{WithCtrl: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 31 videos at B: enough to trigger the controller's local-ecmp move.
+	err = sim.Runner.Schedule([]flashcrowd.Wave{
+		{At: time.Second, Ingress: topo.Fig1B, Flows: 31, Rate: 0.5e6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(15 * time.Second)
+	if sim.Lies.LieCount() == 0 {
+		t.Fatalf("controller did not react to the surge")
+	}
+	bR3, err := sim.Net.SeriesBetween("B", "R3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bR3.At(14*time.Second) == 0 {
+		t.Fatalf("B-R3 idle despite the lie")
+	}
+
+	// Fail B-R3 (control + data plane).
+	if err := sim.SetLinkState("B", "R3", false); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(30 * time.Second)
+
+	// All traffic must be back on B-R2, capped at its capacity, with no
+	// flow permanently blocked.
+	blocked := 0
+	for _, id := range sim.Runner.Flows() {
+		if f := sim.Net.Flow(id); f == nil || f.Blocked() {
+			blocked++
+		}
+	}
+	if blocked != 0 {
+		t.Fatalf("%d flows blackholed after failure", blocked)
+	}
+	if rate := bR3.At(29 * time.Second); rate != 0 {
+		t.Fatalf("B-R3 still carrying %v byte/s while down", rate)
+	}
+	if tt := sim.Net.TotalThroughput(); tt > topo.DefaultFig1Capacity*1.01 {
+		t.Fatalf("throughput %v exceeds the single remaining path", tt)
+	}
+
+	// Heal: the fake path returns and the split resumes.
+	if err := sim.SetLinkState("B", "R3", true); err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(50 * time.Second)
+	if rate := bR3.At(49 * time.Second); rate == 0 {
+		t.Fatalf("B-R3 idle after heal")
+	}
+	if tt := sim.Net.TotalThroughput(); tt < 31*0.5e6*0.99 {
+		t.Fatalf("full delivery not restored: %v", tt)
+	}
+	if len(sim.Ctrl.Errors) > 0 {
+		t.Fatalf("controller errors: %v", sim.Ctrl.Errors)
+	}
+	if len(sim.Domain.Errors) > 0 {
+		t.Fatalf("protocol errors: %v", sim.Domain.Errors)
+	}
+}

@@ -1,0 +1,211 @@
+// Package event provides the discrete-event simulation kernel shared by the
+// IGP flooding simulation and the fluid data-plane simulator.
+//
+// A Scheduler owns a virtual clock and a time-ordered queue of callbacks.
+// Events scheduled for the same instant fire in scheduling order (FIFO),
+// which keeps simulations deterministic.
+package event
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Scheduler is a single-threaded discrete-event loop. It is not safe for
+// concurrent use; simulations drive it from one goroutine and expose
+// snapshots to others behind their own locks.
+type Scheduler struct {
+	now   time.Duration
+	queue eventHeap
+	seq   uint64
+	ran   uint64
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	ev *scheduled
+}
+
+type scheduled struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	index     int
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() time.Duration { return s.now }
+
+// Ran returns the number of events executed so far (telemetry for tests
+// and benchmarks).
+func (s *Scheduler) Ran() uint64 { return s.ran }
+
+// Pending returns the number of events still queued.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// (before Now) panics: that is always a simulation bug.
+func (s *Scheduler) At(t time.Duration, fn func()) Handle {
+	if t < s.now {
+		panic(fmt.Sprintf("event: scheduling at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("event: nil callback")
+	}
+	ev := &scheduled{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, ev)
+	return Handle{ev: ev}
+}
+
+// After schedules fn d after the current virtual time.
+func (s *Scheduler) After(d time.Duration, fn func()) Handle {
+	if d < 0 {
+		panic("event: negative delay")
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op returning false.
+func (s *Scheduler) Cancel(h Handle) bool {
+	if h.ev == nil || h.ev.cancelled || h.ev.index < 0 {
+		return false
+	}
+	h.ev.cancelled = true
+	return true
+}
+
+// Step runs the earliest pending event, advancing the clock to its time.
+// It returns false when the queue is empty.
+func (s *Scheduler) Step() bool {
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*scheduled)
+		if ev.cancelled {
+			continue
+		}
+		s.now = ev.at
+		s.ran++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock would pass t; the clock is left
+// at exactly t. Events scheduled for t itself do fire.
+func (s *Scheduler) RunUntil(t time.Duration) {
+	for s.queue.Len() > 0 {
+		next := s.peek()
+		if next == nil {
+			break
+		}
+		if next.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Run executes events until the queue drains.
+func (s *Scheduler) Run() {
+	for s.Step() {
+	}
+}
+
+func (s *Scheduler) peek() *scheduled {
+	for s.queue.Len() > 0 {
+		if s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0]
+	}
+	return nil
+}
+
+// eventHeap orders by (time, sequence) so same-instant events fire FIFO.
+type eventHeap []*scheduled
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*scheduled)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Ticker fires a callback at a fixed period until stopped, mirroring
+// time.Ticker inside virtual time (used by the SNMP poller and LSA refresh).
+type Ticker struct {
+	s      *Scheduler
+	period time.Duration
+	fn     func()
+	handle Handle
+	stop   bool
+}
+
+// NewTicker starts a ticker whose first tick fires one period from now.
+func (s *Scheduler) NewTicker(period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("event: non-positive ticker period")
+	}
+	t := &Ticker{s: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.s.After(t.period, func() {
+		if t.stop {
+			return
+		}
+		t.fn()
+		if !t.stop {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels the ticker.
+func (t *Ticker) Stop() {
+	t.stop = true
+	t.s.Cancel(t.handle)
+}

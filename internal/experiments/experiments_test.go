@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Every experiment must run cleanly and pass its own embedded checks —
+// this is the repository-level guarantee that the paper's numbers
+// reproduce.
+func TestAllExperimentsReproduce(t *testing.T) {
+	results, err := All(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 13 {
+		t.Fatalf("experiments = %d, want 13", len(results))
+	}
+	seen := map[string]bool{}
+	for _, r := range results {
+		if seen[r.ID] {
+			t.Errorf("duplicate experiment id %q", r.ID)
+		}
+		seen[r.ID] = true
+		if len(r.Check) > 0 {
+			t.Errorf("%s: checks failed: %v", r.ID, r.Check)
+		}
+		if r.Table == nil {
+			t.Errorf("%s: no table", r.ID)
+		}
+	}
+	for _, id := range []string{
+		"fig1a", "fig1b", "fig1c", "fig1d",
+		"fig2-with", "fig2-without", "demo-qoe",
+		"overhead-rsvpte", "minmax-optimality",
+		"weightchange-vs-lie", "per-destination", "abr-extension", "reaction-latency",
+	} {
+		if !seen[id] {
+			t.Errorf("experiment %q missing", id)
+		}
+	}
+	report := Report(results)
+	if !strings.Contains(report, "fig2-with") || !strings.Contains(report, "B-R3") {
+		t.Fatalf("report incomplete:\n%s", report[:min(len(report), 500)])
+	}
+	if strings.Contains(report, "CHECK FAILED") {
+		t.Fatalf("report contains failed checks:\n%s", report)
+	}
+}
+
+func TestFig1aPinsPaperPaths(t *testing.T) {
+	r, err := Fig1a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	out := b.String()
+	for _, want := range []string{"A>B>R2>C", "B>R2>C", "R1>R4>C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig1a missing path %s:\n%s", want, out)
+		}
+	}
+}
+
+func TestWeightChangeCostsMoreThanLie(t *testing.T) {
+	r, err := WeightChangeVsLie()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Check) > 0 {
+		t.Fatalf("checks: %v", r.Check)
+	}
+	var b strings.Builder
+	r.Render(&b)
+	if !strings.Contains(b.String(), "weight change") || !strings.Contains(b.String(), "inject lie") {
+		t.Fatalf("table incomplete:\n%s", b.String())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,263 @@
+// Package fib implements per-router forwarding tables: longest-prefix-match
+// routes with weighted equal-cost next-hop sets, and the per-flow ECMP hash
+// that routers use to pick one next hop per flow.
+//
+// Weighted next hops are the data-plane half of Fibbing's uneven
+// load-balancing: a router that computed three equal-cost paths, two of
+// which resolve to the same physical next hop, installs that next hop with
+// Weight 2 and splits traffic 2/3 : 1/3 with plain ECMP hashing.
+package fib
+
+import (
+	"fmt"
+	"hash/fnv"
+	"net/netip"
+	"sort"
+	"strings"
+
+	"fibbing.net/fibbing/internal/lpm"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// NextHop is one forwarding alternative with its ECMP weight
+// (the number of equal-cost RIB paths that resolved to it).
+type NextHop struct {
+	Node   topo.NodeID
+	Link   topo.LinkID
+	Weight int
+}
+
+// Route is one FIB entry.
+type Route struct {
+	Prefix   netip.Prefix
+	NextHops []NextHop
+	// Distance is the IGP cost of the route (diagnostics only).
+	Distance int64
+	// Local marks a directly attached destination: the router delivers
+	// instead of forwarding.
+	Local bool
+}
+
+// TotalWeight returns the sum of next-hop weights.
+func (r Route) TotalWeight() int {
+	total := 0
+	for _, nh := range r.NextHops {
+		total += nh.Weight
+	}
+	return total
+}
+
+// Ratios returns each next hop's traffic fraction under ideal hashing.
+func (r Route) Ratios() map[topo.NodeID]float64 {
+	total := r.TotalWeight()
+	out := make(map[topo.NodeID]float64, len(r.NextHops))
+	if total == 0 {
+		return out
+	}
+	for _, nh := range r.NextHops {
+		out[nh.Node] += float64(nh.Weight) / float64(total)
+	}
+	return out
+}
+
+// Normalize sorts next hops by node then link, and merges duplicates by
+// summing weights. Returns the route for chaining.
+func (r *Route) Normalize() *Route {
+	sort.Slice(r.NextHops, func(i, j int) bool {
+		a, b := r.NextHops[i], r.NextHops[j]
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Link < b.Link
+	})
+	merged := r.NextHops[:0]
+	for _, nh := range r.NextHops {
+		if n := len(merged); n > 0 && merged[n-1].Node == nh.Node && merged[n-1].Link == nh.Link {
+			merged[n-1].Weight += nh.Weight
+			continue
+		}
+		merged = append(merged, nh)
+	}
+	r.NextHops = merged
+	return r
+}
+
+// Table is one router's FIB.
+type Table struct {
+	Router topo.NodeID
+	// Salt decorrelates ECMP hashing across routers, avoiding the
+	// classic hash-polarisation artefact where every router picks the
+	// same member of its ECMP group.
+	Salt uint64
+	lpm  *lpm.Table[Route]
+}
+
+// NewTable returns an empty FIB for a router. The salt is derived from the
+// router ID.
+func NewTable(router topo.NodeID) *Table {
+	return &Table{Router: router, Salt: 0x9e3779b97f4a7c15 * (uint64(router) + 1), lpm: lpm.New[Route]()}
+}
+
+// Install adds or replaces the route for route.Prefix. Routes with no next
+// hops and Local unset are rejected.
+func (t *Table) Install(route Route) error {
+	if !route.Prefix.IsValid() {
+		return fmt.Errorf("fib: invalid prefix")
+	}
+	if len(route.NextHops) == 0 && !route.Local {
+		return fmt.Errorf("fib: route to %v has no next hops", route.Prefix)
+	}
+	for _, nh := range route.NextHops {
+		if nh.Weight < 1 {
+			return fmt.Errorf("fib: route to %v has next hop with weight %d", route.Prefix, nh.Weight)
+		}
+	}
+	route.Normalize()
+	t.lpm.Insert(route.Prefix, route)
+	return nil
+}
+
+// Remove deletes the route for the exact prefix.
+func (t *Table) Remove(p netip.Prefix) bool { return t.lpm.Remove(p) }
+
+// Len returns the number of installed routes.
+func (t *Table) Len() int { return t.lpm.Len() }
+
+// Lookup longest-prefix-matches dst.
+func (t *Table) Lookup(dst netip.Addr) (Route, bool) {
+	r, _, ok := t.lpm.Lookup(dst)
+	return r, ok
+}
+
+// Get returns the route installed for the exact prefix.
+func (t *Table) Get(p netip.Prefix) (Route, bool) { return t.lpm.Get(p) }
+
+// Routes returns all installed routes in prefix order.
+func (t *Table) Routes() []Route {
+	out := make([]Route, 0, t.lpm.Len())
+	t.lpm.Walk(func(_ netip.Prefix, r Route) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// FlowKey identifies a transport flow; ECMP hashes it so a flow's packets
+// always take the same path (no reordering).
+type FlowKey struct {
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// Hash computes the FNV-1a hash of the flow key mixed with a router salt,
+// passed through an avalanche finalizer. The finalizer matters: FNV-1a's
+// low bit is the parity of the input's low bits, so without it a flow
+// population whose ports and addresses increment in lockstep can land
+// entirely in one bucket of `hash % 2` — every flow on one ECMP member.
+func (k FlowKey) Hash(salt uint64) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(salt >> (8 * i))
+	}
+	h.Write(buf[:])
+	src, _ := k.Src.MarshalBinary()
+	dst, _ := k.Dst.MarshalBinary()
+	h.Write(src)
+	h.Write(dst)
+	buf[0] = byte(k.SrcPort >> 8)
+	buf[1] = byte(k.SrcPort)
+	buf[2] = byte(k.DstPort >> 8)
+	buf[3] = byte(k.DstPort)
+	buf[4] = k.Proto
+	h.Write(buf[:5])
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64/murmur3 finalizer: full avalanche so every
+// output bit depends on every input bit.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Select picks the next hop for a flow: the flow hash indexes the weighted
+// next-hop list, so a next hop with weight w receives w/total of flows.
+func (t *Table) Select(dst netip.Addr, key FlowKey) (NextHop, Route, bool) {
+	r, ok := t.Lookup(dst)
+	if !ok || len(r.NextHops) == 0 {
+		return NextHop{}, r, ok && r.Local
+	}
+	total := r.TotalWeight()
+	x := int(key.Hash(t.Salt) % uint64(total))
+	for _, nh := range r.NextHops {
+		x -= nh.Weight
+		if x < 0 {
+			return nh, r, true
+		}
+	}
+	// Unreachable given TotalWeight > 0.
+	return r.NextHops[len(r.NextHops)-1], r, true
+}
+
+// String renders the table like "show ip route".
+func (t *Table) String() string {
+	var b strings.Builder
+	t.lpm.Walk(func(p netip.Prefix, r Route) bool {
+		fmt.Fprintf(&b, "%v metric %d", p, r.Distance)
+		if r.Local {
+			b.WriteString(" local")
+		}
+		for _, nh := range r.NextHops {
+			fmt.Fprintf(&b, " via node%d(w%d)", nh.Node, nh.Weight)
+		}
+		b.WriteByte('\n')
+		return true
+	})
+	return b.String()
+}
+
+// Plane is the set of all routers' FIBs; it can trace a flow hop by hop.
+type Plane struct {
+	Tables map[topo.NodeID]*Table
+}
+
+// NewPlane returns an empty forwarding plane.
+func NewPlane() *Plane {
+	return &Plane{Tables: make(map[topo.NodeID]*Table)}
+}
+
+// Trace walks a flow from the ingress router until some router reports the
+// destination Local, returning the node path (ingress first, delivering
+// router last). It fails on lookup misses, missing tables, and loops.
+func (p *Plane) Trace(ingress topo.NodeID, key FlowKey) ([]topo.NodeID, error) {
+	const maxHops = 64
+	path := []topo.NodeID{ingress}
+	cur := ingress
+	seen := map[topo.NodeID]bool{ingress: true}
+	for hop := 0; hop < maxHops; hop++ {
+		tbl, ok := p.Tables[cur]
+		if !ok {
+			return path, fmt.Errorf("fib: no table for node %d", cur)
+		}
+		nh, route, ok := tbl.Select(key.Dst, key)
+		if !ok {
+			return path, fmt.Errorf("fib: node %d has no route to %v", cur, key.Dst)
+		}
+		if route.Local {
+			return path, nil
+		}
+		if seen[nh.Node] {
+			return append(path, nh.Node), fmt.Errorf("fib: forwarding loop at node %d", nh.Node)
+		}
+		seen[nh.Node] = true
+		path = append(path, nh.Node)
+		cur = nh.Node
+	}
+	return path, fmt.Errorf("fib: hop limit exceeded towards %v", key.Dst)
+}

@@ -1,0 +1,189 @@
+package fibbing
+
+import (
+	"fmt"
+
+	"fibbing.net/fibbing/internal/spf"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// RouteView is the analytically computed forwarding behaviour of one
+// router for one prefix.
+type RouteView struct {
+	// Local marks the prefix's attachment router(s).
+	Local bool
+	// Dist is the router's distance to the prefix (through lies if they
+	// win), spf.Infinity if unreachable.
+	Dist int64
+	// NextHops is the weighted ECMP next-hop set.
+	NextHops NextHopWeights
+}
+
+// Evaluate computes, for every router, the route it would install for the
+// named prefix given a set of lies. It mirrors the route computation of
+// internal/ospf exactly (same announcement and next-hop-weight semantics)
+// but runs on the topology directly, without protocol machinery — this is
+// what the controller uses to predict the effect of an augmentation before
+// injecting it.
+func Evaluate(t *topo.Topology, prefixName string, lies []Lie) (map[topo.NodeID]RouteView, error) {
+	p, ok := t.PrefixByName(prefixName)
+	if !ok {
+		return nil, fmt.Errorf("fibbing: unknown prefix %q", prefixName)
+	}
+	for _, l := range lies {
+		if l.Prefix != p.Prefix {
+			return nil, fmt.Errorf("fibbing: lie %v targets a different prefix than %v", l, p.Prefix)
+		}
+		if _, ok := t.FindLink(l.Attach, l.Via); !ok {
+			return nil, fmt.Errorf("fibbing: lie %v forwards via a non-neighbor", l)
+		}
+		if l.Cost < 0 {
+			return nil, fmt.Errorf("fibbing: lie %v has negative cost", l)
+		}
+	}
+
+	// Augmented graph: real topology plus one leaf node per lie.
+	g := spf.FromTopology(t)
+	lieNode := make(map[topo.NodeID]Lie, len(lies)) // graph node -> lie
+	for _, l := range lies {
+		idx := g.AddNode()
+		g.AddEdge(l.Attach, spf.Edge{To: idx, Weight: l.Cost, Link: topo.NoLink})
+		lieNode[idx] = l
+	}
+	isHost := func(n topo.NodeID) bool {
+		return int(n) < t.NumNodes() && t.Node(n).Host
+	}
+
+	attached := make(map[topo.NodeID]int64, len(p.Attachments))
+	for _, a := range p.Attachments {
+		attached[a.Node] = a.Cost
+	}
+
+	out := make(map[topo.NodeID]RouteView, t.NumNodes())
+	for _, n := range t.Nodes() {
+		if n.Host {
+			continue
+		}
+		u := n.ID
+		if _, ok := attached[u]; ok {
+			out[u] = RouteView{Local: true, NextHops: NextHopWeights{}}
+			continue
+		}
+		tree := spf.Compute(g, u, isHost)
+
+		best := spf.Infinity
+		for a, cost := range attached {
+			if tree.Reachable(a) && tree.Dist[a]+cost < best {
+				best = tree.Dist[a] + cost
+			}
+		}
+		for idx := range lieNode {
+			if tree.Reachable(idx) && tree.Dist[idx] < best {
+				best = tree.Dist[idx]
+			}
+		}
+		view := RouteView{Dist: best, NextHops: NextHopWeights{}}
+		if best == spf.Infinity {
+			out[u] = view
+			continue
+		}
+		set := make(map[topo.NodeID]bool)
+		for a, cost := range attached {
+			if !tree.Reachable(a) || tree.Dist[a]+cost != best {
+				continue
+			}
+			for _, nh := range tree.NextHops(a) {
+				set[nh.Node] = true
+			}
+		}
+		for idx, l := range lieNode {
+			if !tree.Reachable(idx) || tree.Dist[idx] != best {
+				continue
+			}
+			if l.Attach == u {
+				// Own fake: one extra RIB path to its forwarding
+				// address (additive — the Fibbing trick).
+				view.NextHops[l.Via]++
+				continue
+			}
+			for _, nh := range tree.NextHops(idx) {
+				if _, isLie := lieNode[nh.Node]; isLie {
+					// First hop is a fake node: only possible when
+					// u == attach, handled above.
+					continue
+				}
+				set[nh.Node] = true
+			}
+		}
+		for v := range set {
+			view.NextHops[v]++
+		}
+		out[u] = view
+	}
+	return out, nil
+}
+
+// IGPView computes the plain-IGP routes for a prefix (no lies).
+func IGPView(t *topo.Topology, prefixName string) (map[topo.NodeID]RouteView, error) {
+	return Evaluate(t, prefixName, nil)
+}
+
+// ForwardingGraph extracts the per-destination forwarding edges from a set
+// of route views: one edge per (router, next hop).
+func ForwardingGraph(views map[topo.NodeID]RouteView) map[topo.NodeID][]topo.NodeID {
+	out := make(map[topo.NodeID][]topo.NodeID, len(views))
+	for u, v := range views {
+		for nh := range v.NextHops {
+			out[u] = append(out[u], nh)
+		}
+	}
+	return out
+}
+
+// CheckDelivery verifies that the forwarding graph induced by views is
+// loop-free and that every router with a route eventually reaches a Local
+// router. This is the safety property every augmentation must preserve.
+func CheckDelivery(t *topo.Topology, views map[topo.NodeID]RouteView) error {
+	const (
+		white = 0 // unvisited
+		grey  = 1 // on stack
+		black = 2 // proven to deliver
+	)
+	state := make(map[topo.NodeID]int, len(views))
+	var visit func(u topo.NodeID) error
+	visit = func(u topo.NodeID) error {
+		v, ok := views[u]
+		if !ok {
+			return fmt.Errorf("fibbing: traffic forwarded to %s which has no route", t.Name(u))
+		}
+		if v.Local {
+			return nil
+		}
+		switch state[u] {
+		case grey:
+			return fmt.Errorf("fibbing: forwarding loop through %s", t.Name(u))
+		case black:
+			return nil
+		}
+		if len(v.NextHops) == 0 {
+			return fmt.Errorf("fibbing: %s has no next hops and is not local", t.Name(u))
+		}
+		state[u] = grey
+		for nh := range v.NextHops {
+			if err := visit(nh); err != nil {
+				return err
+			}
+		}
+		state[u] = black
+		return nil
+	}
+	for u, v := range views {
+		if v.Dist == spf.Infinity && !v.Local {
+			continue // unreachable routers carry no traffic
+		}
+		if err := visit(u); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package fibbing
+
+import (
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/ospf"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// TestEvaluatorMatchesProtocol is the consistency bridge between the
+// controller's analytic prediction (Evaluate) and what the distributed
+// protocol actually installs: lies computed by the augmentation are
+// injected as fake LSAs into a running IGP domain, and every router's
+// FIB must match the evaluator's view, weight for weight.
+func TestEvaluatorMatchesProtocol(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dag  func(tp *topo.Topology) DAG
+		pin  bool
+	}{
+		{"fig1c-add-paths", Fig1DAG, false},
+		{"override-pin-all", func(tp *topo.Topology) DAG {
+			return DAG{tp.MustNode("B"): NextHopWeights{tp.MustNode("R3"): 1}}
+		}, true},
+		{"heavy-uneven", func(tp *topo.Topology) DAG {
+			return DAG{tp.MustNode("A"): NextHopWeights{
+				tp.MustNode("B"): 1, tp.MustNode("R1"): 4,
+			}}
+		}, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tp := topo.Fig1(topo.Fig1Opts{})
+			dag := tc.dag(tp)
+
+			var aug *Augmentation
+			var err error
+			if tc.pin {
+				aug, err = AugmentPinAll(tp, topo.Fig1BluePrefixName, dag)
+			} else {
+				aug, err = AugmentAddPaths(tp, topo.Fig1BluePrefixName, dag)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Evaluate(tp, topo.Fig1BluePrefixName, aug.Lies)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			d := ospf.NewDomain(tp, event.NewScheduler(), ospf.Config{})
+			d.Start()
+			if _, err := d.RunUntilConverged(60 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			inj := d.Router(tp.MustNode("R3")) // controller attaches at R3
+			for i, lie := range aug.Lies {
+				lsa := lie.ToLSA(ospf.ControllerIDBase, uint32(i)+1, 1)
+				if err := inj.OriginateForeign(lsa); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := d.RunUntilConverged(300 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			if len(d.Errors) > 0 {
+				t.Fatalf("protocol errors: %v", d.Errors)
+			}
+
+			for node, view := range want {
+				r := d.Router(node)
+				route, ok := r.FIB().Lookup(topo.Fig1BluePrefix.Addr())
+				if view.Local {
+					if !ok || !route.Local {
+						t.Fatalf("%s: want local, got %+v", tp.Name(node), route)
+					}
+					continue
+				}
+				if len(view.NextHops) == 0 {
+					if ok && !route.Local {
+						t.Fatalf("%s: evaluator says unreachable, FIB has %+v", tp.Name(node), route)
+					}
+					continue
+				}
+				if !ok {
+					t.Fatalf("%s: no FIB route, evaluator has %v", tp.Name(node), view.NextHops)
+				}
+				got := NextHopWeights{}
+				for _, nh := range route.NextHops {
+					got[nh.Node] += nh.Weight
+				}
+				if !got.Equal(view.NextHops) {
+					t.Fatalf("%s: FIB %v != evaluator %v", tp.Name(node), got, view.NextHops)
+				}
+			}
+		})
+	}
+}

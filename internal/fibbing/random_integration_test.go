@@ -1,0 +1,131 @@
+package fibbing
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/ospf"
+	"fibbing.net/fibbing/internal/spf"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// TestRandomAugmentationsMatchProtocol is the strongest consistency check
+// in the repository: on random topologies with randomly chosen safe
+// (downhill) requirements, the lies computed by the augmentation are
+// injected into a *running IGP* and every router's flooded, SPF-computed
+// FIB must match the analytic evaluator's prediction, weight for weight.
+func TestRandomAugmentationsMatchProtocol(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		tp := topo.RandomConnected(topo.RandomOpts{
+			Nodes: 9, Degree: 3, MaxWeight: 4, Prefixes: 1, Seed: seed,
+		})
+		dag, ok := randomDownhillDAG(tp, "d0", seed)
+		if !ok {
+			continue // no safe candidate on this topology
+		}
+		aug, err := AugmentAddPaths(tp, "d0", dag)
+		if err != nil {
+			t.Fatalf("seed %d: augment: %v", seed, err)
+		}
+		if err := Verify(tp, "d0", aug.Lies, dag); err != nil {
+			t.Fatalf("seed %d: verify: %v", seed, err)
+		}
+		want, err := Evaluate(tp, "d0", aug.Lies)
+		if err != nil {
+			t.Fatalf("seed %d: evaluate: %v", seed, err)
+		}
+
+		d := ospf.NewDomain(tp, event.NewScheduler(), ospf.Config{})
+		d.Start()
+		if _, err := d.RunUntilConverged(120 * time.Second); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		inj := d.Router(topo.NodeID(0))
+		for i, lie := range aug.Lies {
+			if err := inj.OriginateForeign(lie.ToLSA(ospf.ControllerIDBase, uint32(i)+1, 1)); err != nil {
+				t.Fatalf("seed %d: inject: %v", seed, err)
+			}
+		}
+		if _, err := d.RunUntilConverged(d.Scheduler().Now() + 300*time.Second); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(d.Errors) > 0 {
+			t.Fatalf("seed %d: protocol errors: %v", seed, d.Errors)
+		}
+
+		p, _ := tp.PrefixByName("d0")
+		for node, view := range want {
+			r := d.Router(node)
+			route, ok := r.FIB().Lookup(p.Prefix.Addr())
+			switch {
+			case view.Local:
+				if !ok || !route.Local {
+					t.Fatalf("seed %d: %s want local, got %+v", seed, tp.Name(node), route)
+				}
+			case len(view.NextHops) == 0:
+				if ok && !route.Local {
+					t.Fatalf("seed %d: %s unexpected route %+v", seed, tp.Name(node), route)
+				}
+			default:
+				if !ok {
+					t.Fatalf("seed %d: %s missing route, want %v", seed, tp.Name(node), view.NextHops)
+				}
+				got := NextHopWeights{}
+				for _, nh := range route.NextHops {
+					got[nh.Node] += nh.Weight
+				}
+				if !got.Equal(view.NextHops) {
+					t.Fatalf("seed %d: %s FIB %v != evaluator %v", seed, tp.Name(node), got, view.NextHops)
+				}
+			}
+		}
+	}
+}
+
+// randomDownhillDAG builds a random safe requirement: pick up to two
+// routers, each keeping its IGP next hops and adding one unused downhill
+// neighbor with a random weight.
+func randomDownhillDAG(tp *topo.Topology, prefix string, seed int64) (DAG, bool) {
+	views, err := IGPView(tp, prefix)
+	if err != nil {
+		return nil, false
+	}
+	rng := rand.New(rand.NewSource(seed))
+	dag := DAG{}
+	nodes := tp.Nodes()
+	rng.Shuffle(len(nodes), func(i, j int) { nodes[i], nodes[j] = nodes[j], nodes[i] })
+	for _, n := range nodes {
+		if len(dag) == 2 {
+			break
+		}
+		u := n.ID
+		uv, ok := views[u]
+		if !ok || uv.Local || len(uv.NextHops) == 0 || uv.Dist == spf.Infinity {
+			continue
+		}
+		var candidate topo.NodeID = topo.NoNode
+		for _, lid := range tp.OutLinks(u) {
+			v := tp.Link(lid).To
+			vv, ok := views[v]
+			if !ok || uv.NextHops[v] > 0 {
+				continue
+			}
+			if vv.Local || (len(vv.NextHops) > 0 && vv.Dist < uv.Dist) {
+				candidate = v
+				break
+			}
+		}
+		if candidate == topo.NoNode {
+			continue
+		}
+		desired := NextHopWeights{candidate: 1 + rng.Intn(3)}
+		for nh := range uv.NextHops {
+			desired[nh] = 1
+		}
+		dag[u] = desired
+	}
+	return dag, len(dag) > 0
+}

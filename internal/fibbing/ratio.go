@@ -1,0 +1,186 @@
+package fibbing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// ApproxWeights converts fractional split ratios into small integer ECMP
+// weights, the quantity Fibbing can realise by duplicating fake next hops.
+//
+// It searches all denominators q in [1, maxDenom] and returns the weight
+// vector (summing to the chosen q) minimising the maximum absolute error
+// |w_i/q - f_i|, preferring smaller q on ties (fewer fake nodes). Every
+// strictly positive fraction is guaranteed a weight of at least 1, so no
+// requested path is silently dropped.
+func ApproxWeights(fractions []float64, maxDenom int) ([]int, error) {
+	if maxDenom < 1 {
+		return nil, fmt.Errorf("fibbing: maxDenom %d < 1", maxDenom)
+	}
+	if len(fractions) == 0 {
+		return nil, fmt.Errorf("fibbing: empty fraction vector")
+	}
+	sum := 0.0
+	positive := 0
+	for _, f := range fractions {
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("fibbing: bad fraction %v", f)
+		}
+		if f > 0 {
+			positive++
+		}
+		sum += f
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("fibbing: fractions sum to zero")
+	}
+	if positive > maxDenom {
+		return nil, fmt.Errorf("fibbing: %d positive fractions need denominator > %d", positive, maxDenom)
+	}
+	norm := make([]float64, len(fractions))
+	for i, f := range fractions {
+		norm[i] = f / sum
+	}
+
+	bestErr := math.Inf(1)
+	var best []int
+	for q := positive; q <= maxDenom; q++ {
+		w := roundToSum(norm, q)
+		if w == nil {
+			continue
+		}
+		e := 0.0
+		for i := range w {
+			if d := math.Abs(float64(w[i])/float64(q) - norm[i]); d > e {
+				e = d
+			}
+		}
+		if e < bestErr-1e-12 {
+			bestErr, best = e, w
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("fibbing: no feasible weight vector within denominator %d", maxDenom)
+	}
+	return best, nil
+}
+
+// roundToSum rounds norm*q to integers summing exactly to q, keeping every
+// positive fraction at weight >= 1. Returns nil if infeasible for this q.
+func roundToSum(norm []float64, q int) []int {
+	w := make([]int, len(norm))
+	frac := make([]float64, len(norm))
+	total := 0
+	for i, f := range norm {
+		x := f * float64(q)
+		w[i] = int(math.Floor(x))
+		if f > 0 && w[i] == 0 {
+			w[i] = 1
+			frac[i] = -1 // pinned up; avoid removing below
+		} else {
+			frac[i] = x - float64(w[i])
+		}
+		total += w[i]
+	}
+	type cand struct {
+		idx  int
+		frac float64
+	}
+	switch {
+	case total < q:
+		// Distribute the remaining units to the largest remainders.
+		cands := make([]cand, 0, len(norm))
+		for i := range norm {
+			cands = append(cands, cand{i, frac[i]})
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].frac > cands[b].frac })
+		for k := 0; total < q; k++ {
+			w[cands[k%len(cands)].idx]++
+			total++
+		}
+	case total > q:
+		// Remove units from the smallest remainders, never below 1 for
+		// positive fractions.
+		cands := make([]cand, 0, len(norm))
+		for i := range norm {
+			cands = append(cands, cand{i, frac[i]})
+		}
+		sort.Slice(cands, func(a, b int) bool { return cands[a].frac < cands[b].frac })
+		for k := 0; total > q && k < 10*len(cands); k++ {
+			i := cands[k%len(cands)].idx
+			min := 0
+			if norm[i] > 0 {
+				min = 1
+			}
+			if w[i] > min {
+				w[i]--
+				total--
+			}
+		}
+		if total > q {
+			return nil
+		}
+	}
+	return w
+}
+
+// WeightsError returns the maximum absolute deviation between the realised
+// ratios w/sum(w) and the target fractions (after normalisation).
+func WeightsError(weights []int, fractions []float64) float64 {
+	sumW := 0
+	for _, w := range weights {
+		sumW += w
+	}
+	sumF := 0.0
+	for _, f := range fractions {
+		sumF += f
+	}
+	if sumW == 0 || sumF == 0 {
+		return math.Inf(1)
+	}
+	e := 0.0
+	for i := range weights {
+		d := math.Abs(float64(weights[i])/float64(sumW) - fractions[i]/sumF)
+		if d > e {
+			e = d
+		}
+	}
+	return e
+}
+
+// SplitsToDAG converts per-router fractional splits (from a TE solver)
+// into a weighted forwarding DAG using ApproxWeights per router.
+func SplitsToDAG(splits map[topo.NodeID]map[topo.NodeID]float64, maxDenom int) (DAG, error) {
+	dag := make(DAG, len(splits))
+	for u, frac := range splits {
+		if len(frac) == 0 {
+			continue
+		}
+		nodes := make([]topo.NodeID, 0, len(frac))
+		for v := range frac {
+			nodes = append(nodes, v)
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		fr := make([]float64, len(nodes))
+		for i, v := range nodes {
+			fr[i] = frac[v]
+		}
+		w, err := ApproxWeights(fr, maxDenom)
+		if err != nil {
+			return nil, fmt.Errorf("fibbing: router %d: %w", u, err)
+		}
+		nhw := NextHopWeights{}
+		for i, v := range nodes {
+			if w[i] > 0 {
+				nhw[v] = w[i]
+			}
+		}
+		if len(nhw) > 0 {
+			dag[u] = nhw
+		}
+	}
+	return dag, nil
+}

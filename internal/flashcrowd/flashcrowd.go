@@ -1,0 +1,148 @@
+// Package flashcrowd generates the traffic workloads of the paper: the
+// demo's scripted video-request schedule (1 flow at t=0, +30 at t=15, +31
+// from the second source at t=35) and Poisson-burst flash crowds for the
+// extended experiments.
+package flashcrowd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/fib"
+	"fibbing.net/fibbing/internal/netsim"
+	"fibbing.net/fibbing/internal/ospf"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// Wave is one batch of client arrivals.
+type Wave struct {
+	At      time.Duration
+	Ingress string  // router where the flows enter (the server's side)
+	Flows   int     // number of simultaneous clients joining
+	Rate    float64 // per-flow media bitrate, bit/s
+	Hold    time.Duration
+	// Hold = 0 keeps flows until the end of the simulation.
+}
+
+// DefaultVideoRate is the demo's per-video bitrate: 500 kbit/s, sized so
+// ~31 videos fill one 16 Mbit/s link, matching Figure 2's scale.
+const DefaultVideoRate = 0.5e6
+
+// Fig2Schedule reproduces the demo timeline on the Fig1 topology: one
+// client of S1 (behind B) at t=0, 30 more at t=15 s, then 31 clients of
+// S2 (behind A) at t=35 s.
+func Fig2Schedule(rate float64) []Wave {
+	if rate <= 0 {
+		rate = DefaultVideoRate
+	}
+	return []Wave{
+		{At: 0, Ingress: topo.Fig1B, Flows: 1, Rate: rate},
+		{At: 15 * time.Second, Ingress: topo.Fig1B, Flows: 30, Rate: rate},
+		{At: 35 * time.Second, Ingress: topo.Fig1A, Flows: 31, Rate: rate},
+	}
+}
+
+// Runner schedules waves of flows into a simulated network and reports
+// client arrivals/departures to the controller (the paper's "servers
+// notify the controller when they have a new client").
+type Runner struct {
+	Net    *netsim.Network
+	Sched  *event.Scheduler
+	Prefix string // destination prefix name
+
+	// OnJoin/OnLeave fire per flow, before it starts / after it ends.
+	OnJoin  func(ingress topo.NodeID, rate float64)
+	OnLeave func(ingress topo.NodeID, rate float64)
+	// OnFlowStarted fires after the flow is injected, with its ID
+	// (used to attach video players).
+	OnFlowStarted func(id netsim.FlowID, rate float64)
+
+	nextPort uint16
+	nextHost int
+	flows    []netsim.FlowID
+}
+
+// Flows returns the IDs of all flows started so far.
+func (r *Runner) Flows() []netsim.FlowID { return r.flows }
+
+// Schedule arms all waves on the scheduler. Must be called before running
+// the scheduler past the first wave time.
+func (r *Runner) Schedule(waves []Wave) error {
+	tp := r.Net.Topology()
+	p, ok := tp.PrefixByName(r.Prefix)
+	if !ok {
+		return fmt.Errorf("flashcrowd: unknown prefix %q", r.Prefix)
+	}
+	for _, w := range waves {
+		w := w
+		ingress, ok := tp.NodeByName(w.Ingress)
+		if !ok {
+			return fmt.Errorf("flashcrowd: unknown ingress %q", w.Ingress)
+		}
+		if w.Flows <= 0 || w.Rate <= 0 {
+			return fmt.Errorf("flashcrowd: bad wave %+v", w)
+		}
+		r.Sched.At(w.At, func() {
+			for i := 0; i < w.Flows; i++ {
+				r.startFlow(ingress, p, w.Rate, w.Hold)
+			}
+		})
+	}
+	return nil
+}
+
+func (r *Runner) startFlow(ingress topo.NodeID, p topo.Prefix, rate float64, hold time.Duration) {
+	r.nextPort++
+	r.nextHost++
+	key := fib.FlowKey{
+		Src:     ospf.Loopback(ingress),
+		Dst:     ospf.HostAddr(p.Prefix, r.nextHost),
+		SrcPort: 10000 + r.nextPort,
+		DstPort: 8080,
+		Proto:   6,
+	}
+	if r.OnJoin != nil {
+		r.OnJoin(ingress, rate)
+	}
+	id := r.Net.AddFlow(ingress, key, rate)
+	r.flows = append(r.flows, id)
+	if r.OnFlowStarted != nil {
+		r.OnFlowStarted(id, rate)
+	}
+	if hold > 0 {
+		r.Sched.After(hold, func() {
+			r.Net.RemoveFlow(id)
+			if r.OnLeave != nil {
+				r.OnLeave(ingress, rate)
+			}
+		})
+	}
+}
+
+// PoissonWaves draws a random flash crowd: sessions arrive as a Poisson
+// process with the given rate (sessions/second) over the window, each
+// holding for an exponential duration with the given mean. Deterministic
+// for a seed.
+func PoissonWaves(ingress string, window time.Duration, arrivalRate float64, meanHold time.Duration, videoRate float64, seed int64) []Wave {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Wave
+	t := 0.0
+	end := window.Seconds()
+	for {
+		t += rng.ExpFloat64() / arrivalRate
+		if t >= end {
+			return out
+		}
+		hold := time.Duration(math.Max(1, rng.ExpFloat64()*meanHold.Seconds()) * float64(time.Second))
+		out = append(out, Wave{
+			At:      time.Duration(t * float64(time.Second)),
+			Ingress: ingress,
+			Flows:   1,
+			Rate:    videoRate,
+			Hold:    hold,
+		})
+	}
+}

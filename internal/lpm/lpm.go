@@ -1,0 +1,208 @@
+// Package lpm implements a longest-prefix-match binary trie over IP
+// prefixes, the lookup structure backing every router FIB in the emulated
+// network. It supports IPv4 and IPv6 prefixes (in separate tries keyed by
+// address family), insertion, exact removal, longest-match lookup, and
+// ordered walking.
+package lpm
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Table is a longest-prefix-match table mapping prefixes to values.
+// The zero value is not usable; call New.
+type Table[V any] struct {
+	v4, v6 *node[V]
+	size   int
+}
+
+type node[V any] struct {
+	child [2]*node[V]
+	val   V
+	set   bool
+}
+
+// New returns an empty table.
+func New[V any]() *Table[V] {
+	return &Table[V]{v4: &node[V]{}, v6: &node[V]{}}
+}
+
+// Len returns the number of installed prefixes.
+func (t *Table[V]) Len() int { return t.size }
+
+func (t *Table[V]) root(is4 bool) *node[V] {
+	if is4 {
+		return t.v4
+	}
+	return t.v6
+}
+
+// bitAt returns bit i (0 = most significant) of the address.
+func bitAt(a netip.Addr, i int) int {
+	s := a.AsSlice()
+	return int(s[i/8]>>(7-uint(i%8))) & 1
+}
+
+// Insert adds or replaces the value for an exact prefix.
+func (t *Table[V]) Insert(p netip.Prefix, v V) {
+	if !p.IsValid() {
+		panic(fmt.Sprintf("lpm: invalid prefix %v", p))
+	}
+	p = p.Masked()
+	n := t.root(p.Addr().Is4())
+	for i := 0; i < p.Bits(); i++ {
+		b := bitAt(p.Addr(), i)
+		if n.child[b] == nil {
+			n.child[b] = &node[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = v, true
+}
+
+// Remove deletes an exact prefix, reporting whether it was present.
+// Trie nodes are not compacted: tables in this system are small and
+// compaction would complicate concurrent walking.
+func (t *Table[V]) Remove(p netip.Prefix) bool {
+	if !p.IsValid() {
+		return false
+	}
+	p = p.Masked()
+	n := t.root(p.Addr().Is4())
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[bitAt(p.Addr(), i)]
+		if n == nil {
+			return false
+		}
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	return true
+}
+
+// Get returns the value stored for the exact prefix.
+func (t *Table[V]) Get(p netip.Prefix) (V, bool) {
+	var zero V
+	if !p.IsValid() {
+		return zero, false
+	}
+	p = p.Masked()
+	n := t.root(p.Addr().Is4())
+	for i := 0; i < p.Bits(); i++ {
+		n = n.child[bitAt(p.Addr(), i)]
+		if n == nil {
+			return zero, false
+		}
+	}
+	if !n.set {
+		return zero, false
+	}
+	return n.val, true
+}
+
+// Lookup performs longest-prefix-match for an address, returning the value
+// of the most specific covering prefix.
+func (t *Table[V]) Lookup(a netip.Addr) (V, netip.Prefix, bool) {
+	var (
+		zero  V
+		best  V
+		bestP netip.Prefix
+		found bool
+	)
+	if !a.IsValid() {
+		return zero, netip.Prefix{}, false
+	}
+	n := t.root(a.Is4())
+	maxBits := 128
+	if a.Is4() {
+		maxBits = 32
+	}
+	for i := 0; ; i++ {
+		if n.set {
+			best = n.val
+			bestP = netip.PrefixFrom(a, i).Masked()
+			found = true
+		}
+		if i == maxBits {
+			break
+		}
+		n = n.child[bitAt(a, i)]
+		if n == nil {
+			break
+		}
+	}
+	if !found {
+		return zero, netip.Prefix{}, false
+	}
+	return best, bestP, true
+}
+
+// Walk visits every installed prefix in sorted order (shorter prefixes of
+// the same address first). The walk stops early if fn returns false.
+func (t *Table[V]) Walk(fn func(p netip.Prefix, v V) bool) {
+	type entry struct {
+		p netip.Prefix
+		v V
+	}
+	var all []entry
+	var collect func(n *node[V], addr [16]byte, bits int, is4 bool)
+	collect = func(n *node[V], addr [16]byte, bits int, is4 bool) {
+		if n == nil {
+			return
+		}
+		if n.set {
+			var a netip.Addr
+			if is4 {
+				var b4 [4]byte
+				copy(b4[:], addr[:4])
+				a = netip.AddrFrom4(b4)
+			} else {
+				a = netip.AddrFrom16(addr)
+			}
+			all = append(all, entry{p: netip.PrefixFrom(a, bits), v: n.val})
+		}
+		maxBits := 128
+		if is4 {
+			maxBits = 32
+		}
+		if bits == maxBits {
+			return
+		}
+		collect(n.child[0], addr, bits+1, is4)
+		addr[bits/8] |= 1 << (7 - uint(bits%8))
+		collect(n.child[1], addr, bits+1, is4)
+	}
+	collect(t.v4, [16]byte{}, 0, true)
+	collect(t.v6, [16]byte{}, 0, false)
+	sort.Slice(all, func(i, j int) bool {
+		ai, aj := all[i].p.Addr(), all[j].p.Addr()
+		if ai != aj {
+			return ai.Less(aj)
+		}
+		return all[i].p.Bits() < all[j].p.Bits()
+	})
+	for _, e := range all {
+		if !fn(e.p, e.v) {
+			return
+		}
+	}
+}
+
+// Prefixes returns all installed prefixes in sorted order.
+func (t *Table[V]) Prefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, t.size)
+	t.Walk(func(p netip.Prefix, _ V) bool {
+		out = append(out, p)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,211 @@
+package lpm
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func mustPfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+func mustAddr(s string) netip.Addr  { return netip.MustParseAddr(s) }
+
+func TestInsertLookupBasic(t *testing.T) {
+	tb := New[string]()
+	tb.Insert(mustPfx("10.0.0.0/8"), "eight")
+	tb.Insert(mustPfx("10.66.0.0/16"), "sixteen")
+	tb.Insert(mustPfx("0.0.0.0/0"), "default")
+
+	cases := []struct {
+		addr string
+		want string
+	}{
+		{"10.66.1.2", "sixteen"},
+		{"10.1.1.1", "eight"},
+		{"192.168.1.1", "default"},
+	}
+	for _, c := range cases {
+		v, _, ok := tb.Lookup(mustAddr(c.addr))
+		if !ok || v != c.want {
+			t.Errorf("Lookup(%s) = %q, %v; want %q", c.addr, v, ok, c.want)
+		}
+	}
+}
+
+func TestLookupReturnsMatchedPrefix(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(mustPfx("10.66.0.0/16"), 1)
+	_, p, ok := tb.Lookup(mustAddr("10.66.3.4"))
+	if !ok || p != mustPfx("10.66.0.0/16") {
+		t.Fatalf("matched prefix = %v, %v", p, ok)
+	}
+}
+
+func TestNoMatch(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(mustPfx("10.0.0.0/8"), 1)
+	if _, _, ok := tb.Lookup(mustAddr("11.0.0.1")); ok {
+		t.Fatalf("should not match")
+	}
+	if _, _, ok := tb.Lookup(netip.Addr{}); ok {
+		t.Fatalf("invalid addr should not match")
+	}
+}
+
+func TestExactGetAndRemove(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(mustPfx("10.0.0.0/8"), 8)
+	tb.Insert(mustPfx("10.0.0.0/16"), 16)
+	if v, ok := tb.Get(mustPfx("10.0.0.0/8")); !ok || v != 8 {
+		t.Fatalf("Get /8 = %v, %v", v, ok)
+	}
+	if _, ok := tb.Get(mustPfx("10.0.0.0/12")); ok {
+		t.Fatalf("Get /12 should miss")
+	}
+	if !tb.Remove(mustPfx("10.0.0.0/8")) {
+		t.Fatalf("Remove /8 failed")
+	}
+	if tb.Remove(mustPfx("10.0.0.0/8")) {
+		t.Fatalf("double Remove succeeded")
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+	// /16 must still match even though its parent /8 is gone.
+	if v, _, ok := tb.Lookup(mustAddr("10.0.1.1")); !ok || v != 16 {
+		t.Fatalf("Lookup after remove = %v, %v", v, ok)
+	}
+	// An address only covered by the removed /8 must now miss.
+	if _, _, ok := tb.Lookup(mustAddr("10.200.0.1")); ok {
+		t.Fatalf("removed prefix still matches")
+	}
+}
+
+func TestInsertReplaces(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(mustPfx("10.0.0.0/8"), 1)
+	tb.Insert(mustPfx("10.0.0.0/8"), 2)
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+	if v, _ := tb.Get(mustPfx("10.0.0.0/8")); v != 2 {
+		t.Fatalf("value not replaced: %v", v)
+	}
+}
+
+func TestHostRoute(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(mustPfx("10.66.0.5/32"), 32)
+	tb.Insert(mustPfx("10.66.0.0/16"), 16)
+	if v, _, _ := tb.Lookup(mustAddr("10.66.0.5")); v != 32 {
+		t.Fatalf("host route not preferred: %v", v)
+	}
+	if v, _, _ := tb.Lookup(mustAddr("10.66.0.6")); v != 16 {
+		t.Fatalf("host route over-matches: %v", v)
+	}
+}
+
+func TestIPv6Separation(t *testing.T) {
+	tb := New[string]()
+	tb.Insert(mustPfx("::/0"), "v6default")
+	tb.Insert(mustPfx("0.0.0.0/0"), "v4default")
+	tb.Insert(mustPfx("2001:db8::/32"), "doc")
+	if v, _, _ := tb.Lookup(mustAddr("2001:db8::1")); v != "doc" {
+		t.Fatalf("v6 lookup = %v", v)
+	}
+	if v, _, _ := tb.Lookup(mustAddr("1.2.3.4")); v != "v4default" {
+		t.Fatalf("v4 lookup crossed into v6: %v", v)
+	}
+	if v, _, _ := tb.Lookup(mustAddr("fe80::1")); v != "v6default" {
+		t.Fatalf("v6 default: %v", v)
+	}
+}
+
+func TestWalkOrderAndEarlyStop(t *testing.T) {
+	tb := New[int]()
+	ps := []string{"10.0.0.0/8", "9.0.0.0/8", "10.0.0.0/16", "0.0.0.0/0"}
+	for i, s := range ps {
+		tb.Insert(mustPfx(s), i)
+	}
+	var got []string
+	tb.Walk(func(p netip.Prefix, _ int) bool {
+		got = append(got, p.String())
+		return true
+	})
+	want := []string{"0.0.0.0/0", "9.0.0.0/8", "10.0.0.0/8", "10.0.0.0/16"}
+	if len(got) != len(want) {
+		t.Fatalf("walk = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order = %v, want %v", got, want)
+		}
+	}
+	count := 0
+	tb.Walk(func(netip.Prefix, int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestUnmaskedPrefixNormalised(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(netip.PrefixFrom(mustAddr("10.66.99.99"), 16), 1)
+	if _, ok := tb.Get(mustPfx("10.66.0.0/16")); !ok {
+		t.Fatalf("unmasked insert not normalised")
+	}
+}
+
+// Property: Lookup agrees with a linear scan over installed prefixes.
+func TestLookupMatchesLinearScan(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := New[int]()
+		var pfxs []netip.Prefix
+		for i := 0; i < 60; i++ {
+			a := netip.AddrFrom4([4]byte{byte(rng.Intn(16)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+			bits := rng.Intn(33)
+			p := netip.PrefixFrom(a, bits).Masked()
+			tb.Insert(p, i)
+			pfxs = append(pfxs, p)
+		}
+		for i := 0; i < 200; i++ {
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(16)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+			_, gotP, gotOK := tb.Lookup(addr)
+			bestBits := -1
+			var bestP netip.Prefix
+			for _, p := range pfxs {
+				if p.Contains(addr) && p.Bits() > bestBits {
+					bestBits, bestP = p.Bits(), p
+				}
+			}
+			if gotOK != (bestBits >= 0) {
+				return false
+			}
+			if gotOK && gotP != bestP {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	tb := New[int]()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), 0, 0})
+		tb.Insert(netip.PrefixFrom(a, 8+rng.Intn(17)).Masked(), i)
+	}
+	addr := mustAddr("10.66.3.4")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb.Lookup(addr)
+	}
+}

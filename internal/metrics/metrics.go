@@ -1,0 +1,245 @@
+// Package metrics provides the measurement primitives used across the
+// system: monotonic counters, time series with fixed-interval sampling,
+// exponentially-weighted moving averages, and text/CSV rendering of
+// experiment results.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Counter is a monotonically increasing 64-bit counter (e.g. interface
+// octet counts). It deliberately wraps like SNMP Counter64 would.
+type Counter struct {
+	v uint64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Rate computes the per-second rate between two counter readings taken dt
+// apart, handling a single wrap.
+func Rate(prev, cur uint64, dt time.Duration) float64 {
+	if dt <= 0 {
+		return 0
+	}
+	delta := cur - prev // wraps correctly in unsigned arithmetic
+	return float64(delta) / dt.Seconds()
+}
+
+// Point is one time-series sample.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample. Samples must be added in non-decreasing time order.
+func (s *Series) Add(t time.Duration, v float64) {
+	if n := len(s.Points); n > 0 && t < s.Points[n-1].T {
+		panic(fmt.Sprintf("metrics: out-of-order sample %v after %v", t, s.Points[n-1].T))
+	}
+	s.Points = append(s.Points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Points) }
+
+// At returns the last sample value at or before t (step interpolation),
+// or 0 before the first sample.
+func (s *Series) At(t time.Duration) float64 {
+	i := sort.Search(len(s.Points), func(i int) bool { return s.Points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.Points[i-1].V
+}
+
+// Max returns the maximum sample value (0 for an empty series).
+func (s *Series) Max() float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// MaxInWindow returns the maximum value among samples with from <= T < to.
+func (s *Series) MaxInWindow(from, to time.Duration) float64 {
+	m := 0.0
+	for _, p := range s.Points {
+		if p.T >= from && p.T < to && p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// MeanInWindow returns the arithmetic mean among samples in [from, to).
+func (s *Series) MeanInWindow(from, to time.Duration) float64 {
+	sum, n := 0.0, 0
+	for _, p := range s.Points {
+		if p.T >= from && p.T < to {
+			sum += p.V
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// EWMA is an exponentially-weighted moving average with configurable
+// smoothing factor alpha in (0, 1]: higher alpha reacts faster.
+type EWMA struct {
+	Alpha float64
+	val   float64
+	init  bool
+}
+
+// Update folds a new observation in and returns the smoothed value.
+func (e *EWMA) Update(v float64) float64 {
+	if e.Alpha <= 0 || e.Alpha > 1 {
+		panic("metrics: EWMA alpha out of (0,1]")
+	}
+	if !e.init {
+		e.val, e.init = v, true
+		return v
+	}
+	e.val = e.Alpha*v + (1-e.Alpha)*e.val
+	return e.val
+}
+
+// Value returns the current smoothed value (0 before any update).
+func (e *EWMA) Value() float64 { return e.val }
+
+// Table accumulates rows for aligned text output, the format used by the
+// experiment harness to print paper-style tables.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = FormatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// FormatFloat renders floats compactly: integers without decimals,
+// others with three significant decimals.
+func FormatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if err := line(t.header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderCSV writes the table as CSV (no quoting: cells are numeric/simple).
+func (t *Table) RenderCSV(w io.Writer) error {
+	rows := append([][]string{t.header}, t.rows...)
+	for _, r := range rows {
+		if _, err := io.WriteString(w, strings.Join(r, ",")+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SeriesTable renders several series side by side on a shared time grid,
+// matching how Figure 2 plots multiple links over time.
+func SeriesTable(step time.Duration, series ...*Series) *Table {
+	header := []string{"t_sec"}
+	var end time.Duration
+	for _, s := range series {
+		header = append(header, s.Name)
+		if n := s.Len(); n > 0 && s.Points[n-1].T > end {
+			end = s.Points[n-1].T
+		}
+	}
+	t := NewTable(header...)
+	for at := time.Duration(0); at <= end; at += step {
+		row := make([]any, 0, len(series)+1)
+		row = append(row, fmt.Sprintf("%.0f", at.Seconds()))
+		for _, s := range series {
+			row = append(row, s.At(at))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

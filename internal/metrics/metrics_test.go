@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounterAndRate(t *testing.T) {
+	var c Counter
+	c.Add(100)
+	c.Add(50)
+	if c.Value() != 150 {
+		t.Fatalf("Value = %d", c.Value())
+	}
+	r := Rate(100, 150, time.Second)
+	if r != 50 {
+		t.Fatalf("Rate = %v", r)
+	}
+	if Rate(0, 100, 0) != 0 {
+		t.Fatalf("zero dt should give 0")
+	}
+}
+
+func TestRateHandlesWrap(t *testing.T) {
+	prev := uint64(math.MaxUint64 - 9)
+	cur := uint64(40)
+	if got := Rate(prev, cur, time.Second); got != 50 {
+		t.Fatalf("wrapped Rate = %v, want 50", got)
+	}
+}
+
+func TestSeriesAddAndAt(t *testing.T) {
+	var s Series
+	s.Add(0, 1)
+	s.Add(2*time.Second, 5)
+	s.Add(4*time.Second, 3)
+	if s.At(-time.Second) != 0 {
+		t.Fatalf("At before first sample should be 0")
+	}
+	if s.At(0) != 1 || s.At(time.Second) != 1 {
+		t.Fatalf("step interpolation wrong at 1s: %v", s.At(time.Second))
+	}
+	if s.At(2*time.Second) != 5 || s.At(3*time.Second) != 5 {
+		t.Fatalf("step interpolation wrong at 3s")
+	}
+	if s.At(100*time.Second) != 3 {
+		t.Fatalf("At past end should hold last value")
+	}
+}
+
+func TestSeriesOutOfOrderPanics(t *testing.T) {
+	var s Series
+	s.Add(2*time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic")
+		}
+	}()
+	s.Add(time.Second, 2)
+}
+
+func TestSeriesWindows(t *testing.T) {
+	var s Series
+	for i := 0; i <= 10; i++ {
+		s.Add(time.Duration(i)*time.Second, float64(i))
+	}
+	if got := s.Max(); got != 10 {
+		t.Fatalf("Max = %v", got)
+	}
+	if got := s.MaxInWindow(2*time.Second, 5*time.Second); got != 4 {
+		t.Fatalf("MaxInWindow = %v, want 4", got)
+	}
+	if got := s.MeanInWindow(2*time.Second, 5*time.Second); got != 3 {
+		t.Fatalf("MeanInWindow = %v, want 3", got)
+	}
+	if got := s.MeanInWindow(20*time.Second, 30*time.Second); got != 0 {
+		t.Fatalf("empty window mean = %v", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	if got := e.Update(10); got != 10 {
+		t.Fatalf("first update = %v", got)
+	}
+	if got := e.Update(20); got != 15 {
+		t.Fatalf("second update = %v", got)
+	}
+	if got := e.Update(15); got != 15 {
+		t.Fatalf("third update = %v", got)
+	}
+	if e.Value() != 15 {
+		t.Fatalf("Value = %v", e.Value())
+	}
+}
+
+func TestEWMABadAlphaPanics(t *testing.T) {
+	e := EWMA{Alpha: 0}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic")
+		}
+	}()
+	e.Update(1)
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("link", "load")
+	tb.AddRow("A-R1", 66.0)
+	tb.AddRow("B-R2", 66.6666)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("render = %q", out)
+	}
+	if !strings.Contains(lines[0], "link") || !strings.Contains(lines[0], "load") {
+		t.Fatalf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(out, "66.667") {
+		t.Fatalf("float formatting wrong: %q", out)
+	}
+	if !strings.Contains(out, "A-R1  66") {
+		t.Fatalf("alignment wrong: %q", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, 2.5)
+	var b strings.Builder
+	if err := tb.RenderCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,b\n1,2.500\n" {
+		t.Fatalf("csv = %q", b.String())
+	}
+}
+
+func TestSeriesTable(t *testing.T) {
+	s1 := &Series{Name: "A-R1"}
+	s2 := &Series{Name: "B-R2"}
+	s1.Add(0, 1)
+	s1.Add(2*time.Second, 3)
+	s2.Add(time.Second, 2)
+	tb := SeriesTable(time.Second, s1, s2)
+	var b strings.Builder
+	if err := tb.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "t_sec") || !strings.Contains(out, "A-R1") {
+		t.Fatalf("header missing: %q", out)
+	}
+	// Grid covers t=0,1,2.
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Fatalf("want 5 lines, got %d: %q", got, out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if FormatFloat(3) != "3" {
+		t.Fatalf("int-valued float: %q", FormatFloat(3))
+	}
+	if FormatFloat(3.14159) != "3.142" {
+		t.Fatalf("fraction: %q", FormatFloat(3.14159))
+	}
+}

@@ -1,0 +1,243 @@
+// Package monitor implements the controller's link-load monitoring: a
+// periodic SNMP poller that converts interface octet counters into rates,
+// smooths them with an EWMA, and raises/clears utilisation alarms with
+// hysteresis. This is the "monitors link loads using SNMP" component of
+// the paper's demo setup.
+package monitor
+
+import (
+	"fmt"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/metrics"
+	"fibbing.net/fibbing/internal/snmp"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// WatchedLink declares one directed link to poll.
+type WatchedLink struct {
+	Link     topo.LinkID
+	OID      snmp.OID // octet counter to poll (ifOutOctets/ifHCOutOctets)
+	Capacity float64  // bit/s, for utilisation
+	Name     string   // for reports
+}
+
+// LinkLoad is one link's smoothed load at a poll instant.
+type LinkLoad struct {
+	Link        topo.LinkID
+	Name        string
+	RateBps     float64 // smoothed, bits per second
+	Utilisation float64 // RateBps / Capacity (0 if uncapacitated)
+}
+
+// Report is one poll cycle's output.
+type Report struct {
+	At    time.Duration
+	Loads []LinkLoad
+}
+
+// MaxUtilisation returns the highest utilisation in the report.
+func (r Report) MaxUtilisation() (LinkLoad, bool) {
+	var best LinkLoad
+	found := false
+	for _, l := range r.Loads {
+		if !found || l.Utilisation > best.Utilisation {
+			best = l
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Alarm signals a link crossing the utilisation thresholds.
+type Alarm struct {
+	Link        topo.LinkID
+	Name        string
+	Utilisation float64
+	// Raised is true when the link went above the high threshold, false
+	// when it dropped below the low threshold.
+	Raised bool
+}
+
+// Config parameterises a Poller.
+type Config struct {
+	Interval time.Duration // poll period (default 2s)
+	// Alpha is the EWMA smoothing factor (default 0.5).
+	Alpha float64
+	// HighThreshold raises an alarm (default 0.7), LowThreshold clears
+	// it (default 0.3); hysteresis avoids flapping.
+	HighThreshold float64
+	LowThreshold  float64
+	// RaiseAfter / ClearAfter demand k consecutive polls beyond the
+	// threshold (default 1 / 2).
+	RaiseAfter int
+	ClearAfter int
+	// RepeatEvery re-fires the raised alarm every k consecutive
+	// above-threshold polls while the alarm stays raised, so the
+	// controller learns that its last reaction was insufficient (or a
+	// new surge hit the same link). 0 disables repeats.
+	RepeatEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 2 * time.Second
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.5
+	}
+	if c.HighThreshold <= 0 {
+		c.HighThreshold = 0.7
+	}
+	if c.LowThreshold <= 0 {
+		c.LowThreshold = 0.3
+	}
+	if c.RaiseAfter <= 0 {
+		c.RaiseAfter = 1
+	}
+	if c.ClearAfter <= 0 {
+		c.ClearAfter = 2
+	}
+	return c
+}
+
+// Poller drives periodic SNMP polls inside a virtual-time scheduler.
+type Poller struct {
+	client *snmp.Client
+	sched  *event.Scheduler
+	cfg    Config
+	links  []WatchedLink
+
+	// OnReport fires after every poll cycle.
+	OnReport func(Report)
+	// OnAlarm fires on threshold crossings (after hysteresis).
+	OnAlarm func(Alarm)
+
+	state  map[topo.LinkID]*linkState
+	ticker *event.Ticker
+	// Errors collects poll failures (an unreachable agent must not kill
+	// the loop).
+	Errors []error
+}
+
+type linkState struct {
+	last     uint64
+	lastAt   time.Duration
+	seeded   bool
+	ewma     metrics.EWMA
+	raised   bool
+	hiStreak int
+	loStreak int
+}
+
+// NewPoller builds a poller; call Start to begin polling.
+func NewPoller(client *snmp.Client, sched *event.Scheduler, cfg Config, links []WatchedLink) *Poller {
+	p := &Poller{
+		client: client,
+		sched:  sched,
+		cfg:    cfg.withDefaults(),
+		links:  links,
+		state:  make(map[topo.LinkID]*linkState, len(links)),
+	}
+	for _, l := range links {
+		p.state[l.Link] = &linkState{ewma: metrics.EWMA{Alpha: p.cfg.Alpha}}
+	}
+	return p
+}
+
+// Start begins polling on the scheduler.
+func (p *Poller) Start() {
+	if p.ticker != nil {
+		return
+	}
+	p.ticker = p.sched.NewTicker(p.cfg.Interval, p.poll)
+}
+
+// Stop halts polling.
+func (p *Poller) Stop() {
+	if p.ticker != nil {
+		p.ticker.Stop()
+		p.ticker = nil
+	}
+}
+
+func (p *Poller) poll() {
+	now := p.sched.Now()
+	report := Report{At: now}
+	for _, wl := range p.links {
+		st := p.state[wl.Link]
+		count, err := p.client.GetCounter(wl.OID)
+		if err != nil {
+			p.Errors = append(p.Errors, fmt.Errorf("monitor: poll %s: %w", wl.Name, err))
+			continue
+		}
+		if !st.seeded {
+			st.last, st.lastAt, st.seeded = count, now, true
+			continue
+		}
+		rate := metrics.Rate(st.last, count, now-st.lastAt) * 8 // octets -> bits
+		st.last, st.lastAt = count, now
+		smoothed := st.ewma.Update(rate)
+		util := 0.0
+		if wl.Capacity > 0 {
+			util = smoothed / wl.Capacity
+		}
+		report.Loads = append(report.Loads, LinkLoad{
+			Link: wl.Link, Name: wl.Name, RateBps: smoothed, Utilisation: util,
+		})
+		p.updateAlarm(wl, st, util)
+	}
+	if p.OnReport != nil && len(report.Loads) > 0 {
+		p.OnReport(report)
+	}
+}
+
+func (p *Poller) updateAlarm(wl WatchedLink, st *linkState, util float64) {
+	switch {
+	case util >= p.cfg.HighThreshold:
+		st.hiStreak++
+		st.loStreak = 0
+	case util <= p.cfg.LowThreshold:
+		st.loStreak++
+		st.hiStreak = 0
+	default:
+		st.hiStreak = 0
+		st.loStreak = 0
+	}
+	if !st.raised && st.hiStreak >= p.cfg.RaiseAfter {
+		st.raised = true
+		if p.OnAlarm != nil {
+			p.OnAlarm(Alarm{Link: wl.Link, Name: wl.Name, Utilisation: util, Raised: true})
+		}
+	} else if st.raised && p.cfg.RepeatEvery > 0 &&
+		st.hiStreak > 0 && st.hiStreak%p.cfg.RepeatEvery == 0 {
+		if p.OnAlarm != nil {
+			p.OnAlarm(Alarm{Link: wl.Link, Name: wl.Name, Utilisation: util, Raised: true})
+		}
+	}
+	if st.raised && st.loStreak >= p.cfg.ClearAfter {
+		st.raised = false
+		if p.OnAlarm != nil {
+			p.OnAlarm(Alarm{Link: wl.Link, Name: wl.Name, Utilisation: util, Raised: false})
+		}
+	}
+}
+
+// WatchAllLinks builds the watch list for every capacitated router-router
+// link of a topology, polling the 64-bit IF-MIB counters.
+func WatchAllLinks(t *topo.Topology) []WatchedLink {
+	var out []WatchedLink
+	for _, l := range t.Links() {
+		if t.Node(l.From).Host || t.Node(l.To).Host || l.Capacity <= 0 {
+			continue
+		}
+		out = append(out, WatchedLink{
+			Link:     l.ID,
+			OID:      snmp.OIDIfHCOutOctets.Append(snmp.IfIndex(l.ID)),
+			Capacity: l.Capacity,
+			Name:     fmt.Sprintf("%s-%s", t.Name(l.From), t.Name(l.To)),
+		})
+	}
+	return out
+}

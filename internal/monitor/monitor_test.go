@@ -1,0 +1,259 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/fib"
+	"fibbing.net/fibbing/internal/netsim"
+	"fibbing.net/fibbing/internal/snmp"
+	"fibbing.net/fibbing/internal/topo"
+	"net/netip"
+)
+
+// rig builds a 2-router network with one 10 Mbit/s link, an SNMP agent
+// over the simulator, and a poller.
+type rig struct {
+	tp    *topo.Topology
+	sched *event.Scheduler
+	net   *netsim.Network
+	pol   *Poller
+	link  topo.LinkID
+}
+
+func newRig(t *testing.T, cfg Config) *rig {
+	t.Helper()
+	tp := topo.New()
+	a := tp.AddNode("a")
+	b := tp.AddNode("b")
+	ab, _ := tp.AddLink(a, b, 1, topo.LinkOpts{Capacity: 10e6})
+	pfx := netip.MustParsePrefix("10.100.0.0/16")
+	tp.AddPrefix(pfx, "p", topo.Attachment{Node: b})
+
+	sched := event.NewScheduler()
+	net := netsim.New(tp, sched, time.Second)
+	ta := fib.NewTable(a)
+	if err := ta.Install(fib.Route{Prefix: pfx, NextHops: []fib.NextHop{{Node: b, Link: ab, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	tb := fib.NewTable(b)
+	if err := tb.Install(fib.Route{Prefix: pfx, Local: true}); err != nil {
+		t.Fatal(err)
+	}
+	net.SetTable(a, ta)
+	net.SetTable(b, tb)
+
+	mib := snmp.NewMIB()
+	snmp.BindIFMIB(mib, net, topo.NoNode)
+	agent := snmp.NewAgent("public", mib)
+	client := snmp.NewClient(snmp.DirectTransport{Agent: agent}, "public")
+	pol := NewPoller(client, sched, cfg, WatchAllLinks(tp))
+	return &rig{tp: tp, sched: sched, net: net, pol: pol, link: ab}
+}
+
+func (r *rig) addFlow(port uint16, rate float64) netsim.FlowID {
+	key := fib.FlowKey{
+		Src: netip.MustParseAddr("10.0.0.1"), Dst: netip.MustParseAddr("10.100.0.1"),
+		SrcPort: port, DstPort: 80, Proto: 6,
+	}
+	return r.net.AddFlow(r.tp.MustNode("a"), key, rate)
+}
+
+func TestPollerMeasuresRate(t *testing.T) {
+	r := newRig(t, Config{Interval: time.Second, Alpha: 1})
+	var reports []Report
+	r.pol.OnReport = func(rep Report) { reports = append(reports, rep) }
+	r.pol.Start()
+	r.addFlow(1, 4e6)
+	r.sched.RunUntil(10 * time.Second)
+	if len(r.pol.Errors) > 0 {
+		t.Fatalf("poll errors: %v", r.pol.Errors)
+	}
+	if len(reports) < 5 {
+		t.Fatalf("reports = %d", len(reports))
+	}
+	last := reports[len(reports)-1]
+	load, ok := last.MaxUtilisation()
+	if !ok {
+		t.Fatalf("empty report")
+	}
+	if math.Abs(load.RateBps-4e6) > 1e5 {
+		t.Fatalf("rate = %v, want ~4e6", load.RateBps)
+	}
+	if math.Abs(load.Utilisation-0.4) > 0.02 {
+		t.Fatalf("util = %v, want ~0.4", load.Utilisation)
+	}
+}
+
+func TestAlarmRaiseAndClearWithHysteresis(t *testing.T) {
+	r := newRig(t, Config{
+		Interval: time.Second, Alpha: 1,
+		HighThreshold: 0.7, LowThreshold: 0.3,
+		RaiseAfter: 2, ClearAfter: 2,
+	})
+	var alarms []Alarm
+	r.pol.OnAlarm = func(a Alarm) { alarms = append(alarms, a) }
+	r.pol.Start()
+
+	id := r.addFlow(1, 9e6) // util 0.9
+	r.sched.RunUntil(10 * time.Second)
+	if len(alarms) != 1 || !alarms[0].Raised {
+		t.Fatalf("alarms after surge = %+v", alarms)
+	}
+
+	r.net.RemoveFlow(id)
+	r.sched.RunUntil(20 * time.Second)
+	if len(alarms) != 2 || alarms[1].Raised {
+		t.Fatalf("alarms after drain = %+v", alarms)
+	}
+}
+
+func TestAlarmNotRaisedBelowThreshold(t *testing.T) {
+	r := newRig(t, Config{Interval: time.Second, Alpha: 1, HighThreshold: 0.7})
+	var alarms []Alarm
+	r.pol.OnAlarm = func(a Alarm) { alarms = append(alarms, a) }
+	r.pol.Start()
+	r.addFlow(1, 5e6) // util 0.5: in the hysteresis band, no alarm
+	r.sched.RunUntil(10 * time.Second)
+	if len(alarms) != 0 {
+		t.Fatalf("alarms = %+v", alarms)
+	}
+}
+
+func TestRaiseAfterRequiresConsecutivePolls(t *testing.T) {
+	r := newRig(t, Config{
+		Interval: time.Second, Alpha: 1,
+		HighThreshold: 0.7, RaiseAfter: 3,
+	})
+	var raisedAt time.Duration
+	r.pol.OnAlarm = func(a Alarm) {
+		if a.Raised && raisedAt == 0 {
+			raisedAt = r.sched.Now()
+		}
+	}
+	r.pol.Start()
+	r.addFlow(1, 9e6)
+	r.sched.RunUntil(12 * time.Second)
+	// Poll 1 seeds, polls 2-4 measure: raise on the 3rd measurement at 4s
+	// at the earliest.
+	if raisedAt < 4*time.Second {
+		t.Fatalf("alarm raised too early: %v", raisedAt)
+	}
+	if raisedAt == 0 {
+		t.Fatalf("alarm never raised")
+	}
+}
+
+func TestEWMASmoothsSpikes(t *testing.T) {
+	r := newRig(t, Config{Interval: time.Second, Alpha: 0.3, HighThreshold: 0.95})
+	var alarms []Alarm
+	r.pol.OnAlarm = func(a Alarm) { alarms = append(alarms, a) }
+	r.pol.Start()
+	// One-second 10 Mbit/s burst: raw util 1.0, smoothed well below 0.95.
+	r.sched.RunUntil(3 * time.Second)
+	id := r.addFlow(1, 10e6)
+	r.sched.RunUntil(4 * time.Second)
+	r.net.RemoveFlow(id)
+	r.sched.RunUntil(10 * time.Second)
+	if len(alarms) != 0 {
+		t.Fatalf("EWMA did not absorb spike: %+v", alarms)
+	}
+}
+
+func TestWatchAllLinksSkipsHostsAndUncapacitated(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{WithHosts: true})
+	links := WatchAllLinks(tp)
+	for _, wl := range links {
+		l := tp.Link(wl.Link)
+		if tp.Node(l.From).Host || tp.Node(l.To).Host {
+			t.Fatalf("host link watched: %s", wl.Name)
+		}
+	}
+	// Fig1 has 8 symmetric core links = 16 directed.
+	if len(links) != 16 {
+		t.Fatalf("watched %d links, want 16", len(links))
+	}
+}
+
+func TestStopHaltsPolling(t *testing.T) {
+	r := newRig(t, Config{Interval: time.Second, Alpha: 1})
+	count := 0
+	r.pol.OnReport = func(Report) { count++ }
+	r.pol.Start()
+	r.addFlow(1, 1e6)
+	r.sched.RunUntil(5 * time.Second)
+	r.pol.Stop()
+	at := count
+	r.sched.RunUntil(10 * time.Second)
+	if count != at {
+		t.Fatalf("polling continued after Stop: %d -> %d", at, count)
+	}
+}
+
+// TestPollerSurvivesAgentErrors points the poller at an agent with a
+// mismatched community: every poll fails, errors accumulate, and the loop
+// keeps running (an unreachable agent must never kill monitoring).
+func TestPollerSurvivesAgentErrors(t *testing.T) {
+	r := newRig(t, Config{Interval: time.Second, Alpha: 1})
+	// Swap in a client with the wrong community.
+	mib := snmp.NewMIB()
+	snmp.BindIFMIB(mib, r.net, topo.NoNode)
+	badAgent := snmp.NewAgent("secret", mib)
+	badClient := snmp.NewClient(snmp.DirectTransport{Agent: badAgent}, "wrong")
+	pol := NewPoller(badClient, r.sched, Config{Interval: time.Second, Alpha: 1}, WatchAllLinks(r.tp))
+	reports := 0
+	pol.OnReport = func(Report) { reports++ }
+	pol.Start()
+	r.sched.RunUntil(10 * time.Second)
+	if len(pol.Errors) < 5 {
+		t.Fatalf("errors = %d, want one per poll per link", len(pol.Errors))
+	}
+	if reports != 0 {
+		t.Fatalf("reports despite failing polls: %d", reports)
+	}
+	// Poller still ticking: more errors accrue.
+	before := len(pol.Errors)
+	r.sched.RunUntil(15 * time.Second)
+	if len(pol.Errors) <= before {
+		t.Fatalf("poll loop died after errors")
+	}
+}
+
+// TestPollerHCCounterCrosses32BitBoundary verifies the reason the poller
+// watches the 64-bit HC counters: a counter crossing the 2^32 boundary
+// (where a Counter32 would wrap and corrupt the delta) yields a clean
+// rate, because Counter64 deltas are exact.
+func TestPollerHCCounterCrosses32BitBoundary(t *testing.T) {
+	sched := event.NewScheduler()
+	mib := snmp.NewMIB()
+	oid := snmp.MustOID("1.3.6.1.2.1.2.2.1.16.1")
+	count := uint64(1<<32 - 2500) // crosses 2^32 on the third poll
+	mib.Register(oid, func() snmp.Value {
+		count += 1000 // 1000 octets/s at 1s polling
+		return snmp.Counter64Value(count)
+	})
+	client := snmp.NewClient(snmp.DirectTransport{Agent: snmp.NewAgent("c", mib)}, "c")
+	pol := NewPoller(client, sched, Config{Interval: time.Second, Alpha: 1}, []WatchedLink{
+		{Link: 0, OID: oid, Capacity: 1e6, Name: "wrap"},
+	})
+	var rates []float64
+	pol.OnReport = func(rep Report) {
+		for _, l := range rep.Loads {
+			rates = append(rates, l.RateBps)
+		}
+	}
+	pol.Start()
+	sched.RunUntil(6 * time.Second)
+	if len(rates) < 3 {
+		t.Fatalf("rates = %v", rates)
+	}
+	for i, r := range rates {
+		// 1000 octets/s = 8000 bit/s; a wrap mishandled as signed delta
+		// would produce a huge or negative spike.
+		if math.Abs(r-8000) > 1 {
+			t.Fatalf("rate %d = %v across wrap, want 8000", i, r)
+		}
+	}
+}

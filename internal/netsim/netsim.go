@@ -1,0 +1,473 @@
+// Package netsim is the data-plane substrate of the emulation: a
+// discrete-event fluid simulator. Flows enter at ingress routers, follow
+// the per-flow ECMP path selected by the routers' FIBs, and share link
+// capacity max-min fairly (the fluid limit of long-lived TCP). Per-link
+// octet counters feed the SNMP agents; sampled throughput series reproduce
+// the paper's Figure 2.
+//
+// It replaces the paper's Mininet emulation (kernel forwarding + iperf):
+// link throughput over time is fully determined by routing and fair
+// sharing, both modelled explicitly here.
+package netsim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/fib"
+	"fibbing.net/fibbing/internal/metrics"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// FlowID identifies a flow within one Network.
+type FlowID int64
+
+// Flow is one fluid flow.
+type Flow struct {
+	ID      FlowID
+	Key     fib.FlowKey
+	Ingress topo.NodeID
+	// MaxRate caps the flow's rate in bit/s (application-limited, e.g. a
+	// video stream's bitrate); 0 means greedy (TCP bulk transfer).
+	MaxRate float64
+
+	rate      float64 // currently allocated rate, bit/s
+	bits      float64 // delivered volume, bits
+	path      []topo.LinkID
+	pathNodes []topo.NodeID
+	blocked   bool // no route: delivers nothing
+}
+
+// Rate returns the currently allocated rate in bit/s.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// DeliveredBytes returns the volume delivered so far.
+func (f *Flow) DeliveredBytes() float64 { return f.bits / 8 }
+
+// Path returns the node path the flow currently takes.
+func (f *Flow) Path() []topo.NodeID { return f.pathNodes }
+
+// Blocked reports whether the flow currently has no route.
+func (f *Flow) Blocked() bool { return f.blocked }
+
+// Network is the fluid data plane. All mutation happens on the event
+// scheduler's goroutine; the mutex guards the read-only snapshots taken by
+// concurrent observers (the SNMP agent running under Go's testing harness).
+type Network struct {
+	mu sync.Mutex
+
+	topo  *topo.Topology
+	sched *event.Scheduler
+
+	// tables is the live routing state; replaced entries re-route flows.
+	tables map[topo.NodeID]*fib.Table
+
+	flows  map[FlowID]*Flow
+	nextID FlowID
+
+	counters map[topo.LinkID]*metrics.Counter // octets forwarded
+	series   map[topo.LinkID]*metrics.Series  // sampled byte/s
+	lastOct  map[topo.LinkID]uint64
+
+	lastUpdate time.Duration
+	recompute  bool // a reroute+reshare is scheduled for this instant
+
+	linkDown map[topo.LinkID]bool
+
+	sampleEvery time.Duration
+
+	// DropSeries, when true, disables throughput series recording
+	// (benchmarks that only need counters).
+	DropSeries bool
+}
+
+// New builds a network over a topology. Routing tables start empty; feed
+// them with SetTable (e.g. from an ospf.Domain's OnFIBChange callback).
+func New(t *topo.Topology, sched *event.Scheduler, sampleEvery time.Duration) *Network {
+	if sampleEvery <= 0 {
+		sampleEvery = time.Second
+	}
+	n := &Network{
+		topo:        t,
+		sched:       sched,
+		tables:      make(map[topo.NodeID]*fib.Table),
+		flows:       make(map[FlowID]*Flow),
+		counters:    make(map[topo.LinkID]*metrics.Counter),
+		series:      make(map[topo.LinkID]*metrics.Series),
+		lastOct:     make(map[topo.LinkID]uint64),
+		linkDown:    make(map[topo.LinkID]bool),
+		sampleEvery: sampleEvery,
+	}
+	for _, l := range t.Links() {
+		n.counters[l.ID] = &metrics.Counter{}
+		n.series[l.ID] = &metrics.Series{
+			Name: fmt.Sprintf("%s-%s", t.Name(l.From), t.Name(l.To)),
+		}
+	}
+	sched.NewTicker(sampleEvery, n.sample)
+	return n
+}
+
+// Topology returns the simulated topology.
+func (n *Network) Topology() *topo.Topology { return n.topo }
+
+// SetTable installs a router's FIB and schedules a re-route of all flows.
+// Safe to call from OnFIBChange inside scheduler events.
+func (n *Network) SetTable(node topo.NodeID, t *fib.Table) {
+	n.mu.Lock()
+	n.tables[node] = t
+	n.mu.Unlock()
+	n.scheduleRecompute()
+}
+
+// AddFlow injects a flow now and returns its ID.
+func (n *Network) AddFlow(ingress topo.NodeID, key fib.FlowKey, maxRate float64) FlowID {
+	n.advance()
+	n.mu.Lock()
+	id := n.nextID
+	n.nextID++
+	n.flows[id] = &Flow{ID: id, Key: key, Ingress: ingress, MaxRate: maxRate}
+	n.mu.Unlock()
+	n.scheduleRecompute()
+	return id
+}
+
+// SetFlowMaxRate changes a flow's application-limited rate cap (0 = greedy)
+// and re-runs the fair-share allocation. Adaptive-bitrate players use this
+// when they switch rungs.
+func (n *Network) SetFlowMaxRate(id FlowID, maxRate float64) {
+	n.advance()
+	n.mu.Lock()
+	f, ok := n.flows[id]
+	if ok {
+		f.MaxRate = maxRate
+	}
+	n.mu.Unlock()
+	if ok {
+		n.scheduleRecompute()
+	}
+}
+
+// RemoveFlow terminates a flow.
+func (n *Network) RemoveFlow(id FlowID) {
+	n.advance()
+	n.mu.Lock()
+	delete(n.flows, id)
+	n.mu.Unlock()
+	n.scheduleRecompute()
+}
+
+// Flow returns a live flow (nil if finished/unknown). The returned struct
+// is owned by the network; read it only from scheduler context.
+func (n *Network) Flow(id FlowID) *Flow {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.flows[id]
+}
+
+// FlowCount returns the number of live flows.
+func (n *Network) FlowCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.flows)
+}
+
+// Octets returns the octet counter of a directed link (SNMP ifOutOctets of
+// the transmitting interface). Advances the fluid model first so the value
+// is current.
+func (n *Network) Octets(link topo.LinkID) uint64 {
+	n.advance()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counters[link].Value()
+}
+
+// Series returns the sampled throughput series (byte/s) of a link.
+func (n *Network) Series(link topo.LinkID) *metrics.Series {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.series[link]
+}
+
+// SeriesBetween returns the series for the directed link a->b.
+func (n *Network) SeriesBetween(a, b string) (*metrics.Series, error) {
+	na, ok := n.topo.NodeByName(a)
+	if !ok {
+		return nil, fmt.Errorf("netsim: no node %q", a)
+	}
+	nb, ok := n.topo.NodeByName(b)
+	if !ok {
+		return nil, fmt.Errorf("netsim: no node %q", b)
+	}
+	l, ok := n.topo.FindLink(na, nb)
+	if !ok {
+		return nil, fmt.Errorf("netsim: no link %s->%s", a, b)
+	}
+	return n.Series(l.ID), nil
+}
+
+// SetLinkState fails or heals both directions of a link in the data
+// plane: flows whose current path crosses a failed link are blocked until
+// routing steers them elsewhere (the control plane learns of the failure
+// separately through its own hello timeouts).
+func (n *Network) SetLinkState(a, b topo.NodeID, up bool) error {
+	l, ok := n.topo.FindLink(a, b)
+	if !ok {
+		return fmt.Errorf("netsim: no link %d-%d", a, b)
+	}
+	n.advance()
+	n.mu.Lock()
+	n.linkDown[l.ID] = !up
+	if l.Reverse != topo.NoLink {
+		n.linkDown[l.Reverse] = !up
+	}
+	n.mu.Unlock()
+	n.scheduleRecompute()
+	return nil
+}
+
+// scheduleRecompute debounces rerouting/resharing to once per instant.
+func (n *Network) scheduleRecompute() {
+	if n.recompute {
+		return
+	}
+	n.recompute = true
+	n.sched.At(n.sched.Now(), func() {
+		n.recompute = false
+		n.advance()
+		n.reroute()
+		n.reshare()
+	})
+}
+
+// advance integrates flow volume into counters up to the current time.
+func (n *Network) advance() {
+	now := n.sched.Now()
+	dt := now - n.lastUpdate
+	if dt <= 0 {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	secs := dt.Seconds()
+	for _, f := range n.flows {
+		if f.rate <= 0 {
+			continue
+		}
+		bits := f.rate * secs
+		f.bits += bits
+		octets := uint64(bits / 8)
+		for _, l := range f.path {
+			n.counters[l].Add(octets)
+		}
+	}
+	n.lastUpdate = now
+}
+
+// reroute recomputes every flow's path from the current tables.
+func (n *Network) reroute() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	plane := &fib.Plane{Tables: n.tables}
+	for _, f := range n.flows {
+		nodes, err := plane.Trace(f.Ingress, f.Key)
+		if err != nil {
+			f.blocked = true
+			f.path = nil
+			f.pathNodes = nodes
+			continue
+		}
+		f.blocked = false
+		f.pathNodes = nodes
+		f.path = f.path[:0]
+		for i := 0; i+1 < len(nodes); i++ {
+			l, ok := n.topo.FindLink(nodes[i], nodes[i+1])
+			if !ok || n.linkDown[l.ID] {
+				f.blocked = true
+				f.path = nil
+				break
+			}
+			f.path = append(f.path, l.ID)
+		}
+	}
+}
+
+// reshare runs max-min fair allocation (progressive filling) with
+// per-flow caps.
+func (n *Network) reshare() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+
+	type linkState struct {
+		cap      float64
+		unfrozen []*Flow
+	}
+	links := make(map[topo.LinkID]*linkState)
+	var active []*Flow
+	for _, f := range n.flows {
+		if f.blocked {
+			f.rate = 0
+			continue
+		}
+		active = append(active, f)
+		for _, lid := range f.path {
+			l := n.topo.Link(lid)
+			if l.Capacity <= 0 {
+				continue
+			}
+			st := links[lid]
+			if st == nil {
+				st = &linkState{cap: l.Capacity}
+				links[lid] = st
+			}
+			st.unfrozen = append(st.unfrozen, f)
+		}
+	}
+	sort.Slice(active, func(i, j int) bool { return active[i].ID < active[j].ID })
+
+	frozen := make(map[FlowID]bool)
+	for iter := 0; iter < len(active)+1; iter++ {
+		if len(frozen) == len(active) {
+			break
+		}
+		// Fair share candidate: the tightest link.
+		share := math.Inf(1)
+		for _, st := range links {
+			remaining := st.cap
+			cnt := 0
+			for _, f := range st.unfrozen {
+				if frozen[f.ID] {
+					remaining -= f.rate
+				} else {
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			if s := remaining / float64(cnt); s < share {
+				share = s
+			}
+		}
+		if share < 0 {
+			share = 0
+		}
+		// Application-limited flows below the share freeze at their cap.
+		progressed := false
+		for _, f := range active {
+			if frozen[f.ID] {
+				continue
+			}
+			if f.MaxRate > 0 && f.MaxRate <= share {
+				f.rate = f.MaxRate
+				frozen[f.ID] = true
+				progressed = true
+			}
+		}
+		if progressed {
+			continue // shares relax; recompute
+		}
+		if math.IsInf(share, 1) {
+			// Remaining flows cross no capacitated link: rate = cap or
+			// "infinite" (clamped to a sentinel of 1 Tbit/s).
+			for _, f := range active {
+				if frozen[f.ID] {
+					continue
+				}
+				f.rate = f.MaxRate
+				if f.rate == 0 {
+					f.rate = 1e12
+				}
+				frozen[f.ID] = true
+			}
+			break
+		}
+		// Freeze flows on bottleneck links at the fair share.
+		for lid, st := range links {
+			remaining := st.cap
+			cnt := 0
+			for _, f := range st.unfrozen {
+				if frozen[f.ID] {
+					remaining -= f.rate
+				} else {
+					cnt++
+				}
+			}
+			if cnt == 0 {
+				continue
+			}
+			if remaining/float64(cnt) <= share+1e-9 {
+				for _, f := range st.unfrozen {
+					if !frozen[f.ID] {
+						f.rate = share
+						frozen[f.ID] = true
+					}
+				}
+			}
+			_ = lid
+		}
+	}
+}
+
+// sample appends a throughput point (byte/s over the last interval) to
+// every link's series.
+func (n *Network) sample() {
+	n.advance()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.DropSeries {
+		return
+	}
+	now := n.sched.Now()
+	for id, c := range n.counters {
+		cur := c.Value()
+		rate := metrics.Rate(n.lastOct[id], cur, n.sampleEvery)
+		n.lastOct[id] = cur
+		n.series[id].Add(now, rate)
+	}
+}
+
+// LinkRates returns the instantaneous offered rate (bit/s) per link,
+// summing allocated flow rates. Useful for assertions.
+func (n *Network) LinkRates() map[topo.LinkID]float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[topo.LinkID]float64)
+	for _, f := range n.flows {
+		for _, lid := range f.path {
+			out[lid] += f.rate
+		}
+	}
+	return out
+}
+
+// MaxUtilisation returns max over capacitated links of rate/capacity.
+func (n *Network) MaxUtilisation() float64 {
+	rates := n.LinkRates()
+	max := 0.0
+	for id, r := range rates {
+		l := n.topo.Link(id)
+		if l.Capacity <= 0 {
+			continue
+		}
+		if u := r / l.Capacity; u > max {
+			max = u
+		}
+	}
+	return max
+}
+
+// TotalThroughput sums all flows' current rates (bit/s).
+func (n *Network) TotalThroughput() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sum := 0.0
+	for _, f := range n.flows {
+		sum += f.rate
+	}
+	return sum
+}

@@ -1,0 +1,106 @@
+package ospf
+
+import (
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+func newSched() *event.Scheduler { return event.NewScheduler() }
+
+// TestLSAAgingExpiresStaleLies verifies MaxAge expiry: a lie injected with
+// a nearly-expired age ages out everywhere and routing reverts — the
+// protocol's self-healing against a crashed controller that never
+// refreshes or withdraws its lies.
+func TestLSAAgingExpiresStaleLies(t *testing.T) {
+	tp, d := startFig1(t)
+	inj := d.Router(tp.MustNode("R3"))
+	lie := fig1cLies(tp)[0] // fB
+	lie.Header.Age = MaxAgeSeconds - 30
+	if err := inj.OriginateForeign(lie); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunUntilConverged(d.Scheduler().Now() + 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := blueRoute(t, tp, d, "B"); got["R3"] != 1 {
+		t.Fatalf("lie not active: %v", got)
+	}
+
+	// 30 virtual seconds later the lie reaches MaxAge; the next sweep
+	// (60 s period) purges it on every router.
+	d.Scheduler().RunUntil(d.Scheduler().Now() + 150*time.Second)
+	if _, err := d.RunUntilConverged(d.Scheduler().Now() + 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := blueRoute(t, tp, d, "B"); len(got) != 1 || got["R2"] != 1 {
+		t.Fatalf("expired lie still routing: %v", got)
+	}
+	for n, r := range d.Routers() {
+		if len(r.DB().ByType(TypeFake)) != 0 {
+			t.Fatalf("%s still stores the expired lie", tp.Name(n))
+		}
+	}
+}
+
+// TestRefreshKeepsOwnLSAsAlive verifies the counterpart: self-originated
+// LSAs are re-floods before MaxAge, so a healthy network never expires
+// its own state.
+func TestRefreshKeepsOwnLSAsAlive(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	d := NewDomain(tp, newSched(), Config{
+		RefreshPeriod: 100 * time.Second, // refresh well before MaxAge
+		AgeSweep:      60 * time.Second,
+	})
+	d.Start()
+	if _, err := d.RunUntilConverged(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Run one virtual hour: ages would hit MaxAge without refresh.
+	d.Scheduler().RunUntil(3700 * time.Second)
+	if _, err := d.RunUntilConverged(d.Scheduler().Now() + 120*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ConvergedIdentically(); err != nil {
+		t.Fatal(err)
+	}
+	// All routing state intact.
+	if got := blueRoute(t, tp, d, "A"); len(got) != 1 || got["B"] != 1 {
+		t.Fatalf("routing decayed: %v", got)
+	}
+	// Seq numbers advanced by the refreshes.
+	b := d.Router(tp.MustNode("B"))
+	lsa, ok := b.DB().Get(Key{Type: TypeRouter, AdvRouter: b.ID(), LSID: 0})
+	if !ok || lsa.Header.Seq < 30 {
+		t.Fatalf("refresh did not advance seq: %+v", lsa)
+	}
+}
+
+// TestEffectiveAgeSaturates checks the aging arithmetic.
+func TestEffectiveAgeSaturates(t *testing.T) {
+	db := NewLSDB()
+	now := time.Duration(0)
+	db.SetClock(func() time.Duration { return now })
+	l := &LSA{Header: Header{Type: TypePrefix, AdvRouter: 1, LSID: 0, Seq: 1, Age: 100}}
+	db.Install(l)
+	k := l.Header.Key()
+	if got := db.EffectiveAge(k); got != 100 {
+		t.Fatalf("age = %d, want 100", got)
+	}
+	now = 50 * time.Second
+	if got := db.EffectiveAge(k); got != 150 {
+		t.Fatalf("age = %d, want 150", got)
+	}
+	now = 100000 * time.Second
+	if got := db.EffectiveAge(k); got != MaxAgeSeconds {
+		t.Fatalf("age = %d, want saturation at %d", got, MaxAgeSeconds)
+	}
+	if exp := db.Expired(); len(exp) != 1 || exp[0] != k {
+		t.Fatalf("Expired = %v", exp)
+	}
+	if got := db.EffectiveAge(Key{Type: TypeRouter, AdvRouter: 9}); got != MaxAgeSeconds {
+		t.Fatalf("missing key age = %d", got)
+	}
+}

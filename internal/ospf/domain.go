@@ -1,0 +1,279 @@
+package ospf
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/fib"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// Domain is one IGP flooding domain: all routers of a topology, their
+// adjacencies, and the virtual-time transport connecting them.
+type Domain struct {
+	topo  *topo.Topology
+	sched *event.Scheduler
+	cfg   Config
+
+	routers map[topo.NodeID]*Router
+
+	// linkDown marks administratively failed links (both directions are
+	// keyed individually so asymmetric failures are expressible).
+	linkDown map[topo.LinkID]bool
+
+	inflight   int // undelivered or in-processing protocol messages
+	spfPending int
+
+	// LossRate drops protocol packets at random (deterministic rng) to
+	// exercise the retransmission machinery. Hellos are never dropped so
+	// adjacencies stay up; set it before Start.
+	LossRate float64
+	lossRng  *rand.Rand
+
+	// OnFIBChange, when set, is invoked whenever a router installs a new
+	// FIB (the data-plane simulator subscribes to reroute flows).
+	OnFIBChange func(n topo.NodeID, t *fib.Table)
+
+	// Errors collects protocol-level errors (bad packets, invalid lies).
+	Errors []error
+
+	defaultDelay time.Duration
+}
+
+// NewDomain builds the IGP domain for a topology: one router per non-host
+// node and one adjacency per directed link between routers. It does not
+// start the protocol; call Start.
+func NewDomain(t *topo.Topology, sched *event.Scheduler, cfg Config) *Domain {
+	d := &Domain{
+		topo:         t,
+		sched:        sched,
+		cfg:          cfg.withDefaults(),
+		routers:      make(map[topo.NodeID]*Router),
+		linkDown:     make(map[topo.LinkID]bool),
+		defaultDelay: time.Millisecond,
+	}
+	for _, n := range t.Nodes() {
+		if n.Host {
+			continue
+		}
+		d.routers[n.ID] = newRouter(d, n.ID, d.cfg)
+	}
+	for _, l := range t.Links() {
+		if d.routers[l.From] == nil || d.routers[l.To] == nil {
+			continue // host access links carry no IGP
+		}
+		d.routers[l.From].addNeighbor(l)
+	}
+	return d
+}
+
+// Router returns the router at a node (nil for hosts).
+func (d *Domain) Router(n topo.NodeID) *Router { return d.routers[n] }
+
+// Routers returns all routers keyed by node.
+func (d *Domain) Routers() map[topo.NodeID]*Router { return d.routers }
+
+// Scheduler returns the domain's event scheduler.
+func (d *Domain) Scheduler() *event.Scheduler { return d.sched }
+
+// Topology returns the domain's topology.
+func (d *Domain) Topology() *topo.Topology { return d.topo }
+
+// Start brings the protocol up: every router originates its Router LSA,
+// the loopback prefix, and Prefix LSAs for topology prefixes attached to
+// it; hello and refresh timers start ticking.
+func (d *Domain) Start() {
+	for _, r := range d.routers {
+		r := r
+		r.originateRouterLSA()
+		r.originatePrefix(0, topo.Prefix{Prefix: LoopbackPrefix(r.node)}, 0)
+		d.sched.NewTicker(d.cfg.HelloInterval, r.helloTick)
+		d.sched.NewTicker(d.cfg.RefreshPeriod, r.refreshOwn)
+		d.sched.NewTicker(d.cfg.AgeSweep, r.ageSweep)
+	}
+	for i, p := range d.topo.Prefixes() {
+		for _, a := range p.Attachments {
+			r := d.routers[a.Node]
+			if r == nil {
+				continue
+			}
+			// LSID 0 is the loopback; topology prefixes start at 1.
+			r.originatePrefix(uint32(i)+1, p, a.Cost)
+		}
+	}
+}
+
+// deliver schedules a packet for processing at the receiving router after
+// the link's propagation delay. Packets on failed links are dropped.
+func (d *Domain) deliver(from RouterID, n *neighbor, data []byte, counts bool) {
+	if d.linkDown[n.link.ID] {
+		return
+	}
+	if d.LossRate > 0 && counts {
+		if d.lossRng == nil {
+			d.lossRng = rand.New(rand.NewSource(0xf1bb))
+		}
+		if d.lossRng.Float64() < d.LossRate {
+			return // lost on the wire; retransmission recovers it
+		}
+	}
+	delay := n.link.Delay
+	if delay <= 0 {
+		delay = d.defaultDelay
+	}
+	if counts {
+		d.inflight++
+	}
+	to := d.routers[n.node]
+	d.sched.After(delay, func() {
+		if counts {
+			d.inflight--
+		}
+		if to == nil {
+			return
+		}
+		if d.linkDown[n.link.ID] {
+			return
+		}
+		to.HandlePacket(from, data)
+	})
+}
+
+func (d *Domain) protocolError(at RouterID, err error) {
+	d.Errors = append(d.Errors, fmt.Errorf("router %d: %w", at, err))
+}
+
+func (d *Domain) fibChanged(n topo.NodeID, t *fib.Table) {
+	if d.OnFIBChange != nil {
+		d.OnFIBChange(n, t)
+	}
+}
+
+// SetLinkWeight reconfigures the IGP metric of the link a->b (and its
+// reverse) and makes both routers re-originate their Router LSAs — the
+// per-device reconfiguration step of traditional weight-based TE. The
+// whole network re-floods and re-runs SPF, which is exactly the cost the
+// paper's §1 argues makes weight changes too slow for flash crowds.
+func (d *Domain) SetLinkWeight(a, b topo.NodeID, w int64) error {
+	l, ok := d.topo.FindLink(a, b)
+	if !ok {
+		return fmt.Errorf("ospf: no link %d-%d", a, b)
+	}
+	d.topo.SetWeight(l.ID, w)
+	if l.Reverse != topo.NoLink {
+		d.topo.SetWeight(l.Reverse, w)
+	}
+	for _, end := range [2]topo.NodeID{a, b} {
+		r := d.routers[end]
+		if r == nil {
+			continue
+		}
+		for _, n := range r.nbrs {
+			if n.link.ID == l.ID || n.link.ID == l.Reverse {
+				n.link.Weight = w
+			}
+		}
+		r.originateRouterLSA()
+	}
+	return nil
+}
+
+// SetLinkState administratively fails or heals both directions of a link.
+// Failure is detected by the dead-interval timeout, as in a real IGP
+// without BFD.
+func (d *Domain) SetLinkState(a, b topo.NodeID, up bool) error {
+	l, ok := d.topo.FindLink(a, b)
+	if !ok {
+		return fmt.Errorf("ospf: no link %d-%d", a, b)
+	}
+	d.linkDown[l.ID] = !up
+	if l.Reverse != topo.NoLink {
+		d.linkDown[l.Reverse] = !up
+	}
+	return nil
+}
+
+// Converged reports whether no protocol messages are in flight, no SPF
+// runs are pending, and every flooded LSA has been acknowledged (so lost
+// updates with pending retransmissions count as not converged). Hello
+// traffic does not affect convergence.
+func (d *Domain) Converged() bool {
+	if d.inflight != 0 || d.spfPending != 0 {
+		return false
+	}
+	for _, r := range d.routers {
+		for _, n := range r.nbrs {
+			if n.up && len(n.unacked) > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RunUntilConverged steps the scheduler until the domain converges or the
+// virtual clock passes limit. It returns the convergence time.
+func (d *Domain) RunUntilConverged(limit time.Duration) (time.Duration, error) {
+	for !d.Converged() {
+		if !d.sched.Step() {
+			break
+		}
+		if d.sched.Now() > limit {
+			return d.sched.Now(), fmt.Errorf("ospf: not converged after %v (inflight=%d spf=%d)",
+				limit, d.inflight, d.spfPending)
+		}
+	}
+	return d.sched.Now(), nil
+}
+
+// ConvergedIdentically verifies that every router holds the same LSDB.
+func (d *Domain) ConvergedIdentically() error {
+	var ref [32]byte
+	var refNode topo.NodeID = topo.NoNode
+	for n, r := range d.routers {
+		dig := r.db.Digest()
+		if refNode == topo.NoNode {
+			ref, refNode = dig, n
+			continue
+		}
+		if dig != ref {
+			return fmt.Errorf("ospf: LSDB of %s differs from %s",
+				d.topo.Name(n), d.topo.Name(refNode))
+		}
+	}
+	return nil
+}
+
+// Plane snapshots all routers' FIBs into a forwarding plane for tracing.
+func (d *Domain) Plane() *fib.Plane {
+	p := fib.NewPlane()
+	for n, r := range d.routers {
+		p.Tables[n] = r.FIB()
+	}
+	return p
+}
+
+// ControlPlaneStats aggregates protocol counters for the overhead
+// experiments.
+type ControlPlaneStats struct {
+	PacketsSent uint64
+	BytesSent   uint64
+	SPFRuns     uint64
+	LSDBSize    int
+}
+
+// Stats sums protocol counters over all routers.
+func (d *Domain) Stats() ControlPlaneStats {
+	var s ControlPlaneStats
+	for _, r := range d.routers {
+		s.PacketsSent += r.PacketsSent
+		s.BytesSent += r.BytesSent
+		s.SPFRuns += r.spfRuns
+		if r.db.Len() > s.LSDBSize {
+			s.LSDBSize = r.db.Len()
+		}
+	}
+	return s
+}

@@ -1,0 +1,418 @@
+// Package ospf implements the link-state IGP substrate of the emulation: a
+// from-scratch OSPF-like protocol with binary LSA encoding, a link-state
+// database, reliable flooding over point-to-point adjacencies, and
+// SPF-driven route computation into per-router FIBs.
+//
+// The protocol is deliberately OSPF-shaped rather than OSPF-compatible:
+// it keeps the parts Fibbing relies on — flooded LSAs with sequence
+// numbers and aging, Fletcher checksums, two-way connectivity checks,
+// ECMP SPF, and external-style LSAs with a forwarding address (our Fake
+// LSAs, playing the role of the Type-5 LSAs the real Fibbing controller
+// injects) — and drops the parts irrelevant to the paper (areas, DR
+// election, broadcast networks).
+package ospf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// RouterID identifies a router in the IGP. Topology node n maps to
+// RouterID n+1; 0 is invalid. Fibbing controllers originate LSAs from IDs
+// in the ControllerIDBase range, which never collide with topology nodes.
+type RouterID uint32
+
+// ControllerIDBase is the first RouterID reserved for Fibbing controllers.
+const ControllerIDBase RouterID = 0xFFFF0000
+
+// NodeRouterID maps a topology node to its RouterID.
+func NodeRouterID(n topo.NodeID) RouterID { return RouterID(n) + 1 }
+
+// RouterNode maps a RouterID back to its topology node.
+func RouterNode(id RouterID) topo.NodeID { return topo.NodeID(id) - 1 }
+
+// IsController reports whether the ID belongs to a Fibbing controller.
+func (id RouterID) IsController() bool { return id >= ControllerIDBase }
+
+// LSAType discriminates the LSA kinds of the protocol.
+type LSAType uint8
+
+const (
+	// TypeRouter describes one router's links (our Router-LSA).
+	TypeRouter LSAType = 1
+	// TypePrefix announces a destination prefix at a cost from its
+	// advertising router (collapsing OSPF's stub/external distinction).
+	TypePrefix LSAType = 2
+	// TypeFake is the Fibbing lie: a fake node attached to a real router,
+	// announcing a prefix, with a forwarding address that the attached
+	// router resolves to a physical next hop. It plays the role of the
+	// Type-5 AS-external LSAs injected by the real Fibbing controller.
+	TypeFake LSAType = 3
+)
+
+func (t LSAType) String() string {
+	switch t {
+	case TypeRouter:
+		return "router"
+	case TypePrefix:
+		return "prefix"
+	case TypeFake:
+		return "fake"
+	default:
+		return fmt.Sprintf("lsa(%d)", uint8(t))
+	}
+}
+
+// MaxAgeSeconds is the age at which an LSA is flushed; originating an LSA
+// directly at MaxAge withdraws it (premature aging, as in OSPF).
+const MaxAgeSeconds uint16 = 3600
+
+// Header is the common LSA header. The tuple (Type, AdvRouter, LSID)
+// identifies an LSA instance; (Seq, Age) order instances by freshness.
+type Header struct {
+	Type      LSAType
+	Age       uint16
+	AdvRouter RouterID
+	LSID      uint32
+	Seq       uint32
+	Checksum  uint16
+}
+
+// Key identifies an LSA in the database.
+type Key struct {
+	Type      LSAType
+	AdvRouter RouterID
+	LSID      uint32
+}
+
+// Key returns the database key of the header.
+func (h Header) Key() Key {
+	return Key{Type: h.Type, AdvRouter: h.AdvRouter, LSID: h.LSID}
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%d/%d", k.Type, k.AdvRouter, k.LSID)
+}
+
+// Newer reports whether h is fresher than old, per simplified OSPF rules:
+// higher sequence wins; at equal sequence, a MaxAge instance supersedes a
+// younger one (this implements withdrawal).
+func (h Header) Newer(old Header) bool {
+	if h.Seq != old.Seq {
+		return h.Seq > old.Seq
+	}
+	return h.Age >= MaxAgeSeconds && old.Age < MaxAgeSeconds
+}
+
+// LSA is the decoded form of any LSA.
+type LSA struct {
+	Header Header
+
+	// RouterLinks is set for TypeRouter.
+	RouterLinks []RouterLink
+
+	// Prefix and Metric are set for TypePrefix and TypeFake.
+	Prefix netip.Prefix
+	Metric uint32
+
+	// Fake-specific fields (TypeFake).
+	// AttachedTo is the real router the fake node hangs off.
+	AttachedTo RouterID
+	// AttachCost is the metric of the fake link AttachedTo -> fake node.
+	// The total cost of the lie seen by AttachedTo is AttachCost+Metric.
+	AttachCost uint32
+	// ForwardVia is the physical neighbor of AttachedTo that traffic
+	// sent "to the fake node" is actually forwarded to (the Type-5
+	// forwarding address of real Fibbing).
+	ForwardVia RouterID
+}
+
+// RouterLink is one adjacency advertised in a Router LSA.
+type RouterLink struct {
+	Neighbor RouterID
+	Metric   uint32
+}
+
+// Clone returns a deep copy.
+func (l *LSA) Clone() *LSA {
+	c := *l
+	c.RouterLinks = append([]RouterLink(nil), l.RouterLinks...)
+	return &c
+}
+
+// --- Wire codec -------------------------------------------------------
+
+// header layout: type(1) flags(1) age(2) advRouter(4) lsid(4) seq(4)
+// length(2) checksum(2) = 20 bytes, followed by the body.
+const headerLen = 20
+
+const (
+	flagV6 = 1 << 0 // prefix address is 16 bytes instead of 4
+)
+
+// Encode serialises the LSA. The checksum is computed over the body with
+// the Fletcher-16 algorithm used by OSPF and stored in the header (the Age
+// field is excluded from the checksum so aging does not require
+// re-checksumming, as in OSPF).
+func (l *LSA) Encode() []byte {
+	body := l.encodeBody()
+	buf := make([]byte, headerLen+len(body))
+	buf[0] = byte(l.Header.Type)
+	if l.Header.Type != TypeRouter && l.Prefix.Addr().Is6() {
+		buf[1] |= flagV6
+	}
+	binary.BigEndian.PutUint16(buf[2:], l.Header.Age)
+	binary.BigEndian.PutUint32(buf[4:], uint32(l.Header.AdvRouter))
+	binary.BigEndian.PutUint32(buf[8:], l.Header.LSID)
+	binary.BigEndian.PutUint32(buf[12:], l.Header.Seq)
+	binary.BigEndian.PutUint16(buf[16:], uint16(len(buf)))
+	cks := Fletcher16(body)
+	binary.BigEndian.PutUint16(buf[18:], cks)
+	copy(buf[headerLen:], body)
+	return buf
+}
+
+func (l *LSA) encodeBody() []byte {
+	switch l.Header.Type {
+	case TypeRouter:
+		body := make([]byte, 2+8*len(l.RouterLinks))
+		binary.BigEndian.PutUint16(body, uint16(len(l.RouterLinks)))
+		for i, rl := range l.RouterLinks {
+			off := 2 + 8*i
+			binary.BigEndian.PutUint32(body[off:], uint32(rl.Neighbor))
+			binary.BigEndian.PutUint32(body[off+4:], rl.Metric)
+		}
+		return body
+	case TypePrefix:
+		addr := l.Prefix.Addr().AsSlice()
+		body := make([]byte, len(addr)+1+4)
+		copy(body, addr)
+		body[len(addr)] = byte(l.Prefix.Bits())
+		binary.BigEndian.PutUint32(body[len(addr)+1:], l.Metric)
+		return body
+	case TypeFake:
+		addr := l.Prefix.Addr().AsSlice()
+		body := make([]byte, len(addr)+1+4+12)
+		copy(body, addr)
+		body[len(addr)] = byte(l.Prefix.Bits())
+		off := len(addr) + 1
+		binary.BigEndian.PutUint32(body[off:], l.Metric)
+		binary.BigEndian.PutUint32(body[off+4:], uint32(l.AttachedTo))
+		binary.BigEndian.PutUint32(body[off+8:], l.AttachCost)
+		binary.BigEndian.PutUint32(body[off+12:], uint32(l.ForwardVia))
+		return body
+	default:
+		panic(fmt.Sprintf("ospf: encoding unknown LSA type %d", l.Header.Type))
+	}
+}
+
+// DecodeLSA parses one encoded LSA, verifying length and checksum.
+func DecodeLSA(buf []byte) (*LSA, error) {
+	if len(buf) < headerLen {
+		return nil, fmt.Errorf("ospf: LSA truncated (%d bytes)", len(buf))
+	}
+	l := &LSA{}
+	l.Header.Type = LSAType(buf[0])
+	flags := buf[1]
+	l.Header.Age = binary.BigEndian.Uint16(buf[2:])
+	l.Header.AdvRouter = RouterID(binary.BigEndian.Uint32(buf[4:]))
+	l.Header.LSID = binary.BigEndian.Uint32(buf[8:])
+	l.Header.Seq = binary.BigEndian.Uint32(buf[12:])
+	length := int(binary.BigEndian.Uint16(buf[16:]))
+	l.Header.Checksum = binary.BigEndian.Uint16(buf[18:])
+	if length != len(buf) {
+		return nil, fmt.Errorf("ospf: LSA length field %d != buffer %d", length, len(buf))
+	}
+	body := buf[headerLen:]
+	if got := Fletcher16(body); got != l.Header.Checksum {
+		return nil, fmt.Errorf("ospf: LSA checksum mismatch (got %04x, want %04x)", got, l.Header.Checksum)
+	}
+	addrLen := 4
+	if flags&flagV6 != 0 {
+		addrLen = 16
+	}
+	switch l.Header.Type {
+	case TypeRouter:
+		if len(body) < 2 {
+			return nil, fmt.Errorf("ospf: router LSA body truncated")
+		}
+		n := int(binary.BigEndian.Uint16(body))
+		if len(body) != 2+8*n {
+			return nil, fmt.Errorf("ospf: router LSA body size %d for %d links", len(body), n)
+		}
+		l.RouterLinks = make([]RouterLink, n)
+		for i := 0; i < n; i++ {
+			off := 2 + 8*i
+			l.RouterLinks[i] = RouterLink{
+				Neighbor: RouterID(binary.BigEndian.Uint32(body[off:])),
+				Metric:   binary.BigEndian.Uint32(body[off+4:]),
+			}
+		}
+	case TypePrefix:
+		if len(body) != addrLen+5 {
+			return nil, fmt.Errorf("ospf: prefix LSA body size %d", len(body))
+		}
+		p, err := decodePrefix(body, addrLen)
+		if err != nil {
+			return nil, err
+		}
+		l.Prefix = p
+		l.Metric = binary.BigEndian.Uint32(body[addrLen+1:])
+	case TypeFake:
+		if len(body) != addrLen+5+12 {
+			return nil, fmt.Errorf("ospf: fake LSA body size %d", len(body))
+		}
+		p, err := decodePrefix(body, addrLen)
+		if err != nil {
+			return nil, err
+		}
+		l.Prefix = p
+		off := addrLen + 1
+		l.Metric = binary.BigEndian.Uint32(body[off:])
+		l.AttachedTo = RouterID(binary.BigEndian.Uint32(body[off+4:]))
+		l.AttachCost = binary.BigEndian.Uint32(body[off+8:])
+		l.ForwardVia = RouterID(binary.BigEndian.Uint32(body[off+12:]))
+	default:
+		return nil, fmt.Errorf("ospf: unknown LSA type %d", buf[0])
+	}
+	return l, nil
+}
+
+func decodePrefix(body []byte, addrLen int) (netip.Prefix, error) {
+	addr, ok := netip.AddrFromSlice(body[:addrLen])
+	if !ok {
+		return netip.Prefix{}, fmt.Errorf("ospf: bad prefix address")
+	}
+	bits := int(body[addrLen])
+	if bits > addr.BitLen() {
+		return netip.Prefix{}, fmt.Errorf("ospf: bad prefix length %d", bits)
+	}
+	return netip.PrefixFrom(addr, bits).Masked(), nil
+}
+
+// Fletcher16 computes the Fletcher checksum over data, as used by OSPF for
+// LSA integrity (RFC 905 variant without the check-octet placement).
+func Fletcher16(data []byte) uint16 {
+	var c0, c1 uint32
+	for _, b := range data {
+		c0 = (c0 + uint32(b)) % 255
+		c1 = (c1 + c0) % 255
+	}
+	return uint16(c1<<8 | c0)
+}
+
+// --- Protocol packets --------------------------------------------------
+
+// PacketType discriminates protocol messages exchanged over adjacencies.
+type PacketType uint8
+
+const (
+	// PktHello maintains adjacency liveness.
+	PktHello PacketType = 1
+	// PktLSUpdate carries one or more LSAs (flooding).
+	PktLSUpdate PacketType = 2
+	// PktLSAck acknowledges received LSAs by header.
+	PktLSAck PacketType = 3
+)
+
+// Packet is one protocol message.
+type Packet struct {
+	Type PacketType
+	From RouterID
+	// LSAs is set for PktLSUpdate (full LSAs).
+	LSAs []*LSA
+	// Acks is set for PktLSAck (headers only).
+	Acks []Header
+}
+
+// Encode serialises the packet: type(1) from(4) count(2) then
+// length-prefixed LSAs or fixed-size ack headers.
+func (p *Packet) Encode() []byte {
+	out := make([]byte, 7)
+	out[0] = byte(p.Type)
+	binary.BigEndian.PutUint32(out[1:], uint32(p.From))
+	switch p.Type {
+	case PktHello:
+		binary.BigEndian.PutUint16(out[5:], 0)
+	case PktLSUpdate:
+		binary.BigEndian.PutUint16(out[5:], uint16(len(p.LSAs)))
+		for _, l := range p.LSAs {
+			enc := l.Encode()
+			var lp [2]byte
+			binary.BigEndian.PutUint16(lp[:], uint16(len(enc)))
+			out = append(out, lp[:]...)
+			out = append(out, enc...)
+		}
+	case PktLSAck:
+		binary.BigEndian.PutUint16(out[5:], uint16(len(p.Acks)))
+		for _, h := range p.Acks {
+			var a [13]byte
+			a[0] = byte(h.Type)
+			binary.BigEndian.PutUint32(a[1:], uint32(h.AdvRouter))
+			binary.BigEndian.PutUint32(a[5:], h.LSID)
+			binary.BigEndian.PutUint32(a[9:], h.Seq)
+			out = append(out, a[:]...)
+		}
+	default:
+		panic(fmt.Sprintf("ospf: encoding unknown packet type %d", p.Type))
+	}
+	return out
+}
+
+// DecodePacket parses one protocol message.
+func DecodePacket(buf []byte) (*Packet, error) {
+	if len(buf) < 7 {
+		return nil, fmt.Errorf("ospf: packet truncated")
+	}
+	p := &Packet{
+		Type: PacketType(buf[0]),
+		From: RouterID(binary.BigEndian.Uint32(buf[1:])),
+	}
+	n := int(binary.BigEndian.Uint16(buf[5:]))
+	rest := buf[7:]
+	switch p.Type {
+	case PktHello:
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("ospf: hello with payload")
+		}
+	case PktLSUpdate:
+		for i := 0; i < n; i++ {
+			if len(rest) < 2 {
+				return nil, fmt.Errorf("ospf: update truncated")
+			}
+			ll := int(binary.BigEndian.Uint16(rest))
+			rest = rest[2:]
+			if len(rest) < ll {
+				return nil, fmt.Errorf("ospf: update LSA truncated")
+			}
+			l, err := DecodeLSA(rest[:ll])
+			if err != nil {
+				return nil, err
+			}
+			p.LSAs = append(p.LSAs, l)
+			rest = rest[ll:]
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("ospf: update trailing bytes")
+		}
+	case PktLSAck:
+		if len(rest) != 13*n {
+			return nil, fmt.Errorf("ospf: ack size %d for %d acks", len(rest), n)
+		}
+		for i := 0; i < n; i++ {
+			a := rest[13*i:]
+			p.Acks = append(p.Acks, Header{
+				Type:      LSAType(a[0]),
+				AdvRouter: RouterID(binary.BigEndian.Uint32(a[1:])),
+				LSID:      binary.BigEndian.Uint32(a[5:]),
+				Seq:       binary.BigEndian.Uint32(a[9:]),
+			})
+		}
+	default:
+		return nil, fmt.Errorf("ospf: unknown packet type %d", buf[0])
+	}
+	return p, nil
+}

@@ -1,0 +1,577 @@
+package ospf
+
+import (
+	"fmt"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/fib"
+	"fibbing.net/fibbing/internal/spf"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// Config carries the protocol timers. Zero values select defaults suited
+// to the demo's time scale.
+type Config struct {
+	HelloInterval time.Duration // default 1s
+	DeadInterval  time.Duration // default 4 * HelloInterval
+	RxmtInterval  time.Duration // retransmission of unacked LSAs, default 1s
+	SPFDelay      time.Duration // debounce between LSDB change and SPF, default 10ms
+	RefreshPeriod time.Duration // re-origination of self LSAs, default 1800s
+	AgeSweep      time.Duration // purge of MaxAge LSAs, default 60s
+}
+
+func (c Config) withDefaults() Config {
+	if c.HelloInterval <= 0 {
+		c.HelloInterval = time.Second
+	}
+	if c.DeadInterval <= 0 {
+		c.DeadInterval = 4 * c.HelloInterval
+	}
+	if c.RxmtInterval <= 0 {
+		c.RxmtInterval = time.Second
+	}
+	if c.SPFDelay <= 0 {
+		c.SPFDelay = 10 * time.Millisecond
+	}
+	if c.RefreshPeriod <= 0 {
+		c.RefreshPeriod = 1800 * time.Second
+	}
+	if c.AgeSweep <= 0 {
+		c.AgeSweep = 60 * time.Second
+	}
+	return c
+}
+
+// neighbor is the per-adjacency state.
+type neighbor struct {
+	id        RouterID
+	node      topo.NodeID
+	link      topo.Link // directed link self -> neighbor
+	up        bool
+	lastHello time.Duration
+	unacked   map[Key]*pendingLSA
+}
+
+type pendingLSA struct {
+	lsa    *LSA
+	handle event.Handle
+}
+
+// Router is one IGP speaker. Routers are owned by a Domain and driven by
+// its event scheduler; they are not safe for concurrent use.
+type Router struct {
+	dom  *Domain
+	node topo.NodeID
+	id   RouterID
+	cfg  Config
+
+	nbrs map[RouterID]*neighbor
+	db   *LSDB
+	fib  *fib.Table
+
+	ownSeq       map[Key]uint32
+	spfScheduled bool
+	spfRuns      uint64
+
+	// Stats for the control-plane overhead experiments.
+	PacketsSent, PacketsRcvd uint64
+	BytesSent                uint64
+}
+
+func newRouter(dom *Domain, node topo.NodeID, cfg Config) *Router {
+	r := &Router{
+		dom:    dom,
+		node:   node,
+		id:     NodeRouterID(node),
+		cfg:    cfg,
+		nbrs:   make(map[RouterID]*neighbor),
+		db:     NewLSDB(),
+		fib:    fib.NewTable(node),
+		ownSeq: make(map[Key]uint32),
+	}
+	r.db.SetClock(dom.sched.Now)
+	return r
+}
+
+// ageSweep purges LSAs that reached MaxAge without a refresh — their
+// originator is gone (crashed router, departed controller).
+func (r *Router) ageSweep() {
+	changed := false
+	for _, k := range r.db.Expired() {
+		r.db.Remove(k)
+		changed = true
+	}
+	if changed {
+		r.scheduleSPF()
+	}
+}
+
+// ID returns the router's protocol identifier.
+func (r *Router) ID() RouterID { return r.id }
+
+// Node returns the router's topology node.
+func (r *Router) Node() topo.NodeID { return r.node }
+
+// FIB returns the router's forwarding table. The table is replaced
+// atomically on SPF runs, so holding the pointer across events is safe for
+// reading a consistent snapshot.
+func (r *Router) FIB() *fib.Table { return r.fib }
+
+// DB returns the router's link-state database (read-only for callers).
+func (r *Router) DB() *LSDB { return r.db }
+
+// SPFRuns returns how many times this router recomputed routes.
+func (r *Router) SPFRuns() uint64 { return r.spfRuns }
+
+// Neighbors returns the IDs of adjacent routers that are currently up.
+func (r *Router) Neighbors() []RouterID {
+	var out []RouterID
+	for id, n := range r.nbrs {
+		if n.up {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func (r *Router) addNeighbor(link topo.Link) {
+	id := NodeRouterID(link.To)
+	r.nbrs[id] = &neighbor{
+		id:      id,
+		node:    link.To,
+		link:    link,
+		up:      true,
+		unacked: make(map[Key]*pendingLSA),
+	}
+}
+
+// --- Origination -------------------------------------------------------
+
+func (r *Router) nextSeq(k Key) uint32 {
+	r.ownSeq[k]++
+	return r.ownSeq[k]
+}
+
+// originateRouterLSA (re)builds and floods this router's Router LSA from
+// its live adjacencies.
+func (r *Router) originateRouterLSA() {
+	l := &LSA{Header: Header{Type: TypeRouter, AdvRouter: r.id, LSID: 0}}
+	for _, n := range r.nbrs {
+		if !n.up {
+			continue
+		}
+		l.RouterLinks = append(l.RouterLinks, RouterLink{
+			Neighbor: n.id,
+			Metric:   uint32(n.link.Weight),
+		})
+	}
+	r.originate(l)
+}
+
+// originatePrefix floods a Prefix LSA for a locally attached prefix.
+// lsid must be unique per prefix within this router.
+func (r *Router) originatePrefix(lsid uint32, p topo.Prefix, cost int64) {
+	r.originate(&LSA{
+		Header: Header{Type: TypePrefix, AdvRouter: r.id, LSID: lsid},
+		Prefix: p.Prefix,
+		Metric: uint32(cost),
+	})
+}
+
+// originate assigns the next sequence number, installs locally, floods,
+// and schedules SPF.
+func (r *Router) originate(l *LSA) {
+	k := l.Header.Key()
+	l.Header.Seq = r.nextSeq(k)
+	r.db.Install(l)
+	r.floodExcept(l, 0)
+	r.scheduleSPF()
+}
+
+// OriginateForeign floods an LSA on behalf of another origin (the Fibbing
+// controller's injection point uses this: the controller computes the LSA,
+// the attached router floods it). Sequence numbers are managed by the
+// caller via the LSA's Seq field; the local freshness check still applies.
+func (r *Router) OriginateForeign(l *LSA) error {
+	if l.Header.AdvRouter == 0 {
+		return fmt.Errorf("ospf: foreign LSA without advertising router")
+	}
+	if old, ok := r.db.Get(l.Header.Key()); ok && !l.Header.Newer(old.Header) {
+		return fmt.Errorf("ospf: foreign LSA %s not newer than stored seq %d",
+			l.Header.Key(), old.Header.Seq)
+	}
+	r.installAndFlood(l, 0)
+	return nil
+}
+
+// refreshOwn re-floods all self-originated LSAs with bumped sequence
+// numbers (periodic refresh, as real OSPF does every 30 minutes).
+func (r *Router) refreshOwn() {
+	for _, l := range r.db.All() {
+		if l.Header.AdvRouter != r.id {
+			continue
+		}
+		c := l.Clone()
+		r.originate(c)
+	}
+}
+
+// --- Flooding ----------------------------------------------------------
+
+func (r *Router) floodExcept(l *LSA, except RouterID) {
+	for _, n := range r.nbrs {
+		if !n.up || n.id == except {
+			continue
+		}
+		r.sendUpdate(n, l)
+	}
+}
+
+func (r *Router) sendUpdate(n *neighbor, l *LSA) {
+	pkt := &Packet{Type: PktLSUpdate, From: r.id, LSAs: []*LSA{l}}
+	r.send(n, pkt)
+	// Track for retransmission until acked. MaxAge flushes are also
+	// retransmitted; the ack carries the seq so either instance clears it.
+	k := l.Header.Key()
+	if old, ok := n.unacked[k]; ok {
+		r.dom.sched.Cancel(old.handle)
+	}
+	p := &pendingLSA{lsa: l}
+	p.handle = r.dom.sched.After(r.cfg.RxmtInterval, func() { r.retransmit(n, k) })
+	n.unacked[k] = p
+}
+
+func (r *Router) retransmit(n *neighbor, k Key) {
+	p, ok := n.unacked[k]
+	if !ok || !n.up {
+		return
+	}
+	pkt := &Packet{Type: PktLSUpdate, From: r.id, LSAs: []*LSA{p.lsa}}
+	r.send(n, pkt)
+	p.handle = r.dom.sched.After(r.cfg.RxmtInterval, func() { r.retransmit(n, k) })
+}
+
+func (r *Router) sendAck(n *neighbor, hs ...Header) {
+	r.send(n, &Packet{Type: PktLSAck, From: r.id, Acks: hs})
+}
+
+func (r *Router) send(n *neighbor, pkt *Packet) {
+	data := pkt.Encode()
+	r.PacketsSent++
+	r.BytesSent += uint64(len(data))
+	r.dom.deliver(r.id, n, data, pkt.Type != PktHello)
+}
+
+// HandlePacket processes one received protocol message (wire format).
+func (r *Router) HandlePacket(from RouterID, data []byte) {
+	pkt, err := DecodePacket(data)
+	if err != nil {
+		r.dom.protocolError(r.id, err)
+		return
+	}
+	if pkt.From != from {
+		r.dom.protocolError(r.id, fmt.Errorf("ospf: source mismatch %d != %d", pkt.From, from))
+		return
+	}
+	n, ok := r.nbrs[from]
+	if !ok {
+		r.dom.protocolError(r.id, fmt.Errorf("ospf: packet from non-neighbor %d", from))
+		return
+	}
+	r.PacketsRcvd++
+	switch pkt.Type {
+	case PktHello:
+		r.handleHello(n)
+	case PktLSUpdate:
+		r.handleUpdate(n, pkt)
+	case PktLSAck:
+		r.handleAck(n, pkt)
+	}
+}
+
+func (r *Router) handleHello(n *neighbor) {
+	n.lastHello = r.dom.sched.Now()
+	if !n.up {
+		// Adjacency comes back: advertise it and resync the neighbor by
+		// sending our full database (simplified database exchange).
+		n.up = true
+		r.originateRouterLSA()
+		for _, l := range r.db.All() {
+			r.sendUpdate(n, l)
+		}
+	}
+}
+
+func (r *Router) handleUpdate(n *neighbor, pkt *Packet) {
+	for _, l := range pkt.LSAs {
+		// Implied acknowledgment (as in OSPF): receiving an instance at
+		// least as fresh as one we are retransmitting to this neighbor
+		// proves the neighbor has it — stop retransmitting, or a
+		// stale-for-newer exchange ping-pongs forever.
+		if p, ok := n.unacked[l.Header.Key()]; ok && p.lsa.Header.Seq <= l.Header.Seq {
+			r.dom.sched.Cancel(p.handle)
+			delete(n.unacked, l.Header.Key())
+		}
+		old, have := r.db.Get(l.Header.Key())
+		switch {
+		case !have && l.Header.Age >= MaxAgeSeconds:
+			// Flush for an LSA we do not have: just ack.
+			r.sendAck(n, l.Header)
+		case !have || l.Header.Newer(old.Header):
+			r.sendAck(n, l.Header)
+			r.installAndFlood(l, n.id)
+		case l.Header.Seq == old.Header.Seq:
+			// Duplicate: ack, do not re-flood.
+			r.sendAck(n, l.Header)
+		default:
+			// Neighbor is behind: send it our newer instance.
+			r.sendUpdate(n, old)
+		}
+	}
+}
+
+func (r *Router) installAndFlood(l *LSA, except RouterID) {
+	if l.Header.Age >= MaxAgeSeconds {
+		// Flush: remove after re-flooding the flush itself.
+		r.db.Remove(l.Header.Key())
+	} else {
+		r.db.Install(l)
+	}
+	r.floodExcept(l, except)
+	r.scheduleSPF()
+}
+
+func (r *Router) handleAck(n *neighbor, pkt *Packet) {
+	for _, h := range pkt.Acks {
+		k := h.Key()
+		if p, ok := n.unacked[k]; ok && p.lsa.Header.Seq <= h.Seq {
+			r.dom.sched.Cancel(p.handle)
+			delete(n.unacked, k)
+		}
+	}
+}
+
+// --- Liveness ----------------------------------------------------------
+
+func (r *Router) helloTick() {
+	now := r.dom.sched.Now()
+	for _, n := range r.nbrs {
+		if n.up && now-n.lastHello > r.cfg.DeadInterval && n.lastHello >= 0 {
+			n.up = false
+			for k, p := range n.unacked {
+				r.dom.sched.Cancel(p.handle)
+				delete(n.unacked, k)
+			}
+			r.originateRouterLSA()
+		}
+		// Hellos are sent even on down adjacencies so a healed link
+		// re-forms the adjacency.
+		r.send(n, &Packet{Type: PktHello, From: r.id})
+	}
+}
+
+// --- Route computation -------------------------------------------------
+
+func (r *Router) scheduleSPF() {
+	if r.spfScheduled {
+		return
+	}
+	r.spfScheduled = true
+	r.dom.spfPending++
+	r.dom.sched.After(r.cfg.SPFDelay, func() {
+		r.spfScheduled = false
+		r.dom.spfPending--
+		r.computeRoutes()
+	})
+}
+
+// computeRoutes rebuilds the FIB from the LSDB: SPF over the router graph
+// (with Fibbing fake nodes grafted in), then per-prefix best-path and
+// next-hop resolution.
+func (r *Router) computeRoutes() {
+	r.spfRuns++
+	g, index, nodes := r.buildGraph()
+	selfIdx, ok := index[r.id]
+	if !ok {
+		return // we have not originated our own Router LSA yet
+	}
+	tree := spf.Compute(g, selfIdx, nil)
+
+	table := fib.NewTable(r.node)
+
+	// Group announcements per prefix. A Prefix LSA announces from its
+	// advertising router; a Fake LSA announces from its fake node.
+	type announcer struct {
+		idx    topo.NodeID // graph index of the announcing node
+		metric uint32
+		fake   *LSA
+	}
+	byPrefix := make(map[string][]announcer)
+	prefixOf := make(map[string]topo.Prefix)
+	for _, l := range r.db.ByType(TypePrefix) {
+		aIdx, ok := index[l.Header.AdvRouter]
+		if !ok {
+			continue
+		}
+		k := l.Prefix.String()
+		byPrefix[k] = append(byPrefix[k], announcer{idx: aIdx, metric: l.Metric})
+		prefixOf[k] = topo.Prefix{Prefix: l.Prefix}
+	}
+	for fakeIdx, l := range nodes.fakes {
+		k := l.Prefix.String()
+		byPrefix[k] = append(byPrefix[k], announcer{idx: fakeIdx, metric: l.Metric, fake: l})
+		prefixOf[k] = topo.Prefix{Prefix: l.Prefix}
+	}
+
+	for k, anns := range byPrefix {
+		p := prefixOf[k].Prefix
+		best := spf.Infinity
+		local := false
+		for _, a := range anns {
+			if a.fake == nil && a.idx == selfIdx {
+				local = true
+				break
+			}
+			if !tree.Reachable(a.idx) {
+				continue
+			}
+			if d := tree.Dist[a.idx] + int64(a.metric); d < best {
+				best = d
+			}
+		}
+		if local {
+			if err := table.Install(fib.Route{Prefix: p, Local: true}); err != nil {
+				r.dom.protocolError(r.id, err)
+			}
+			continue
+		}
+		if best == spf.Infinity {
+			continue
+		}
+
+		// Next-hop synthesis. Real announcers and remote fakes
+		// contribute a deduplicated set of first hops (standard ECMP);
+		// each fake attached to *this* router contributes one extra
+		// RIB path to its forwarding address — Fibbing's uneven
+		// splitting.
+		setNH := make(map[topo.NodeID]bool)
+		extra := make(map[topo.NodeID]int)
+		for _, a := range anns {
+			if !tree.Reachable(a.idx) || tree.Dist[a.idx]+int64(a.metric) != best {
+				continue
+			}
+			if a.fake != nil && a.fake.AttachedTo == r.id {
+				via := RouterNode(a.fake.ForwardVia)
+				if _, ok := r.dom.topo.FindLink(r.node, via); !ok {
+					r.dom.protocolError(r.id, fmt.Errorf(
+						"ospf: fake LSA %s forwards via non-neighbor %d",
+						a.fake.Header.Key(), a.fake.ForwardVia))
+					continue
+				}
+				// A fake next hop is only usable while the adjacency to
+				// its forwarding address is up — otherwise the lie would
+				// blackhole traffic after a link failure.
+				if nb := r.nbrs[a.fake.ForwardVia]; nb == nil || !nb.up {
+					continue
+				}
+				extra[via]++
+				continue
+			}
+			for _, nh := range tree.NextHops(a.idx) {
+				node, ok := nodes.toNode(nh.Node)
+				if !ok {
+					continue
+				}
+				setNH[node] = true
+			}
+		}
+		var nhs []fib.NextHop
+		for node := range setNH {
+			l, ok := r.dom.topo.FindLink(r.node, node)
+			if !ok {
+				continue
+			}
+			nhs = append(nhs, fib.NextHop{Node: node, Link: l.ID, Weight: 1})
+		}
+		for node, w := range extra {
+			l, _ := r.dom.topo.FindLink(r.node, node)
+			nhs = append(nhs, fib.NextHop{Node: node, Link: l.ID, Weight: w})
+		}
+		if len(nhs) == 0 {
+			continue
+		}
+		if err := table.Install(fib.Route{Prefix: p, NextHops: nhs, Distance: best}); err != nil {
+			r.dom.protocolError(r.id, err)
+		}
+	}
+
+	r.fib = table
+	r.dom.fibChanged(r.node, table)
+}
+
+// graphNodes tracks the mapping between graph indices and protocol
+// entities: real routers occupy indices [0, len(index)); fake nodes are
+// appended after them.
+type graphNodes struct {
+	ids   []RouterID           // graph index -> RouterID, for real routers
+	fakes map[topo.NodeID]*LSA // graph index -> fake LSA
+}
+
+// toNode resolves a graph index of a *real* router to its topology node.
+func (gn *graphNodes) toNode(idx topo.NodeID) (topo.NodeID, bool) {
+	if int(idx) >= len(gn.ids) {
+		return 0, false
+	}
+	return RouterNode(gn.ids[idx]), true
+}
+
+// buildGraph materialises the LSDB into an SPF graph: real links require
+// the two-way check (both endpoints advertise each other); fake nodes hang
+// off their attachment router with the advertised attach cost.
+func (r *Router) buildGraph() (*spf.Graph, map[RouterID]topo.NodeID, *graphNodes) {
+	routerLSAs := r.db.ByType(TypeRouter)
+	index := make(map[RouterID]topo.NodeID, len(routerLSAs))
+	gn := &graphNodes{fakes: make(map[topo.NodeID]*LSA)}
+	for _, l := range routerLSAs {
+		index[l.Header.AdvRouter] = topo.NodeID(len(gn.ids))
+		gn.ids = append(gn.ids, l.Header.AdvRouter)
+	}
+	g := spf.NewGraph(len(gn.ids))
+	advertises := func(from, to RouterID) bool {
+		for _, l := range routerLSAs {
+			if l.Header.AdvRouter != from {
+				continue
+			}
+			for _, rl := range l.RouterLinks {
+				if rl.Neighbor == to {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, l := range routerLSAs {
+		u := index[l.Header.AdvRouter]
+		for _, rl := range l.RouterLinks {
+			v, ok := index[rl.Neighbor]
+			if !ok {
+				continue
+			}
+			if !advertises(rl.Neighbor, l.Header.AdvRouter) {
+				continue // two-way check failed
+			}
+			g.AddEdge(u, spf.Edge{To: v, Weight: int64(rl.Metric), Link: topo.NoLink})
+		}
+	}
+	for _, l := range r.db.ByType(TypeFake) {
+		attach, ok := index[l.AttachedTo]
+		if !ok {
+			continue
+		}
+		fakeIdx := g.AddNode()
+		g.AddEdge(attach, spf.Edge{To: fakeIdx, Weight: int64(l.AttachCost), Link: topo.NoLink})
+		gn.fakes[fakeIdx] = l
+	}
+	return g, index, gn
+}

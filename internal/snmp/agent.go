@@ -1,0 +1,213 @@
+package snmp
+
+import (
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+
+	"fibbing.net/fibbing/internal/netsim"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// MIB is a dynamic object tree: OIDs bound to value callbacks, evaluated
+// at query time (so counters read live state).
+type MIB struct {
+	mu   sync.RWMutex
+	oids []OID // sorted
+	get  map[string]func() Value
+}
+
+// NewMIB returns an empty MIB.
+func NewMIB() *MIB {
+	return &MIB{get: make(map[string]func() Value)}
+}
+
+// Register binds an OID to a callback. Re-registering replaces.
+func (m *MIB) Register(oid OID, fn func() Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	key := oid.String()
+	if _, exists := m.get[key]; !exists {
+		m.oids = append(m.oids, oid.Append()) // copy
+		sort.Slice(m.oids, func(i, j int) bool { return m.oids[i].Cmp(m.oids[j]) < 0 })
+	}
+	m.get[key] = fn
+}
+
+// Get returns the value at an exact OID.
+func (m *MIB) Get(oid OID) (Value, bool) {
+	m.mu.RLock()
+	fn, ok := m.get[oid.String()]
+	m.mu.RUnlock()
+	if !ok {
+		return Value{Kind: KindNoSuchObject}, false
+	}
+	return fn(), true
+}
+
+// Next returns the first OID strictly after the given one, MIB-ordered.
+func (m *MIB) Next(oid OID) (OID, Value, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	i := sort.Search(len(m.oids), func(i int) bool { return m.oids[i].Cmp(oid) > 0 })
+	if i == len(m.oids) {
+		return nil, Value{Kind: KindEndOfMibView}, false
+	}
+	next := m.oids[i]
+	return next, m.get[next.String()](), true
+}
+
+// Len returns the number of registered objects.
+func (m *MIB) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.oids)
+}
+
+// Agent answers SNMP requests against a MIB.
+type Agent struct {
+	Community string
+	MIB       *MIB
+	// MaxVarBinds caps response size (tooBig guard).
+	MaxVarBinds int
+}
+
+// NewAgent builds an agent with the given community string.
+func NewAgent(community string, mib *MIB) *Agent {
+	return &Agent{Community: community, MIB: mib, MaxVarBinds: 256}
+}
+
+// HandleRequest processes one encoded request and returns the encoded
+// response (nil for undecodable or unauthenticated requests, which SNMP
+// agents silently drop).
+func (a *Agent) HandleRequest(req []byte) []byte {
+	msg, err := DecodeMessage(req)
+	if err != nil {
+		return nil
+	}
+	if msg.Version != Version2c || msg.Community != a.Community {
+		return nil // silent drop, as real agents do for bad communities
+	}
+	resp := &Message{
+		Version:   Version2c,
+		Community: a.Community,
+		PDU:       PDU{Type: GetResponse, RequestID: msg.PDU.RequestID},
+	}
+	switch msg.PDU.Type {
+	case GetRequest:
+		for _, vb := range msg.PDU.VarBinds {
+			v, ok := a.MIB.Get(vb.OID)
+			if !ok {
+				v = Value{Kind: KindNoSuchObject}
+			}
+			resp.PDU.VarBinds = append(resp.PDU.VarBinds, VarBind{OID: vb.OID, Value: v})
+		}
+	case GetNextRequest:
+		for _, vb := range msg.PDU.VarBinds {
+			next, v, ok := a.MIB.Next(vb.OID)
+			if !ok {
+				resp.PDU.VarBinds = append(resp.PDU.VarBinds,
+					VarBind{OID: vb.OID, Value: Value{Kind: KindEndOfMibView}})
+				continue
+			}
+			resp.PDU.VarBinds = append(resp.PDU.VarBinds, VarBind{OID: next, Value: v})
+		}
+	case GetBulkRequest:
+		nonRep := int(msg.PDU.ErrorStatus)
+		maxRep := int(msg.PDU.ErrorIndex)
+		if maxRep < 1 {
+			maxRep = 1
+		}
+		for i, vb := range msg.PDU.VarBinds {
+			if i < nonRep {
+				next, v, ok := a.MIB.Next(vb.OID)
+				if !ok {
+					resp.PDU.VarBinds = append(resp.PDU.VarBinds,
+						VarBind{OID: vb.OID, Value: Value{Kind: KindEndOfMibView}})
+					continue
+				}
+				resp.PDU.VarBinds = append(resp.PDU.VarBinds, VarBind{OID: next, Value: v})
+				continue
+			}
+			cur := vb.OID
+			for r := 0; r < maxRep && len(resp.PDU.VarBinds) < a.MaxVarBinds; r++ {
+				next, v, ok := a.MIB.Next(cur)
+				if !ok {
+					resp.PDU.VarBinds = append(resp.PDU.VarBinds,
+						VarBind{OID: cur, Value: Value{Kind: KindEndOfMibView}})
+					break
+				}
+				resp.PDU.VarBinds = append(resp.PDU.VarBinds, VarBind{OID: next, Value: v})
+				cur = next
+			}
+		}
+	case SetRequest:
+		// Read-only agent.
+		resp.PDU.ErrorStatus = ErrReadOnly
+		resp.PDU.VarBinds = msg.PDU.VarBinds
+	default:
+		resp.PDU.ErrorStatus = ErrGenErr
+	}
+	return resp.Encode()
+}
+
+// ServeUDP answers requests on a packet connection until the connection is
+// closed. Intended to run in its own goroutine.
+func (a *Agent) ServeUDP(conn net.PacketConn) error {
+	buf := make([]byte, 64*1024)
+	for {
+		n, addr, err := conn.ReadFrom(buf)
+		if err != nil {
+			return err
+		}
+		if resp := a.HandleRequest(buf[:n]); resp != nil {
+			if _, err := conn.WriteTo(resp, addr); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// --- IF-MIB binding ----------------------------------------------------
+
+// Standard IF-MIB column OIDs (1.3.6.1.2.1.2.2.1.<col>.<ifIndex>).
+var (
+	OIDIfDescr     = MustOID("1.3.6.1.2.1.2.2.1.2")
+	OIDIfSpeed     = MustOID("1.3.6.1.2.1.2.2.1.5")
+	OIDIfOutOctets = MustOID("1.3.6.1.2.1.2.2.1.16")
+	// OIDIfHCOutOctets is the 64-bit high-capacity counter from the
+	// ifXTable (1.3.6.1.2.1.31.1.1.1.10).
+	OIDIfHCOutOctets = MustOID("1.3.6.1.2.1.31.1.1.1.10")
+)
+
+// IfIndex maps a directed topology link to its SNMP interface index on the
+// transmitting router (1-based, as ifIndex must be).
+func IfIndex(l topo.LinkID) uint32 { return uint32(l) + 1 }
+
+// LinkFromIfIndex inverts IfIndex.
+func LinkFromIfIndex(i uint32) topo.LinkID { return topo.LinkID(i) - 1 }
+
+// BindIFMIB registers the IF-MIB subset for every directed link whose
+// transmitting side is the given router, reading live octet counters from
+// the fluid simulator. If node is topo.NoNode, all links are exported (a
+// single network-wide agent, which is what the demo controller polls).
+func BindIFMIB(mib *MIB, net *netsim.Network, node topo.NodeID) {
+	t := net.Topology()
+	for _, l := range t.Links() {
+		if node != topo.NoNode && l.From != node {
+			continue
+		}
+		l := l
+		idx := IfIndex(l.ID)
+		name := fmt.Sprintf("%s->%s", t.Name(l.From), t.Name(l.To))
+		mib.Register(OIDIfDescr.Append(idx), func() Value { return StringValue(name) })
+		mib.Register(OIDIfSpeed.Append(idx), func() Value { return GaugeValue(uint64(l.Capacity)) })
+		mib.Register(OIDIfOutOctets.Append(idx), func() Value {
+			return Counter32Value(net.Octets(l.ID))
+		})
+		mib.Register(OIDIfHCOutOctets.Append(idx), func() Value {
+			return Counter64Value(net.Octets(l.ID))
+		})
+	}
+}

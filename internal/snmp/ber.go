@@ -1,0 +1,431 @@
+// Package snmp implements the subset of SNMPv2c the Fibbing controller
+// needs to monitor link loads, from the BER wire encoding up: GET,
+// GETNEXT and GETBULK requests, an agent serving an IF-MIB-style counter
+// tree over UDP (or in-memory for deterministic simulations), and a
+// polling client.
+//
+// The paper's controller "monitors link loads using SNMP"; this package
+// keeps that code path real — PDUs are encoded and decoded byte for byte —
+// while allowing the counter source to be the fluid simulator.
+package snmp
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OID is an object identifier.
+type OID []uint32
+
+// ParseOID parses dotted notation ("1.3.6.1.2.1.2.2.1.10.3").
+func ParseOID(s string) (OID, error) {
+	parts := strings.Split(strings.TrimPrefix(s, "."), ".")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("snmp: OID %q too short", s)
+	}
+	out := make(OID, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("snmp: bad OID component %q", p)
+		}
+		out[i] = uint32(v)
+	}
+	if out[0] > 2 || (out[0] < 2 && out[1] >= 40) {
+		return nil, fmt.Errorf("snmp: invalid OID header %d.%d", out[0], out[1])
+	}
+	return out, nil
+}
+
+// MustOID parses a literal OID, panicking on error.
+func MustOID(s string) OID {
+	o, err := ParseOID(s)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+func (o OID) String() string {
+	parts := make([]string, len(o))
+	for i, v := range o {
+		parts[i] = strconv.FormatUint(uint64(v), 10)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Cmp compares OIDs in lexicographic MIB order.
+func (o OID) Cmp(other OID) int {
+	for i := 0; i < len(o) && i < len(other); i++ {
+		if o[i] != other[i] {
+			if o[i] < other[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(o) < len(other):
+		return -1
+	case len(o) > len(other):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// HasPrefix reports whether o sits under prefix in the MIB tree.
+func (o OID) HasPrefix(prefix OID) bool {
+	if len(o) < len(prefix) {
+		return false
+	}
+	return o[:len(prefix)].Cmp(prefix) == 0
+}
+
+// Append returns o with extra arcs appended (fresh storage).
+func (o OID) Append(arcs ...uint32) OID {
+	out := make(OID, 0, len(o)+len(arcs))
+	out = append(out, o...)
+	return append(out, arcs...)
+}
+
+// BER/universal and SNMP application tags.
+const (
+	tagInteger     = 0x02
+	tagOctetString = 0x04
+	tagNull        = 0x05
+	tagOID         = 0x06
+	tagSequence    = 0x30
+
+	tagIPAddress = 0x40
+	tagCounter32 = 0x41
+	tagGauge32   = 0x42
+	tagTimeTicks = 0x43
+	tagCounter64 = 0x46
+
+	tagNoSuchObject   = 0x80
+	tagNoSuchInstance = 0x81
+	tagEndOfMibView   = 0x82
+
+	tagGetRequest     = 0xA0
+	tagGetNextRequest = 0xA1
+	tagGetResponse    = 0xA2
+	tagSetRequest     = 0xA3
+	tagGetBulkRequest = 0xA5
+)
+
+// Kind discriminates varbind value types.
+type Kind uint8
+
+// Value kinds supported by this subset.
+const (
+	KindNull Kind = iota
+	KindInteger
+	KindOctetString
+	KindOID
+	KindCounter32
+	KindGauge32
+	KindTimeTicks
+	KindCounter64
+	KindNoSuchObject
+	KindNoSuchInstance
+	KindEndOfMibView
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInteger:
+		return "integer"
+	case KindOctetString:
+		return "octet-string"
+	case KindOID:
+		return "oid"
+	case KindCounter32:
+		return "counter32"
+	case KindGauge32:
+		return "gauge32"
+	case KindTimeTicks:
+		return "timeticks"
+	case KindCounter64:
+		return "counter64"
+	case KindNoSuchObject:
+		return "noSuchObject"
+	case KindNoSuchInstance:
+		return "noSuchInstance"
+	case KindEndOfMibView:
+		return "endOfMibView"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is one varbind value.
+type Value struct {
+	Kind  Kind
+	Int   int64  // KindInteger
+	Uint  uint64 // counters, gauge, ticks
+	Bytes []byte // KindOctetString
+	OID   OID    // KindOID
+}
+
+// Counter64Value builds a Counter64.
+func Counter64Value(v uint64) Value { return Value{Kind: KindCounter64, Uint: v} }
+
+// Counter32Value builds a Counter32 (wraps at 2^32 like real interfaces).
+func Counter32Value(v uint64) Value { return Value{Kind: KindCounter32, Uint: v & 0xFFFFFFFF} }
+
+// GaugeValue builds a Gauge32.
+func GaugeValue(v uint64) Value { return Value{Kind: KindGauge32, Uint: v & 0xFFFFFFFF} }
+
+// StringValue builds an OctetString.
+func StringValue(s string) Value { return Value{Kind: KindOctetString, Bytes: []byte(s)} }
+
+// IntegerValue builds an Integer.
+func IntegerValue(v int64) Value { return Value{Kind: KindInteger, Int: v} }
+
+// --- BER primitives ----------------------------------------------------
+
+func appendLength(b []byte, n int) []byte {
+	switch {
+	case n < 0x80:
+		return append(b, byte(n))
+	case n <= 0xFF:
+		return append(b, 0x81, byte(n))
+	case n <= 0xFFFF:
+		return append(b, 0x82, byte(n>>8), byte(n))
+	default:
+		return append(b, 0x83, byte(n>>16), byte(n>>8), byte(n))
+	}
+}
+
+func appendTLV(b []byte, tag byte, content []byte) []byte {
+	b = append(b, tag)
+	b = appendLength(b, len(content))
+	return append(b, content...)
+}
+
+func appendInt(b []byte, tag byte, v int64) []byte {
+	// Two's complement, minimal length.
+	var content []byte
+	for {
+		content = append([]byte{byte(v)}, content...)
+		next := v >> 8
+		if (next == 0 && v >= 0 && content[0] < 0x80) ||
+			(next == -1 && v < 0 && content[0] >= 0x80) {
+			break
+		}
+		v = next
+	}
+	return appendTLV(b, tag, content)
+}
+
+func appendUint(b []byte, tag byte, v uint64) []byte {
+	var content []byte
+	for {
+		content = append([]byte{byte(v)}, content...)
+		v >>= 8
+		if v == 0 {
+			break
+		}
+	}
+	if content[0] >= 0x80 {
+		content = append([]byte{0}, content...)
+	}
+	return appendTLV(b, tag, content)
+}
+
+func appendOID(b []byte, o OID) []byte {
+	if len(o) < 2 {
+		// Encode degenerate OIDs as 0.0 to stay well-formed.
+		o = OID{0, 0}
+	}
+	content := []byte{byte(o[0]*40 + o[1])}
+	for _, arc := range o[2:] {
+		content = append(content, encodeBase128(arc)...)
+	}
+	return appendTLV(b, tagOID, content)
+}
+
+func encodeBase128(v uint32) []byte {
+	if v == 0 {
+		return []byte{0}
+	}
+	var tmp [5]byte
+	i := len(tmp)
+	last := true
+	for v > 0 {
+		i--
+		b := byte(v & 0x7F)
+		if !last {
+			b |= 0x80
+		}
+		tmp[i] = b
+		last = false
+		v >>= 7
+	}
+	return tmp[i:]
+}
+
+func appendValue(b []byte, v Value) []byte {
+	switch v.Kind {
+	case KindNull:
+		return appendTLV(b, tagNull, nil)
+	case KindInteger:
+		return appendInt(b, tagInteger, v.Int)
+	case KindOctetString:
+		return appendTLV(b, tagOctetString, v.Bytes)
+	case KindOID:
+		return appendOID(b, v.OID)
+	case KindCounter32:
+		return appendUint(b, tagCounter32, v.Uint&0xFFFFFFFF)
+	case KindGauge32:
+		return appendUint(b, tagGauge32, v.Uint&0xFFFFFFFF)
+	case KindTimeTicks:
+		return appendUint(b, tagTimeTicks, v.Uint&0xFFFFFFFF)
+	case KindCounter64:
+		return appendUint(b, tagCounter64, v.Uint)
+	case KindNoSuchObject:
+		return appendTLV(b, tagNoSuchObject, nil)
+	case KindNoSuchInstance:
+		return appendTLV(b, tagNoSuchInstance, nil)
+	case KindEndOfMibView:
+		return appendTLV(b, tagEndOfMibView, nil)
+	default:
+		panic(fmt.Sprintf("snmp: encoding unknown kind %v", v.Kind))
+	}
+}
+
+// reader is a BER cursor.
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) readTLV() (tag byte, content []byte, err error) {
+	if r.pos >= len(r.buf) {
+		return 0, nil, fmt.Errorf("snmp: truncated TLV")
+	}
+	tag = r.buf[r.pos]
+	r.pos++
+	if r.pos >= len(r.buf) {
+		return 0, nil, fmt.Errorf("snmp: truncated length")
+	}
+	l := int(r.buf[r.pos])
+	r.pos++
+	if l >= 0x80 {
+		n := l & 0x7F
+		if n == 0 || n > 3 {
+			return 0, nil, fmt.Errorf("snmp: unsupported length form %#x", l)
+		}
+		if r.pos+n > len(r.buf) {
+			return 0, nil, fmt.Errorf("snmp: truncated long length")
+		}
+		l = 0
+		for i := 0; i < n; i++ {
+			l = l<<8 | int(r.buf[r.pos])
+			r.pos++
+		}
+	}
+	if r.pos+l > len(r.buf) {
+		return 0, nil, fmt.Errorf("snmp: TLV content exceeds buffer")
+	}
+	content = r.buf[r.pos : r.pos+l]
+	r.pos += l
+	return tag, content, nil
+}
+
+func (r *reader) done() bool { return r.pos >= len(r.buf) }
+
+func decodeInt(content []byte) (int64, error) {
+	if len(content) == 0 || len(content) > 8 {
+		return 0, fmt.Errorf("snmp: bad integer length %d", len(content))
+	}
+	v := int64(0)
+	if content[0] >= 0x80 {
+		v = -1
+	}
+	for _, b := range content {
+		v = v<<8 | int64(b)
+	}
+	return v, nil
+}
+
+func decodeUint(content []byte) (uint64, error) {
+	if len(content) == 0 || len(content) > 9 {
+		return 0, fmt.Errorf("snmp: bad unsigned length %d", len(content))
+	}
+	if len(content) == 9 && content[0] != 0 {
+		return 0, fmt.Errorf("snmp: unsigned overflow")
+	}
+	v := uint64(0)
+	for _, b := range content {
+		v = v<<8 | uint64(b)
+	}
+	return v, nil
+}
+
+func decodeOIDContent(content []byte) (OID, error) {
+	if len(content) == 0 {
+		return nil, fmt.Errorf("snmp: empty OID")
+	}
+	out := OID{uint32(content[0] / 40), uint32(content[0] % 40)}
+	var cur uint32
+	inArc := false
+	for _, b := range content[1:] {
+		cur = cur<<7 | uint32(b&0x7F)
+		inArc = true
+		if b&0x80 == 0 {
+			out = append(out, cur)
+			cur = 0
+			inArc = false
+		}
+	}
+	if inArc {
+		return nil, fmt.Errorf("snmp: OID ends mid-arc")
+	}
+	return out, nil
+}
+
+func decodeValue(tag byte, content []byte) (Value, error) {
+	switch tag {
+	case tagNull:
+		return Value{Kind: KindNull}, nil
+	case tagInteger:
+		v, err := decodeInt(content)
+		return Value{Kind: KindInteger, Int: v}, err
+	case tagOctetString:
+		return Value{Kind: KindOctetString, Bytes: append([]byte(nil), content...)}, nil
+	case tagOID:
+		o, err := decodeOIDContent(content)
+		return Value{Kind: KindOID, OID: o}, err
+	case tagCounter32:
+		v, err := decodeUint(content)
+		return Value{Kind: KindCounter32, Uint: v}, err
+	case tagGauge32:
+		v, err := decodeUint(content)
+		return Value{Kind: KindGauge32, Uint: v}, err
+	case tagTimeTicks:
+		v, err := decodeUint(content)
+		return Value{Kind: KindTimeTicks, Uint: v}, err
+	case tagCounter64:
+		v, err := decodeUint(content)
+		return Value{Kind: KindCounter64, Uint: v}, err
+	case tagNoSuchObject:
+		return Value{Kind: KindNoSuchObject}, nil
+	case tagNoSuchInstance:
+		return Value{Kind: KindNoSuchInstance}, nil
+	case tagEndOfMibView:
+		return Value{Kind: KindEndOfMibView}, nil
+	default:
+		return Value{}, fmt.Errorf("snmp: unknown value tag %#x", tag)
+	}
+}
+
+// SortOIDs sorts a slice of OIDs in MIB order (helper for MIB walks).
+func SortOIDs(oids []OID) {
+	sort.Slice(oids, func(i, j int) bool { return oids[i].Cmp(oids[j]) < 0 })
+}

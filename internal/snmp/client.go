@@ -1,0 +1,216 @@
+package snmp
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Transport delivers one encoded request and returns the encoded response.
+type Transport interface {
+	RoundTrip(req []byte) ([]byte, error)
+}
+
+// DirectTransport calls an agent in-process — the deterministic path used
+// inside the discrete-event simulation (the PDUs are still fully encoded
+// and decoded).
+type DirectTransport struct {
+	Agent *Agent
+}
+
+// RoundTrip implements Transport.
+func (d DirectTransport) RoundTrip(req []byte) ([]byte, error) {
+	resp := d.Agent.HandleRequest(req)
+	if resp == nil {
+		return nil, fmt.Errorf("snmp: agent dropped request")
+	}
+	return resp, nil
+}
+
+// UDPTransport sends requests over a UDP socket with timeout and retries.
+type UDPTransport struct {
+	Addr    string
+	Timeout time.Duration
+	Retries int
+}
+
+// RoundTrip implements Transport.
+func (u UDPTransport) RoundTrip(req []byte) ([]byte, error) {
+	timeout := u.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	tries := u.Retries + 1
+	var lastErr error
+	for i := 0; i < tries; i++ {
+		resp, err := u.once(req, timeout)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("snmp: request failed after %d tries: %w", tries, lastErr)
+}
+
+func (u UDPTransport) once(req []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.Dial("udp", u.Addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(req); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 64*1024)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, buf[:n])
+	return out, nil
+}
+
+// Client issues SNMP queries over a Transport.
+type Client struct {
+	Transport Transport
+	Community string
+	reqID     atomic.Int32
+}
+
+// NewClient builds a client.
+func NewClient(tr Transport, community string) *Client {
+	return &Client{Transport: tr, Community: community}
+}
+
+func (c *Client) roundTrip(pdu PDU) (*Message, error) {
+	pdu.RequestID = c.reqID.Add(1)
+	req := &Message{Version: Version2c, Community: c.Community, PDU: pdu}
+	raw, err := c.Transport.RoundTrip(req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	resp, err := DecodeMessage(raw)
+	if err != nil {
+		return nil, err
+	}
+	if resp.PDU.Type != GetResponse {
+		return nil, fmt.Errorf("snmp: unexpected response type %v", resp.PDU.Type)
+	}
+	if resp.PDU.RequestID != pdu.RequestID {
+		return nil, fmt.Errorf("snmp: response ID %d != request %d", resp.PDU.RequestID, pdu.RequestID)
+	}
+	if resp.PDU.ErrorStatus != ErrNoError {
+		return nil, fmt.Errorf("snmp: error status %d at index %d", resp.PDU.ErrorStatus, resp.PDU.ErrorIndex)
+	}
+	return resp, nil
+}
+
+// Get fetches the values of the given OIDs.
+func (c *Client) Get(oids ...OID) ([]VarBind, error) {
+	vbs := make([]VarBind, len(oids))
+	for i, o := range oids {
+		vbs[i] = VarBind{OID: o, Value: Value{Kind: KindNull}}
+	}
+	resp, err := c.roundTrip(PDU{Type: GetRequest, VarBinds: vbs})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.PDU.VarBinds) != len(oids) {
+		return nil, fmt.Errorf("snmp: got %d varbinds, want %d", len(resp.PDU.VarBinds), len(oids))
+	}
+	return resp.PDU.VarBinds, nil
+}
+
+// GetCounter fetches a single counter OID as uint64 (Counter32/64/Gauge).
+func (c *Client) GetCounter(oid OID) (uint64, error) {
+	vbs, err := c.Get(oid)
+	if err != nil {
+		return 0, err
+	}
+	v := vbs[0].Value
+	switch v.Kind {
+	case KindCounter32, KindCounter64, KindGauge32, KindTimeTicks:
+		return v.Uint, nil
+	case KindInteger:
+		return uint64(v.Int), nil
+	default:
+		return 0, fmt.Errorf("snmp: %v is %v, not a counter", oid, v.Kind)
+	}
+}
+
+// GetNext fetches the lexicographic successors of the given OIDs.
+func (c *Client) GetNext(oids ...OID) ([]VarBind, error) {
+	vbs := make([]VarBind, len(oids))
+	for i, o := range oids {
+		vbs[i] = VarBind{OID: o, Value: Value{Kind: KindNull}}
+	}
+	resp, err := c.roundTrip(PDU{Type: GetNextRequest, VarBinds: vbs})
+	if err != nil {
+		return nil, err
+	}
+	return resp.PDU.VarBinds, nil
+}
+
+// Walk visits every object under root in MIB order using GetNext.
+func (c *Client) Walk(root OID, fn func(VarBind) error) error {
+	cur := root
+	for {
+		vbs, err := c.GetNext(cur)
+		if err != nil {
+			return err
+		}
+		if len(vbs) != 1 {
+			return fmt.Errorf("snmp: walk got %d varbinds", len(vbs))
+		}
+		vb := vbs[0]
+		if vb.Value.Kind == KindEndOfMibView || !vb.OID.HasPrefix(root) {
+			return nil
+		}
+		if err := fn(vb); err != nil {
+			return err
+		}
+		cur = vb.OID
+	}
+}
+
+// BulkWalk visits every object under root using GetBulk (fewer round
+// trips than Walk).
+func (c *Client) BulkWalk(root OID, maxRep int, fn func(VarBind) error) error {
+	if maxRep < 1 {
+		maxRep = 16
+	}
+	cur := root
+	for {
+		resp, err := c.roundTrip(PDU{
+			Type:        GetBulkRequest,
+			ErrorStatus: 0,             // non-repeaters
+			ErrorIndex:  int32(maxRep), // max-repetitions
+			VarBinds:    []VarBind{{OID: cur, Value: Value{Kind: KindNull}}},
+		})
+		if err != nil {
+			return err
+		}
+		if len(resp.PDU.VarBinds) == 0 {
+			return nil
+		}
+		progressed := false
+		for _, vb := range resp.PDU.VarBinds {
+			if vb.Value.Kind == KindEndOfMibView || !vb.OID.HasPrefix(root) {
+				return nil
+			}
+			if err := fn(vb); err != nil {
+				return err
+			}
+			cur = vb.OID
+			progressed = true
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package snmp
+
+import "fmt"
+
+// PDUType discriminates SNMP operations.
+type PDUType byte
+
+// Supported PDU types.
+const (
+	GetRequest     PDUType = tagGetRequest
+	GetNextRequest PDUType = tagGetNextRequest
+	GetResponse    PDUType = tagGetResponse
+	SetRequest     PDUType = tagSetRequest
+	GetBulkRequest PDUType = tagGetBulkRequest
+)
+
+func (t PDUType) String() string {
+	switch t {
+	case GetRequest:
+		return "get"
+	case GetNextRequest:
+		return "get-next"
+	case GetResponse:
+		return "response"
+	case SetRequest:
+		return "set"
+	case GetBulkRequest:
+		return "get-bulk"
+	default:
+		return fmt.Sprintf("pdu(%#x)", byte(t))
+	}
+}
+
+// Error status codes (SNMPv2c).
+const (
+	ErrNoError    = 0
+	ErrTooBig     = 1
+	ErrGenErr     = 5
+	ErrNoAccess   = 6
+	ErrAuthError  = 16 // community mismatch (reported, not on the wire)
+	ErrReadOnly   = 4
+	ErrWrongValue = 10
+)
+
+// VarBind is one (OID, value) pair.
+type VarBind struct {
+	OID   OID
+	Value Value
+}
+
+// PDU is the operation part of a message. For GetBulk, NonRepeaters and
+// MaxRepetitions reuse the error-status/error-index fields as per RFC 3416.
+type PDU struct {
+	Type        PDUType
+	RequestID   int32
+	ErrorStatus int32 // or non-repeaters for GetBulk
+	ErrorIndex  int32 // or max-repetitions for GetBulk
+	VarBinds    []VarBind
+}
+
+// Message is a community-based SNMP message (version 1 = SNMPv2c).
+type Message struct {
+	Version   int64 // 1 for v2c
+	Community string
+	PDU       PDU
+}
+
+// Version constant for SNMPv2c.
+const Version2c = 1
+
+// Encode serialises the message to BER.
+func (m *Message) Encode() []byte {
+	var vbl []byte
+	for _, vb := range m.PDU.VarBinds {
+		var one []byte
+		one = appendOID(one, vb.OID)
+		one = appendValue(one, vb.Value)
+		vbl = appendTLV(vbl, tagSequence, one)
+	}
+	var pdu []byte
+	pdu = appendInt(pdu, tagInteger, int64(m.PDU.RequestID))
+	pdu = appendInt(pdu, tagInteger, int64(m.PDU.ErrorStatus))
+	pdu = appendInt(pdu, tagInteger, int64(m.PDU.ErrorIndex))
+	pdu = appendTLV(pdu, tagSequence, vbl)
+
+	var body []byte
+	body = appendInt(body, tagInteger, m.Version)
+	body = appendTLV(body, tagOctetString, []byte(m.Community))
+	body = appendTLV(body, byte(m.PDU.Type), pdu)
+
+	return appendTLV(nil, tagSequence, body)
+}
+
+// DecodeMessage parses one BER-encoded SNMP message.
+func DecodeMessage(buf []byte) (*Message, error) {
+	r := &reader{buf: buf}
+	tag, content, err := r.readTLV()
+	if err != nil {
+		return nil, err
+	}
+	if tag != tagSequence {
+		return nil, fmt.Errorf("snmp: message is not a sequence (tag %#x)", tag)
+	}
+	if !r.done() {
+		return nil, fmt.Errorf("snmp: trailing bytes after message")
+	}
+	body := &reader{buf: content}
+
+	m := &Message{}
+	tag, c, err := body.readTLV()
+	if err != nil || tag != tagInteger {
+		return nil, fmt.Errorf("snmp: missing version")
+	}
+	if m.Version, err = decodeInt(c); err != nil {
+		return nil, err
+	}
+	tag, c, err = body.readTLV()
+	if err != nil || tag != tagOctetString {
+		return nil, fmt.Errorf("snmp: missing community")
+	}
+	m.Community = string(c)
+
+	tag, c, err = body.readTLV()
+	if err != nil {
+		return nil, fmt.Errorf("snmp: missing PDU")
+	}
+	switch PDUType(tag) {
+	case GetRequest, GetNextRequest, GetResponse, SetRequest, GetBulkRequest:
+		m.PDU.Type = PDUType(tag)
+	default:
+		return nil, fmt.Errorf("snmp: unsupported PDU type %#x", tag)
+	}
+	if !body.done() {
+		return nil, fmt.Errorf("snmp: trailing bytes after PDU")
+	}
+
+	p := &reader{buf: c}
+	for i, dst := range []*int32{&m.PDU.RequestID, &m.PDU.ErrorStatus, &m.PDU.ErrorIndex} {
+		tag, c, err := p.readTLV()
+		if err != nil || tag != tagInteger {
+			return nil, fmt.Errorf("snmp: missing PDU header field %d", i)
+		}
+		v, err := decodeInt(c)
+		if err != nil {
+			return nil, err
+		}
+		*dst = int32(v)
+	}
+	tag, c, err = p.readTLV()
+	if err != nil || tag != tagSequence {
+		return nil, fmt.Errorf("snmp: missing varbind list")
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("snmp: trailing bytes after varbinds")
+	}
+	vbl := &reader{buf: c}
+	for !vbl.done() {
+		tag, c, err := vbl.readTLV()
+		if err != nil || tag != tagSequence {
+			return nil, fmt.Errorf("snmp: bad varbind")
+		}
+		vb := &reader{buf: c}
+		tag, oc, err := vb.readTLV()
+		if err != nil || tag != tagOID {
+			return nil, fmt.Errorf("snmp: varbind without OID")
+		}
+		oid, err := decodeOIDContent(oc)
+		if err != nil {
+			return nil, err
+		}
+		tag, vc, err := vb.readTLV()
+		if err != nil {
+			return nil, fmt.Errorf("snmp: varbind without value")
+		}
+		val, err := decodeValue(tag, vc)
+		if err != nil {
+			return nil, err
+		}
+		if !vb.done() {
+			return nil, fmt.Errorf("snmp: trailing bytes in varbind")
+		}
+		m.PDU.VarBinds = append(m.PDU.VarBinds, VarBind{OID: oid, Value: val})
+	}
+	return m, nil
+}

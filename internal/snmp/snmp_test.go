@@ -1,0 +1,351 @@
+package snmp
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestOIDParseAndString(t *testing.T) {
+	o, err := ParseOID("1.3.6.1.2.1.2.2.1.16.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.String() != "1.3.6.1.2.1.2.2.1.16.3" {
+		t.Fatalf("round trip = %q", o.String())
+	}
+	for _, bad := range []string{"", "1", "x.2", "3.50"} {
+		if _, err := ParseOID(bad); err == nil {
+			t.Errorf("ParseOID(%q) should fail", bad)
+		}
+	}
+}
+
+func TestOIDCmpAndPrefix(t *testing.T) {
+	a := MustOID("1.3.6.1.2.1.2")
+	b := MustOID("1.3.6.1.2.1.2.2")
+	c := MustOID("1.3.6.1.2.1.3")
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Fatalf("prefix ordering wrong")
+	}
+	if b.Cmp(c) != -1 {
+		t.Fatalf("sibling ordering wrong")
+	}
+	if !b.HasPrefix(a) || a.HasPrefix(b) || c.HasPrefix(a) {
+		t.Fatalf("HasPrefix wrong")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	msg := &Message{
+		Version:   Version2c,
+		Community: "public",
+		PDU: PDU{
+			Type:      GetRequest,
+			RequestID: 42,
+			VarBinds: []VarBind{
+				{OID: MustOID("1.3.6.1.2.1.1.1.0"), Value: Value{Kind: KindNull}},
+				{OID: MustOID("1.3.6.1.2.1.2.2.1.16.3"), Value: Counter64Value(1 << 40)},
+				{OID: MustOID("1.3.6.1.2.1.2.2.1.2.1"), Value: StringValue("B->R2")},
+				{OID: MustOID("1.3.6.1.2.1.2.2.1.5.1"), Value: GaugeValue(16_000_000)},
+				{OID: MustOID("1.3.6.1.2.1.1.9.0"), Value: IntegerValue(-12345)},
+			},
+		},
+	}
+	got, err := DecodeMessage(msg.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Community != "public" || got.PDU.RequestID != 42 || got.PDU.Type != GetRequest {
+		t.Fatalf("header = %+v", got)
+	}
+	if len(got.PDU.VarBinds) != 5 {
+		t.Fatalf("varbinds = %d", len(got.PDU.VarBinds))
+	}
+	if got.PDU.VarBinds[1].Value.Uint != 1<<40 || got.PDU.VarBinds[1].Value.Kind != KindCounter64 {
+		t.Fatalf("counter64 = %+v", got.PDU.VarBinds[1].Value)
+	}
+	if string(got.PDU.VarBinds[2].Value.Bytes) != "B->R2" {
+		t.Fatalf("string = %+v", got.PDU.VarBinds[2].Value)
+	}
+	if got.PDU.VarBinds[4].Value.Int != -12345 {
+		t.Fatalf("negative integer = %+v", got.PDU.VarBinds[4].Value)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x30},
+		{0x02, 0x01, 0x01},       // not a sequence
+		{0x30, 0x02, 0xFF, 0xFF}, // junk content
+	}
+	for i, c := range cases {
+		if _, err := DecodeMessage(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Truncations of a valid message must all fail (or decode to the
+	// full message only at full length).
+	msg := &Message{Version: Version2c, Community: "c", PDU: PDU{Type: GetRequest,
+		VarBinds: []VarBind{{OID: MustOID("1.3.6.1.2"), Value: Value{Kind: KindNull}}}}}
+	enc := msg.Encode()
+	for i := 1; i < len(enc); i++ {
+		if _, err := DecodeMessage(enc[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}
+
+// Property: random OIDs survive encode/decode inside a varbind.
+func TestOIDRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o := OID{uint32(rng.Intn(3)), uint32(rng.Intn(40))}
+		for i := 0; i < rng.Intn(10); i++ {
+			o = append(o, rng.Uint32())
+		}
+		msg := &Message{Version: Version2c, Community: "x",
+			PDU: PDU{Type: GetRequest, VarBinds: []VarBind{{OID: o, Value: Value{Kind: KindNull}}}}}
+		got, err := DecodeMessage(msg.Encode())
+		if err != nil {
+			return false
+		}
+		return got.PDU.VarBinds[0].OID.Cmp(o) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random integer values survive the codec.
+func TestIntegerRoundTripProperty(t *testing.T) {
+	f := func(v int64) bool {
+		msg := &Message{Version: Version2c, Community: "x",
+			PDU: PDU{Type: GetRequest, VarBinds: []VarBind{
+				{OID: MustOID("1.3.6"), Value: IntegerValue(v)}}}}
+		got, err := DecodeMessage(msg.Encode())
+		if err != nil {
+			return false
+		}
+		return got.PDU.VarBinds[0].Value.Int == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testMIB() *MIB {
+	mib := NewMIB()
+	mib.Register(MustOID("1.3.6.1.2.1.1.1.0"), func() Value { return StringValue("fibbing-sim") })
+	counter := uint64(0)
+	mib.Register(MustOID("1.3.6.1.2.1.2.2.1.16.1"), func() Value {
+		counter += 100
+		return Counter64Value(counter)
+	})
+	mib.Register(MustOID("1.3.6.1.2.1.2.2.1.16.2"), func() Value { return Counter64Value(7) })
+	return mib
+}
+
+func TestMIBGetNext(t *testing.T) {
+	mib := testMIB()
+	next, _, ok := mib.Next(MustOID("1.3.6.1.2.1.2.2.1.16"))
+	if !ok || next.String() != "1.3.6.1.2.1.2.2.1.16.1" {
+		t.Fatalf("Next = %v, %v", next, ok)
+	}
+	next, _, ok = mib.Next(next)
+	if !ok || next.String() != "1.3.6.1.2.1.2.2.1.16.2" {
+		t.Fatalf("Next = %v, %v", next, ok)
+	}
+	if _, _, ok := mib.Next(MustOID("1.3.6.1.2.1.2.2.1.16.2")); ok {
+		t.Fatalf("Next past end should report endOfMibView")
+	}
+}
+
+func TestAgentGet(t *testing.T) {
+	agent := NewAgent("secret", testMIB())
+	client := NewClient(DirectTransport{Agent: agent}, "secret")
+	vbs, err := client.Get(MustOID("1.3.6.1.2.1.1.1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vbs[0].Value.Bytes) != "fibbing-sim" {
+		t.Fatalf("sysDescr = %+v", vbs[0])
+	}
+	// Missing OID yields noSuchObject, not an error.
+	vbs, err = client.Get(MustOID("1.3.6.1.99.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vbs[0].Value.Kind != KindNoSuchObject {
+		t.Fatalf("missing OID = %+v", vbs[0])
+	}
+}
+
+func TestAgentRejectsBadCommunity(t *testing.T) {
+	agent := NewAgent("secret", testMIB())
+	client := NewClient(DirectTransport{Agent: agent}, "wrong")
+	if _, err := client.Get(MustOID("1.3.6.1.2.1.1.1.0")); err == nil {
+		t.Fatalf("bad community accepted")
+	}
+}
+
+func TestAgentReadOnly(t *testing.T) {
+	agent := NewAgent("c", testMIB())
+	msg := &Message{Version: Version2c, Community: "c", PDU: PDU{
+		Type: SetRequest, RequestID: 1,
+		VarBinds: []VarBind{{OID: MustOID("1.3.6.1.2.1.1.1.0"), Value: StringValue("x")}},
+	}}
+	resp, err := DecodeMessage(agent.HandleRequest(msg.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.PDU.ErrorStatus != ErrReadOnly {
+		t.Fatalf("set accepted: %+v", resp.PDU)
+	}
+}
+
+func TestClientGetCounter(t *testing.T) {
+	agent := NewAgent("c", testMIB())
+	client := NewClient(DirectTransport{Agent: agent}, "c")
+	v1, err := client.GetCounter(MustOID("1.3.6.1.2.1.2.2.1.16.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := client.GetCounter(MustOID("1.3.6.1.2.1.2.2.1.16.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 != v1+100 {
+		t.Fatalf("counter not live: %d then %d", v1, v2)
+	}
+	if _, err := client.GetCounter(MustOID("1.3.6.1.2.1.1.1.0")); err == nil {
+		t.Fatalf("string served as counter")
+	}
+}
+
+func TestClientWalk(t *testing.T) {
+	agent := NewAgent("c", testMIB())
+	client := NewClient(DirectTransport{Agent: agent}, "c")
+	var seen []string
+	err := client.Walk(MustOID("1.3.6.1.2.1.2"), func(vb VarBind) error {
+		seen = append(seen, vb.OID.String())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 {
+		t.Fatalf("walk = %v", seen)
+	}
+}
+
+func TestClientBulkWalk(t *testing.T) {
+	mib := NewMIB()
+	root := MustOID("1.3.6.1.2.1.2.2.1.16")
+	for i := uint32(1); i <= 50; i++ {
+		i := i
+		mib.Register(root.Append(i), func() Value { return Counter64Value(uint64(i)) })
+	}
+	agent := NewAgent("c", mib)
+	client := NewClient(DirectTransport{Agent: agent}, "c")
+	var count int
+	err := client.BulkWalk(root, 16, func(vb VarBind) error {
+		count++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 50 {
+		t.Fatalf("bulk walk saw %d", count)
+	}
+}
+
+// TestUDPLoopback runs the agent on a real UDP socket and polls it with
+// the UDP transport — the same path cmd/fibbingd uses in real-time mode.
+func TestUDPLoopback(t *testing.T) {
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	agent := NewAgent("public", testMIB())
+	go func() { _ = agent.ServeUDP(conn) }()
+
+	client := NewClient(UDPTransport{
+		Addr:    conn.LocalAddr().String(),
+		Timeout: 2 * time.Second,
+		Retries: 2,
+	}, "public")
+	vbs, err := client.Get(MustOID("1.3.6.1.2.1.1.1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vbs[0].Value.Bytes) != "fibbing-sim" {
+		t.Fatalf("over UDP: %+v", vbs[0])
+	}
+	var walked int
+	if err := client.Walk(MustOID("1.3.6.1.2.1.2"), func(VarBind) error {
+		walked++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if walked != 2 {
+		t.Fatalf("UDP walk = %d", walked)
+	}
+}
+
+func TestUDPTimeout(t *testing.T) {
+	// Nothing listens here; the client must fail after retries rather
+	// than hang.
+	client := NewClient(UDPTransport{
+		Addr:    "127.0.0.1:1", // reserved port, nothing listening
+		Timeout: 50 * time.Millisecond,
+		Retries: 1,
+	}, "public")
+	start := time.Now()
+	_, err := client.Get(MustOID("1.3.6.1.2.1.1.1.0"))
+	if err == nil {
+		t.Fatalf("expected timeout")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatalf("timeout took too long")
+	}
+}
+
+func TestCounter32Wraps(t *testing.T) {
+	v := Counter32Value(1 << 33)
+	if v.Uint != 0 {
+		t.Fatalf("Counter32Value did not wrap: %d", v.Uint)
+	}
+}
+
+func BenchmarkMessageEncode(b *testing.B) {
+	msg := &Message{Version: Version2c, Community: "public", PDU: PDU{
+		Type:      GetRequest,
+		RequestID: 7,
+		VarBinds: []VarBind{
+			{OID: MustOID("1.3.6.1.2.1.2.2.1.16.3"), Value: Value{Kind: KindNull}},
+		},
+	}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		msg.Encode()
+	}
+}
+
+func BenchmarkAgentRoundTrip(b *testing.B) {
+	agent := NewAgent("c", testMIB())
+	client := NewClient(DirectTransport{Agent: agent}, "c")
+	oid := MustOID("1.3.6.1.2.1.2.2.1.16.2")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.GetCounter(oid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

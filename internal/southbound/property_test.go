@@ -1,0 +1,107 @@
+package southbound
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/ospf"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+func newSched() *event.Scheduler { return event.NewScheduler() }
+
+// Property: after any sequence of Apply calls with random lie multisets,
+// the manager's installed set equals the last desired multiset, and the
+// converged network realises exactly those lies (evaluator == protocol).
+func TestLieManagerReconciliationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		tp := topo.Fig1(topo.Fig1Opts{})
+		d := ospf.NewDomain(tp, newSched(), ospf.Config{})
+		d.Start()
+		if _, err := d.RunUntilConverged(60 * time.Second); err != nil {
+			t.Log(err)
+			return false
+		}
+		mgr := NewLieManager(DirectInjector{Router: d.Router(tp.MustNode("R3"))}, ospf.ControllerIDBase)
+		rng := rand.New(rand.NewSource(seed))
+
+		// Candidate equal-cost lies on Fig1 (all provably safe).
+		b, a := tp.MustNode("B"), tp.MustNode("A")
+		r1, r3 := tp.MustNode("R1"), tp.MustNode("R3")
+		blue := topo.Fig1BluePrefix
+		pool := []fibbing.Lie{
+			{Prefix: blue, Attach: b, Via: r3, Cost: 2},
+			{Prefix: blue, Attach: a, Via: r1, Cost: 3},
+		}
+		var last []fibbing.Lie
+		for step := 0; step < 4; step++ {
+			last = nil
+			for _, lie := range pool {
+				for k := 0; k < rng.Intn(3); k++ {
+					last = append(last, lie)
+				}
+			}
+			if _, err := mgr.Apply(topo.Fig1BluePrefixName, last); err != nil {
+				t.Log(err)
+				return false
+			}
+			if _, err := d.RunUntilConverged(d.Scheduler().Now() + 120*time.Second); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		// Installed must equal the last multiset.
+		installed := mgr.Installed(topo.Fig1BluePrefixName)
+		if len(installed) != len(last) {
+			t.Logf("seed %d: installed %d != desired %d", seed, len(installed), len(last))
+			return false
+		}
+		counts := map[fibbing.Lie]int{}
+		for _, l := range last {
+			counts[l]++
+		}
+		for _, l := range installed {
+			counts[l]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		// Protocol state must match the evaluator's prediction.
+		want, err := fibbing.Evaluate(tp, topo.Fig1BluePrefixName, last)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for node, view := range want {
+			if view.Local || len(view.NextHops) == 0 {
+				continue
+			}
+			route, ok := d.Router(node).FIB().Lookup(blue.Addr())
+			if !ok {
+				return false
+			}
+			got := fibbing.NextHopWeights{}
+			for _, nh := range route.NextHops {
+				got[nh.Node] += nh.Weight
+			}
+			if !got.Equal(view.NextHops) {
+				t.Logf("seed %d: %s FIB %v != %v", seed, tp.Name(node), got, view.NextHops)
+				return false
+			}
+		}
+		if len(d.Errors) > 0 {
+			t.Logf("seed %d: %v", seed, d.Errors)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

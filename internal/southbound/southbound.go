@@ -1,0 +1,236 @@
+// Package southbound connects the Fibbing controller to the network: it
+// turns computed lies into fake LSAs, originates them at the controller's
+// attachment router (the point of presence, R3 in the demo), tracks what
+// is installed, and reconciles towards new desired lie sets with minimal
+// churn. A wire protocol (length-prefixed frames) lets the controller run
+// remotely from its PoP; a direct in-process injector serves simulations.
+package southbound
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/ospf"
+)
+
+// Injector abstracts "flood this LSA into the IGP".
+type Injector interface {
+	Inject(l *ospf.LSA) error
+}
+
+// DirectInjector floods via an in-process router (simulation path).
+type DirectInjector struct {
+	Router *ospf.Router
+}
+
+// Inject implements Injector.
+func (d DirectInjector) Inject(l *ospf.LSA) error {
+	return d.Router.OriginateForeign(l)
+}
+
+// --- Wire protocol ------------------------------------------------------
+
+// Frame ops.
+const (
+	OpInject    = 1
+	OpKeepalive = 2
+)
+
+// WriteFrame writes one frame: uint32 length, uint8 op, payload.
+func WriteFrame(w io.Writer, op uint8, payload []byte) error {
+	hdr := make([]byte, 5)
+	binary.BigEndian.PutUint32(hdr, uint32(len(payload))+1)
+	hdr[4] = op
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (op uint8, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n == 0 || n > 1<<20 {
+		return 0, nil, fmt.Errorf("southbound: bad frame length %d", n)
+	}
+	payload = make([]byte, n-1)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// RemoteInjector sends LSAs over a wire session to a PoP.
+type RemoteInjector struct {
+	W io.Writer
+}
+
+// Inject implements Injector.
+func (r RemoteInjector) Inject(l *ospf.LSA) error {
+	return WriteFrame(r.W, OpInject, l.Encode())
+}
+
+// ServePoP runs the point-of-presence side: it reads frames and floods
+// received LSAs through the attached router. Returns on read error/EOF.
+func ServePoP(r io.Reader, router *ospf.Router) error {
+	for {
+		op, payload, err := ReadFrame(r)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		switch op {
+		case OpKeepalive:
+			// liveness only
+		case OpInject:
+			lsa, err := ospf.DecodeLSA(payload)
+			if err != nil {
+				return fmt.Errorf("southbound: bad LSA frame: %w", err)
+			}
+			if err := router.OriginateForeign(lsa); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("southbound: unknown op %d", op)
+		}
+	}
+}
+
+// --- Lie lifecycle ------------------------------------------------------
+
+type lieEntry struct {
+	lsid uint32
+	seq  uint32
+	lie  fibbing.Lie
+}
+
+// LieManager owns the controller's live lies: it allocates LSIDs,
+// manages sequence numbers, and reconciles installed lies against desired
+// sets with inject/withdraw diffs (identical lies are left untouched, so
+// reapplying a superset never perturbs existing paths).
+type LieManager struct {
+	inj Injector
+	adv ospf.RouterID
+
+	nextLSID uint32
+	// installed lies per prefix name, as a multiset (duplicated lies are
+	// the point of Fibbing's uneven splitting).
+	installed map[string][]lieEntry
+}
+
+// NewLieManager builds a manager advertising from the given controller ID.
+func NewLieManager(inj Injector, adv ospf.RouterID) *LieManager {
+	if !adv.IsController() {
+		panic("southbound: advertising ID must be in the controller range")
+	}
+	return &LieManager{inj: inj, adv: adv, installed: make(map[string][]lieEntry)}
+}
+
+// Installed returns the current lies for a prefix (copy).
+func (m *LieManager) Installed(prefix string) []fibbing.Lie {
+	entries := m.installed[prefix]
+	out := make([]fibbing.Lie, len(entries))
+	for i, e := range entries {
+		out[i] = e.lie
+	}
+	return out
+}
+
+// LieCount returns the total number of live lies.
+func (m *LieManager) LieCount() int {
+	n := 0
+	for _, es := range m.installed {
+		n += len(es)
+	}
+	return n
+}
+
+// Apply reconciles the installed lies for one prefix towards desired:
+// lies present in both stay untouched; extra installed lies are withdrawn
+// (MaxAge re-origination); missing lies are injected fresh. It reports
+// whether anything changed on the wire.
+func (m *LieManager) Apply(prefix string, desired []fibbing.Lie) (bool, error) {
+	cur := m.installed[prefix]
+
+	// Multiset diff on the Lie value.
+	remaining := make(map[fibbing.Lie]int, len(desired))
+	for _, l := range desired {
+		remaining[l]++
+	}
+	var keep []lieEntry
+	var drop []lieEntry
+	for _, e := range cur {
+		if remaining[e.lie] > 0 {
+			remaining[e.lie]--
+			keep = append(keep, e)
+		} else {
+			drop = append(drop, e)
+		}
+	}
+	// Withdraw removed lies.
+	for _, e := range drop {
+		lsa := e.lie.ToLSA(m.adv, e.lsid, e.seq+1)
+		lsa.Header.Age = ospf.MaxAgeSeconds
+		if err := m.inj.Inject(lsa); err != nil {
+			return false, fmt.Errorf("southbound: withdraw %v: %w", e.lie, err)
+		}
+	}
+	// Inject new lies, deterministically ordered.
+	var missing []fibbing.Lie
+	for l, n := range remaining {
+		for i := 0; i < n; i++ {
+			missing = append(missing, l)
+		}
+	}
+	sort.Slice(missing, func(i, j int) bool { return lieLess(missing[i], missing[j]) })
+	for _, l := range missing {
+		m.nextLSID++
+		e := lieEntry{lsid: m.nextLSID, seq: 1, lie: l}
+		if err := m.inj.Inject(l.ToLSA(m.adv, e.lsid, e.seq)); err != nil {
+			return false, fmt.Errorf("southbound: inject %v: %w", l, err)
+		}
+		keep = append(keep, e)
+	}
+	if len(keep) == 0 {
+		delete(m.installed, prefix)
+	} else {
+		m.installed[prefix] = keep
+	}
+	return len(drop) > 0 || len(missing) > 0, nil
+}
+
+// WithdrawAll flushes every live lie (controller shutdown, as Fibbing
+// prescribes: the network falls back to pure IGP routing).
+func (m *LieManager) WithdrawAll() error {
+	prefixes := make([]string, 0, len(m.installed))
+	for prefix := range m.installed {
+		prefixes = append(prefixes, prefix)
+	}
+	sort.Strings(prefixes)
+	for _, prefix := range prefixes {
+		if _, err := m.Apply(prefix, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func lieLess(a, b fibbing.Lie) bool {
+	if a.Attach != b.Attach {
+		return a.Attach < b.Attach
+	}
+	if a.Via != b.Via {
+		return a.Via < b.Via
+	}
+	return a.Cost < b.Cost
+}

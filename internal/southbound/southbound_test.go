@@ -1,0 +1,206 @@
+package southbound
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/ospf"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+func fig1Domain(t *testing.T) (*topo.Topology, *ospf.Domain) {
+	t.Helper()
+	tp := topo.Fig1(topo.Fig1Opts{})
+	d := ospf.NewDomain(tp, event.NewScheduler(), ospf.Config{})
+	d.Start()
+	if _, err := d.RunUntilConverged(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return tp, d
+}
+
+func fig1Lies(t *testing.T, tp *topo.Topology) []fibbing.Lie {
+	t.Helper()
+	aug, err := fibbing.AugmentAddPaths(tp, topo.Fig1BluePrefixName, fibbing.Fig1DAG(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return aug.Lies
+}
+
+func blueWeights(tp *topo.Topology, d *ospf.Domain, router string) map[string]int {
+	r := d.Router(tp.MustNode(router))
+	route, ok := r.FIB().Lookup(topo.Fig1BluePrefix.Addr())
+	if !ok {
+		return nil
+	}
+	out := map[string]int{}
+	for _, nh := range route.NextHops {
+		out[tp.Name(nh.Node)] += nh.Weight
+	}
+	return out
+}
+
+func TestLieManagerApplyAndWithdraw(t *testing.T) {
+	tp, d := fig1Domain(t)
+	mgr := NewLieManager(DirectInjector{Router: d.Router(tp.MustNode("R3"))}, ospf.ControllerIDBase)
+	lies := fig1Lies(t, tp)
+
+	changed, err := mgr.Apply(topo.Fig1BluePrefixName, lies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || mgr.LieCount() != 3 {
+		t.Fatalf("changed=%v count=%d", changed, mgr.LieCount())
+	}
+	if _, err := d.RunUntilConverged(d.Scheduler().Now() + 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := blueWeights(tp, d, "A"); got["B"] != 1 || got["R1"] != 2 {
+		t.Fatalf("A = %v", got)
+	}
+
+	// Re-applying the identical set must be a no-op.
+	changed, err = mgr.Apply(topo.Fig1BluePrefixName, lies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatalf("idempotent Apply reported a change")
+	}
+
+	// Withdraw everything: routing reverts, databases are clean.
+	if err := mgr.WithdrawAll(); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.LieCount() != 0 {
+		t.Fatalf("count after withdraw = %d", mgr.LieCount())
+	}
+	if _, err := d.RunUntilConverged(d.Scheduler().Now() + 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := blueWeights(tp, d, "A"); len(got) != 1 || got["B"] != 1 {
+		t.Fatalf("A after withdraw = %v", got)
+	}
+	for n, r := range d.Routers() {
+		if len(r.DB().ByType(ospf.TypeFake)) != 0 {
+			t.Fatalf("%s still has fakes", tp.Name(n))
+		}
+	}
+}
+
+func TestLieManagerPartialReconcile(t *testing.T) {
+	tp, d := fig1Domain(t)
+	mgr := NewLieManager(DirectInjector{Router: d.Router(tp.MustNode("R3"))}, ospf.ControllerIDBase)
+	lies := fig1Lies(t, tp) // fB + 2x fA
+
+	if _, err := mgr.Apply(topo.Fig1BluePrefixName, lies); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.RunUntilConverged(d.Scheduler().Now() + 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shrink to fB only: both fA lies are withdrawn, fB untouched.
+	var fbOnly []fibbing.Lie
+	for _, l := range lies {
+		if l.Attach == tp.MustNode("B") {
+			fbOnly = append(fbOnly, l)
+		}
+	}
+	changed, err := mgr.Apply(topo.Fig1BluePrefixName, fbOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed || mgr.LieCount() != 1 {
+		t.Fatalf("changed=%v count=%d", changed, mgr.LieCount())
+	}
+	if _, err := d.RunUntilConverged(d.Scheduler().Now() + 60*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := blueWeights(tp, d, "A"); len(got) != 1 || got["B"] != 1 {
+		t.Fatalf("A = %v after shrink", got)
+	}
+	if got := blueWeights(tp, d, "B"); got["R2"] != 1 || got["R3"] != 1 {
+		t.Fatalf("B = %v after shrink", got)
+	}
+}
+
+func TestLieManagerRequiresControllerID(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic")
+		}
+	}()
+	NewLieManager(DirectInjector{}, ospf.RouterID(5))
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		_ = WriteFrame(c1, OpInject, []byte("hello"))
+		_ = WriteFrame(c1, OpKeepalive, nil)
+	}()
+	op, payload, err := ReadFrame(c2)
+	if err != nil || op != OpInject || string(payload) != "hello" {
+		t.Fatalf("frame 1: %v %q %v", op, payload, err)
+	}
+	op, payload, err = ReadFrame(c2)
+	if err != nil || op != OpKeepalive || len(payload) != 0 {
+		t.Fatalf("frame 2: %v %q %v", op, payload, err)
+	}
+}
+
+// TestRemoteInjection drives the full wire path: controller side encodes
+// lies into frames over a pipe; the PoP side decodes and floods them.
+func TestRemoteInjection(t *testing.T) {
+	tp, d := fig1Domain(t)
+	lies := fig1Lies(t, tp)
+
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+
+	pop := d.Router(tp.MustNode("R3"))
+	done := make(chan error, 1)
+	go func() {
+		done <- ServePoP(c2, pop)
+	}()
+
+	inj := RemoteInjector{W: c1}
+	for i, lie := range lies {
+		if err := inj.Inject(lie.ToLSA(ospf.ControllerIDBase, uint32(i)+1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteFrame(c1, OpKeepalive, nil); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	if err := <-done; err != nil {
+		t.Fatalf("PoP: %v", err)
+	}
+
+	if _, err := d.RunUntilConverged(d.Scheduler().Now() + 120*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := blueWeights(tp, d, "A"); got["B"] != 1 || got["R1"] != 2 {
+		t.Fatalf("A after remote injection = %v", got)
+	}
+}
+
+func TestReadFrameRejectsGarbage(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		_, _ = c1.Write([]byte{0, 0, 0, 0, 0}) // zero length
+	}()
+	if _, _, err := ReadFrame(c2); err == nil {
+		t.Fatalf("zero-length frame accepted")
+	}
+}

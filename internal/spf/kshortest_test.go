@@ -1,0 +1,139 @@
+package spf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fibbing.net/fibbing/internal/topo"
+)
+
+func TestKShortestFig1(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	g := FromTopology(tp)
+	a, c := tp.MustNode("A"), tp.MustNode("C")
+	paths := KShortest(g, a, c, 4, nil)
+	if len(paths) < 3 {
+		t.Fatalf("paths = %d", len(paths))
+	}
+	// First path is the shortest: A>B>R2>C (cost 3).
+	if got := FormatPath(tp, paths[0]); got != "A>B>R2>C" {
+		t.Fatalf("first = %s", got)
+	}
+	// Second: A>B>R3>C (cost 4).
+	if got := FormatPath(tp, paths[1]); got != "A>B>R3>C" {
+		t.Fatalf("second = %s", got)
+	}
+	// Third: A>R1>R4>C (cost 5).
+	if got := FormatPath(tp, paths[2]); got != "A>R1>R4>C" {
+		t.Fatalf("third = %s", got)
+	}
+}
+
+func TestKShortestDegenerate(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	g := FromTopology(tp)
+	a := tp.MustNode("A")
+	if KShortest(g, a, a, 3, nil) != nil {
+		t.Fatalf("src==dst should be nil")
+	}
+	if KShortest(g, a, tp.MustNode("C"), 0, nil) != nil {
+		t.Fatalf("k=0 should be nil")
+	}
+	// Unreachable destination.
+	g2 := NewGraph(3)
+	g2.AddEdge(0, Edge{To: 1, Weight: 1})
+	if KShortest(g2, 0, 2, 3, nil) != nil {
+		t.Fatalf("unreachable should be nil")
+	}
+}
+
+func TestKShortestExhausts(t *testing.T) {
+	// Triangle: exactly two loopless paths 0->2 (direct, via 1).
+	g := NewGraph(3)
+	g.AddEdge(0, Edge{To: 2, Weight: 5})
+	g.AddEdge(0, Edge{To: 1, Weight: 1})
+	g.AddEdge(1, Edge{To: 2, Weight: 1})
+	g.AddEdge(1, Edge{To: 0, Weight: 1})
+	g.AddEdge(2, Edge{To: 0, Weight: 5})
+	g.AddEdge(2, Edge{To: 1, Weight: 1})
+	paths := KShortest(g, 0, 2, 10, nil)
+	if len(paths) != 2 {
+		t.Fatalf("paths = %v", paths)
+	}
+	if len(paths[0]) != 3 || len(paths[1]) != 2 {
+		t.Fatalf("order wrong: %v", paths)
+	}
+}
+
+// Properties on random graphs: costs non-decreasing, paths loopless,
+// distinct, and all valid edge sequences; the first path's cost equals the
+// Dijkstra distance.
+func TestKShortestProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		tp := topo.RandomConnected(topo.RandomOpts{
+			Nodes: 10, Degree: 3, MaxWeight: 5, Seed: seed,
+		})
+		g := FromTopology(tp)
+		rng := rand.New(rand.NewSource(seed))
+		src := topo.NodeID(rng.Intn(10))
+		dst := topo.NodeID(rng.Intn(10))
+		if src == dst {
+			return true
+		}
+		paths := KShortest(g, src, dst, 5, nil)
+		tree := Compute(g, src, nil)
+		if len(paths) == 0 {
+			return !tree.Reachable(dst)
+		}
+		cost := func(p []topo.NodeID) int64 {
+			var sum int64
+			for i := 0; i+1 < len(p); i++ {
+				l, ok := tp.FindLink(p[i], p[i+1])
+				if !ok {
+					return -1
+				}
+				sum += l.Weight
+			}
+			return sum
+		}
+		prev := int64(-1)
+		seen := map[string]bool{}
+		for _, p := range paths {
+			if p[0] != src || p[len(p)-1] != dst {
+				return false
+			}
+			c := cost(p)
+			if c < 0 || c < prev {
+				return false
+			}
+			prev = c
+			// Loopless.
+			nodes := map[topo.NodeID]bool{}
+			for _, n := range p {
+				if nodes[n] {
+					return false
+				}
+				nodes[n] = true
+			}
+			key := FormatPath(tp, p)
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		return cost(paths[0]) == tree.Dist[dst]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkKShortest(b *testing.B) {
+	tp := topo.RandomConnected(topo.RandomOpts{Nodes: 30, Degree: 3, MaxWeight: 8, Seed: 3})
+	g := FromTopology(tp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KShortest(g, 0, 29, 5, nil)
+	}
+}

@@ -1,0 +1,128 @@
+package te
+
+import (
+	"fmt"
+	"math"
+
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// Demand estimation from link loads. The demo's controller learns demands
+// from server notifications; a controller without that luxury must invert
+// the routing: observed link loads are a linear function of the unknown
+// ingress demands (loads = R * demands, with R the per-prefix routing
+// fractions, which the controller knows exactly — it computes them).
+//
+// EstimateDemands solves the non-negative inversion with multiplicative
+// (Richardson-Lucy style) updates, which preserve non-negativity and
+// converge for consistent systems. With fewer unknowns than observed
+// links (the common case) the estimate recovers the true demands.
+
+// DemandCandidate names one unknown: traffic entering at Ingress towards
+// PrefixName.
+type DemandCandidate struct {
+	Ingress    topo.NodeID
+	PrefixName string
+}
+
+// EstimateDemands estimates the volume of each candidate demand from
+// observed directed-link loads (bit/s), given the per-prefix route views
+// the traffic follows. Iterations and tolerance have sensible defaults at
+// 0 (200 iterations, 1e-6 relative tolerance).
+func EstimateDemands(t *topo.Topology,
+	viewsByPrefix map[string]map[topo.NodeID]fibbing.RouteView,
+	candidates []DemandCandidate,
+	observed map[topo.LinkID]float64,
+	iterations int) ([]topo.Demand, error) {
+
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("te: no demand candidates")
+	}
+	if iterations <= 0 {
+		iterations = 200
+	}
+
+	// Routing matrix: frac[i][link] = fraction of candidate i's volume
+	// crossing the link, computed by propagating a unit demand.
+	frac := make([]map[topo.LinkID]float64, len(candidates))
+	for i, c := range candidates {
+		views, ok := viewsByPrefix[c.PrefixName]
+		if !ok {
+			return nil, fmt.Errorf("te: no route views for prefix %q", c.PrefixName)
+		}
+		loads, err := LinkLoads(t, map[string]map[topo.NodeID]fibbing.RouteView{c.PrefixName: views},
+			[]topo.Demand{{Ingress: c.Ingress, PrefixName: c.PrefixName, Volume: 1}})
+		if err != nil {
+			return nil, fmt.Errorf("te: candidate %d unroutable: %w", i, err)
+		}
+		frac[i] = loads
+	}
+
+	// Initial guess: spread total observed volume evenly.
+	total := 0.0
+	for _, v := range observed {
+		total += v
+	}
+	x := make([]float64, len(candidates))
+	for i := range x {
+		x[i] = math.Max(total/float64(len(candidates)), 1)
+	}
+
+	predicted := func() map[topo.LinkID]float64 {
+		out := make(map[topo.LinkID]float64)
+		for i, f := range frac {
+			for l, p := range f {
+				out[l] += x[i] * p
+			}
+		}
+		return out
+	}
+
+	for iter := 0; iter < iterations; iter++ {
+		pred := predicted()
+		maxRel := 0.0
+		for i, f := range frac {
+			num, den := 0.0, 0.0
+			for l, p := range f {
+				if pred[l] <= 1e-12 {
+					continue
+				}
+				num += p * observed[l] / pred[l]
+				den += p
+			}
+			if den <= 0 {
+				continue
+			}
+			ratio := num / den
+			if r := math.Abs(ratio - 1); r > maxRel {
+				maxRel = r
+			}
+			x[i] *= ratio
+		}
+		if maxRel < 1e-9 {
+			break
+		}
+	}
+
+	out := make([]topo.Demand, len(candidates))
+	for i, c := range candidates {
+		out[i] = topo.Demand{Ingress: c.Ingress, PrefixName: c.PrefixName, Volume: x[i]}
+	}
+	return out, nil
+}
+
+// EstimationError reports the max relative error between estimated and
+// true demand vectors (same candidate order), for evaluation.
+func EstimationError(estimated, truth []topo.Demand) float64 {
+	max := 0.0
+	for i := range estimated {
+		if i >= len(truth) || truth[i].Volume <= 0 {
+			continue
+		}
+		if r := math.Abs(estimated[i].Volume-truth[i].Volume) / truth[i].Volume; r > max {
+			max = r
+		}
+	}
+	return max
+}

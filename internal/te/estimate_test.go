@@ -1,0 +1,134 @@
+package te
+
+import (
+	"testing"
+
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+func fig1Views(t *testing.T, tp *topo.Topology) map[string]map[topo.NodeID]fibbing.RouteView {
+	t.Helper()
+	v, err := fibbing.IGPView(tp, topo.Fig1BluePrefixName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]map[topo.NodeID]fibbing.RouteView{topo.Fig1BluePrefixName: v}
+}
+
+// TestEstimateRecoversFig1Demands generates loads from known demands,
+// inverts them, and compares: the Fig1 system is overdetermined (distinct
+// ingress links), so recovery should be near exact.
+func TestEstimateRecoversFig1Demands(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	truth := []topo.Demand{
+		{Ingress: tp.MustNode("B"), PrefixName: topo.Fig1BluePrefixName, Volume: 9e6},
+		{Ingress: tp.MustNode("A"), PrefixName: topo.Fig1BluePrefixName, Volume: 4e6},
+	}
+	views := fig1Views(t, tp)
+	loads, err := LinkLoads(tp, views, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []DemandCandidate{
+		{Ingress: tp.MustNode("B"), PrefixName: topo.Fig1BluePrefixName},
+		{Ingress: tp.MustNode("A"), PrefixName: topo.Fig1BluePrefixName},
+	}
+	est, err := EstimateDemands(tp, views, cands, loads, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := EstimationError(est, truth); e > 0.02 {
+		t.Fatalf("estimation error %.3f: est %+v", e, est)
+	}
+}
+
+// TestEstimateWithExtraCandidates includes a candidate with zero true
+// volume: the estimator must drive it towards zero rather than smear load
+// onto it.
+func TestEstimateWithExtraCandidates(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	truth := []topo.Demand{
+		{Ingress: tp.MustNode("B"), PrefixName: topo.Fig1BluePrefixName, Volume: 8e6},
+	}
+	views := fig1Views(t, tp)
+	loads, err := LinkLoads(tp, views, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := []DemandCandidate{
+		{Ingress: tp.MustNode("B"), PrefixName: topo.Fig1BluePrefixName},
+		{Ingress: tp.MustNode("R1"), PrefixName: topo.Fig1BluePrefixName}, // no true traffic
+	}
+	est, err := EstimateDemands(tp, views, cands, loads, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est[0].Volume < 7.8e6 || est[0].Volume > 8.2e6 {
+		t.Fatalf("B estimate = %v, want ~8e6", est[0].Volume)
+	}
+	if est[1].Volume > 0.2e6 {
+		t.Fatalf("phantom demand = %v, want ~0", est[1].Volume)
+	}
+}
+
+// TestEstimateOnRandomTopology round-trips random demands through random
+// routing.
+func TestEstimateOnRandomTopology(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		tp := topo.RandomConnected(topo.RandomOpts{
+			Nodes: 12, Degree: 3, MaxWeight: 4, Prefixes: 1, Capacity: 10e6, Seed: seed,
+		})
+		views, err := fibbing.IGPView(tp, "d0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb := map[string]map[topo.NodeID]fibbing.RouteView{"d0": views}
+		truth := topo.RandomDemands(tp, 3, 1e6, 5e6, seed)
+		// Deduplicate ingresses (candidates must be unique unknowns).
+		seen := map[topo.NodeID]bool{}
+		var uniq []topo.Demand
+		for _, d := range truth {
+			if !seen[d.Ingress] {
+				seen[d.Ingress] = true
+				uniq = append(uniq, d)
+			}
+		}
+		loads, err := LinkLoads(tp, vb, uniq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands := make([]DemandCandidate, len(uniq))
+		for i, d := range uniq {
+			cands[i] = DemandCandidate{Ingress: d.Ingress, PrefixName: d.PrefixName}
+		}
+		est, err := EstimateDemands(tp, vb, cands, loads, 500)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Ambiguity is possible when paths fully overlap, but the routed
+		// loads of the estimate must reproduce the observations.
+		reLoads, err := LinkLoads(tp, vb, est)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for l, v := range loads {
+			if diff := reLoads[l] - v; diff > 0.05*v+1 || diff < -0.05*v-1 {
+				t.Fatalf("seed %d: link %d predicted %v, observed %v", seed, l, reLoads[l], v)
+			}
+		}
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	views := fig1Views(t, tp)
+	if _, err := EstimateDemands(tp, views, nil, nil, 0); err == nil {
+		t.Fatalf("no candidates accepted")
+	}
+	if _, err := EstimateDemands(tp, views, []DemandCandidate{
+		{Ingress: tp.MustNode("A"), PrefixName: "nope"},
+	}, nil, 0); err == nil {
+		t.Fatalf("unknown prefix accepted")
+	}
+}

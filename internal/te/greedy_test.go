@@ -1,0 +1,113 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"fibbing.net/fibbing/internal/topo"
+)
+
+func TestGreedyFig1NearOptimal(t *testing.T) {
+	tp, demands := fig1Stress()
+	g, err := SolveGreedy(tp, demands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := SolveMinMax(tp, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxUtilisation < opt.MaxUtilisation-1e-9 {
+		t.Fatalf("greedy %v beats LP %v (impossible)", g.MaxUtilisation, opt.MaxUtilisation)
+	}
+	// On Fig1 with 8 chunks the greedy should be within 25% of optimal.
+	if g.MaxUtilisation > opt.MaxUtilisation*1.25+1e-9 {
+		t.Fatalf("greedy %v too far from optimum %v", g.MaxUtilisation, opt.MaxUtilisation)
+	}
+	if g.Chunks != 16 {
+		t.Fatalf("chunks = %d, want 16", g.Chunks)
+	}
+}
+
+func TestGreedyBeatsPlainECMP(t *testing.T) {
+	tp, demands := fig1Stress()
+	igp, err := ECMPOnlyUtilisation(tp, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := SolveGreedy(tp, demands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxUtilisation >= igp {
+		t.Fatalf("greedy %v did not beat ECMP %v", g.MaxUtilisation, igp)
+	}
+}
+
+func TestGreedySplitsAreDistributions(t *testing.T) {
+	tp := topo.RandomConnected(topo.RandomOpts{
+		Nodes: 14, Degree: 3, MaxWeight: 5, Prefixes: 2, Capacity: 10e6, Seed: 5,
+	})
+	demands := topo.RandomDemands(tp, 6, 1e6, 4e6, 5)
+	g, err := SolveGreedy(tp, demands, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, splits := range g.Splits {
+		for u, s := range splits {
+			sum := 0.0
+			for v, f := range s {
+				if f < -1e-9 || f > 1+1e-9 {
+					t.Fatalf("%s: fraction %v at %d->%d", name, f, u, v)
+				}
+				sum += f
+			}
+			if math.Abs(sum-1) > 1e-6 {
+				t.Fatalf("%s: splits at %d sum to %v", name, u, sum)
+			}
+		}
+	}
+}
+
+func TestGreedyLocalDemandSkipped(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	g, err := SolveGreedy(tp, []topo.Demand{
+		{Ingress: tp.MustNode("C"), PrefixName: topo.Fig1BluePrefixName, Volume: 5e6},
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Chunks != 0 || g.MaxUtilisation != 0 {
+		t.Fatalf("local demand placed: %+v", g)
+	}
+}
+
+func TestGreedyUnknownPrefix(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	if _, err := SolveGreedy(tp, []topo.Demand{
+		{Ingress: tp.MustNode("A"), PrefixName: "nope", Volume: 1},
+	}, 4); err == nil {
+		t.Fatalf("unknown prefix accepted")
+	}
+}
+
+func BenchmarkGreedyVsLP(b *testing.B) {
+	tp := topo.RandomConnected(topo.RandomOpts{
+		Nodes: 20, Degree: 3, MaxWeight: 5, Prefixes: 3, Capacity: 10e6, Seed: 7,
+	})
+	demands := topo.RandomDemands(tp, 10, 1e6, 3e6, 7)
+	b.Run("greedy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveGreedy(tp, demands, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("lp", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveMinMax(tp, demands); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

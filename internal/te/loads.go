@@ -1,0 +1,156 @@
+package te
+
+import (
+	"fmt"
+	"sort"
+
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// LinkLoads propagates a demand set over the forwarding behaviour
+// described by per-prefix route views (IGP or Fibbing-augmented) and
+// returns the steady-state load on every directed link. Traffic at a
+// router splits over its next hops proportionally to the ECMP weights —
+// the fluid limit of per-flow hashing.
+func LinkLoads(t *topo.Topology, viewsByPrefix map[string]map[topo.NodeID]fibbing.RouteView, demands []topo.Demand) (map[topo.LinkID]float64, error) {
+	loads := make(map[topo.LinkID]float64)
+	// Group demands per prefix.
+	perPrefix := make(map[string]map[topo.NodeID]float64)
+	for _, d := range demands {
+		if perPrefix[d.PrefixName] == nil {
+			perPrefix[d.PrefixName] = make(map[topo.NodeID]float64)
+		}
+		perPrefix[d.PrefixName][d.Ingress] += d.Volume
+	}
+	names := make([]string, 0, len(perPrefix))
+	for name := range perPrefix {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		views, ok := viewsByPrefix[name]
+		if !ok {
+			return nil, fmt.Errorf("te: no route views for prefix %q", name)
+		}
+		if err := propagate(t, views, perPrefix[name], loads); err != nil {
+			return nil, fmt.Errorf("te: prefix %s: %w", name, err)
+		}
+	}
+	return loads, nil
+}
+
+// propagate pushes per-ingress volumes through the forwarding DAG.
+func propagate(t *topo.Topology, views map[topo.NodeID]fibbing.RouteView, ingress map[topo.NodeID]float64, loads map[topo.LinkID]float64) error {
+	// Node volume = injected + received; process in topological order of
+	// the forwarding DAG (views are loop-free per CheckDelivery, but we
+	// guard against cycles anyway).
+	indeg := make(map[topo.NodeID]int)
+	for u, v := range views {
+		if _, ok := indeg[u]; !ok {
+			indeg[u] = 0
+		}
+		for nh := range v.NextHops {
+			indeg[nh]++
+		}
+	}
+	vol := make(map[topo.NodeID]float64, len(ingress))
+	for u, x := range ingress {
+		vol[u] += x
+	}
+	queue := make([]topo.NodeID, 0, len(indeg))
+	for u, d := range indeg {
+		if d == 0 {
+			queue = append(queue, u)
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	processed := 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		processed++
+		view := views[u]
+		x := vol[u]
+		if x > 0 && !view.Local {
+			total := view.NextHops.Total()
+			if total == 0 {
+				return fmt.Errorf("traffic stranded at %s", t.Name(u))
+			}
+			for nh, w := range view.NextHops {
+				share := x * float64(w) / float64(total)
+				l, ok := t.FindLink(u, nh)
+				if !ok {
+					return fmt.Errorf("no link %s->%s", t.Name(u), t.Name(nh))
+				}
+				loads[l.ID] += share
+				vol[nh] += share
+			}
+		}
+		for nh := range view.NextHops {
+			indeg[nh]--
+			if indeg[nh] == 0 {
+				queue = append(queue, nh)
+			}
+		}
+	}
+	if processed != len(indeg) {
+		return fmt.Errorf("forwarding graph contains a cycle")
+	}
+	return nil
+}
+
+// IGPLoads is a convenience: route demands over plain IGP shortest paths.
+func IGPLoads(t *topo.Topology, demands []topo.Demand) (map[topo.LinkID]float64, error) {
+	views := make(map[string]map[topo.NodeID]fibbing.RouteView)
+	for _, d := range demands {
+		if _, ok := views[d.PrefixName]; ok {
+			continue
+		}
+		v, err := fibbing.IGPView(t, d.PrefixName)
+		if err != nil {
+			return nil, err
+		}
+		views[d.PrefixName] = v
+	}
+	return LinkLoads(t, views, demands)
+}
+
+// LoadsWithLies routes demands over the Fibbing-augmented network.
+func LoadsWithLies(t *topo.Topology, liesByPrefix map[string][]fibbing.Lie, demands []topo.Demand) (map[topo.LinkID]float64, error) {
+	views := make(map[string]map[topo.NodeID]fibbing.RouteView)
+	for _, d := range demands {
+		if _, ok := views[d.PrefixName]; ok {
+			continue
+		}
+		v, err := fibbing.Evaluate(t, d.PrefixName, liesByPrefix[d.PrefixName])
+		if err != nil {
+			return nil, err
+		}
+		views[d.PrefixName] = v
+	}
+	return LinkLoads(t, views, demands)
+}
+
+// FormatLoads renders loads as "A->B: v" lines sorted by link name,
+// for experiment output.
+func FormatLoads(t *topo.Topology, loads map[topo.LinkID]float64) []string {
+	type row struct {
+		name string
+		v    float64
+	}
+	var rows []row
+	for id, v := range loads {
+		if v <= 1e-9 {
+			continue
+		}
+		l := t.Link(id)
+		rows = append(rows, row{fmt.Sprintf("%s->%s", t.Name(l.From), t.Name(l.To)), v})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = fmt.Sprintf("%s: %g", r.name, r.v)
+	}
+	return out
+}

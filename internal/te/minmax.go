@@ -1,0 +1,277 @@
+package te
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// MinMaxResult is the solution of the min-max link-utilisation
+// multicommodity-flow problem (the optimum the paper's §2 references).
+type MinMaxResult struct {
+	// MaxUtilisation is the optimal value θ* = max_e load_e / cap_e.
+	MaxUtilisation float64
+	// Flow is, per destination prefix name, the flow on every directed
+	// link (bit/s), cycle-free.
+	Flow map[string]map[topo.LinkID]float64
+	// Splits gives, per destination and router, the fraction of that
+	// router's traffic to the destination sent to each next hop. This is
+	// the input Fibbing turns into duplicated fake nodes.
+	Splits map[string]map[topo.NodeID]map[topo.NodeID]float64
+}
+
+// SolveMinMax computes the optimal min-max link utilisation routing for
+// the demand set using an arc-flow LP per destination (commodities to the
+// same destination aggregate). Demands to prefixes with multiple
+// attachments may be absorbed at any attachment.
+//
+// Host nodes never transit: their links are excluded from the flow graph
+// except as demand entry points is not needed because demands enter at
+// routers directly.
+func SolveMinMax(t *topo.Topology, demands []topo.Demand) (*MinMaxResult, error) {
+	// Collect commodities: destination prefix -> ingress -> volume.
+	type commodity struct {
+		name    string
+		sinks   map[topo.NodeID]bool
+		ingress map[topo.NodeID]float64
+	}
+	byName := make(map[string]*commodity)
+	var order []string
+	for _, d := range demands {
+		p, ok := t.PrefixByName(d.PrefixName)
+		if !ok {
+			return nil, fmt.Errorf("te: unknown prefix %q", d.PrefixName)
+		}
+		c := byName[d.PrefixName]
+		if c == nil {
+			c = &commodity{
+				name:    d.PrefixName,
+				sinks:   make(map[topo.NodeID]bool),
+				ingress: make(map[topo.NodeID]float64),
+			}
+			for _, a := range p.Attachments {
+				c.sinks[a.Node] = true
+			}
+			byName[d.PrefixName] = c
+			order = append(order, d.PrefixName)
+		}
+		if c.sinks[d.Ingress] {
+			continue // demand at the attachment is delivered locally
+		}
+		c.ingress[d.Ingress] += d.Volume
+	}
+	sort.Strings(order)
+
+	// Router-router links only, with finite capacity required.
+	var links []topo.Link
+	for _, l := range t.Links() {
+		if t.Node(l.From).Host || t.Node(l.To).Host {
+			continue
+		}
+		links = append(links, l)
+	}
+	if len(links) == 0 {
+		return nil, fmt.Errorf("te: no router links")
+	}
+
+	bld := NewLPBuilder()
+	theta := bld.AddVar(1) // minimise θ
+
+	// x[k][i]: flow of commodity k on links[i].
+	x := make(map[string][]int, len(order))
+	for _, name := range order {
+		vars := make([]int, len(links))
+		for i := range links {
+			vars[i] = bld.AddVar(0)
+		}
+		x[name] = vars
+	}
+
+	// Conservation: for every commodity and every non-sink router:
+	// out - in = ingress volume at that router.
+	for _, name := range order {
+		c := byName[name]
+		for _, n := range t.Nodes() {
+			if n.Host || c.sinks[n.ID] {
+				continue
+			}
+			terms := map[int]float64{}
+			for i, l := range links {
+				if l.From == n.ID {
+					terms[x[name][i]] += 1
+				}
+				if l.To == n.ID {
+					terms[x[name][i]] -= 1
+				}
+			}
+			if len(terms) == 0 {
+				if c.ingress[n.ID] > 0 {
+					return nil, fmt.Errorf("te: ingress %s has no links", t.Name(n.ID))
+				}
+				continue
+			}
+			bld.AddEq(terms, c.ingress[n.ID])
+		}
+	}
+
+	// Capacity: Σ_k x_k,e <= cap_e · θ.
+	for i, l := range links {
+		if l.Capacity <= 0 {
+			continue // uncapacitated
+		}
+		terms := map[int]float64{theta: -l.Capacity}
+		for _, name := range order {
+			terms[x[name][i]] += 1
+		}
+		bld.AddLe(terms, 0)
+	}
+
+	sol, obj, status := bld.Solve()
+	if status != Optimal {
+		return nil, fmt.Errorf("te: min-max LP %v", status)
+	}
+
+	res := &MinMaxResult{
+		MaxUtilisation: obj,
+		Flow:           make(map[string]map[topo.LinkID]float64, len(order)),
+		Splits:         make(map[string]map[topo.NodeID]map[topo.NodeID]float64, len(order)),
+	}
+	for _, name := range order {
+		flow := make(map[topo.LinkID]float64, len(links))
+		for i, l := range links {
+			if v := sol[x[name][i]]; v > 1e-9 {
+				flow[l.ID] = v
+			}
+		}
+		removeCycles(t, links, flow)
+		res.Flow[name] = flow
+		res.Splits[name] = extractSplits(t, links, flow)
+	}
+	return res, nil
+}
+
+// removeCycles cancels flow cycles in place (LP optima may contain
+// zero-impact circulations that would confuse split extraction).
+func removeCycles(t *topo.Topology, links []topo.Link, flow map[topo.LinkID]float64) {
+	out := make(map[topo.NodeID][]topo.Link)
+	rebuild := func() {
+		for k := range out {
+			delete(out, k)
+		}
+		for _, l := range links {
+			if flow[l.ID] > 1e-9 {
+				out[l.From] = append(out[l.From], l)
+			}
+		}
+	}
+	for iter := 0; iter < len(links)+1; iter++ {
+		rebuild()
+		cycle := findCycle(out)
+		if cycle == nil {
+			return
+		}
+		min := math.Inf(1)
+		for _, l := range cycle {
+			if flow[l.ID] < min {
+				min = flow[l.ID]
+			}
+		}
+		for _, l := range cycle {
+			flow[l.ID] -= min
+			if flow[l.ID] <= 1e-9 {
+				delete(flow, l.ID)
+			}
+		}
+	}
+}
+
+// findCycle returns the links of one directed cycle in the support graph,
+// or nil.
+func findCycle(out map[topo.NodeID][]topo.Link) []topo.Link {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := map[topo.NodeID]int{}
+	var stack []topo.Link
+	var found []topo.Link
+	var dfs func(u topo.NodeID) bool
+	dfs = func(u topo.NodeID) bool {
+		state[u] = grey
+		for _, l := range out[u] {
+			switch state[l.To] {
+			case grey:
+				// Unwind the stack to the cycle start.
+				found = append(found, l)
+				for i := len(stack) - 1; i >= 0; i-- {
+					found = append(found, stack[i])
+					if stack[i].From == l.To {
+						break
+					}
+				}
+				return true
+			case white:
+				stack = append(stack, l)
+				if dfs(l.To) {
+					return true
+				}
+				stack = stack[:len(stack)-1]
+			}
+		}
+		state[u] = black
+		return false
+	}
+	for u := range out {
+		if state[u] == white {
+			stack = stack[:0]
+			if dfs(u) {
+				return found
+			}
+		}
+	}
+	return nil
+}
+
+// extractSplits converts per-link flow into per-router next-hop fractions.
+func extractSplits(t *topo.Topology, links []topo.Link, flow map[topo.LinkID]float64) map[topo.NodeID]map[topo.NodeID]float64 {
+	outFlow := make(map[topo.NodeID]map[topo.NodeID]float64)
+	totals := make(map[topo.NodeID]float64)
+	for _, l := range links {
+		v := flow[l.ID]
+		if v <= 1e-9 {
+			continue
+		}
+		if outFlow[l.From] == nil {
+			outFlow[l.From] = make(map[topo.NodeID]float64)
+		}
+		outFlow[l.From][l.To] += v
+		totals[l.From] += v
+	}
+	splits := make(map[topo.NodeID]map[topo.NodeID]float64, len(outFlow))
+	for u, nh := range outFlow {
+		s := make(map[topo.NodeID]float64, len(nh))
+		for v, f := range nh {
+			s[v] = f / totals[u]
+		}
+		splits[u] = s
+	}
+	return splits
+}
+
+// MaxUtilOfLoads computes max_e load_e/cap_e for a load map.
+func MaxUtilOfLoads(t *topo.Topology, loads map[topo.LinkID]float64) float64 {
+	max := 0.0
+	for id, load := range loads {
+		l := t.Link(id)
+		if l.Capacity <= 0 {
+			continue
+		}
+		if u := load / l.Capacity; u > max {
+			max = u
+		}
+	}
+	return max
+}

@@ -1,0 +1,300 @@
+// Package te implements the traffic-engineering machinery surrounding
+// Fibbing: the min-max link-utilisation multicommodity-flow optimum the
+// paper says Fibbing can realise (via an LP solved with a from-scratch
+// simplex), and the baselines it argues against — IGP weight optimisation
+// (too slow and disruptive for flash crowds) and MPLS RSVP-TE tunnels
+// (control/data-plane overhead).
+package te
+
+import (
+	"fmt"
+	"math"
+)
+
+// SimplexStatus reports the outcome of an LP solve.
+type SimplexStatus int
+
+const (
+	// Optimal means an optimal basic feasible solution was found.
+	Optimal SimplexStatus = iota
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective decreases without bound.
+	Unbounded
+)
+
+func (s SimplexStatus) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+const simplexEps = 1e-9
+
+// SolveLP minimises c·x subject to A·x = b, x >= 0, using the two-phase
+// primal simplex method with Bland's anti-cycling rule. A is dense with
+// one row per equality constraint. Inequalities must be converted by the
+// caller by adding slack variables (see LPBuilder).
+func SolveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, SimplexStatus) {
+	m := len(a)
+	if m == 0 {
+		return make([]float64, len(c)), 0, Optimal
+	}
+	n := len(c)
+	for i := range a {
+		if len(a[i]) != n {
+			panic(fmt.Sprintf("te: row %d has %d cols, want %d", i, len(a[i]), n))
+		}
+	}
+	if len(b) != m {
+		panic("te: len(b) != rows")
+	}
+
+	// Normalise to b >= 0.
+	A := make([][]float64, m)
+	B := make([]float64, m)
+	for i := range a {
+		A[i] = append([]float64(nil), a[i]...)
+		B[i] = b[i]
+		if B[i] < 0 {
+			for j := range A[i] {
+				A[i][j] = -A[i][j]
+			}
+			B[i] = -B[i]
+		}
+	}
+
+	// Phase 1: artificial variables n..n+m-1, minimise their sum.
+	total := n + m
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, total+1)
+		copy(tab[i], A[i])
+		tab[i][n+i] = 1
+		tab[i][total] = B[i]
+		basis[i] = n + i
+	}
+	phase1 := make([]float64, total)
+	for j := n; j < total; j++ {
+		phase1[j] = 1
+	}
+	if !runSimplex(tab, basis, phase1, total) {
+		return nil, 0, Unbounded // cannot happen in phase 1, defensive
+	}
+	// Check feasibility.
+	sum := 0.0
+	for i, bi := range basis {
+		if bi >= n {
+			sum += tab[i][total]
+		}
+	}
+	if sum > 1e-6 {
+		return nil, 0, Infeasible
+	}
+	// Drive remaining artificial variables out of the basis.
+	for i, bi := range basis {
+		if bi < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(tab[i][j]) > simplexEps {
+				pivot(tab, basis, i, j, total)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant row; harmless (stays with artificial at 0).
+			_ = i
+		}
+	}
+
+	// Phase 2: original objective, artificial columns frozen at zero.
+	phase2 := make([]float64, total)
+	copy(phase2, c)
+	for j := n; j < total; j++ {
+		phase2[j] = math.Inf(1) // never re-enter
+	}
+	if !runSimplex(tab, basis, phase2, total) {
+		return nil, 0, Unbounded
+	}
+
+	x := make([]float64, n)
+	for i, bi := range basis {
+		if bi < n {
+			x[bi] = tab[i][total]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += c[j] * x[j]
+	}
+	return x, obj, Optimal
+}
+
+// runSimplex performs primal simplex iterations on the tableau in place.
+// Returns false if the problem is unbounded.
+func runSimplex(tab [][]float64, basis []int, c []float64, total int) bool {
+	m := len(tab)
+	// Reduced costs are computed on demand: z_j - c_j using the basis.
+	for iter := 0; ; iter++ {
+		if iter > 200000 {
+			panic("te: simplex iteration limit (cycling?)")
+		}
+		// Entering column (Bland: smallest index with negative reduced cost).
+		enter := -1
+		for j := 0; j < total; j++ {
+			if math.IsInf(c[j], 1) {
+				continue // frozen artificial
+			}
+			rc := c[j]
+			for i := 0; i < m; i++ {
+				cb := c[basis[i]]
+				if math.IsInf(cb, 1) {
+					cb = 0 // artificial in basis sits at value 0
+				}
+				rc -= cb * tab[i][j]
+			}
+			if rc < -simplexEps {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			return true // optimal
+		}
+		// Leaving row (Bland: min ratio, ties by smallest basis index).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if tab[i][enter] > simplexEps {
+				ratio := tab[i][total] / tab[i][enter]
+				if ratio < best-simplexEps ||
+					(math.Abs(ratio-best) <= simplexEps && leave >= 0 && basis[i] < basis[leave]) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return false // unbounded
+		}
+		pivot(tab, basis, leave, enter, total)
+	}
+}
+
+func pivot(tab [][]float64, basis []int, row, col, total int) {
+	p := tab[row][col]
+	for j := 0; j <= total; j++ {
+		tab[row][j] /= p
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= total; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+	basis[row] = col
+}
+
+// LPBuilder assembles an LP incrementally: named variables, equality and
+// <= constraints (slacks added automatically), and a linear objective.
+type LPBuilder struct {
+	nvars int
+	obj   []float64
+	rows  [][]float64 // sparse as (idx,coef) pairs flattened at Build
+	types []byte      // 'e' or 'l'
+	rhs   []float64
+	terms [][]lpTerm
+}
+
+type lpTerm struct {
+	idx  int
+	coef float64
+}
+
+// NewLPBuilder returns an empty builder.
+func NewLPBuilder() *LPBuilder { return &LPBuilder{} }
+
+// AddVar adds a variable with the given objective coefficient and returns
+// its index.
+func (bld *LPBuilder) AddVar(objCoef float64) int {
+	bld.nvars++
+	bld.obj = append(bld.obj, objCoef)
+	return bld.nvars - 1
+}
+
+// NumVars returns the number of variables added so far.
+func (bld *LPBuilder) NumVars() int { return bld.nvars }
+
+// AddEq adds Σ coef_i x_i = rhs.
+func (bld *LPBuilder) AddEq(terms map[int]float64, rhs float64) {
+	bld.addRow('e', terms, rhs)
+}
+
+// AddLe adds Σ coef_i x_i <= rhs.
+func (bld *LPBuilder) AddLe(terms map[int]float64, rhs float64) {
+	bld.addRow('l', terms, rhs)
+}
+
+func (bld *LPBuilder) addRow(kind byte, terms map[int]float64, rhs float64) {
+	row := make([]lpTerm, 0, len(terms))
+	for idx, coef := range terms {
+		if idx < 0 || idx >= bld.nvars {
+			panic("te: constraint references unknown variable")
+		}
+		if coef != 0 {
+			row = append(row, lpTerm{idx, coef})
+		}
+	}
+	bld.terms = append(bld.terms, row)
+	bld.types = append(bld.types, kind)
+	bld.rhs = append(bld.rhs, rhs)
+}
+
+// Solve materialises the dense problem (adding slacks for <= rows) and
+// runs SolveLP. The returned vector contains only the original variables.
+func (bld *LPBuilder) Solve() ([]float64, float64, SimplexStatus) {
+	slacks := 0
+	for _, t := range bld.types {
+		if t == 'l' {
+			slacks++
+		}
+	}
+	n := bld.nvars + slacks
+	c := make([]float64, n)
+	copy(c, bld.obj)
+	a := make([][]float64, len(bld.terms))
+	b := append([]float64(nil), bld.rhs...)
+	si := bld.nvars
+	for i, row := range bld.terms {
+		a[i] = make([]float64, n)
+		for _, t := range row {
+			a[i][t.idx] += t.coef
+		}
+		if bld.types[i] == 'l' {
+			a[i][si] = 1
+			si++
+		}
+	}
+	x, obj, status := SolveLP(c, a, b)
+	if status != Optimal {
+		return nil, 0, status
+	}
+	return x[:bld.nvars], obj, status
+}

@@ -1,0 +1,252 @@
+package te
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLPBasic(t *testing.T) {
+	// min -x - 2y  s.t. x + y + s1 = 4, x + 3y + s2 = 6, all >= 0.
+	// Optimum at x=3, y=1: obj = -5.
+	c := []float64{-1, -2, 0, 0}
+	a := [][]float64{
+		{1, 1, 1, 0},
+		{1, 3, 0, 1},
+	}
+	b := []float64{4, 6}
+	x, obj, status := SolveLP(c, a, b)
+	if status != Optimal {
+		t.Fatalf("status = %v", status)
+	}
+	if math.Abs(obj-(-5)) > 1e-6 {
+		t.Fatalf("obj = %v, want -5 (x=%v)", obj, x)
+	}
+	if math.Abs(x[0]-3) > 1e-6 || math.Abs(x[1]-1) > 1e-6 {
+		t.Fatalf("x = %v, want [3 1 ...]", x)
+	}
+}
+
+func TestSolveLPInfeasible(t *testing.T) {
+	// x = 1 and x = 2 simultaneously.
+	c := []float64{1}
+	a := [][]float64{{1}, {1}}
+	b := []float64{1, 2}
+	_, _, status := SolveLP(c, a, b)
+	if status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", status)
+	}
+}
+
+func TestSolveLPUnbounded(t *testing.T) {
+	// min -x s.t. x - y = 0: x can grow forever.
+	c := []float64{-1, 0}
+	a := [][]float64{{1, -1}}
+	b := []float64{0}
+	_, _, status := SolveLP(c, a, b)
+	if status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", status)
+	}
+}
+
+func TestSolveLPNegativeRHS(t *testing.T) {
+	// -x + s = -2  =>  x - s = 2, min x  =>  x=2.
+	c := []float64{1, 0}
+	a := [][]float64{{-1, 1}}
+	b := []float64{-2}
+	x, obj, status := SolveLP(c, a, b)
+	if status != Optimal || math.Abs(obj-2) > 1e-6 {
+		t.Fatalf("x=%v obj=%v status=%v", x, obj, status)
+	}
+}
+
+func TestSolveLPRedundantRows(t *testing.T) {
+	// Duplicate constraint rows must not break phase 1.
+	c := []float64{1, 1}
+	a := [][]float64{
+		{1, 1},
+		{1, 1},
+		{2, 2},
+	}
+	b := []float64{2, 2, 4}
+	x, obj, status := SolveLP(c, a, b)
+	if status != Optimal {
+		t.Fatalf("status = %v", status)
+	}
+	if math.Abs(obj-2) > 1e-6 {
+		t.Fatalf("obj = %v, x = %v", obj, x)
+	}
+}
+
+func TestSolveLPEmpty(t *testing.T) {
+	x, obj, status := SolveLP([]float64{1, 2}, nil, nil)
+	if status != Optimal || obj != 0 || len(x) != 2 {
+		t.Fatalf("empty LP: %v %v %v", x, obj, status)
+	}
+}
+
+func TestLPBuilder(t *testing.T) {
+	// max x + y s.t. x <= 2, y <= 3, x + y <= 4  =>  min -(x+y) = -4.
+	bld := NewLPBuilder()
+	x := bld.AddVar(-1)
+	y := bld.AddVar(-1)
+	bld.AddLe(map[int]float64{x: 1}, 2)
+	bld.AddLe(map[int]float64{y: 1}, 3)
+	bld.AddLe(map[int]float64{x: 1, y: 1}, 4)
+	sol, obj, status := bld.Solve()
+	if status != Optimal || math.Abs(obj-(-4)) > 1e-6 {
+		t.Fatalf("obj = %v (%v), sol = %v", obj, status, sol)
+	}
+	if sol[x]+sol[y] < 4-1e-6 {
+		t.Fatalf("sol = %v", sol)
+	}
+	if bld.NumVars() != 2 {
+		t.Fatalf("NumVars = %d", bld.NumVars())
+	}
+}
+
+func TestLPBuilderEquality(t *testing.T) {
+	// min x + y s.t. x + y = 5, x - y = 1  =>  x=3, y=2.
+	bld := NewLPBuilder()
+	x := bld.AddVar(1)
+	y := bld.AddVar(1)
+	bld.AddEq(map[int]float64{x: 1, y: 1}, 5)
+	bld.AddEq(map[int]float64{x: 1, y: -1}, 1)
+	sol, obj, status := bld.Solve()
+	if status != Optimal || math.Abs(obj-5) > 1e-6 {
+		t.Fatalf("status %v obj %v", status, obj)
+	}
+	if math.Abs(sol[x]-3) > 1e-6 || math.Abs(sol[y]-2) > 1e-6 {
+		t.Fatalf("sol = %v", sol)
+	}
+}
+
+func TestLPBuilderUnknownVarPanics(t *testing.T) {
+	bld := NewLPBuilder()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("want panic")
+		}
+	}()
+	bld.AddEq(map[int]float64{3: 1}, 1)
+}
+
+// Property: for random feasible bounded LPs of the transportation kind,
+// the solution satisfies all constraints within tolerance.
+func TestSimplexFeasibilityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4) // variables
+		m := 2 + rng.Intn(3) // <= constraints
+		bld := NewLPBuilder()
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = bld.AddVar(rng.Float64()*2 - 1)
+		}
+		rows := make([]map[int]float64, m)
+		rhs := make([]float64, m)
+		for i := 0; i < m; i++ {
+			terms := map[int]float64{}
+			for _, v := range vars {
+				terms[v] = rng.Float64() // nonnegative coefs => bounded
+			}
+			rhs[i] = 1 + rng.Float64()*10
+			rows[i] = terms
+			bld.AddLe(terms, rhs[i])
+		}
+		// Nonnegative objective coefficients could make some vars 0; mix
+		// of signs is fine because constraints bound everything.
+		sol, _, status := bld.Solve()
+		if status != Optimal {
+			// With all-nonnegative constraint coefficients and finite
+			// rhs, negative objective coefficients keep it bounded.
+			return false
+		}
+		for i, terms := range rows {
+			sum := 0.0
+			for v, coef := range terms {
+				if sol[v] < -1e-9 {
+					return false
+				}
+				sum += coef * sol[v]
+			}
+			if sum > rhs[i]+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSimplexMedium(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, m := 60, 30
+	bld0 := func() *LPBuilder {
+		bld := NewLPBuilder()
+		vars := make([]int, n)
+		for i := range vars {
+			vars[i] = bld.AddVar(rng.Float64() - 0.5)
+		}
+		for i := 0; i < m; i++ {
+			terms := map[int]float64{}
+			for _, v := range vars {
+				terms[v] = rng.Float64()
+			}
+			bld.AddLe(terms, 5+rng.Float64()*10)
+		}
+		return bld
+	}
+	lp := bld0()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, status := lp.Solve(); status != Optimal {
+			b.Fatal(status)
+		}
+	}
+}
+
+// TestBealeCyclingExample is the classic degenerate LP on which naive
+// pivoting cycles forever; Bland's rule must terminate at the optimum
+// (objective -0.05).
+func TestBealeCyclingExample(t *testing.T) {
+	// min -0.75 x1 + 150 x2 - 0.02 x3 + 6 x4
+	// s.t. 0.25 x1 - 60 x2 - 0.04 x3 + 9 x4 <= 0
+	//      0.50 x1 - 90 x2 - 0.02 x3 + 3 x4 <= 0
+	//      x3 <= 1
+	bld := NewLPBuilder()
+	x1 := bld.AddVar(-0.75)
+	x2 := bld.AddVar(150)
+	x3 := bld.AddVar(-0.02)
+	x4 := bld.AddVar(6)
+	bld.AddLe(map[int]float64{x1: 0.25, x2: -60, x3: -0.04, x4: 9}, 0)
+	bld.AddLe(map[int]float64{x1: 0.5, x2: -90, x3: -0.02, x4: 3}, 0)
+	bld.AddLe(map[int]float64{x3: 1}, 1)
+	sol, obj, status := bld.Solve()
+	if status != Optimal {
+		t.Fatalf("status = %v", status)
+	}
+	if math.Abs(obj-(-0.05)) > 1e-9 {
+		t.Fatalf("obj = %v, want -0.05 (sol %v)", obj, sol)
+	}
+}
+
+// TestSimplexDegenerateTies exercises a heavily degenerate system (many
+// redundant binding constraints) where ratio-test ties occur constantly.
+func TestSimplexDegenerateTies(t *testing.T) {
+	bld := NewLPBuilder()
+	x := bld.AddVar(-1)
+	y := bld.AddVar(-1)
+	for i := 0; i < 6; i++ {
+		bld.AddLe(map[int]float64{x: 1, y: 1}, 2) // same constraint 6 times
+	}
+	bld.AddLe(map[int]float64{x: 1}, 1)
+	bld.AddLe(map[int]float64{y: 1}, 1)
+	sol, obj, status := bld.Solve()
+	if status != Optimal || math.Abs(obj-(-2)) > 1e-9 {
+		t.Fatalf("obj = %v (%v), sol = %v", obj, status, sol)
+	}
+}

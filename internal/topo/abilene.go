@@ -1,0 +1,57 @@
+package topo
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Abilene builds the classic Internet2 Abilene backbone (11 PoPs), the
+// standard research topology for traffic-engineering studies. Link weights
+// follow the historical IS-IS metric pattern (roughly proportional to
+// fibre distance); capacities default to uniform so the flash-crowd
+// experiments stress routing rather than heterogeneous provisioning.
+//
+// Two content prefixes are attached: "cdn-east" at New York and
+// "cdn-west" at Sunnyvale, giving multi-destination experiments natural
+// east/west pulls.
+func Abilene(linkCapacity float64, delay time.Duration) *Topology {
+	if linkCapacity <= 0 {
+		linkCapacity = 10e6
+	}
+	t := New()
+	names := []string{
+		"Seattle", "Sunnyvale", "LosAngeles", "Denver", "KansasCity",
+		"Houston", "Chicago", "Indianapolis", "Atlanta", "WashingtonDC",
+		"NewYork",
+	}
+	id := make(map[string]NodeID, len(names))
+	for _, n := range names {
+		id[n] = t.AddNode(n)
+	}
+	opts := LinkOpts{Capacity: linkCapacity, Delay: delay}
+	links := []struct {
+		a, b string
+		w    int64
+	}{
+		{"Seattle", "Sunnyvale", 9},
+		{"Seattle", "Denver", 21},
+		{"Sunnyvale", "LosAngeles", 4},
+		{"Sunnyvale", "Denver", 11},
+		{"LosAngeles", "Houston", 18},
+		{"Denver", "KansasCity", 6},
+		{"KansasCity", "Houston", 8},
+		{"KansasCity", "Indianapolis", 7},
+		{"Houston", "Atlanta", 11},
+		{"Chicago", "Indianapolis", 3},
+		{"Chicago", "NewYork", 9},
+		{"Indianapolis", "Atlanta", 6},
+		{"Atlanta", "WashingtonDC", 7},
+		{"WashingtonDC", "NewYork", 3},
+	}
+	for _, l := range links {
+		t.AddLink(id[l.a], id[l.b], l.w, opts)
+	}
+	t.AddPrefix(netip.MustParsePrefix("10.80.0.0/16"), "cdn-east", Attachment{Node: id["NewYork"]})
+	t.AddPrefix(netip.MustParsePrefix("10.81.0.0/16"), "cdn-west", Attachment{Node: id["Sunnyvale"]})
+	return t
+}

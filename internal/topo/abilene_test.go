@@ -1,0 +1,44 @@
+package topo
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAbileneStructure(t *testing.T) {
+	a := Abilene(10e6, time.Millisecond)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != 11 {
+		t.Fatalf("nodes = %d, want 11 PoPs", a.NumNodes())
+	}
+	// 14 undirected links = 28 directed.
+	if a.NumLinks() != 28 {
+		t.Fatalf("links = %d, want 28", a.NumLinks())
+	}
+	for _, name := range []string{"cdn-east", "cdn-west"} {
+		p, ok := a.PrefixByName(name)
+		if !ok {
+			t.Fatalf("prefix %s missing", name)
+		}
+		if len(p.Attachments) != 1 {
+			t.Fatalf("%s attachments: %d", name, len(p.Attachments))
+		}
+	}
+	east, _ := a.PrefixByName("cdn-east")
+	if a.Name(east.Attachments[0].Node) != "NewYork" {
+		t.Fatalf("cdn-east at %s", a.Name(east.Attachments[0].Node))
+	}
+	// Every link capacitated and delayed as requested.
+	for _, l := range a.Links() {
+		if l.Capacity != 10e6 || l.Delay != time.Millisecond {
+			t.Fatalf("link attrs: %+v", l)
+		}
+	}
+	// Defaults applied.
+	d := Abilene(0, 0)
+	if d.Links()[0].Capacity != 10e6 {
+		t.Fatalf("default capacity missing")
+	}
+}

@@ -1,0 +1,133 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+)
+
+// RandomOpts parameterises the deterministic random-topology generators
+// used by the traffic-engineering benchmarks.
+type RandomOpts struct {
+	Nodes     int
+	Degree    int     // target average out-degree (>= 2 for connectivity)
+	MaxWeight int64   // link weights drawn uniformly from [1, MaxWeight]
+	Capacity  float64 // uniform link capacity, bit/s
+	Prefixes  int     // number of destination prefixes, each at one random node
+	Seed      int64
+}
+
+// RandomConnected generates a random connected topology: a random spanning
+// tree (guaranteeing connectivity) plus extra random links until the target
+// degree is met. All links are symmetric. Deterministic for a given seed.
+func RandomConnected(o RandomOpts) *Topology {
+	if o.Nodes < 2 {
+		panic("topo: RandomConnected needs >= 2 nodes")
+	}
+	if o.Degree < 2 {
+		o.Degree = 2
+	}
+	if o.MaxWeight < 1 {
+		o.MaxWeight = 10
+	}
+	if o.Capacity == 0 {
+		o.Capacity = 10e6
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	t := New()
+	for i := 0; i < o.Nodes; i++ {
+		t.AddNode(fmt.Sprintf("n%d", i))
+	}
+	w := func() int64 { return 1 + rng.Int63n(o.MaxWeight) }
+	opts := LinkOpts{Capacity: o.Capacity}
+
+	// Random spanning tree: attach node i to a uniformly chosen earlier node.
+	for i := 1; i < o.Nodes; i++ {
+		j := rng.Intn(i)
+		t.AddLink(NodeID(i), NodeID(j), w(), opts)
+	}
+	// Extra links up to the target degree, avoiding duplicates/self-loops.
+	want := o.Nodes * o.Degree / 2
+	have := o.Nodes - 1
+	attempts := 0
+	for have < want && attempts < 50*want {
+		attempts++
+		a := NodeID(rng.Intn(o.Nodes))
+		b := NodeID(rng.Intn(o.Nodes))
+		if a == b {
+			continue
+		}
+		if _, dup := t.FindLink(a, b); dup {
+			continue
+		}
+		t.AddLink(a, b, w(), opts)
+		have++
+	}
+	for p := 0; p < o.Prefixes; p++ {
+		at := NodeID(rng.Intn(o.Nodes))
+		pfx := netip.MustParsePrefix(fmt.Sprintf("10.%d.0.0/16", 100+p))
+		t.AddPrefix(pfx, fmt.Sprintf("d%d", p), Attachment{Node: at})
+	}
+	return t
+}
+
+// Grid generates an n x m grid topology with unit weights, a classic
+// TE stress shape with many equal-cost paths.
+func Grid(n, m int, capacity float64) *Topology {
+	if n < 1 || m < 1 || n*m < 2 {
+		panic("topo: grid too small")
+	}
+	t := New()
+	id := func(i, j int) NodeID { return NodeID(i*m + j) }
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			t.AddNode(fmt.Sprintf("g%d_%d", i, j))
+		}
+	}
+	opts := LinkOpts{Capacity: capacity}
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if j+1 < m {
+				t.AddLink(id(i, j), id(i, j+1), 1, opts)
+			}
+			if i+1 < n {
+				t.AddLink(id(i, j), id(i+1, j), 1, opts)
+			}
+		}
+	}
+	t.AddPrefix(netip.MustParsePrefix("10.200.0.0/16"), "corner",
+		Attachment{Node: id(n-1, m-1)})
+	return t
+}
+
+// RandomDemands draws nd demands with ingress chosen uniformly among nodes
+// that do not attach the destination prefix, and volume uniform in
+// [lo, hi]. Deterministic for a given seed.
+func RandomDemands(t *Topology, nd int, lo, hi float64, seed int64) []Demand {
+	rng := rand.New(rand.NewSource(seed))
+	prefixes := t.Prefixes()
+	if len(prefixes) == 0 {
+		panic("topo: RandomDemands on topology without prefixes")
+	}
+	var out []Demand
+	for i := 0; i < nd; i++ {
+		p := prefixes[rng.Intn(len(prefixes))]
+		attached := make(map[NodeID]bool, len(p.Attachments))
+		for _, a := range p.Attachments {
+			attached[a.Node] = true
+		}
+		var ingress NodeID
+		for {
+			ingress = NodeID(rng.Intn(t.NumNodes()))
+			if !attached[ingress] && !t.Node(ingress).Host {
+				break
+			}
+		}
+		out = append(out, Demand{
+			Ingress:    ingress,
+			PrefixName: p.Name,
+			Volume:     lo + rng.Float64()*(hi-lo),
+		})
+	}
+	return out
+}

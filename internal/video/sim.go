@@ -1,0 +1,64 @@
+package video
+
+import (
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/netsim"
+)
+
+// SimSession binds a Player to a fluid-simulator flow: at every tick it
+// credits the bytes the flow delivered and advances playback in virtual
+// time. This is how the Figure 2 scenario measures smooth vs. stuttering
+// playback deterministically.
+type SimSession struct {
+	Player *Player
+
+	net      *netsim.Network
+	flow     netsim.FlowID
+	lastSeen float64
+	lastAt   time.Duration
+	ticker   *event.Ticker
+	done     bool
+}
+
+// NewSimSession attaches a player to a flow and starts sampling every
+// interval (default 250 ms for smooth buffer dynamics).
+func NewSimSession(sched *event.Scheduler, net *netsim.Network, flow netsim.FlowID, bitrate float64, interval time.Duration) *SimSession {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	s := &SimSession{
+		Player: NewPlayer(bitrate),
+		net:    net,
+		flow:   flow,
+		lastAt: sched.Now(),
+	}
+	s.ticker = sched.NewTicker(interval, func() { s.tick(sched.Now()) })
+	return s
+}
+
+func (s *SimSession) tick(now time.Duration) {
+	if s.done {
+		return
+	}
+	f := s.net.Flow(s.flow)
+	if f != nil {
+		delivered := f.DeliveredBytes()
+		if d := delivered - s.lastSeen; d > 0 {
+			s.Player.OnDownloadedBytes(d)
+		}
+		s.lastSeen = delivered
+	}
+	s.Player.Advance(now - s.lastAt)
+	s.lastAt = now
+}
+
+// Stop halts sampling (e.g. when the flow ends).
+func (s *SimSession) Stop() {
+	s.done = true
+	s.ticker.Stop()
+}
+
+// QoE returns the session's playback metrics so far.
+func (s *SimSession) QoE() QoE { return s.Player.QoE() }

@@ -1,0 +1,194 @@
+package video
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// This file is the real-socket binding of the video substrate: a segment
+// server and a downloading client over TCP, exercising the same Player
+// model with actual kernel sockets. cmd/fibbingd and the quickstart
+// example use it in real-time mode; the emulated experiments use
+// SimSession instead.
+
+// Request line: "GET <segments> <segmentBytes>\n"; the server streams
+// segments*segmentBytes of payload back. A pacing rate can throttle the
+// server to emulate a congested path in tests.
+
+// Server is a minimal segment server.
+type Server struct {
+	// PaceBps throttles writes (bits/second); 0 = line rate.
+	PaceBps float64
+	// OnNewClient is invoked per accepted session — the demo's
+	// "servers notify the controller when they have a new client".
+	OnNewClient func(remote net.Addr)
+
+	ln      net.Listener
+	mu      sync.Mutex
+	started bool
+	wg      sync.WaitGroup
+}
+
+// Serve accepts sessions on the listener until it is closed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.started = true
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		if s.OnNewClient != nil {
+			s.OnNewClient(conn.RemoteAddr())
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			_ = s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) error {
+	r := bufio.NewReader(conn)
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 3 || fields[0] != "GET" {
+		fmt.Fprintf(conn, "ERR bad request\n")
+		return fmt.Errorf("video: bad request %q", line)
+	}
+	segments, err1 := strconv.Atoi(fields[1])
+	segBytes, err2 := strconv.Atoi(fields[2])
+	if err1 != nil || err2 != nil || segments <= 0 || segBytes <= 0 || segBytes > 1<<24 {
+		fmt.Fprintf(conn, "ERR bad sizes\n")
+		return fmt.Errorf("video: bad sizes %q", line)
+	}
+	fmt.Fprintf(conn, "OK %d\n", segments*segBytes)
+
+	payload := make([]byte, 16*1024)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	total := segments * segBytes
+	sent := 0
+	start := time.Now()
+	for sent < total {
+		chunk := len(payload)
+		if rem := total - sent; rem < chunk {
+			chunk = rem
+		}
+		if _, err := conn.Write(payload[:chunk]); err != nil {
+			return err
+		}
+		sent += chunk
+		if s.PaceBps > 0 {
+			// Token-bucket pacing: sleep until the bytes sent so far
+			// are allowed by the rate.
+			allowedAt := start.Add(time.Duration(float64(sent*8) / s.PaceBps * float64(time.Second)))
+			if d := time.Until(allowedAt); d > 0 {
+				time.Sleep(d)
+			}
+		}
+	}
+	return nil
+}
+
+// Client downloads a stream and plays it through a Player in real time.
+type Client struct {
+	// Bitrate of the media (bit/s); SegmentDuration of media per segment.
+	Bitrate         float64
+	SegmentDuration time.Duration
+	Segments        int
+	// ReadChunk controls the read granularity (default 8 KiB).
+	ReadChunk int
+}
+
+// Play connects, downloads, and returns the playback QoE. Playback time
+// advances with the wall clock while the download proceeds, exactly as a
+// streaming client experiences it.
+func (c *Client) Play(addr string) (QoE, error) {
+	if c.Bitrate <= 0 || c.Segments <= 0 || c.SegmentDuration <= 0 {
+		return QoE{}, fmt.Errorf("video: bad client parameters %+v", c)
+	}
+	chunk := c.ReadChunk
+	if chunk <= 0 {
+		chunk = 8 * 1024
+	}
+	segBytes := int(c.Bitrate * c.SegmentDuration.Seconds() / 8)
+	if segBytes <= 0 {
+		return QoE{}, fmt.Errorf("video: segment too small")
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return QoE{}, err
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "GET %d %d\n", c.Segments, segBytes); err != nil {
+		return QoE{}, err
+	}
+	r := bufio.NewReader(conn)
+	status, err := r.ReadString('\n')
+	if err != nil {
+		return QoE{}, err
+	}
+	var total int
+	if _, err := fmt.Sscanf(status, "OK %d", &total); err != nil {
+		return QoE{}, fmt.Errorf("video: server said %q", strings.TrimSpace(status))
+	}
+
+	// The player advances in wall time; media duration it must cover is
+	// Segments*SegmentDuration.
+	player := NewPlayer(c.Bitrate)
+	// Scale the startup buffer to one segment for short test media.
+	player.StartupBuffer = c.SegmentDuration.Seconds()
+
+	buf := make([]byte, chunk)
+	received := 0
+	last := time.Now()
+	for received < total {
+		n, err := r.Read(buf)
+		if n > 0 {
+			received += n
+			player.OnDownloadedBytes(float64(n))
+		}
+		now := time.Now()
+		player.Advance(now.Sub(last))
+		last = now
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			return player.QoE(), err
+		}
+	}
+	// Drain the buffer: keep playing until all downloaded media has
+	// played. Advancing by exactly the buffered amount (truncated to the
+	// nanosecond grid) never triggers a phantom stall at the boundary.
+	for {
+		b := player.Buffered()
+		if b <= 2e-9 {
+			break
+		}
+		if !player.playing && b < player.StartupBuffer {
+			break // tail below the startup threshold can never resume
+		}
+		player.Advance(time.Duration(b * float64(time.Second)))
+	}
+	if received < total {
+		return player.QoE(), fmt.Errorf("video: short stream %d/%d", received, total)
+	}
+	return player.QoE(), nil
+}
