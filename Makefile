@@ -1,0 +1,38 @@
+# Developer entry points. Everything is stdlib Go; no tool downloads.
+
+GO ?= go
+
+.PHONY: all build test race vet fuzz matrix bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Short fuzz passes over the BER decoder and the topology parser.
+fuzz:
+	$(GO) test -fuzz='^FuzzDecodeMessage$$' -fuzztime=30s ./internal/snmp
+	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/topo
+
+# The scenario-matrix stress harness as a CI gate.
+matrix:
+	$(GO) run ./cmd/fiblab -matrix
+
+# Refresh the committed benchmark baseline. -benchtime=1x keeps it quick
+# and deterministic enough for trajectory tracking; bump it locally when
+# measuring a specific optimisation. The bench run and the JSON
+# conversion are separate steps so a failing benchmark aborts before the
+# baseline is overwritten.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . > bench.out.tmp || { rm -f bench.out.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -o BENCH_baseline.json < bench.out.tmp; s=$$?; rm -f bench.out.tmp; exit $$s
+	@echo wrote BENCH_baseline.json

@@ -6,6 +6,7 @@ package fibbing_test
 // experiment stops reproducing.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"fibbing.net/fibbing/internal/fib"
 	"fibbing.net/fibbing/internal/fibbing"
 	"fibbing.net/fibbing/internal/ospf"
+	"fibbing.net/fibbing/internal/scenarios"
 	"fibbing.net/fibbing/internal/te"
 	"fibbing.net/fibbing/internal/topo"
 )
@@ -158,7 +160,7 @@ func BenchmarkRatioApproximationSweep(b *testing.B) {
 	}
 	for _, denom := range []int{4, 8, 16, 32} {
 		denom := denom
-		b.Run(benchName("denom", denom), func(b *testing.B) {
+		b.Run(fmt.Sprintf("denom=%d", denom), func(b *testing.B) {
 			worst := 0.0
 			for i := 0; i < b.N; i++ {
 				for _, tgt := range targets {
@@ -215,7 +217,7 @@ func BenchmarkAugmentationStrategies(b *testing.B) {
 func BenchmarkLPScaling(b *testing.B) {
 	for _, nodes := range []int{8, 16, 24} {
 		nodes := nodes
-		b.Run(benchName("nodes", nodes), func(b *testing.B) {
+		b.Run(fmt.Sprintf("nodes=%d", nodes), func(b *testing.B) {
 			tp := topo.RandomConnected(topo.RandomOpts{
 				Nodes: nodes, Degree: 3, MaxWeight: 5, Prefixes: 2,
 				Capacity: 10e6, Seed: int64(nodes),
@@ -231,15 +233,58 @@ func BenchmarkLPScaling(b *testing.B) {
 	}
 }
 
-func benchName(k string, v int) string {
-	const digits = "0123456789"
-	if v == 0 {
-		return k + "=0"
+// --- Scenario-matrix benchmarks -----------------------------------------
+
+// BenchmarkScenarioCell runs one representative matrix cell end to end,
+// both controller modes: the cost of a single stress-harness cell.
+func BenchmarkScenarioCell(b *testing.B) {
+	spec, ok := scenarios.SpecByName("ring/surge")
+	if !ok {
+		b.Fatal("ring/surge not in matrix")
 	}
-	var buf []byte
-	for v > 0 {
-		buf = append([]byte{digits[v%10]}, buf...)
-		v /= 10
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := scenarios.RunPair(spec); err != nil {
+			b.Fatal(err)
+		}
 	}
-	return k + "=" + string(buf)
+}
+
+// BenchmarkScenarioScaling sweeps the harness across topology sizes: the
+// cost trajectory every scaling PR must not regress.
+func BenchmarkScenarioScaling(b *testing.B) {
+	cases := []scenarios.TopoSpec{
+		{Family: "waxman", Size: 12, Seed: 13},
+		{Family: "waxman", Size: 16, Seed: 13},
+		{Family: "waxman", Size: 24, Seed: 13},
+		{Family: "fattree", Size: 4, Seed: 2},
+		{Family: "ring", Size: 16},
+	}
+	for _, ts := range cases {
+		ts := ts
+		b.Run(fmt.Sprintf("%s-%d", ts.Family, ts.Size), func(b *testing.B) {
+			spec := scenarios.Spec{Topo: ts, Workload: "surge", Seed: 1}
+			for i := 0; i < b.N; i++ {
+				if _, err := scenarios.Run(spec, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScenarioMatrix runs the entire matrix serially: the full
+// stress-harness wall-clock cost.
+func BenchmarkScenarioMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, spec := range scenarios.MatrixSpecs() {
+			cmp, err := scenarios.Compare(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(cmp.Violations) > 0 {
+				b.Fatalf("%s: %v", spec.Name, cmp.Violations)
+			}
+		}
+	}
 }

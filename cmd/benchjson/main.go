@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a JSON benchmark record, so baselines can be committed and
+// diffed across PRs:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime 1x . | go run ./cmd/benchjson -o BENCH_baseline.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // unit -> value, e.g. "ns/op"
+}
+
+// Baseline is the whole converted run.
+type Baseline struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Package    string      `json:"pkg,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	base := Baseline{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			base.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			base.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			base.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			base.Package = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBench(line); ok {
+				base.Benchmarks = append(base.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(base.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	stripProcsSuffix(base.Benchmarks)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench parses one result line:
+//
+//	BenchmarkName-8    1    15077193 ns/op    6367784 B/op    0.012 worst-ratio-error
+func parseBench(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       f[0],
+		Iterations: iters,
+		Metrics:    make(map[string]float64),
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	if len(b.Metrics) == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+// stripProcsSuffix removes the -GOMAXPROCS marker from every benchmark
+// name so baselines from machines with different core counts stay
+// diffable. The marker cannot be recognised from a single name (a
+// sub-benchmark may legitimately end in -<number>, e.g.
+// ScenarioScaling/waxman-24), but it is constant across a run and
+// unambiguous on names without a '/': a Go identifier cannot contain
+// '-'. Detect it there, then strip that exact suffix everywhere. If
+// every name has sub-benchmarks (or GOMAXPROCS is 1, which adds no
+// suffix) the names are left untouched.
+func stripProcsSuffix(benchmarks []Benchmark) {
+	marker := ""
+	for _, b := range benchmarks {
+		if strings.ContainsRune(b.Name, '/') {
+			continue
+		}
+		i := strings.LastIndexByte(b.Name, '-')
+		if i < 0 {
+			return // top-level name without marker: GOMAXPROCS == 1
+		}
+		if _, err := strconv.Atoi(b.Name[i+1:]); err != nil {
+			return
+		}
+		marker = b.Name[i:]
+		break
+	}
+	if marker == "" {
+		return
+	}
+	for i := range benchmarks {
+		benchmarks[i].Name = strings.TrimSuffix(benchmarks[i].Name, marker)
+	}
+}

@@ -1,0 +1,110 @@
+// Command fiblab runs the scenario-matrix stress harness: a named
+// scenario cell, an ad-hoc spec, or the whole matrix, with the Fibbing
+// controller on and off, and reports the comparison as text or JSON.
+//
+// Usage:
+//
+//	fiblab -list                    # print the matrix cells
+//	fiblab -run ring/surge          # one cell, both controller modes
+//	fiblab -matrix                  # the full matrix
+//	fiblab -topo waxman -size 20 -seed 4 -workload flash -failure flap
+//	fiblab -matrix -json > out.json # machine-readable reports
+//
+// The exit status is non-zero when any executed cell violates its
+// invariants, so fiblab doubles as a CI gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fibbing.net/fibbing/internal/scenarios"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the matrix cells and exit")
+		run      = flag.String("run", "", "run one matrix cell by name (e.g. ring/surge)")
+		matrix   = flag.Bool("matrix", false, "run the full scenario matrix")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of text")
+		duration = flag.Duration("duration", 0, "override the scenario duration")
+
+		topoF    = flag.String("topo", "", "ad-hoc run: topology family (fig1, abilene, fattree, ring, grid, waxman, random)")
+		size     = flag.Int("size", 0, "ad-hoc run: topology size knob")
+		seed     = flag.Int64("seed", 0, "ad-hoc run: seed")
+		workload = flag.String("workload", "surge", "ad-hoc run: workload (surge, flash, ramp, dual)")
+		failure  = flag.String("failure", "", "ad-hoc run: failure schedule (hotlink, flap)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range scenarios.MatrixSpecs() {
+			fmt.Println(s.Name)
+		}
+		return
+	}
+
+	var specs []scenarios.Spec
+	switch {
+	case *run != "":
+		s, ok := scenarios.SpecByName(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fiblab: no matrix cell %q (see -list)\n", *run)
+			os.Exit(2)
+		}
+		specs = append(specs, s)
+	case *topoF != "":
+		specs = append(specs, scenarios.Spec{
+			Topo:     scenarios.TopoSpec{Family: *topoF, Size: *size, Seed: *seed},
+			Workload: *workload,
+			Failure:  *failure,
+			Seed:     *seed,
+		})
+	case *matrix:
+		specs = scenarios.MatrixSpecs()
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var results []*scenarios.Comparison
+	failed := false
+	start := time.Now()
+	for _, spec := range specs {
+		if *duration > 0 {
+			spec.Duration = *duration
+		}
+		cmp, err := scenarios.Compare(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, cmp)
+		if len(cmp.Violations) > 0 {
+			failed = true
+		}
+		if !*jsonOut {
+			var b strings.Builder
+			cmp.Render(&b)
+			fmt.Print(b.String())
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Printf("%d cells in %.1fs\n", len(results), time.Since(start).Seconds())
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "fiblab: invariant violations (see above)")
+		os.Exit(1)
+	}
+}

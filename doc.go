@@ -7,10 +7,10 @@
 // traffic-engineering solvers (min-max LP, weight search, RSVP-TE/CSPF),
 // and the Fibbing controller itself.
 //
-// The implementation lives under internal/; see README.md for the map,
-// DESIGN.md for the system inventory, and EXPERIMENTS.md for the
-// paper-vs-measured record. The root-level benchmarks (bench_test.go)
-// regenerate every figure of the paper:
+// The implementation lives under internal/; see README.md for the
+// package map and how to run the examples, experiments and benchmarks.
+// The root-level benchmarks (bench_test.go) regenerate every figure of
+// the paper and time the scenario-matrix stress harness:
 //
 //	go test -bench=. -benchmem .
 //
@@ -23,4 +23,5 @@
 //	go run ./cmd/experiments         # every figure/table, checked
 //	go run ./cmd/fibsim              # analytic what-if for any topology
 //	go run ./cmd/fibbingd            # live demo daemon with real SNMP/UDP
+//	go run ./cmd/fiblab -matrix      # the scenario-matrix stress harness
 package fibbing

@@ -1,0 +1,3 @@
+module fibbing.net/fibbing
+
+go 1.24.0

@@ -9,6 +9,7 @@ package controller
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
@@ -19,10 +20,17 @@ import (
 	"fibbing.net/fibbing/internal/topo"
 )
 
+// DefaultTargetUtilisation is the post-reaction utilisation the
+// controller aims for when Config.TargetUtilisation is unset. Exported
+// so harnesses (internal/scenarios) can bound their invariants against
+// the same value.
+const DefaultTargetUtilisation = 0.75
+
 // Config parameterises the controller's policy.
 type Config struct {
 	// TargetUtilisation is the post-reaction utilisation the controller
-	// aims for (default 0.75). Reactions trigger on monitor alarms.
+	// aims for (default DefaultTargetUtilisation). Reactions trigger on
+	// monitor alarms.
 	TargetUtilisation float64
 	// MaxDenom bounds the ECMP weight denominator when realising
 	// fractional splits (default 16, i.e. at most 16 fake nodes per
@@ -36,7 +44,7 @@ type Config struct {
 
 func (c Config) withDefaults() Config {
 	if c.TargetUtilisation <= 0 {
-		c.TargetUtilisation = 0.75
+		c.TargetUtilisation = DefaultTargetUtilisation
 	}
 	if c.MaxDenom <= 0 {
 		c.MaxDenom = 16
@@ -173,16 +181,22 @@ func (c *Controller) prefixesWithDemand() []string {
 	return out
 }
 
-// predictedMaxUtil computes the fluid max utilisation of routing the
-// current demands over the network with the currently installed lies.
-func (c *Controller) predictedMaxUtil(demands []topo.Demand) (float64, error) {
+// installedLies snapshots the currently installed lies of every prefix
+// the demand set touches.
+func (c *Controller) installedLies(demands []topo.Demand) map[string][]fibbing.Lie {
 	liesByPrefix := make(map[string][]fibbing.Lie)
 	for _, d := range demands {
 		if _, ok := liesByPrefix[d.PrefixName]; !ok {
 			liesByPrefix[d.PrefixName] = c.lies.Installed(d.PrefixName)
 		}
 	}
-	loads, err := te.LoadsWithLies(c.topo, liesByPrefix, demands)
+	return liesByPrefix
+}
+
+// predictedMaxUtil computes the fluid max utilisation of routing the
+// current demands over the network with the currently installed lies.
+func (c *Controller) predictedMaxUtil(demands []topo.Demand) (float64, error) {
+	loads, err := te.LoadsWithLies(c.topo, c.installedLies(demands), demands)
 	if err != nil {
 		return 0, err
 	}
@@ -193,25 +207,55 @@ func (c *Controller) reactForPrefix(prefix string, demands []topo.Demand, a moni
 	// Skip when the lies already installed (e.g. by an earlier alarm in
 	// the same poll cycle) are predicted to keep utilisation at target:
 	// the alarm is stale.
-	if util, err := c.predictedMaxUtil(demands); err == nil && util <= c.cfg.TargetUtilisation {
-		return nil
+	current := math.Inf(1)
+	if util, err := c.predictedMaxUtil(demands); err == nil {
+		if util <= c.cfg.TargetUtilisation {
+			return nil
+		}
+		current = util
 	}
 
-	// Tier 1: local equal-cost spreading at the congested link's head.
+	// Tier 1: local equal-cost spreading at the congested link's head,
+	// accepted outright when it is predicted to reach the target.
 	hot := c.topo.Link(a.Link)
-	if lies, ok := c.tryLocalSpread(prefix, demands, hot.From); ok {
-		changed, err := c.lies.Apply(prefix, lies)
+	localLies, localUtil, localOK := c.localSpread(prefix, demands, hot.From)
+	if localOK && localUtil <= c.cfg.TargetUtilisation {
+		changed, err := c.lies.Apply(prefix, localLies)
 		if err != nil {
 			return err
 		}
 		if changed {
-			c.log(prefix, "local-ecmp", len(lies),
+			c.log(prefix, "local-ecmp", len(localLies),
 				fmt.Sprintf("ECMP at %s after %s hit %.0f%%", c.topo.Name(hot.From), a.Name, 100*a.Utilisation))
 		}
 		return nil
 	}
 
 	// Tier 2: LP-optimal splits.
+	if err := c.applyOptimal(prefix, demands, a); err != nil {
+		// Tier 3: the optimum cannot be realised on this topology (e.g.
+		// the augmentation would loop). A local spread that strictly
+		// improves the predicted utilisation is better than nothing.
+		if localOK && localUtil < current-1e-9 {
+			changed, aerr := c.lies.Apply(prefix, localLies)
+			if aerr != nil {
+				return aerr
+			}
+			if changed {
+				c.log(prefix, "local-ecmp-fallback", len(localLies),
+					fmt.Sprintf("optimum unrealisable (%v); ECMP at %s cuts predicted util to %.2f",
+						err, c.topo.Name(hot.From), localUtil))
+			}
+			return nil
+		}
+		return err
+	}
+	return nil
+}
+
+// applyOptimal is the tier-2 reaction: solve the min-max LP, quantise the
+// splits, compile and inject the lies.
+func (c *Controller) applyOptimal(prefix string, demands []topo.Demand, a monitor.Alarm) error {
 	opt, err := te.SolveMinMax(c.topo, demands)
 	if err != nil {
 		return err
@@ -254,17 +298,18 @@ func (c *Controller) reactForPrefix(prefix string, demands []topo.Demand, a moni
 	return nil
 }
 
-// tryLocalSpread builds the tier-1 requirement: hot router keeps its IGP
-// next hops and adds every unused downhill neighbor, evenly. Returns ok
-// when the lies exist and the predicted max utilisation meets the target.
-func (c *Controller) tryLocalSpread(prefix string, demands []topo.Demand, hot topo.NodeID) ([]fibbing.Lie, bool) {
+// localSpread builds the tier-1 requirement: hot router keeps its IGP
+// next hops and adds every unused downhill neighbor, evenly. Returns the
+// lies with their predicted max utilisation; ok means the lies exist and
+// verify (the caller decides whether the prediction is good enough).
+func (c *Controller) localSpread(prefix string, demands []topo.Demand, hot topo.NodeID) ([]fibbing.Lie, float64, bool) {
 	views, err := fibbing.IGPView(c.topo, prefix)
 	if err != nil {
-		return nil, false
+		return nil, 0, false
 	}
 	hv, ok := views[hot]
 	if !ok || hv.Local || len(hv.NextHops) == 0 {
-		return nil, false
+		return nil, 0, false
 	}
 	desired := fibbing.NextHopWeights{}
 	for nh := range hv.NextHops {
@@ -286,27 +331,27 @@ func (c *Controller) tryLocalSpread(prefix string, demands []topo.Demand, hot to
 		}
 	}
 	if !added {
-		return nil, false
+		return nil, 0, false
 	}
 	dag := fibbing.DAG{hot: desired}
 	aug, err := fibbing.AugmentAddPaths(c.topo, prefix, dag)
 	if err != nil {
-		return nil, false
+		return nil, 0, false
 	}
-	// Keep lies already installed for this prefix that tier 2 put in
-	// earlier? No: tier 1 only fires on fresh congestion; reconciliation
-	// in the lie manager keeps shared lies stable anyway.
-	loads, err := te.LoadsWithLies(c.topo, map[string][]fibbing.Lie{prefix: aug.Lies}, demands)
+	// Evaluate the candidate against the full installed lie set (other
+	// prefixes keep their lies; this prefix's are replaced by the
+	// candidate), mirroring predictedMaxUtil so the caller's comparison
+	// is apples-to-apples.
+	liesByPrefix := c.installedLies(demands)
+	liesByPrefix[prefix] = aug.Lies
+	loads, err := te.LoadsWithLies(c.topo, liesByPrefix, demands)
 	if err != nil {
-		return nil, false
-	}
-	if te.MaxUtilOfLoads(c.topo, loads) > c.cfg.TargetUtilisation {
-		return nil, false
+		return nil, 0, false
 	}
 	if err := fibbing.Verify(c.topo, prefix, aug.Lies, dag); err != nil {
-		return nil, false
+		return nil, 0, false
 	}
-	return aug.Lies, true
+	return aug.Lies, te.MaxUtilOfLoads(c.topo, loads), true
 }
 
 // maybeWithdraw removes all lies once the network would stay below the

@@ -1,0 +1,57 @@
+package scenarios
+
+// The scenario matrix: the cross product of the topology zoo and the
+// workload/failure schedules that every scaling PR regresses against.
+
+// MatrixTopologies is the zoo swept by the matrix: six families spanning
+// the paper's gadget, a real ISP backbone, a data-center fabric, the
+// minimal two-path ring, and two random WAN models. Seeds are pinned so
+// every cell is deterministic.
+func MatrixTopologies() []TopoSpec {
+	return []TopoSpec{
+		{Family: "fig1"},
+		{Family: "abilene"},
+		{Family: "fattree", Size: 4, Seed: 2},
+		{Family: "ring", Size: 9},
+		{Family: "waxman", Size: 16, Seed: 13},
+		{Family: "random", Size: 12, Seed: 3},
+	}
+}
+
+// MatrixSchedules is the workload x failure set of the matrix: a step
+// surge, a Poisson flash crowd, and a ramp with a link flap mid-run.
+func MatrixSchedules() []struct{ Workload, Failure string } {
+	return []struct{ Workload, Failure string }{
+		{"surge", ""},
+		{"flash", ""},
+		{"ramp", "flap"},
+	}
+}
+
+// MatrixSpecs returns the full cross product (topologies x schedules),
+// one Spec per cell, each with a per-cell seed.
+func MatrixSpecs() []Spec {
+	var specs []Spec
+	for ti, ts := range MatrixTopologies() {
+		for si, sc := range MatrixSchedules() {
+			specs = append(specs, Spec{
+				Topo:     ts,
+				Workload: sc.Workload,
+				Failure:  sc.Failure,
+				Seed:     int64(100*ti + si + 1),
+			}.withDefaults())
+		}
+	}
+	return specs
+}
+
+// SpecByName finds a matrix cell by its derived name (e.g.
+// "ring/ramp+flap"); ok is false when no cell matches.
+func SpecByName(name string) (Spec, bool) {
+	for _, s := range MatrixSpecs() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

@@ -1,0 +1,96 @@
+package scenarios
+
+import (
+	"testing"
+)
+
+// TestScenarioMatrix sweeps the full cross product (6 topology families x
+// 3 workload/failure schedules): every cell runs the whole Fibbing stack
+// twice — controller on and off — and must satisfy the cross-run
+// invariants: the workload saturates plain IGP, the controller beats it
+// on settled utilisation or stall time, the realised routing approaches
+// the LP optimum, lies touch only the target prefix, playback is smooth
+// after convergence, and no protocol machinery errors.
+func TestScenarioMatrix(t *testing.T) {
+	specs := MatrixSpecs()
+	if len(specs) < 12 {
+		t.Fatalf("matrix has %d cells, want >= 12", len(specs))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			cmp, err := Compare(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range cmp.Violations {
+				t.Errorf("invariant violated: %s", v)
+			}
+			if t.Failed() {
+				t.Logf("on:  %s", cmp.On.Summary())
+				t.Logf("off: %s", cmp.Off.Summary())
+			}
+		})
+	}
+}
+
+// TestScenarioRunDeterminism re-runs one cell and requires identical
+// headline metrics: the whole stack — IGP flooding, fluid sharing, SNMP
+// polling, controller reactions — must be reproducible.
+func TestScenarioRunDeterminism(t *testing.T) {
+	t.Parallel()
+	spec, ok := SpecByName("ring/surge")
+	if !ok {
+		t.Fatal("ring/surge not in matrix")
+	}
+	a, err := Run(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.SettledUtilisation != b.SettledUtilisation || a.Lies != b.Lies ||
+		a.StallSeconds != b.StallSeconds || a.DeliveredMbit != b.DeliveredMbit ||
+		len(a.Decisions) != len(b.Decisions) {
+		t.Fatalf("runs differ:\n%s\n%s", a.Summary(), b.Summary())
+	}
+}
+
+// TestScenarioWaveAccounting checks the per-wave delivery bookkeeping on
+// a cell with held (churning) flows: every wave must be accounted, and
+// with the controller on the delivered fraction must be high.
+func TestScenarioWaveAccounting(t *testing.T) {
+	t.Parallel()
+	spec, ok := SpecByName("fig1/flash")
+	if !ok {
+		t.Fatal("fig1/flash not in matrix")
+	}
+	rep, err := Run(spec, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Waves) < 2 {
+		t.Fatalf("only %d waves accounted", len(rep.Waves))
+	}
+	var exp, got float64
+	for _, w := range rep.Waves {
+		if w.Expected <= 0 {
+			t.Fatalf("wave at %v has expected %v", w.At, w.Expected)
+		}
+		exp += w.Expected
+		got += w.Delivered
+	}
+	if frac := got / exp; frac < 0.9 {
+		t.Fatalf("delivered fraction %.3f with controller, want >= 0.9", frac)
+	}
+	flows := 0
+	for _, w := range rep.Waves {
+		flows += w.Flows
+	}
+	if rep.Sessions != flows {
+		t.Fatalf("sessions %d != scheduled flows %d", rep.Sessions, flows)
+	}
+}

@@ -1,0 +1,101 @@
+package scenarios
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"fibbing.net/fibbing/internal/controller"
+)
+
+// WaveDelivery accounts one wave's delivered volume against its demand.
+type WaveDelivery struct {
+	At        time.Duration `json:"at"`
+	Flows     int           `json:"flows"`
+	Expected  float64       `json:"expected_mbit"`
+	Delivered float64       `json:"delivered_mbit"`
+	Fraction  float64       `json:"fraction"`
+}
+
+// Report is the machine-checkable outcome of one scenario run.
+type Report struct {
+	Scenario   string        `json:"scenario"`
+	Controller bool          `json:"controller"`
+	Duration   time.Duration `json:"duration"`
+	// TargetPrefix is the destination prefix the workload aims at (and
+	// the only prefix lies may touch).
+	TargetPrefix string `json:"target_prefix"`
+
+	// Utilisation. The fluid data plane caps link rates at capacity, so
+	// 1.0 means saturated (flows starve), not overloaded.
+	PeakUtilisation    float64 `json:"peak_utilisation"`
+	SettledUtilisation float64 `json:"settled_utilisation"` // max sample in the settle window
+	FinalUtilisation   float64 `json:"final_utilisation"`
+	// LPOptimum is θ* of the min-max LP for the demand set snapshotted at
+	// the settle start: the best any routing could do.
+	LPOptimum float64 `json:"lp_optimum"`
+	// AnalyticUtilisation routes the settled demands over the final
+	// routing state (IGP plus installed lies) with the fluid evaluator:
+	// unlike the measured figures it is not capped at 1.0 and carries no
+	// per-flow hash noise, so it is what the LP-optimality invariant
+	// checks.
+	AnalyticUtilisation float64 `json:"analytic_utilisation"`
+
+	// Video QoE.
+	Sessions         int     `json:"sessions"`
+	SmoothSessions   int     `json:"smooth_sessions"`
+	StallSeconds     float64 `json:"stall_seconds"`
+	LateStallSeconds float64 `json:"late_stall_seconds"` // stalls accrued inside the settle window
+	MeanRebuffer     float64 `json:"mean_rebuffer"`
+
+	// Delivery.
+	DeliveredMbit float64        `json:"delivered_mbit"`
+	Waves         []WaveDelivery `json:"waves"`
+
+	// Controller activity.
+	Lies            int                   `json:"lies"`
+	LiesByPrefix    map[string]int        `json:"lies_by_prefix,omitempty"`
+	Decisions       []controller.Decision `json:"decisions,omitempty"`
+	FirstHotAt      time.Duration         `json:"first_hot_at"`      // first sample >= alarm threshold; -1 if never
+	FirstReactionAt time.Duration         `json:"first_reaction_at"` // first decision; -1 if none
+	ReactionLatency time.Duration         `json:"reaction_latency"`  // FirstReactionAt - FirstHotAt; -1 if n/a
+
+	ControllerErrors []string `json:"controller_errors,omitempty"`
+	ProtocolErrors   []string `json:"protocol_errors,omitempty"`
+	// Notes carries non-fatal reporting degradations (e.g. the LP bound
+	// being unavailable because the solver stalled): the run itself is
+	// still valid, so these do not trip invariants.
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Summary renders a one-line human summary of the report.
+func (r *Report) Summary() string {
+	mode := "ctrl-off"
+	if r.Controller {
+		mode = "ctrl-on "
+	}
+	lat := "-"
+	if r.ReactionLatency >= 0 {
+		lat = r.ReactionLatency.String()
+	}
+	return fmt.Sprintf("%-28s %s settled=%.2f peak=%.2f analytic=%.2f lp=%.2f lies=%d stalls=%.1fs late=%.1fs react=%s delivered=%.0fMbit",
+		r.Scenario, mode, r.SettledUtilisation, r.PeakUtilisation, r.AnalyticUtilisation,
+		r.LPOptimum, r.Lies, r.StallSeconds, r.LateStallSeconds, lat, r.DeliveredMbit)
+}
+
+// Comparison pairs the controller-on and controller-off runs of one spec
+// with the invariant violations found between them.
+type Comparison struct {
+	Spec       Spec     `json:"spec"`
+	On         *Report  `json:"on"`
+	Off        *Report  `json:"off"`
+	Violations []string `json:"violations,omitempty"`
+}
+
+// Render writes the comparison as an indented human-readable block.
+func (c *Comparison) Render(b *strings.Builder) {
+	fmt.Fprintf(b, "%s\n  %s\n  %s\n", c.Spec.Name, c.On.Summary(), c.Off.Summary())
+	for _, v := range c.Violations {
+		fmt.Fprintf(b, "  VIOLATION: %s\n", v)
+	}
+}

@@ -1,0 +1,287 @@
+package scenarios
+
+import (
+	"fmt"
+	"time"
+
+	"fibbing.net/fibbing/internal/controller"
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/monitor"
+	"fibbing.net/fibbing/internal/netsim"
+	"fibbing.net/fibbing/internal/te"
+	"fibbing.net/fibbing/internal/topo"
+	"fibbing.net/fibbing/internal/video"
+)
+
+// flowTrack follows one flow through its life for delivery accounting.
+type flowTrack struct {
+	wave      int
+	rate      float64
+	delivered float64 // bytes, high-water from sampling
+	session   *video.SimSession
+}
+
+// Run executes one scenario with or without the Fibbing controller and
+// returns its report. Each call builds a fresh topology and simulation,
+// so concurrent Runs (the matrix test's parallel cells) are independent.
+func Run(spec Spec, withCtrl bool) (*Report, error) {
+	spec = spec.withDefaults()
+	tp, prefix, err := spec.Topo.Build()
+	if err != nil {
+		return nil, err
+	}
+	e, err := buildEnv(tp, prefix)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	waves, err := buildWaves(spec.Workload, e, spec.Duration, spec.Seed)
+	if err != nil {
+		return nil, err
+	}
+	failures, err := buildFailures(spec.Failure, e, spec.Duration)
+	if err != nil {
+		return nil, err
+	}
+	// The schedules use absolute event times; a user-shortened duration
+	// (fiblab -duration) that cuts events off would silently change the
+	// scenario's meaning, so reject it instead.
+	var lastEvent time.Duration
+	for _, w := range waves {
+		if w.At > lastEvent {
+			lastEvent = w.At
+		}
+	}
+	for _, f := range failures {
+		if f.At > lastEvent {
+			lastEvent = f.At
+		}
+	}
+	if spec.Duration <= lastEvent {
+		return nil, fmt.Errorf("%s: duration %v too short: last scheduled event at %v",
+			spec.Name, spec.Duration, lastEvent)
+	}
+
+	p, _ := tp.PrefixByName(prefix)
+	// The alarm threshold is set explicitly so the report's first-hot
+	// detection below measures against the same value the monitor uses.
+	const hotThreshold = 0.85
+	sim, err := controller.NewSim(controller.SimOpts{
+		Topology:     tp,
+		Prefix:       prefix,
+		AttachAt:     tp.Name(p.Attachments[0].Node),
+		WithCtrl:     withCtrl,
+		TrackPlayers: true,
+		SampleEvery:  500 * time.Millisecond,
+		VideoSample:  250 * time.Millisecond,
+		Monitor:      monitor.Config{HighThreshold: hotThreshold},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+
+	// Map started flows back to their wave: wave w contributes exactly
+	// w.Flows OnFlowStarted callbacks at time w.At.
+	waveQueue := make(map[time.Duration][]int)
+	for i, w := range waves {
+		for f := 0; f < w.Flows; f++ {
+			waveQueue[w.At] = append(waveQueue[w.At], i)
+		}
+	}
+	tracks := make(map[netsim.FlowID]*flowTrack)
+	var order []netsim.FlowID
+	prevStarted := sim.Runner.OnFlowStarted
+	sim.Runner.OnFlowStarted = func(id netsim.FlowID, rate float64) {
+		if prevStarted != nil {
+			prevStarted(id, rate) // attaches the video session
+		}
+		now := sim.Sched.Now()
+		q := waveQueue[now]
+		wi := -1
+		if len(q) > 0 {
+			wi, waveQueue[now] = q[0], q[1:]
+		}
+		tr := &flowTrack{wave: wi, rate: rate}
+		if n := len(sim.Sessions); n > 0 {
+			tr.session = sim.Sessions[n-1]
+		}
+		tracks[id] = tr
+		order = append(order, id)
+		// Departing viewers stop watching: freeze the session's QoE and
+		// take a final delivery reading when the hold expires (the Runner
+		// removes the flow at the same instant, after this event).
+		if wi >= 0 && waves[wi].Hold > 0 {
+			hold := waves[wi].Hold
+			sim.Sched.After(hold, func() {
+				_ = sim.Net.Octets(0) // force the fluid model up to now
+				if f := sim.Net.Flow(id); f != nil {
+					tr.delivered = f.DeliveredBytes()
+				}
+				if tr.session != nil {
+					tr.session.Stop()
+				}
+			})
+		}
+	}
+
+	rep := &Report{
+		Scenario:        spec.Name,
+		Controller:      withCtrl,
+		Duration:        spec.Duration,
+		TargetPrefix:    prefix,
+		FirstHotAt:      -1,
+		FirstReactionAt: -1,
+		ReactionLatency: -1,
+	}
+
+	// Failure schedule.
+	for _, f := range failures {
+		f := f
+		sim.Sched.At(f.At, func() {
+			if err := sim.SetLinkState(f.A, f.B, f.Up); err != nil {
+				rep.ProtocolErrors = append(rep.ProtocolErrors, err.Error())
+			}
+		})
+	}
+
+	// Samplers: utilisation peaks, first-hot detection, per-flow delivery.
+	settleStart := spec.settleStart()
+	stallTotal := func() float64 {
+		var s float64
+		for _, sess := range sim.Sessions {
+			s += sess.QoE().StallTime.Seconds()
+		}
+		return s
+	}
+	var stallAtSettle float64
+	var demandsAtSettle []topo.Demand
+	sim.Sched.NewTicker(250*time.Millisecond, func() {
+		u := sim.Net.MaxUtilisation()
+		if u > rep.PeakUtilisation {
+			rep.PeakUtilisation = u
+		}
+		now := sim.Sched.Now()
+		if now >= settleStart && u > rep.SettledUtilisation {
+			rep.SettledUtilisation = u
+		}
+		if rep.FirstHotAt < 0 && u >= hotThreshold {
+			rep.FirstHotAt = now
+		}
+		for id, tr := range tracks {
+			if f := sim.Net.Flow(id); f != nil {
+				tr.delivered = f.DeliveredBytes()
+			}
+		}
+	})
+	sim.Sched.At(settleStart, func() {
+		stallAtSettle = stallTotal()
+		demandsAtSettle = sim.Ctrl.Demands()
+	})
+
+	if err := sim.Runner.Schedule(waves); err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	sim.Run(spec.Duration)
+
+	// Final delivery reading for flows still alive.
+	_ = sim.Net.Octets(0)
+	for id, tr := range tracks {
+		if f := sim.Net.Flow(id); f != nil {
+			tr.delivered = f.DeliveredBytes()
+		}
+	}
+
+	rep.FinalUtilisation = sim.Net.MaxUtilisation()
+	if len(demandsAtSettle) > 0 {
+		if opt, err := te.SolveMinMax(tp, demandsAtSettle); err == nil {
+			rep.LPOptimum = opt.MaxUtilisation
+		} else {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("LP bound unavailable: %v", err))
+		}
+		liesNow := map[string][]fibbing.Lie{prefix: sim.Lies.Installed(prefix)}
+		if loads, err := te.LoadsWithLies(tp, liesNow, demandsAtSettle); err == nil {
+			rep.AnalyticUtilisation = te.MaxUtilOfLoads(tp, loads)
+		} else {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("analytic bound unavailable: %v", err))
+		}
+	}
+
+	agg := video.AggregateQoE(sim.QoE())
+	rep.Sessions = agg.Sessions
+	rep.SmoothSessions = agg.SmoothSessions
+	rep.MeanRebuffer = agg.MeanRebuffer
+	rep.StallSeconds = stallTotal()
+	rep.LateStallSeconds = rep.StallSeconds - stallAtSettle
+
+	rep.Lies = sim.Lies.LieCount()
+	rep.LiesByPrefix = make(map[string]int)
+	for _, pr := range tp.Prefixes() {
+		if n := len(sim.Lies.Installed(pr.Name)); n > 0 {
+			rep.LiesByPrefix[pr.Name] = n
+		}
+	}
+	rep.Decisions = sim.Ctrl.Decisions
+	if len(rep.Decisions) > 0 {
+		rep.FirstReactionAt = rep.Decisions[0].At
+		if rep.FirstHotAt >= 0 && rep.FirstReactionAt >= rep.FirstHotAt {
+			rep.ReactionLatency = rep.FirstReactionAt - rep.FirstHotAt
+		}
+	}
+	for _, err := range sim.Ctrl.Errors {
+		rep.ControllerErrors = append(rep.ControllerErrors, err.Error())
+	}
+	for _, err := range sim.Domain.Errors {
+		rep.ProtocolErrors = append(rep.ProtocolErrors, err.Error())
+	}
+
+	// Per-wave delivery accounting. A wave scheduled past the end of a
+	// shortened run never fires: its lifetime clamps to zero.
+	rep.Waves = make([]WaveDelivery, len(waves))
+	for i, w := range waves {
+		life := spec.Duration - w.At
+		if life < 0 {
+			life = 0
+		}
+		if w.Hold > 0 && w.Hold < life {
+			life = w.Hold
+		}
+		rep.Waves[i] = WaveDelivery{
+			At:       w.At,
+			Flows:    w.Flows,
+			Expected: w.Rate * life.Seconds() * float64(w.Flows) / 1e6,
+		}
+	}
+	for _, id := range order {
+		tr := tracks[id]
+		rep.DeliveredMbit += tr.delivered * 8 / 1e6
+		if tr.wave >= 0 {
+			rep.Waves[tr.wave].Delivered += tr.delivered * 8 / 1e6
+		}
+	}
+	for i := range rep.Waves {
+		if rep.Waves[i].Expected > 0 {
+			rep.Waves[i].Fraction = rep.Waves[i].Delivered / rep.Waves[i].Expected
+		}
+	}
+	return rep, nil
+}
+
+// RunPair executes the spec with and without the controller.
+func RunPair(spec Spec) (on, off *Report, err error) {
+	if on, err = Run(spec, true); err != nil {
+		return nil, nil, err
+	}
+	if off, err = Run(spec, false); err != nil {
+		return nil, nil, err
+	}
+	return on, off, nil
+}
+
+// Compare runs both sides of a spec and checks the invariants.
+func Compare(spec Spec) (*Comparison, error) {
+	spec = spec.withDefaults()
+	on, off, err := RunPair(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{Spec: spec, On: on, Off: off, Violations: Violations(spec, on, off)}, nil
+}

@@ -1,0 +1,168 @@
+package scenarios
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTopoSpecBuild(t *testing.T) {
+	t.Parallel()
+	for _, ts := range MatrixTopologies() {
+		tp, prefix, err := ts.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", ts.Family, err)
+		}
+		if _, ok := tp.PrefixByName(prefix); !ok {
+			t.Fatalf("%s: prefix %q missing", ts.Family, prefix)
+		}
+	}
+	if _, _, err := (TopoSpec{Family: "nope"}).Build(); err == nil {
+		t.Fatal("unknown family must error")
+	}
+}
+
+func TestBuildEnvPicksSpreadableIngress(t *testing.T) {
+	t.Parallel()
+	for _, ts := range MatrixTopologies() {
+		tp, prefix, err := ts.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := buildEnv(tp, prefix)
+		if err != nil {
+			t.Fatalf("%s: %v", ts.Family, err)
+		}
+		ingress := tp.MustNode(e.primary)
+		if ingress == e.attach {
+			t.Fatalf("%s: ingress equals attachment", ts.Family)
+		}
+		deg := 0
+		for _, lid := range tp.OutLinks(ingress) {
+			if !tp.Node(tp.Link(lid).To).Host {
+				deg++
+			}
+		}
+		if deg < 2 {
+			t.Fatalf("%s: primary ingress %s has router degree %d < 2", ts.Family, e.primary, deg)
+		}
+		if e.pathCap <= 0 {
+			t.Fatalf("%s: path capacity %v", ts.Family, e.pathCap)
+		}
+		if e.hop1A != e.primary {
+			t.Fatalf("%s: first hop starts at %s, want %s", ts.Family, e.hop1A, e.primary)
+		}
+	}
+}
+
+func TestWavesDeterministicAndOverloading(t *testing.T) {
+	t.Parallel()
+	tp, prefix, err := (TopoSpec{Family: "ring", Size: 9}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := buildEnv(tp, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"surge", "flash", "ramp", "dual"} {
+		a, err := buildWaves(kind, e, 30*time.Second, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		b, _ := buildWaves(kind, e, 30*time.Second, 42)
+		aj, _ := json.Marshal(a)
+		bj, _ := json.Marshal(b)
+		if string(aj) != string(bj) {
+			t.Fatalf("%s: waves not deterministic", kind)
+		}
+		// The steady demand (hold-free waves plus long-hold arrivals) must
+		// exceed the primary path's capacity so plain IGP saturates.
+		var demand float64
+		for _, w := range a {
+			demand += float64(w.Flows) * w.Rate
+		}
+		if demand < 1.4*e.pathCap {
+			t.Fatalf("%s: total demand %.0f < 1.4x path capacity %.0f", kind, demand, e.pathCap)
+		}
+	}
+	if _, err := buildWaves("nope", e, 30*time.Second, 0); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+}
+
+func TestFailureSchedules(t *testing.T) {
+	t.Parallel()
+	tp, prefix, err := (TopoSpec{Family: "fig1"}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := buildEnv(tp, prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs, err := buildFailures("", e, 30*time.Second); err != nil || len(evs) != 0 {
+		t.Fatalf("none: %v %v", evs, err)
+	}
+	evs, err := buildFailures("flap", e, 30*time.Second)
+	if err != nil || len(evs) != 2 {
+		t.Fatalf("flap: %v %v", evs, err)
+	}
+	if evs[0].Up || !evs[1].Up || evs[1].At <= evs[0].At {
+		t.Fatalf("flap order wrong: %+v", evs)
+	}
+	if evs[0].A != e.hop1A || evs[0].B != e.hop1B {
+		t.Fatalf("flap targets %s-%s, want %s-%s", evs[0].A, evs[0].B, e.hop1A, e.hop1B)
+	}
+	if _, err := buildFailures("nope", e, 30*time.Second); err == nil {
+		t.Fatal("unknown failure schedule must error")
+	}
+}
+
+func TestMatrixShape(t *testing.T) {
+	t.Parallel()
+	specs := MatrixSpecs()
+	if len(specs) < 12 {
+		t.Fatalf("matrix has %d cells, want >= 12", len(specs))
+	}
+	families := map[string]bool{}
+	schedules := map[string]bool{}
+	names := map[string]bool{}
+	for _, s := range specs {
+		families[s.Topo.Family] = true
+		schedules[s.Workload+"+"+s.Failure] = true
+		if names[s.Name] {
+			t.Fatalf("duplicate cell name %q", s.Name)
+		}
+		names[s.Name] = true
+	}
+	if len(families) < 4 {
+		t.Fatalf("matrix spans %d topology families, want >= 4", len(families))
+	}
+	if len(schedules) < 3 {
+		t.Fatalf("matrix spans %d schedules, want >= 3", len(schedules))
+	}
+	if _, ok := SpecByName(specs[0].Name); !ok {
+		t.Fatalf("SpecByName cannot find %q", specs[0].Name)
+	}
+	if _, ok := SpecByName("no/such"); ok {
+		t.Fatal("SpecByName found a ghost")
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	t.Parallel()
+	rep := &Report{Scenario: "x", Controller: true, SettledUtilisation: 0.5,
+		LiesByPrefix: map[string]int{"blue": 3}, FirstHotAt: -1}
+	buf, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scenario != "x" || back.LiesByPrefix["blue"] != 3 || back.FirstHotAt != -1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,198 @@
+package scenarios
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"fibbing.net/fibbing/internal/flashcrowd"
+	"fibbing.net/fibbing/internal/spf"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// env is everything the workload builders derive from a built topology:
+// where the crowd enters, how much a single IGP path can carry, and which
+// link the failure schedules break.
+type env struct {
+	tp     *topo.Topology
+	prefix string
+	attach topo.NodeID
+
+	// primary is the crowd's main ingress: the router farthest from the
+	// attachment (ties broken by name) among routers with at least two
+	// router neighbors, so alternative paths exist to spread onto.
+	primary string
+	// secondary is the next-farthest distinct ingress (the "dual"
+	// workload's second source).
+	secondary string
+	// pathCap is the bottleneck capacity (bit/s) of the primary's
+	// shortest path towards the attachment: the capacity the IGP alone
+	// would funnel the whole crowd through.
+	pathCap float64
+	// hop1A/hop1B name the first link of that shortest path (the failure
+	// schedules' victim).
+	hop1A, hop1B string
+}
+
+// buildEnv analyses a topology for the workload generators.
+func buildEnv(tp *topo.Topology, prefix string) (*env, error) {
+	p, ok := tp.PrefixByName(prefix)
+	if !ok {
+		return nil, fmt.Errorf("scenarios: no prefix %q", prefix)
+	}
+	attach := p.Attachments[0].Node
+
+	// Distances from the attachment; links are symmetric so this equals
+	// the distance towards it.
+	g := spf.FromTopology(tp)
+	tree := spf.Compute(g, attach, nil)
+
+	type cand struct {
+		id   topo.NodeID
+		name string
+		dist int64
+	}
+	var cands []cand
+	for _, n := range tp.Nodes() {
+		if n.Host || n.ID == attach || !tree.Reachable(n.ID) {
+			continue
+		}
+		deg := 0
+		for _, lid := range tp.OutLinks(n.ID) {
+			if !tp.Node(tp.Link(lid).To).Host {
+				deg++
+			}
+		}
+		if deg < 2 {
+			continue // a stub router cannot spread anything
+		}
+		cands = append(cands, cand{n.ID, n.Name, tree.Dist[n.ID]})
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("scenarios: no viable ingress router (all stubs)")
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist > cands[j].dist
+		}
+		return cands[i].name < cands[j].name
+	})
+	e := &env{tp: tp, prefix: prefix, attach: attach, primary: cands[0].name}
+	if len(cands) > 1 {
+		e.secondary = cands[1].name
+	} else {
+		e.secondary = cands[0].name
+	}
+
+	// Bottleneck capacity and first hop of the primary's shortest path.
+	src := tp.MustNode(e.primary)
+	fromSrc := spf.Compute(g, src, nil)
+	paths := fromSrc.Paths(attach, 1)
+	if len(paths) == 0 || len(paths[0]) < 2 {
+		return nil, fmt.Errorf("scenarios: no path %s -> %s", e.primary, tp.Name(attach))
+	}
+	path := paths[0]
+	e.pathCap = math.Inf(1)
+	for i := 0; i+1 < len(path); i++ {
+		l, ok := tp.FindLink(path[i], path[i+1])
+		if !ok {
+			return nil, fmt.Errorf("scenarios: path link %s -> %s missing", tp.Name(path[i]), tp.Name(path[i+1]))
+		}
+		if l.Capacity > 0 && l.Capacity < e.pathCap {
+			e.pathCap = l.Capacity
+		}
+	}
+	if math.IsInf(e.pathCap, 1) {
+		return nil, fmt.Errorf("scenarios: shortest path from %s has no capacitated link", e.primary)
+	}
+	e.hop1A, e.hop1B = tp.Name(path[0]), tp.Name(path[1])
+	return e, nil
+}
+
+// videoRate sizes the per-session bitrate so ~25 sessions fill one path.
+func (e *env) videoRate() float64 { return e.pathCap / 25 }
+
+// flowsFor converts a fraction of the path capacity into a session count.
+func (e *env) flowsFor(fraction float64) int {
+	n := int(math.Round(fraction * e.pathCap / e.videoRate()))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// buildWaves produces the wave schedule of a workload kind. Every
+// workload overloads the primary ingress's single shortest path (total
+// demand ~1.7x its bottleneck capacity) so that plain IGP routing
+// saturates while the LP optimum — which may spread over the ingress's
+// other links — stays clearly below 1.
+func buildWaves(kind string, e *env, duration time.Duration, seed int64) ([]flashcrowd.Wave, error) {
+	rate := e.videoRate()
+	switch kind {
+	case "surge":
+		// The demo's shape: a scout flow, then two surges from the same
+		// ingress (1 / +N at 5 s / +M at 12 s).
+		return []flashcrowd.Wave{
+			{At: 1 * time.Second, Ingress: e.primary, Flows: 1, Rate: rate},
+			{At: 5 * time.Second, Ingress: e.primary, Flows: e.flowsFor(0.85), Rate: rate},
+			{At: 12 * time.Second, Ingress: e.primary, Flows: e.flowsFor(0.80), Rate: rate},
+		}, nil
+	case "flash":
+		// A persistent base plus a Poisson arrival burst with long mean
+		// holds: demand ramps continuously instead of stepping.
+		base := flashcrowd.Wave{At: 1 * time.Second, Ingress: e.primary, Flows: e.flowsFor(0.5), Rate: rate}
+		window := duration*3/5 - 2*time.Second
+		if window < 5*time.Second {
+			window = 5 * time.Second
+		}
+		target := float64(e.flowsFor(1.2)) // arrivals wanted over the window
+		arrivalRate := target / window.Seconds()
+		waves := flashcrowd.PoissonWaves(e.primary, window, arrivalRate, 25*time.Second, rate, seed)
+		for i := range waves {
+			waves[i].At += 2 * time.Second
+		}
+		return append([]flashcrowd.Wave{base}, waves...), nil
+	case "ramp":
+		// Five equal steps every 2.5 s: a steady ramp to ~1.75x.
+		var waves []flashcrowd.Wave
+		for i := 0; i < 5; i++ {
+			waves = append(waves, flashcrowd.Wave{
+				At:      3*time.Second + time.Duration(i)*2500*time.Millisecond,
+				Ingress: e.primary,
+				Flows:   e.flowsFor(0.35),
+				Rate:    rate,
+			})
+		}
+		return waves, nil
+	case "dual":
+		// Both ingresses surge, as in Figure 1b: overlap is only
+		// guaranteed on topologies like Fig1/Abilene where the two
+		// shortest paths share links.
+		return []flashcrowd.Wave{
+			{At: 1 * time.Second, Ingress: e.primary, Flows: 1, Rate: rate},
+			{At: 5 * time.Second, Ingress: e.primary, Flows: e.flowsFor(0.85), Rate: rate},
+			{At: 12 * time.Second, Ingress: e.secondary, Flows: e.flowsFor(0.85), Rate: rate},
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenarios: unknown workload %q", kind)
+	}
+}
+
+// buildFailures produces the failure schedule of a kind, aimed at the
+// primary ingress's shortest-path first hop.
+func buildFailures(kind string, e *env, duration time.Duration) ([]FailureEvent, error) {
+	switch kind {
+	case "":
+		return nil, nil
+	case "hotlink":
+		return []FailureEvent{{At: 14 * time.Second, A: e.hop1A, B: e.hop1B, Up: false}}, nil
+	case "flap":
+		return []FailureEvent{
+			{At: 14 * time.Second, A: e.hop1A, B: e.hop1B, Up: false},
+			{At: 19 * time.Second, A: e.hop1A, B: e.hop1B, Up: true},
+		}, nil
+	default:
+		return nil, fmt.Errorf("scenarios: unknown failure schedule %q", kind)
+	}
+}

@@ -21,6 +21,10 @@ const (
 	Infeasible
 	// Unbounded means the objective decreases without bound.
 	Unbounded
+	// Stalled means the solver hit its iteration bound without
+	// converging (numerical cycling on a degenerate basis). Callers
+	// treat it like any other failed solve and fall back.
+	Stalled
 )
 
 func (s SimplexStatus) String() string {
@@ -31,6 +35,8 @@ func (s SimplexStatus) String() string {
 		return "infeasible"
 	case Unbounded:
 		return "unbounded"
+	case Stalled:
+		return "stalled"
 	default:
 		return fmt.Sprintf("status(%d)", int(s))
 	}
@@ -86,7 +92,10 @@ func SolveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, Simpl
 	for j := n; j < total; j++ {
 		phase1[j] = 1
 	}
-	if !runSimplex(tab, basis, phase1, total) {
+	switch runSimplex(tab, basis, phase1, total) {
+	case simplexStalled:
+		return nil, 0, Stalled
+	case simplexUnbounded:
 		return nil, 0, Unbounded // cannot happen in phase 1, defensive
 	}
 	// Check feasibility.
@@ -124,7 +133,10 @@ func SolveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, Simpl
 	for j := n; j < total; j++ {
 		phase2[j] = math.Inf(1) // never re-enter
 	}
-	if !runSimplex(tab, basis, phase2, total) {
+	switch runSimplex(tab, basis, phase2, total) {
+	case simplexStalled:
+		return nil, 0, Stalled
+	case simplexUnbounded:
 		return nil, 0, Unbounded
 	}
 
@@ -141,14 +153,29 @@ func SolveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, Simpl
 	return x, obj, Optimal
 }
 
+// simplexOutcome is runSimplex's termination reason.
+type simplexOutcome int
+
+const (
+	simplexOptimal simplexOutcome = iota
+	simplexUnbounded
+	simplexStalled
+)
+
 // runSimplex performs primal simplex iterations on the tableau in place.
-// Returns false if the problem is unbounded.
-func runSimplex(tab [][]float64, basis []int, c []float64, total int) bool {
+func runSimplex(tab [][]float64, basis []int, c []float64, total int) simplexOutcome {
 	m := len(tab)
+	// Generous bound on pivots: Bland's rule terminates in exact
+	// arithmetic, but floating-point ties can stall large degenerate
+	// problems; those report Stalled rather than spinning forever.
+	limit := 200 * (m + total)
+	if limit < 200000 {
+		limit = 200000
+	}
 	// Reduced costs are computed on demand: z_j - c_j using the basis.
 	for iter := 0; ; iter++ {
-		if iter > 200000 {
-			panic("te: simplex iteration limit (cycling?)")
+		if iter > limit {
+			return simplexStalled
 		}
 		// Entering column (Bland: smallest index with negative reduced cost).
 		enter := -1
@@ -170,7 +197,7 @@ func runSimplex(tab [][]float64, basis []int, c []float64, total int) bool {
 			}
 		}
 		if enter == -1 {
-			return true // optimal
+			return simplexOptimal
 		}
 		// Leaving row (Bland: min ratio, ties by smallest basis index).
 		leave := -1
@@ -186,7 +213,7 @@ func runSimplex(tab [][]float64, basis []int, c []float64, total int) bool {
 			}
 		}
 		if leave == -1 {
-			return false // unbounded
+			return simplexUnbounded
 		}
 		pivot(tab, basis, leave, enter, total)
 	}

@@ -1,0 +1,127 @@
+package topo
+
+import (
+	"testing"
+)
+
+// checkGenerated asserts the invariants every generator must uphold:
+// Validate-clean (which includes router connectivity), strictly positive
+// capacities, weights >= 1 and at least one attached prefix.
+func checkGenerated(t *testing.T, tp *Topology) {
+	t.Helper()
+	if err := tp.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	for _, l := range tp.Links() {
+		if l.Capacity <= 0 {
+			t.Fatalf("link %s->%s has capacity %v", tp.Name(l.From), tp.Name(l.To), l.Capacity)
+		}
+		if l.Weight < 1 {
+			t.Fatalf("link %s->%s has weight %d", tp.Name(l.From), tp.Name(l.To), l.Weight)
+		}
+		if l.Reverse == NoLink {
+			t.Fatalf("link %s->%s is unidirectional", tp.Name(l.From), tp.Name(l.To))
+		}
+	}
+	if len(tp.Prefixes()) == 0 {
+		t.Fatal("no prefixes attached")
+	}
+}
+
+// checkDeterministic builds via gen twice and compares the canonical
+// textual rendering, which covers nodes, links, weights, capacities and
+// prefixes.
+func checkDeterministic(t *testing.T, gen func() *Topology) {
+	t.Helper()
+	a, b := gen().String(), gen().String()
+	if a != b {
+		t.Fatalf("generator not deterministic:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+const propertySeeds = 50
+
+func TestFatTreeProperties(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < propertySeeds; seed++ {
+		tp := FatTree(FatTreeOpts{K: 4, MaxWeight: 3, Seed: seed})
+		checkGenerated(t, tp)
+		if got := tp.NumNodes(); got != 20 {
+			t.Fatalf("seed %d: k=4 fat-tree has %d nodes, want 20", seed, got)
+		}
+		// 4 core links per pod + 4 intra-pod links per pod, symmetric.
+		if got := tp.NumLinks(); got != 2*(4*4+4*4) {
+			t.Fatalf("seed %d: k=4 fat-tree has %d directed links, want 64", seed, got)
+		}
+		checkDeterministic(t, func() *Topology {
+			return FatTree(FatTreeOpts{K: 4, MaxWeight: 3, Seed: seed})
+		})
+	}
+}
+
+func TestFatTreeArities(t *testing.T) {
+	t.Parallel()
+	for _, k := range []int{2, 4, 6, 8} {
+		tp := FatTree(FatTreeOpts{K: k})
+		checkGenerated(t, tp)
+		want := (k/2)*(k/2) + k*k // cores + k pods of k switches
+		if got := tp.NumNodes(); got != want {
+			t.Fatalf("k=%d: %d nodes, want %d", k, got, want)
+		}
+	}
+}
+
+func TestRingProperties(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < propertySeeds; seed++ {
+		n := 3 + int(seed%14)
+		tp := Ring(RingOpts{N: n, MaxWeight: 4, Seed: seed, Chords: int(seed % 3)})
+		checkGenerated(t, tp)
+		if got := tp.NumNodes(); got != n {
+			t.Fatalf("seed %d: %d nodes, want %d", seed, got, n)
+		}
+		if got := tp.NumLinks(); got < 2*n {
+			t.Fatalf("seed %d: %d directed links < cycle minimum %d", seed, got, 2*n)
+		}
+		checkDeterministic(t, func() *Topology {
+			return Ring(RingOpts{N: n, MaxWeight: 4, Seed: seed, Chords: int(seed % 3)})
+		})
+	}
+}
+
+func TestWaxmanProperties(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < propertySeeds; seed++ {
+		n := 8 + int(seed%17)
+		tp := Waxman(WaxmanOpts{Nodes: n, MaxWeight: 5, Seed: seed})
+		checkGenerated(t, tp)
+		if got := tp.NumNodes(); got != n {
+			t.Fatalf("seed %d: %d nodes, want %d", seed, got, n)
+		}
+		checkDeterministic(t, func() *Topology {
+			return Waxman(WaxmanOpts{Nodes: n, MaxWeight: 5, Seed: seed})
+		})
+	}
+}
+
+func TestRandomConnectedProperties(t *testing.T) {
+	t.Parallel()
+	for seed := int64(0); seed < propertySeeds; seed++ {
+		o := RandomOpts{Nodes: 6 + int(seed%20), Degree: 3, MaxWeight: 5, Prefixes: 2, Seed: seed}
+		checkGenerated(t, RandomConnected(o))
+		checkDeterministic(t, func() *Topology { return RandomConnected(o) })
+	}
+}
+
+func TestGridProperties(t *testing.T) {
+	t.Parallel()
+	for i := 0; i < propertySeeds; i++ {
+		n, m := 1+i%7, 2+i%5
+		tp := Grid(n, m, 10e6)
+		checkGenerated(t, tp)
+		if got := tp.NumNodes(); got != n*m {
+			t.Fatalf("%dx%d grid: %d nodes", n, m, got)
+		}
+		checkDeterministic(t, func() *Topology { return Grid(n, m, 10e6) })
+	}
+}

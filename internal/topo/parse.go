@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"net/netip"
 	"strconv"
 	"strings"
@@ -95,6 +96,9 @@ func (t *Topology) parseLink(f []string) error {
 	b, ok := t.byName[f[2]]
 	if !ok {
 		return fmt.Errorf("unknown node %q", f[2])
+	}
+	if a == b {
+		return fmt.Errorf("self-loop link on %q", f[1])
 	}
 	weight := int64(1)
 	opts := LinkOpts{}
@@ -225,7 +229,9 @@ func ParseBits(s string) (float64, error) {
 		}
 	}
 	v, err := strconv.ParseFloat(s, 64)
-	if err != nil || v < 0 {
+	// Reject non-finite values after the multiplier: a huge mantissa can
+	// overflow to +Inf only once the suffix is applied.
+	if err != nil || v < 0 || math.IsNaN(v) || math.IsInf(v*mult, 0) {
 		return 0, fmt.Errorf("bad bandwidth %q", s)
 	}
 	return v * mult, nil
