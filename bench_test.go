@@ -15,6 +15,7 @@ import (
 	"fibbing.net/fibbing/internal/fibbing"
 	"fibbing.net/fibbing/internal/ospf"
 	"fibbing.net/fibbing/internal/scenarios"
+	"fibbing.net/fibbing/internal/spf"
 	"fibbing.net/fibbing/internal/te"
 	"fibbing.net/fibbing/internal/topo"
 )
@@ -229,6 +230,102 @@ func BenchmarkLPScaling(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+		})
+	}
+}
+
+// --- Delta-pipeline benchmarks ------------------------------------------
+
+// BenchmarkIncrementalVsFull measures the cost of reacting to a single
+// link-weight change across the topology zoo: recompute every router's
+// SPF tree, either from scratch (full Dijkstra per router — the
+// pre-delta-pipeline behaviour) or by patching the previous trees with
+// spf.Incremental. The committed baseline records the speedup the CI
+// bench gate protects (the acceptance bar is >= 5x on fattree8).
+func BenchmarkIncrementalVsFull(b *testing.B) {
+	cases := []struct {
+		name  string
+		build func() *topo.Topology
+		// reps repeats the all-routers recompute inside one op so a
+		// single -benchtime 1x shot (the committed baseline) is long
+		// enough to time reliably. Identical on both sides, so the
+		// full/incremental ratio is unaffected.
+		reps int
+	}{
+		{"fig1", func() *topo.Topology { return topo.Fig1(topo.Fig1Opts{}) }, 500},
+		{"abilene", func() *topo.Topology { return topo.Abilene(10e6, time.Millisecond) }, 200},
+		{"fattree8", func() *topo.Topology {
+			return topo.FatTree(topo.FatTreeOpts{K: 8, Capacity: 10e6, MaxWeight: 3, Seed: 2})
+		}, 5},
+		{"ring64", func() *topo.Topology { return topo.Ring(topo.RingOpts{N: 64, Capacity: 10e6, Chords: 4, Seed: 1}) }, 20},
+		{"waxman200", func() *topo.Topology {
+			return topo.Waxman(topo.WaxmanOpts{Nodes: 200, Capacity: 10e6, MaxWeight: 5, Seed: 7})
+		}, 1},
+	}
+	for _, tc := range cases {
+		tc := tc
+		tp := tc.build()
+		skip := spf.HostSkip(tp)
+		var routers []topo.NodeID
+		for _, n := range tp.Nodes() {
+			if !n.Host {
+				routers = append(routers, n.ID)
+			}
+		}
+		// Previous trees, computed on the unmodified graph.
+		before := spf.FromTopology(tp)
+		prev := make(map[topo.NodeID]*spf.Tree, len(routers))
+		for _, src := range routers {
+			prev[src] = spf.Compute(before, src, skip)
+		}
+		// The change: bump one core link's weight (both directions).
+		var link topo.Link
+		for _, l := range tp.Links() {
+			if !tp.Node(l.From).Host && !tp.Node(l.To).Host {
+				link = l
+				break
+			}
+		}
+		tp.SetWeight(link.ID, link.Weight+1)
+		if link.Reverse != topo.NoLink {
+			tp.SetWeight(link.Reverse, link.Weight+1)
+		}
+		after := spf.FromTopology(tp)
+		changes := []spf.GraphChange{
+			{From: link.From, To: link.To},
+			{From: link.To, To: link.From},
+		}
+
+		b.Run(tc.name+"/full", func(b *testing.B) {
+			for _, src := range routers {
+				spf.Compute(after, src, skip) // warm allocator + caches
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < tc.reps; r++ {
+					for _, src := range routers {
+						spf.Compute(after, src, skip)
+					}
+				}
+			}
+		})
+		b.Run(tc.name+"/incremental", func(b *testing.B) {
+			for _, src := range routers {
+				spf.Incremental(after, prev[src], changes, skip) // warm up
+			}
+			b.ResetTimer()
+			fulls := 0
+			for i := 0; i < b.N; i++ {
+				for r := 0; r < tc.reps; r++ {
+					for _, src := range routers {
+						_, _, full := spf.Incremental(after, prev[src], changes, skip)
+						if full {
+							fulls++
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(fulls)/float64(b.N*tc.reps), "fallbacks/op")
 		})
 	}
 }

@@ -3,6 +3,15 @@
 // diffed across PRs:
 //
 //	go test -run '^$' -bench . -benchmem -benchtime 1x . | go run ./cmd/benchjson -o BENCH_baseline.json
+//
+// With -baseline it becomes a regression gate instead: benchmarks on
+// stdin whose names match -gate are compared against the committed
+// baseline, and the command fails when ns/op regressed by more than
+// -max-ratio. Run the benchmark with -count > 1 and the best of the
+// repeats is compared, which keeps single-shot scheduler noise out of CI:
+//
+//	go test -run '^$' -bench IncrementalVsFull -benchtime 1x -count 5 . |
+//	  go run ./cmd/benchjson -baseline BENCH_baseline.json -gate '/incremental$' -max-ratio 2
 package main
 
 import (
@@ -11,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -33,6 +43,9 @@ type Baseline struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	baselinePath := flag.String("baseline", "", "gate mode: compare stdin against this committed baseline instead of converting")
+	gate := flag.String("gate", ".", "gate mode: regexp selecting which benchmark names are checked")
+	maxRatio := flag.Float64("max-ratio", 2.0, "gate mode: fail when ns/op exceeds baseline by more than this factor")
 	flag.Parse()
 
 	base := Baseline{}
@@ -65,6 +78,10 @@ func main() {
 	}
 	stripProcsSuffix(base.Benchmarks)
 
+	if *baselinePath != "" {
+		os.Exit(gateAgainstBaseline(base, *baselinePath, *gate, *maxRatio))
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -81,6 +98,70 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// gateAgainstBaseline compares the current run (best ns/op per name over
+// -count repeats) against the committed baseline and returns the exit
+// code: 1 when any gated benchmark regressed beyond maxRatio, 0 otherwise.
+// Gated benchmarks missing from either side fail too — a silently dropped
+// benchmark must not pass the gate.
+func gateAgainstBaseline(cur Baseline, path, gate string, maxRatio float64) int {
+	re, err := regexp.Compile(gate)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: bad -gate: %v\n", err)
+		return 2
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		return 2
+	}
+	best := make(map[string]float64)
+	for _, b := range cur.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok || !re.MatchString(b.Name) {
+			continue
+		}
+		if old, seen := best[b.Name]; !seen || ns < old {
+			best[b.Name] = ns
+		}
+	}
+	failed := false
+	matchedBase := 0
+	for _, b := range base.Benchmarks {
+		ns, ok := b.Metrics["ns/op"]
+		if !ok || !re.MatchString(b.Name) {
+			continue
+		}
+		matchedBase++
+		got, ok := best[b.Name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: in baseline but not in this run\n", b.Name)
+			failed = true
+			continue
+		}
+		ratio := got / ns
+		status := "ok"
+		if got > ns*maxRatio {
+			status = "GATE FAIL"
+			failed = true
+		}
+		fmt.Printf("benchjson: %-9s %-60s %12.0f ns/op vs baseline %12.0f (%.2fx, limit %.1fx)\n",
+			status, b.Name, got, ns, ratio, maxRatio)
+	}
+	if matchedBase == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL: no baseline benchmark matches %q\n", gate)
+		return 1
+	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 // parseBench parses one result line:

@@ -30,6 +30,7 @@ func main() {
 		list     = flag.Bool("list", false, "list the matrix cells and exit")
 		run      = flag.String("run", "", "run one matrix cell by name (e.g. ring/surge)")
 		matrix   = flag.Bool("matrix", false, "run the full scenario matrix")
+		scale    = flag.Bool("scale", false, "run the large-topology scaling cells (controller on), reporting wall-clock and events executed")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of text")
 		duration = flag.Duration("duration", 0, "override the scenario duration")
 
@@ -45,6 +46,11 @@ func main() {
 		for _, s := range scenarios.MatrixSpecs() {
 			fmt.Println(s.Name)
 		}
+		return
+	}
+
+	if *scale {
+		runScale(*duration, *jsonOut)
 		return
 	}
 
@@ -106,5 +112,44 @@ func main() {
 	if failed {
 		fmt.Fprintln(os.Stderr, "fiblab: invariant violations (see above)")
 		os.Exit(1)
+	}
+}
+
+// scaleResult is one scaling cell's cost record.
+type scaleResult struct {
+	Report    *scenarios.Report `json:"report"`
+	WallClock float64           `json:"wall_clock_seconds"`
+}
+
+// runScale executes the large-topology cells (controller on, no
+// counterfactual side: these measure cost, not invariants) and prints
+// per-cell wall-clock and scheduler events executed.
+func runScale(duration time.Duration, jsonOut bool) {
+	var results []scaleResult
+	for _, spec := range scenarios.ScaleSpecs() {
+		if duration > 0 {
+			spec.Duration = duration
+		}
+		start := time.Now()
+		rep, err := scenarios.Run(spec, true)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		results = append(results, scaleResult{Report: rep, WallClock: wall.Seconds()})
+		if !jsonOut {
+			fmt.Printf("%-16s wall=%8.2fs events=%9d spf=%d inc/%d full settled=%.2f lies=%d\n",
+				spec.Name, wall.Seconds(), rep.Events,
+				rep.SPFIncrementalRuns, rep.SPFFullRuns, rep.SettledUtilisation, rep.Lies)
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -24,4 +24,5 @@
 //	go run ./cmd/fibsim              # analytic what-if for any topology
 //	go run ./cmd/fibbingd            # live demo daemon with real SNMP/UDP
 //	go run ./cmd/fiblab -matrix      # the scenario-matrix stress harness
+//	go run ./cmd/fiblab -scale       # large-topology cells with cost telemetry
 package fibbing

@@ -26,6 +26,12 @@ import (
 // the same value.
 const DefaultTargetUtilisation = 0.75
 
+// DefaultMaxLPRouters is the default topology-size bound for LP-based
+// machinery (the tier-2 reaction here, the LP reporting bound in
+// internal/scenarios): the dense simplex is vastly superlinear in
+// routers x links and stalls the control loop beyond this size.
+const DefaultMaxLPRouters = 48
+
 // Config parameterises the controller's policy.
 type Config struct {
 	// TargetUtilisation is the post-reaction utilisation the controller
@@ -40,6 +46,10 @@ type Config struct {
 	// utilisation (monitor clear alarms), lies are withdrawn
 	// (default 0.2).
 	WithdrawBelow float64
+	// MaxLPRouters bounds the topology size for the tier-2 LP reaction
+	// (default DefaultMaxLPRouters); on larger networks the controller
+	// stays with local equal-cost spreading.
+	MaxLPRouters int
 }
 
 func (c Config) withDefaults() Config {
@@ -51,6 +61,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.WithdrawBelow <= 0 {
 		c.WithdrawBelow = 0.2
+	}
+	if c.MaxLPRouters <= 0 {
+		c.MaxLPRouters = DefaultMaxLPRouters
 	}
 	return c
 }
@@ -220,37 +233,65 @@ func (c *Controller) reactForPrefix(prefix string, demands []topo.Demand, a moni
 	hot := c.topo.Link(a.Link)
 	localLies, localUtil, localOK := c.localSpread(prefix, demands, hot.From)
 	if localOK && localUtil <= c.cfg.TargetUtilisation {
-		changed, err := c.lies.Apply(prefix, localLies)
+		delta, err := c.lies.Apply(prefix, localLies)
 		if err != nil {
 			return err
 		}
-		if changed {
+		if !delta.Empty() {
 			c.log(prefix, "local-ecmp", len(localLies),
 				fmt.Sprintf("ECMP at %s after %s hit %.0f%%", c.topo.Name(hot.From), a.Name, 100*a.Utilisation))
 		}
 		return nil
 	}
 
-	// Tier 2: LP-optimal splits.
+	// Tier 3 (shared by both paths below): a local spread that strictly
+	// improves the predicted utilisation is better than nothing.
+	localFallback := func(reason string) (bool, error) {
+		if !localOK || localUtil >= current-1e-9 {
+			return false, nil
+		}
+		delta, err := c.lies.Apply(prefix, localLies)
+		if err != nil {
+			return false, err
+		}
+		if !delta.Empty() {
+			c.log(prefix, "local-ecmp-fallback", len(localLies),
+				fmt.Sprintf("%s; ECMP at %s cuts predicted util to %.2f",
+					reason, c.topo.Name(hot.From), localUtil))
+		}
+		return true, nil
+	}
+
+	// Tier 2: LP-optimal splits, guarded by topology size: beyond the
+	// bound the dense simplex would stall the control loop.
+	if n := c.routerCount(); n > c.cfg.MaxLPRouters {
+		_, err := localFallback(fmt.Sprintf("%d routers exceed the LP bound (%d)", n, c.cfg.MaxLPRouters))
+		return err
+	}
 	if err := c.applyOptimal(prefix, demands, a); err != nil {
-		// Tier 3: the optimum cannot be realised on this topology (e.g.
-		// the augmentation would loop). A local spread that strictly
-		// improves the predicted utilisation is better than nothing.
-		if localOK && localUtil < current-1e-9 {
-			changed, aerr := c.lies.Apply(prefix, localLies)
-			if aerr != nil {
-				return aerr
-			}
-			if changed {
-				c.log(prefix, "local-ecmp-fallback", len(localLies),
-					fmt.Sprintf("optimum unrealisable (%v); ECMP at %s cuts predicted util to %.2f",
-						err, c.topo.Name(hot.From), localUtil))
-			}
+		// The optimum cannot be realised on this topology (e.g. the
+		// augmentation would loop).
+		applied, aerr := localFallback(fmt.Sprintf("optimum unrealisable (%v)", err))
+		if aerr != nil {
+			return aerr
+		}
+		if applied {
 			return nil
 		}
 		return err
 	}
 	return nil
+}
+
+// routerCount returns the number of non-host nodes.
+func (c *Controller) routerCount() int {
+	n := 0
+	for _, node := range c.topo.Nodes() {
+		if !node.Host {
+			n++
+		}
+	}
+	return n
 }
 
 // applyOptimal is the tier-2 reaction: solve the min-max LP, quantise the
@@ -287,11 +328,11 @@ func (c *Controller) applyOptimal(prefix string, demands []topo.Demand, a monito
 	if err := fibbing.Verify(c.topo, prefix, aug.Lies, dag); err != nil {
 		return fmt.Errorf("refusing unverifiable augmentation: %w", err)
 	}
-	changed, err := c.lies.Apply(prefix, aug.Lies)
+	delta, err := c.lies.Apply(prefix, aug.Lies)
 	if err != nil {
 		return err
 	}
-	if changed {
+	if !delta.Empty() {
 		c.log(prefix, strategy, len(aug.Lies),
 			fmt.Sprintf("θ*=%.3f after %s hit %.0f%%", opt.MaxUtilisation, a.Name, 100*a.Utilisation))
 	}

@@ -81,7 +81,9 @@ func NewSim(o SimOpts) (*Sim, error) {
 	s := &Sim{Topo: o.Topology, Sched: event.NewScheduler()}
 	s.Net = netsim.New(s.Topo, s.Sched, o.SampleEvery)
 	s.Domain = ospf.NewDomain(s.Topo, s.Sched, ospf.Config{})
-	s.Domain.OnFIBChange = func(n topo.NodeID, t *fib.Table) { s.Net.SetTable(n, t) }
+	// The delta pipeline end to end: routers emit FIB diffs, the data
+	// plane re-paths only flows whose destinations actually changed.
+	s.Domain.OnFIBDelta = func(n topo.NodeID, t *fib.Table, d *fib.Diff) { s.Net.ApplyDiff(n, t, d) }
 
 	mib := snmp.NewMIB()
 	snmp.BindIFMIB(mib, s.Net, topo.NoNode)

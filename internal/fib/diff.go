@@ -1,0 +1,173 @@
+package fib
+
+// This file is the FIB half of the delta pipeline: routers emit Diffs
+// (per-prefix route changes) instead of whole tables, tables apply them,
+// and the data plane asks a Diff which destinations lost or changed their
+// next hops so it can re-path only the flows that care.
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// RouteChange is one FIB entry mutation: an upsert of Route, or the
+// removal of Prefix when Remove is set.
+type RouteChange struct {
+	Prefix netip.Prefix
+	Route  Route // ignored when Remove
+	Remove bool
+}
+
+// Diff is an ordered batch of route changes for one router's table.
+type Diff struct {
+	Router  topo.NodeID
+	Changes []RouteChange
+}
+
+// Empty reports whether the diff carries no changes.
+func (d *Diff) Empty() bool { return d == nil || len(d.Changes) == 0 }
+
+// Upsert appends an install/replace change.
+func (d *Diff) Upsert(r Route) {
+	d.Changes = append(d.Changes, RouteChange{Prefix: r.Prefix, Route: r})
+}
+
+// Delete appends a removal change.
+func (d *Diff) Delete(p netip.Prefix) {
+	d.Changes = append(d.Changes, RouteChange{Prefix: p, Remove: true})
+}
+
+// String renders the diff for logs: "+prefix via ..." / "-prefix".
+func (d *Diff) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fib diff @%d:", d.Router)
+	for _, c := range d.Changes {
+		if c.Remove {
+			fmt.Fprintf(&b, " -%v", c.Prefix)
+		} else {
+			fmt.Fprintf(&b, " +%v", c.Prefix)
+		}
+	}
+	return b.String()
+}
+
+// Equal reports whether two routes are identical entry for entry. Both
+// routes must be Normalized (Install normalizes), which Table guarantees
+// for every stored route.
+func (r Route) Equal(o Route) bool {
+	if r.Prefix != o.Prefix || r.Distance != o.Distance || r.Local != o.Local ||
+		len(r.NextHops) != len(o.NextHops) {
+		return false
+	}
+	for i := range r.NextHops {
+		if r.NextHops[i] != o.NextHops[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a table with the same router identity, salt, and routes.
+// Route values are copied (next-hop slices included), so mutating the
+// clone never perturbs snapshots of the original held by observers.
+func (t *Table) Clone() *Table {
+	c := NewTable(t.Router)
+	c.Salt = t.Salt
+	t.lpm.Walk(func(p netip.Prefix, r Route) bool {
+		r.NextHops = append([]NextHop(nil), r.NextHops...)
+		c.lpm.Insert(p, r)
+		return true
+	})
+	return c
+}
+
+// ApplyDiff applies every change in order. Upserts are validated like
+// Install; removals of absent prefixes are no-ops.
+func (t *Table) ApplyDiff(d *Diff) error {
+	if d.Empty() {
+		return nil
+	}
+	for _, c := range d.Changes {
+		if c.Remove {
+			t.lpm.Remove(c.Prefix)
+			continue
+		}
+		if err := t.Install(c.Route); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DiffTables returns the changes that turn old into new (both walked in
+// prefix order, so the diff is deterministic). Either table may be nil,
+// meaning empty.
+func DiffTables(router topo.NodeID, old, new *Table) *Diff {
+	d := &Diff{Router: router}
+	var oldRoutes, newRoutes []Route
+	if old != nil {
+		oldRoutes = old.Routes()
+	}
+	if new != nil {
+		newRoutes = new.Routes()
+	}
+	i, j := 0, 0
+	for i < len(oldRoutes) && j < len(newRoutes) {
+		a, b := oldRoutes[i], newRoutes[j]
+		switch {
+		case a.Prefix == b.Prefix:
+			if !a.Equal(b) {
+				d.Upsert(b)
+			}
+			i++
+			j++
+		case prefixLess(a.Prefix, b.Prefix):
+			d.Delete(a.Prefix)
+			i++
+		default:
+			d.Upsert(b)
+			j++
+		}
+	}
+	for ; i < len(oldRoutes); i++ {
+		d.Delete(oldRoutes[i].Prefix)
+	}
+	for ; j < len(newRoutes); j++ {
+		d.Upsert(newRoutes[j])
+	}
+	return d
+}
+
+func prefixLess(a, b netip.Prefix) bool {
+	if a.Addr() != b.Addr() {
+		return a.Addr().Less(b.Addr())
+	}
+	return a.Bits() < b.Bits()
+}
+
+// Affects reports whether a flow towards dst could have changed its next
+// hop at this router: some changed prefix covers dst and is at least as
+// specific as dst's current longest match in t (the post-diff table). A
+// removed more-specific prefix shifts dst to a shorter match; a changed
+// prefix shorter than the current match never wins the LPM and is
+// irrelevant.
+func (d *Diff) Affects(t *Table, dst netip.Addr) bool {
+	if d.Empty() {
+		return false
+	}
+	curBits := -1
+	if t != nil {
+		if _, p, ok := t.lpm.Lookup(dst); ok {
+			curBits = p.Bits()
+		}
+	}
+	for _, c := range d.Changes {
+		if c.Prefix.Contains(dst) && c.Prefix.Bits() >= curBits {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,114 @@
+package fib
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+func TestDiffTablesAndApply(t *testing.T) {
+	old := NewTable(1)
+	for _, r := range []Route{
+		{Prefix: mustPrefix("10.0.0.0/16"), NextHops: []NextHop{{Node: 2, Link: 1, Weight: 1}}, Distance: 5},
+		{Prefix: mustPrefix("10.1.0.0/16"), NextHops: []NextHop{{Node: 3, Link: 2, Weight: 2}}, Distance: 7},
+		{Prefix: mustPrefix("10.2.0.0/16"), Local: true},
+	} {
+		if err := old.Install(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	new := NewTable(1)
+	for _, r := range []Route{
+		// 10.0/16 unchanged, 10.1/16 reweighted, 10.2/16 gone, 10.3/16 added.
+		{Prefix: mustPrefix("10.0.0.0/16"), NextHops: []NextHop{{Node: 2, Link: 1, Weight: 1}}, Distance: 5},
+		{Prefix: mustPrefix("10.1.0.0/16"), NextHops: []NextHop{{Node: 3, Link: 2, Weight: 5}}, Distance: 7},
+		{Prefix: mustPrefix("10.3.0.0/16"), NextHops: []NextHop{{Node: 4, Link: 3, Weight: 1}}, Distance: 2},
+	} {
+		if err := new.Install(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	d := DiffTables(1, old, new)
+	if len(d.Changes) != 3 {
+		t.Fatalf("diff has %d changes, want 3: %v", len(d.Changes), d)
+	}
+	applied := old.Clone()
+	if err := applied.ApplyDiff(d); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := applied.String(), new.String(); got != want {
+		t.Fatalf("applied table:\n%s\nwant:\n%s", got, want)
+	}
+	// The original must be untouched by the clone's mutation.
+	if _, ok := old.Get(mustPrefix("10.3.0.0/16")); ok {
+		t.Fatal("Clone aliases the original table")
+	}
+	if !DiffTables(1, new, applied).Empty() {
+		t.Fatal("tables differ after applying their own diff")
+	}
+	if !DiffTables(1, new, new).Empty() {
+		t.Fatal("self-diff not empty")
+	}
+}
+
+func TestDiffTablesNilOld(t *testing.T) {
+	new := NewTable(9)
+	if err := new.Install(Route{Prefix: mustPrefix("10.0.0.0/8"), Local: true}); err != nil {
+		t.Fatal(err)
+	}
+	d := DiffTables(9, nil, new)
+	if len(d.Changes) != 1 || d.Changes[0].Remove {
+		t.Fatalf("nil-old diff: %v", d)
+	}
+	fresh := NewTable(9)
+	if err := fresh.ApplyDiff(d); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.String() != new.String() {
+		t.Fatal("diff from nil does not rebuild the table")
+	}
+}
+
+func TestDiffAffects(t *testing.T) {
+	tbl := NewTable(1)
+	if err := tbl.Install(Route{Prefix: mustPrefix("10.0.0.0/8"), NextHops: []NextHop{{Node: 2, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Install(Route{Prefix: mustPrefix("10.1.0.0/16"), NextHops: []NextHop{{Node: 3, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	inTen1 := netip.MustParseAddr("10.1.2.3")
+	inTen9 := netip.MustParseAddr("10.9.2.3")
+	outside := netip.MustParseAddr("192.168.0.1")
+
+	moreSpecific := &Diff{Changes: []RouteChange{{Prefix: mustPrefix("10.1.0.0/16")}}}
+	if !moreSpecific.Affects(tbl, inTen1) {
+		t.Fatal("change to the current LPM match must affect the flow")
+	}
+	if moreSpecific.Affects(tbl, inTen9) {
+		t.Fatal("change to a non-covering prefix must not affect the flow")
+	}
+	lessSpecific := &Diff{Changes: []RouteChange{{Prefix: mustPrefix("10.0.0.0/8")}}}
+	if lessSpecific.Affects(tbl, inTen1) {
+		t.Fatal("change shadowed by a more-specific match must not affect the flow")
+	}
+	if !lessSpecific.Affects(tbl, inTen9) {
+		t.Fatal("change to the covering /8 must affect flows matched by it")
+	}
+	// A removed more-specific prefix shifts the flow to the /8: the diff
+	// names the removed prefix, which is more specific than the new match.
+	removed := &Diff{Changes: []RouteChange{{Prefix: mustPrefix("10.9.0.0/16"), Remove: true}}}
+	if !removed.Affects(tbl, inTen9) {
+		t.Fatal("removal of the previous LPM match must affect the flow")
+	}
+	if removed.Affects(tbl, outside) {
+		t.Fatal("unrelated destination affected")
+	}
+	var empty *Diff
+	if empty.Affects(tbl, inTen1) || !empty.Empty() {
+		t.Fatal("nil diff affects nothing")
+	}
+}

@@ -6,6 +6,12 @@
 // load-balancing: a router that computed three equal-cost paths, two of
 // which resolve to the same physical next hop, installs that next hop with
 // Weight 2 and splits traffic 2/3 : 1/3 with plain ECMP hashing.
+//
+// Tables also move by delta (diff.go): routers emit Diffs (per-prefix
+// RouteChanges), ApplyDiff patches a table in place, DiffTables derives
+// the delta between two tables, and Diff.Affects tells the data plane
+// whether a destination's forwarding could have changed — the key to
+// re-pathing only the flows a routing change touched.
 package fib
 
 import (

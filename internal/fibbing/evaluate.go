@@ -50,10 +50,6 @@ func Evaluate(t *topo.Topology, prefixName string, lies []Lie) (map[topo.NodeID]
 		g.AddEdge(l.Attach, spf.Edge{To: idx, Weight: l.Cost, Link: topo.NoLink})
 		lieNode[idx] = l
 	}
-	isHost := func(n topo.NodeID) bool {
-		return int(n) < t.NumNodes() && t.Node(n).Host
-	}
-
 	attached := make(map[topo.NodeID]int64, len(p.Attachments))
 	for _, a := range p.Attachments {
 		attached[a.Node] = a.Cost
@@ -69,7 +65,7 @@ func Evaluate(t *topo.Topology, prefixName string, lies []Lie) (map[topo.NodeID]
 			out[u] = RouteView{Local: true, NextHops: NextHopWeights{}}
 			continue
 		}
-		tree := spf.Compute(g, u, isHost)
+		tree := spf.ComputeRouters(g, t, u)
 
 		best := spf.Infinity
 		for a, cost := range attached {

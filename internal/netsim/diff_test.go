@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/fib"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// diamondTopo builds s -> {u, v} -> d with a prefix at d, so s has two
+// candidate next hops towards it.
+func diamondTopo() *topo.Topology {
+	t := topo.New()
+	s := t.AddNode("s")
+	u := t.AddNode("u")
+	v := t.AddNode("v")
+	d := t.AddNode("d")
+	t.AddLink(s, u, 1, topo.LinkOpts{Capacity: 10e6})
+	t.AddLink(s, v, 1, topo.LinkOpts{Capacity: 10e6})
+	t.AddLink(u, d, 1, topo.LinkOpts{Capacity: 10e6})
+	t.AddLink(v, d, 1, topo.LinkOpts{Capacity: 10e6})
+	t.AddPrefix(mustPfx("10.50.0.0/16"), "dst", topo.Attachment{Node: d})
+	t.AddPrefix(mustPfx("10.60.0.0/16"), "other", topo.Attachment{Node: d})
+	return t
+}
+
+func diamondTables(t *testing.T, tp *topo.Topology, via string) map[topo.NodeID]*fib.Table {
+	t.Helper()
+	s, d := tp.MustNode("s"), tp.MustNode("d")
+	mid := tp.MustNode(via)
+	l1, _ := tp.FindLink(s, mid)
+	l2, _ := tp.FindLink(mid, d)
+	ts := fib.NewTable(s)
+	tm := fib.NewTable(mid)
+	td := fib.NewTable(d)
+	for _, err := range []error{
+		ts.Install(fib.Route{Prefix: mustPfx("10.50.0.0/16"), NextHops: []fib.NextHop{{Node: mid, Link: l1.ID, Weight: 1}}}),
+		ts.Install(fib.Route{Prefix: mustPfx("10.60.0.0/16"), NextHops: []fib.NextHop{{Node: mid, Link: l1.ID, Weight: 1}}}),
+		tm.Install(fib.Route{Prefix: mustPfx("10.50.0.0/16"), NextHops: []fib.NextHop{{Node: d, Link: l2.ID, Weight: 1}}}),
+		tm.Install(fib.Route{Prefix: mustPfx("10.60.0.0/16"), NextHops: []fib.NextHop{{Node: d, Link: l2.ID, Weight: 1}}}),
+		td.Install(fib.Route{Prefix: mustPfx("10.50.0.0/16"), Local: true}),
+		td.Install(fib.Route{Prefix: mustPfx("10.60.0.0/16"), Local: true}),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return map[topo.NodeID]*fib.Table{s: ts, mid: tm, d: td}
+}
+
+// TestApplyDiffRepathsOnlyAffectedFlows steers the 10.50/16 route at the
+// ingress from u to v via a diff and checks that only the flow towards
+// 10.50/16 moved; the 10.60/16 flow keeps its path.
+func TestApplyDiffRepathsOnlyAffectedFlows(t *testing.T) {
+	tp := diamondTopo()
+	sched := event.NewScheduler()
+	net := New(tp, sched, time.Second)
+	for n, tab := range diamondTables(t, tp, "u") {
+		net.SetTable(n, tab)
+	}
+	s := tp.MustNode("s")
+	fDst := net.AddFlow(s, key("10.50.0.1", 1), 1e6)
+	fOther := net.AddFlow(s, key("10.60.0.1", 2), 1e6)
+	sched.RunUntil(time.Second)
+
+	u, v := tp.MustNode("u"), tp.MustNode("v")
+	if p := net.Flow(fDst).Path(); len(p) != 3 || p[1] != u {
+		t.Fatalf("initial path %v, want via u", p)
+	}
+
+	// New ingress table: 10.50/16 moves to v, 10.60/16 untouched.
+	d := tp.MustNode("d")
+	lsv, _ := tp.FindLink(s, v)
+	lvd, _ := tp.FindLink(v, d)
+	tv := fib.NewTable(v)
+	if err := tv.Install(fib.Route{Prefix: mustPfx("10.50.0.0/16"), NextHops: []fib.NextHop{{Node: d, Link: lvd.ID, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	net.SetTable(v, tv)
+	sched.RunUntil(1100 * time.Millisecond)
+
+	ns := net.tables[s].Clone()
+	if err := ns.Install(fib.Route{Prefix: mustPfx("10.50.0.0/16"), NextHops: []fib.NextHop{{Node: v, Link: lsv.ID, Weight: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	diff := fib.DiffTables(s, net.tables[s], ns)
+	if len(diff.Changes) != 1 {
+		t.Fatalf("diff = %v, want one change", diff)
+	}
+	otherPathBefore := append([]topo.NodeID(nil), net.Flow(fOther).Path()...)
+	net.ApplyDiff(s, ns, diff)
+	sched.RunUntil(2 * time.Second)
+
+	if p := net.Flow(fDst).Path(); len(p) != 3 || p[1] != v {
+		t.Fatalf("post-diff path %v, want via v", p)
+	}
+	after := net.Flow(fOther).Path()
+	if len(after) != len(otherPathBefore) {
+		t.Fatalf("unaffected flow re-pathed: %v -> %v", otherPathBefore, after)
+	}
+	for i := range after {
+		if after[i] != otherPathBefore[i] {
+			t.Fatalf("unaffected flow re-pathed: %v -> %v", otherPathBefore, after)
+		}
+	}
+}
+
+// TestApplyDiffUnblocksFlows verifies that blocked flows are always
+// re-traced: a flow with no route starts blocked and recovers when a diff
+// installs the missing route anywhere.
+func TestApplyDiffUnblocksFlows(t *testing.T) {
+	tp := diamondTopo()
+	sched := event.NewScheduler()
+	net := New(tp, sched, time.Second)
+	tables := diamondTables(t, tp, "u")
+	s := tp.MustNode("s")
+	// Withhold the ingress table: the flow has nowhere to go.
+	for n, tab := range tables {
+		if n != s {
+			net.SetTable(n, tab)
+		}
+	}
+	f := net.AddFlow(s, key("10.50.0.1", 1), 1e6)
+	sched.RunUntil(time.Second)
+	if !net.Flow(f).Blocked() {
+		t.Fatal("flow with no ingress route not blocked")
+	}
+	diff := fib.DiffTables(s, nil, tables[s])
+	net.ApplyDiff(s, tables[s], diff)
+	sched.RunUntil(2 * time.Second)
+	if net.Flow(f).Blocked() {
+		t.Fatal("flow still blocked after diff installed its route")
+	}
+	if r := net.Flow(f).Rate(); r != 1e6 {
+		t.Fatalf("rate = %v, want 1e6", r)
+	}
+}
+
+// TestLinkFailureInvalidatesCrossingFlowsOnly fails u-d: the flow through
+// u must block, the flow through v must keep flowing untouched.
+func TestLinkFailureInvalidatesCrossingFlowsOnly(t *testing.T) {
+	tp := diamondTopo()
+	sched := event.NewScheduler()
+	net := New(tp, sched, time.Second)
+	s, u, v, d := tp.MustNode("s"), tp.MustNode("u"), tp.MustNode("v"), tp.MustNode("d")
+	// Ingress splits: 10.50/16 via u, 10.60/16 via v.
+	lsu, _ := tp.FindLink(s, u)
+	lsv, _ := tp.FindLink(s, v)
+	lud, _ := tp.FindLink(u, d)
+	lvd, _ := tp.FindLink(v, d)
+	ts := fib.NewTable(s)
+	tu := fib.NewTable(u)
+	tv := fib.NewTable(v)
+	td := fib.NewTable(d)
+	for _, err := range []error{
+		ts.Install(fib.Route{Prefix: mustPfx("10.50.0.0/16"), NextHops: []fib.NextHop{{Node: u, Link: lsu.ID, Weight: 1}}}),
+		ts.Install(fib.Route{Prefix: mustPfx("10.60.0.0/16"), NextHops: []fib.NextHop{{Node: v, Link: lsv.ID, Weight: 1}}}),
+		tu.Install(fib.Route{Prefix: mustPfx("10.50.0.0/16"), NextHops: []fib.NextHop{{Node: d, Link: lud.ID, Weight: 1}}}),
+		tv.Install(fib.Route{Prefix: mustPfx("10.60.0.0/16"), NextHops: []fib.NextHop{{Node: d, Link: lvd.ID, Weight: 1}}}),
+		td.Install(fib.Route{Prefix: mustPfx("10.50.0.0/16"), Local: true}),
+		td.Install(fib.Route{Prefix: mustPfx("10.60.0.0/16"), Local: true}),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n, tab := range map[topo.NodeID]*fib.Table{s: ts, u: tu, v: tv, d: td} {
+		net.SetTable(n, tab)
+	}
+	fU := net.AddFlow(s, key("10.50.0.1", 1), 1e6)
+	fV := net.AddFlow(s, key("10.60.0.1", 2), 1e6)
+	sched.RunUntil(time.Second)
+
+	if err := net.SetLinkState(u, d, false); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(2 * time.Second)
+	if !net.Flow(fU).Blocked() {
+		t.Fatal("flow across the failed link not blocked")
+	}
+	if net.Flow(fV).Blocked() || net.Flow(fV).Rate() != 1e6 {
+		t.Fatalf("disjoint flow perturbed: blocked=%v rate=%v", net.Flow(fV).Blocked(), net.Flow(fV).Rate())
+	}
+	if err := net.SetLinkState(u, d, true); err != nil {
+		t.Fatal(err)
+	}
+	sched.RunUntil(3 * time.Second)
+	if net.Flow(fU).Blocked() {
+		t.Fatal("flow still blocked after heal")
+	}
+}

@@ -8,6 +8,12 @@
 // It replaces the paper's Mininet emulation (kernel forwarding + iperf):
 // link throughput over time is fully determined by routing and fair
 // sharing, both modelled explicitly here.
+//
+// Re-routing is selective: ApplyDiff consumes a router's fib.Diff and
+// re-traces only flows whose current path crosses that router and whose
+// destination the diff affects (plus blocked flows, which any change may
+// unblock). Fair-share rates are still recomputed globally — rates
+// couple all flows through shared links, paths do not.
 package netsim
 
 import (
@@ -76,6 +82,12 @@ type Network struct {
 	lastUpdate time.Duration
 	recompute  bool // a reroute+reshare is scheduled for this instant
 
+	// Selective re-pathing state: only invalidated flows are re-traced on
+	// the next recompute (fair sharing is always recomputed globally).
+	// invalidAll forces a re-trace of everything (legacy SetTable path).
+	invalid    map[FlowID]bool
+	invalidAll bool
+
 	linkDown map[topo.LinkID]bool
 
 	sampleEvery time.Duration
@@ -99,6 +111,7 @@ func New(t *topo.Topology, sched *event.Scheduler, sampleEvery time.Duration) *N
 		counters:    make(map[topo.LinkID]*metrics.Counter),
 		series:      make(map[topo.LinkID]*metrics.Series),
 		lastOct:     make(map[topo.LinkID]uint64),
+		invalid:     make(map[FlowID]bool),
 		linkDown:    make(map[topo.LinkID]bool),
 		sampleEvery: sampleEvery,
 	}
@@ -116,21 +129,65 @@ func New(t *topo.Topology, sched *event.Scheduler, sampleEvery time.Duration) *N
 func (n *Network) Topology() *topo.Topology { return n.topo }
 
 // SetTable installs a router's FIB and schedules a re-route of all flows.
-// Safe to call from OnFIBChange inside scheduler events.
+// Safe to call from OnFIBChange inside scheduler events. ApplyDiff is the
+// cheaper delta-aware alternative.
 func (n *Network) SetTable(node topo.NodeID, t *fib.Table) {
 	n.mu.Lock()
 	n.tables[node] = t
+	n.invalidAll = true
 	n.mu.Unlock()
 	n.scheduleRecompute()
 }
 
-// AddFlow injects a flow now and returns its ID.
+// ApplyDiff installs a router's FIB that changed by the given diff and
+// invalidates only the flows the diff can have re-pathed: flows whose
+// current path crosses the router and whose destination's longest-prefix
+// match is covered by a changed entry, plus every currently blocked flow
+// (any change may have opened a path for it). Fair sharing is still
+// recomputed globally afterwards.
+func (n *Network) ApplyDiff(node topo.NodeID, t *fib.Table, d *fib.Diff) {
+	n.mu.Lock()
+	n.tables[node] = t
+	changed := false
+	for id, f := range n.flows {
+		if n.invalid[id] {
+			changed = true
+			continue
+		}
+		switch {
+		case f.blocked:
+			n.invalid[id] = true
+			changed = true
+		case flowCrosses(f, node) && d.Affects(t, f.Key.Dst):
+			n.invalid[id] = true
+			changed = true
+		}
+	}
+	n.mu.Unlock()
+	if changed {
+		n.scheduleRecompute()
+	}
+}
+
+// flowCrosses reports whether the flow's current path visits the node.
+func flowCrosses(f *Flow, node topo.NodeID) bool {
+	for _, v := range f.pathNodes {
+		if v == node {
+			return true
+		}
+	}
+	return false
+}
+
+// AddFlow injects a flow now and returns its ID. Only the new flow needs
+// a path; existing flows keep theirs and just re-share capacity.
 func (n *Network) AddFlow(ingress topo.NodeID, key fib.FlowKey, maxRate float64) FlowID {
 	n.advance()
 	n.mu.Lock()
 	id := n.nextID
 	n.nextID++
 	n.flows[id] = &Flow{ID: id, Key: key, Ingress: ingress, MaxRate: maxRate}
+	n.invalid[id] = true
 	n.mu.Unlock()
 	n.scheduleRecompute()
 	return id
@@ -213,7 +270,9 @@ func (n *Network) SeriesBetween(a, b string) (*metrics.Series, error) {
 // SetLinkState fails or heals both directions of a link in the data
 // plane: flows whose current path crosses a failed link are blocked until
 // routing steers them elsewhere (the control plane learns of the failure
-// separately through its own hello timeouts).
+// separately through its own hello timeouts). Only flows crossing the
+// link — plus, on heal, blocked flows that may now have a path — are
+// re-traced.
 func (n *Network) SetLinkState(a, b topo.NodeID, up bool) error {
 	l, ok := n.topo.FindLink(a, b)
 	if !ok {
@@ -225,12 +284,34 @@ func (n *Network) SetLinkState(a, b topo.NodeID, up bool) error {
 	if l.Reverse != topo.NoLink {
 		n.linkDown[l.Reverse] = !up
 	}
+	for id, f := range n.flows {
+		switch {
+		case !up && (flowUsesLink(f, l.ID) || flowUsesLink(f, l.Reverse)):
+			n.invalid[id] = true
+		case up && f.blocked:
+			n.invalid[id] = true
+		}
+	}
 	n.mu.Unlock()
 	n.scheduleRecompute()
 	return nil
 }
 
+// flowUsesLink reports whether the flow's current path uses the link.
+func flowUsesLink(f *Flow, link topo.LinkID) bool {
+	if link == topo.NoLink {
+		return false
+	}
+	for _, lid := range f.path {
+		if lid == link {
+			return true
+		}
+	}
+	return false
+}
+
 // scheduleRecompute debounces rerouting/resharing to once per instant.
+// Invalidations accumulate until the event fires.
 func (n *Network) scheduleRecompute() {
 	if n.recompute {
 		return
@@ -268,31 +349,43 @@ func (n *Network) advance() {
 	n.lastUpdate = now
 }
 
-// reroute recomputes every flow's path from the current tables.
+// reroute re-traces invalidated flows from the current tables. Flows not
+// invalidated keep their paths: a table change at a router off their path
+// (or one that left their destination's route untouched) cannot move them.
 func (n *Network) reroute() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	plane := &fib.Plane{Tables: n.tables}
-	for _, f := range n.flows {
-		nodes, err := plane.Trace(f.Ingress, f.Key)
-		if err != nil {
-			f.blocked = true
-			f.path = nil
-			f.pathNodes = nodes
+	for id, f := range n.flows {
+		if !n.invalidAll && !n.invalid[id] {
 			continue
 		}
-		f.blocked = false
+		n.retrace(plane, f)
+	}
+	n.invalidAll = false
+	clear(n.invalid)
+}
+
+// retrace recomputes one flow's path. Callers hold n.mu.
+func (n *Network) retrace(plane *fib.Plane, f *Flow) {
+	nodes, err := plane.Trace(f.Ingress, f.Key)
+	if err != nil {
+		f.blocked = true
+		f.path = nil
 		f.pathNodes = nodes
-		f.path = f.path[:0]
-		for i := 0; i+1 < len(nodes); i++ {
-			l, ok := n.topo.FindLink(nodes[i], nodes[i+1])
-			if !ok || n.linkDown[l.ID] {
-				f.blocked = true
-				f.path = nil
-				break
-			}
-			f.path = append(f.path, l.ID)
+		return
+	}
+	f.blocked = false
+	f.pathNodes = nodes
+	f.path = f.path[:0]
+	for i := 0; i+1 < len(nodes); i++ {
+		l, ok := n.topo.FindLink(nodes[i], nodes[i+1])
+		if !ok || n.linkDown[l.ID] {
+			f.blocked = true
+			f.path = nil
+			break
 		}
+		f.path = append(f.path, l.ID)
 	}
 }
 

@@ -1,0 +1,489 @@
+package ospf
+
+// This file is the IGP stage of the delta pipeline. Every LSDB mutation is
+// logged between SPF runs; when the debounced recomputation fires, the log
+// is replayed onto a cached SPF graph as edge-level GraphChanges, the
+// shortest-path tree is patched with spf.Incremental, and only prefixes
+// whose announcers were touched (or whose LSAs changed) have their routes
+// recomputed. The result leaves the router as a fib.Diff instead of a
+// whole table, which the data plane uses to re-path only affected flows.
+//
+// The cached graph uses stable slot indices: a router or fake node keeps
+// its graph index for as long as it lives, and freed slots are tombstoned
+// (no edges) rather than compacted, so previous trees stay addressable.
+// A full rebuild (fresh cache + full Dijkstra + whole-table diff) remains
+// the fallback for cache misses, inconsistencies, and degenerate slot
+// growth.
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+
+	"fibbing.net/fibbing/internal/fib"
+	"fibbing.net/fibbing/internal/spf"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// lsaChange records one LSDB mutation between SPF runs. old and new are
+// the stored instances (nil for install of a fresh key / removal).
+type lsaChange struct {
+	old, new *LSA
+}
+
+// noteDBChange appends to the change log unless the mutation is
+// semantically neutral (a sequence-number refresh of identical content),
+// which keeps periodic re-origination from triggering any SPF work.
+func (r *Router) noteDBChange(old, new *LSA) {
+	if old == nil && new == nil {
+		return
+	}
+	if old != nil && new != nil && lsaContentEqual(old, new) {
+		return
+	}
+	r.changeLog = append(r.changeLog, lsaChange{old: old, new: new})
+}
+
+// dbInstall stores an LSA and logs the transition.
+func (r *Router) dbInstall(l *LSA) {
+	old, _ := r.db.Get(l.Header.Key())
+	r.db.Install(l)
+	r.noteDBChange(old, l)
+}
+
+// dbRemove deletes an LSA and logs the transition.
+func (r *Router) dbRemove(k Key) {
+	old, ok := r.db.Get(k)
+	if !ok {
+		return
+	}
+	r.db.Remove(k)
+	r.noteDBChange(old, nil)
+}
+
+// lsaContentEqual compares the routing-relevant payload of two instances
+// of the same key. Router links are compared as multisets: origination
+// iterates a map, so identical adjacency sets may serialise in any order.
+func lsaContentEqual(a, b *LSA) bool {
+	if a.Header.Type != b.Header.Type {
+		return false
+	}
+	switch a.Header.Type {
+	case TypeRouter:
+		if len(a.RouterLinks) != len(b.RouterLinks) {
+			return false
+		}
+		as := append([]RouterLink(nil), a.RouterLinks...)
+		bs := append([]RouterLink(nil), b.RouterLinks...)
+		less := func(s []RouterLink) func(i, j int) bool {
+			return func(i, j int) bool {
+				if s[i].Neighbor != s[j].Neighbor {
+					return s[i].Neighbor < s[j].Neighbor
+				}
+				return s[i].Metric < s[j].Metric
+			}
+		}
+		sort.Slice(as, less(as))
+		sort.Slice(bs, less(bs))
+		for i := range as {
+			if as[i] != bs[i] {
+				return false
+			}
+		}
+		return true
+	case TypePrefix:
+		return a.Prefix == b.Prefix && a.Metric == b.Metric
+	case TypeFake:
+		return a.Prefix == b.Prefix && a.Metric == b.Metric &&
+			a.AttachedTo == b.AttachedTo && a.AttachCost == b.AttachCost &&
+			a.ForwardVia == b.ForwardVia
+	}
+	return false
+}
+
+// --- Cached SPF state ---------------------------------------------------
+
+type slotKind uint8
+
+const (
+	slotFree slotKind = iota
+	slotRouter
+	slotFake
+)
+
+// slot describes what occupies one graph index.
+type slot struct {
+	kind   slotKind
+	router RouterID // kind == slotRouter
+	fake   *LSA     // kind == slotFake
+}
+
+// spfCache is the incrementally maintained SPF state of one router.
+type spfCache struct {
+	g       *spf.Graph
+	slots   []slot
+	index   map[RouterID]topo.NodeID // live router -> slot
+	fakeIdx map[Key]topo.NodeID      // fake LSA key -> slot
+	live    int
+	tree    *spf.Tree // rooted at this router's own slot
+}
+
+func (c *spfCache) allocSlot(s slot) topo.NodeID {
+	idx := c.g.AddNode()
+	c.slots = append(c.slots, s)
+	c.live++
+	return idx
+}
+
+func (c *spfCache) freeSlot(idx topo.NodeID) {
+	c.slots[idx] = slot{}
+	c.live--
+}
+
+// routerNode resolves a graph index of a real router to its topology node.
+func (c *spfCache) routerNode(idx topo.NodeID) (topo.NodeID, bool) {
+	if int(idx) >= len(c.slots) || c.slots[idx].kind != slotRouter {
+		return 0, false
+	}
+	return RouterNode(c.slots[idx].router), true
+}
+
+// routerLSA fetches the current Router LSA of id (LSID 0 by construction).
+func (r *Router) routerLSA(id RouterID) *LSA {
+	l, ok := r.db.Get(Key{Type: TypeRouter, AdvRouter: id, LSID: 0})
+	if !ok {
+		return nil
+	}
+	return l
+}
+
+func listsNeighbor(l *LSA, id RouterID) bool {
+	if l == nil {
+		return false
+	}
+	for _, rl := range l.RouterLinks {
+		if rl.Neighbor == id {
+			return true
+		}
+	}
+	return false
+}
+
+// buildCache materialises the LSDB into a fresh cache: real routers first
+// (two-way-checked adjacencies), then one leaf slot per fake LSA. Fakes
+// whose attachment router is unknown keep a slot but no edge, so a later
+// appearance of the router links them incrementally.
+func (r *Router) buildCache() *spfCache {
+	c := &spfCache{
+		g:       spf.NewGraph(0),
+		index:   make(map[RouterID]topo.NodeID),
+		fakeIdx: make(map[Key]topo.NodeID),
+	}
+	routerLSAs := r.db.ByType(TypeRouter)
+	byRouter := make(map[RouterID]*LSA, len(routerLSAs))
+	for _, l := range routerLSAs {
+		c.index[l.Header.AdvRouter] = c.allocSlot(slot{kind: slotRouter, router: l.Header.AdvRouter})
+		byRouter[l.Header.AdvRouter] = l
+	}
+	for _, l := range routerLSAs {
+		u := c.index[l.Header.AdvRouter]
+		for _, rl := range l.RouterLinks {
+			v, ok := c.index[rl.Neighbor]
+			if !ok {
+				continue
+			}
+			if !listsNeighbor(byRouter[rl.Neighbor], l.Header.AdvRouter) {
+				continue // two-way check failed
+			}
+			c.g.AddEdge(u, spf.Edge{To: v, Weight: int64(rl.Metric), Link: topo.NoLink})
+		}
+	}
+	for _, l := range r.db.ByType(TypeFake) {
+		idx := c.allocSlot(slot{kind: slotFake, fake: l})
+		c.fakeIdx[l.Header.Key()] = idx
+		if attach, ok := c.index[l.AttachedTo]; ok {
+			c.g.AddEdge(attach, spf.Edge{To: idx, Weight: int64(l.AttachCost), Link: topo.NoLink})
+		}
+	}
+	return c
+}
+
+// effects accumulates what a change-log replay did to the cache.
+type effects struct {
+	edges         []spf.GraphChange
+	dirtyPrefixes map[string]bool
+	rebuild       bool // cache inconsistent: fall back to a full rebuild
+}
+
+// applyChange replays one LSDB mutation onto the cached graph.
+func (r *Router) applyChange(c *spfCache, ch lsaChange, eff *effects) {
+	l := ch.new
+	if l == nil {
+		l = ch.old
+	}
+	switch l.Header.Type {
+	case TypeRouter:
+		x := l.Header.AdvRouter
+		added, removed := ch.old == nil, ch.new == nil
+		if added {
+			if _, dup := c.index[x]; dup {
+				eff.rebuild = true
+				return
+			}
+			c.index[x] = c.allocSlot(slot{kind: slotRouter, router: x})
+		}
+		if _, ok := c.index[x]; !ok {
+			eff.rebuild = true // change for a router the cache never saw
+			return
+		}
+		// Adjacencies of X against every neighbor mentioned before or
+		// after: presence, weight, and the two-way check can all flip.
+		pairs := make(map[RouterID]bool)
+		if ch.old != nil {
+			for _, rl := range ch.old.RouterLinks {
+				pairs[rl.Neighbor] = true
+			}
+		}
+		if ch.new != nil {
+			for _, rl := range ch.new.RouterLinks {
+				pairs[rl.Neighbor] = true
+			}
+		}
+		if removed {
+			// Clear the slot's edges explicitly instead of reconciling
+			// from the LSDB: when X was removed and re-added within one
+			// debounce window, the database already holds the re-added
+			// instance, and deriving from it would re-install edges on
+			// the slot we are about to tombstone (the re-add then wires
+			// a fresh slot, leaving a live phantom copy of X).
+			xi := c.index[x]
+			for y := range pairs {
+				yi, ok := c.index[y]
+				if !ok {
+					continue
+				}
+				if c.g.ReplaceEdges(xi, yi, nil) {
+					eff.edges = append(eff.edges, spf.GraphChange{From: xi, To: yi})
+				}
+				if c.g.ReplaceEdges(yi, xi, nil) {
+					eff.edges = append(eff.edges, spf.GraphChange{From: yi, To: xi})
+				}
+			}
+			c.freeSlot(xi)
+			delete(c.index, x)
+		} else {
+			for y := range pairs {
+				r.reconcileAdjacency(c, x, y, eff)
+			}
+		}
+		if added || removed {
+			// Prefixes announced by X appear or disappear with it.
+			for _, pl := range r.db.ByType(TypePrefix) {
+				if pl.Header.AdvRouter == x {
+					eff.dirtyPrefixes[pl.Prefix.String()] = true
+				}
+			}
+		}
+		// Fakes hanging off X: their edge follows X's slot, and their
+		// usability follows our adjacency state (a lie's forwarding
+		// address is gated on the neighbor being up), so mark their
+		// prefixes dirty on any change. When X was just removed, its
+		// tombstoned slot keeps a stale out-edge to the fake: harmless,
+		// because the slot has no in-edges left and the removal of those
+		// in-edges dirties the fake transitively.
+		for _, fi := range c.fakeIdx {
+			f := c.slots[fi].fake
+			if f == nil || f.AttachedTo != x {
+				continue
+			}
+			eff.dirtyPrefixes[f.Prefix.String()] = true
+			if attachIdx, ok := c.index[x]; ok {
+				if c.g.ReplaceEdges(attachIdx, fi, []spf.Edge{{Weight: int64(f.AttachCost), Link: topo.NoLink}}) {
+					eff.edges = append(eff.edges, spf.GraphChange{From: attachIdx, To: fi})
+				}
+			}
+		}
+	case TypePrefix:
+		if ch.old != nil {
+			eff.dirtyPrefixes[ch.old.Prefix.String()] = true
+		}
+		if ch.new != nil {
+			eff.dirtyPrefixes[ch.new.Prefix.String()] = true
+		}
+	case TypeFake:
+		k := l.Header.Key()
+		if ch.old != nil {
+			idx, ok := c.fakeIdx[k]
+			if !ok {
+				eff.rebuild = true
+				return
+			}
+			eff.dirtyPrefixes[ch.old.Prefix.String()] = true
+			if attach, aok := c.index[ch.old.AttachedTo]; aok {
+				if c.g.ReplaceEdges(attach, idx, nil) {
+					eff.edges = append(eff.edges, spf.GraphChange{From: attach, To: idx})
+				}
+			}
+			if ch.new == nil {
+				c.freeSlot(idx)
+				delete(c.fakeIdx, k)
+				return
+			}
+			c.slots[idx].fake = ch.new
+		} else {
+			c.fakeIdx[k] = c.allocSlot(slot{kind: slotFake, fake: ch.new})
+		}
+		idx := c.fakeIdx[k]
+		eff.dirtyPrefixes[ch.new.Prefix.String()] = true
+		if attach, ok := c.index[ch.new.AttachedTo]; ok {
+			if c.g.ReplaceEdges(attach, idx, []spf.Edge{{Weight: int64(ch.new.AttachCost), Link: topo.NoLink}}) {
+				eff.edges = append(eff.edges, spf.GraphChange{From: attach, To: idx})
+			}
+		}
+	}
+}
+
+// reconcileAdjacency re-derives the graph edges between routers x and y
+// from their current LSAs (two-way check included) and records a
+// GraphChange per direction that differed.
+func (r *Router) reconcileAdjacency(c *spfCache, x, y RouterID, eff *effects) {
+	if x == y {
+		return
+	}
+	xi, xok := c.index[x]
+	yi, yok := c.index[y]
+	if !xok || !yok {
+		return // a missing slot has no edges to reconcile
+	}
+	xl, yl := r.routerLSA(x), r.routerLSA(y)
+	var xy, yx []spf.Edge
+	if listsNeighbor(yl, x) && xl != nil {
+		for _, rl := range xl.RouterLinks {
+			if rl.Neighbor == y {
+				xy = append(xy, spf.Edge{Weight: int64(rl.Metric), Link: topo.NoLink})
+			}
+		}
+	}
+	if listsNeighbor(xl, y) && yl != nil {
+		for _, rl := range yl.RouterLinks {
+			if rl.Neighbor == x {
+				yx = append(yx, spf.Edge{Weight: int64(rl.Metric), Link: topo.NoLink})
+			}
+		}
+	}
+	if c.g.ReplaceEdges(xi, yi, xy) {
+		eff.edges = append(eff.edges, spf.GraphChange{From: xi, To: yi})
+	}
+	if c.g.ReplaceEdges(yi, xi, yx) {
+		eff.edges = append(eff.edges, spf.GraphChange{From: yi, To: xi})
+	}
+}
+
+// --- Route computation over the cache -----------------------------------
+
+// announcer is one source of a prefix: a Prefix LSA's advertising router,
+// or a fake node.
+type announcer struct {
+	idx    topo.NodeID // graph slot of the announcing node
+	metric uint32
+	fake   *LSA
+}
+
+// collectAnnouncers groups announcements per prefix string.
+func (r *Router) collectAnnouncers(c *spfCache) (map[string][]announcer, map[string]netip.Prefix) {
+	byPrefix := make(map[string][]announcer)
+	prefixOf := make(map[string]netip.Prefix)
+	for _, l := range r.db.ByType(TypePrefix) {
+		aIdx, ok := c.index[l.Header.AdvRouter]
+		if !ok {
+			continue
+		}
+		k := l.Prefix.String()
+		byPrefix[k] = append(byPrefix[k], announcer{idx: aIdx, metric: l.Metric})
+		prefixOf[k] = l.Prefix
+	}
+	for _, fi := range c.fakeIdx {
+		l := c.slots[fi].fake
+		k := l.Prefix.String()
+		byPrefix[k] = append(byPrefix[k], announcer{idx: fi, metric: l.Metric, fake: l})
+		prefixOf[k] = l.Prefix
+	}
+	return byPrefix, prefixOf
+}
+
+// routeFor computes the route this router installs for one prefix: best
+// distance across announcers, deduplicated real ECMP next hops, plus one
+// extra weighted path per locally attached fake (Fibbing's uneven
+// splitting). ok is false when no route is installable.
+func (r *Router) routeFor(c *spfCache, p netip.Prefix, anns []announcer, selfIdx topo.NodeID) (fib.Route, bool) {
+	tree := c.tree
+	best := spf.Infinity
+	local := false
+	for _, a := range anns {
+		if a.fake == nil && a.idx == selfIdx {
+			local = true
+			break
+		}
+		if !tree.Reachable(a.idx) {
+			continue
+		}
+		if d := tree.Dist[a.idx] + int64(a.metric); d < best {
+			best = d
+		}
+	}
+	if local {
+		return fib.Route{Prefix: p, Local: true}, true
+	}
+	if best == spf.Infinity {
+		return fib.Route{}, false
+	}
+	setNH := make(map[topo.NodeID]bool)
+	extra := make(map[topo.NodeID]int)
+	for _, a := range anns {
+		if !tree.Reachable(a.idx) || tree.Dist[a.idx]+int64(a.metric) != best {
+			continue
+		}
+		if a.fake != nil && a.fake.AttachedTo == r.id {
+			via := RouterNode(a.fake.ForwardVia)
+			if _, ok := r.dom.topo.FindLink(r.node, via); !ok {
+				r.dom.protocolError(r.id, fmt.Errorf(
+					"ospf: fake LSA %s forwards via non-neighbor %d",
+					a.fake.Header.Key(), a.fake.ForwardVia))
+				continue
+			}
+			// A fake next hop is only usable while the adjacency to its
+			// forwarding address is up — otherwise the lie would blackhole
+			// traffic after a link failure.
+			if nb := r.nbrs[a.fake.ForwardVia]; nb == nil || !nb.up {
+				continue
+			}
+			extra[via]++
+			continue
+		}
+		for _, nh := range tree.NextHops(a.idx) {
+			node, ok := c.routerNode(nh.Node)
+			if !ok {
+				continue
+			}
+			setNH[node] = true
+		}
+	}
+	var nhs []fib.NextHop
+	for node := range setNH {
+		l, ok := r.dom.topo.FindLink(r.node, node)
+		if !ok {
+			continue
+		}
+		nhs = append(nhs, fib.NextHop{Node: node, Link: l.ID, Weight: 1})
+	}
+	for node, w := range extra {
+		l, _ := r.dom.topo.FindLink(r.node, node)
+		nhs = append(nhs, fib.NextHop{Node: node, Link: l.ID, Weight: w})
+	}
+	if len(nhs) == 0 {
+		return fib.Route{}, false
+	}
+	route := fib.Route{Prefix: p, NextHops: nhs, Distance: best}
+	route.Normalize()
+	return route, true
+}

@@ -36,6 +36,13 @@ type Domain struct {
 	// FIB (the data-plane simulator subscribes to reroute flows).
 	OnFIBChange func(n topo.NodeID, t *fib.Table)
 
+	// OnFIBDelta, when set, additionally receives the diff that produced
+	// the new table, so subscribers can re-path only the flows whose
+	// destinations changed (netsim.Network.ApplyDiff). Routers only emit
+	// non-empty diffs: a recomputation that reproduces the same routes is
+	// silent.
+	OnFIBDelta func(n topo.NodeID, t *fib.Table, d *fib.Diff)
+
 	// Errors collects protocol-level errors (bad packets, invalid lies).
 	Errors []error
 
@@ -145,8 +152,10 @@ func (d *Domain) protocolError(at RouterID, err error) {
 	d.Errors = append(d.Errors, fmt.Errorf("router %d: %w", at, err))
 }
 
-func (d *Domain) fibChanged(n topo.NodeID, t *fib.Table) {
-	if d.OnFIBChange != nil {
+func (d *Domain) fibChanged(n topo.NodeID, t *fib.Table, diff *fib.Diff) {
+	if d.OnFIBDelta != nil {
+		d.OnFIBDelta(n, t, diff)
+	} else if d.OnFIBChange != nil {
 		d.OnFIBChange(n, t)
 	}
 }
@@ -261,7 +270,11 @@ type ControlPlaneStats struct {
 	PacketsSent uint64
 	BytesSent   uint64
 	SPFRuns     uint64
-	LSDBSize    int
+	// SPFFullRuns and SPFIncrementalRuns split SPFRuns by strategy: full
+	// graph rebuilds versus delta-pipeline recomputations.
+	SPFFullRuns        uint64
+	SPFIncrementalRuns uint64
+	LSDBSize           int
 }
 
 // Stats sums protocol counters over all routers.
@@ -271,6 +284,8 @@ func (d *Domain) Stats() ControlPlaneStats {
 		s.PacketsSent += r.PacketsSent
 		s.BytesSent += r.BytesSent
 		s.SPFRuns += r.spfRuns
+		s.SPFFullRuns += r.spfFullRuns
+		s.SPFIncrementalRuns += r.spfIncRuns
 		if r.db.Len() > s.LSDBSize {
 			s.LSDBSize = r.db.Len()
 		}

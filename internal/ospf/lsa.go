@@ -10,6 +10,11 @@
 // LSAs, playing the role of the Type-5 LSAs the real Fibbing controller
 // injects) — and drops the parts irrelevant to the paper (areas, DR
 // election, broadcast networks).
+//
+// Route computation is delta-driven (see delta.go): LSDB mutations are
+// logged, replayed onto a cached SPF graph, the shortest-path tree is
+// patched with spf.Incremental, and only affected prefixes are
+// recomputed, leaving the router as a fib.Diff through Domain.OnFIBDelta.
 package ospf
 
 import (

@@ -2,6 +2,7 @@ package ospf
 
 import (
 	"fmt"
+	"net/netip"
 	"time"
 
 	"fibbing.net/fibbing/internal/event"
@@ -74,6 +75,13 @@ type Router struct {
 	spfScheduled bool
 	spfRuns      uint64
 
+	// Delta pipeline state: LSDB mutations logged since the last SPF run,
+	// and the incrementally maintained graph/tree they are replayed onto.
+	changeLog   []lsaChange
+	cache       *spfCache
+	spfFullRuns uint64 // recomputations that rebuilt everything
+	spfIncRuns  uint64 // recomputations served by the delta pipeline
+
 	// Stats for the control-plane overhead experiments.
 	PacketsSent, PacketsRcvd uint64
 	BytesSent                uint64
@@ -99,7 +107,7 @@ func newRouter(dom *Domain, node topo.NodeID, cfg Config) *Router {
 func (r *Router) ageSweep() {
 	changed := false
 	for _, k := range r.db.Expired() {
-		r.db.Remove(k)
+		r.dbRemove(k)
 		changed = true
 	}
 	if changed {
@@ -123,6 +131,14 @@ func (r *Router) DB() *LSDB { return r.db }
 
 // SPFRuns returns how many times this router recomputed routes.
 func (r *Router) SPFRuns() uint64 { return r.spfRuns }
+
+// SPFFullRuns returns how many recomputations rebuilt the graph and ran a
+// full Dijkstra (cache misses and fallbacks).
+func (r *Router) SPFFullRuns() uint64 { return r.spfFullRuns }
+
+// SPFIncrementalRuns returns how many recomputations were served by the
+// delta pipeline (incrementally patched tree, per-prefix recompute).
+func (r *Router) SPFIncrementalRuns() uint64 { return r.spfIncRuns }
 
 // Neighbors returns the IDs of adjacent routers that are currently up.
 func (r *Router) Neighbors() []RouterID {
@@ -184,7 +200,7 @@ func (r *Router) originatePrefix(lsid uint32, p topo.Prefix, cost int64) {
 func (r *Router) originate(l *LSA) {
 	k := l.Header.Key()
 	l.Header.Seq = r.nextSeq(k)
-	r.db.Install(l)
+	r.dbInstall(l)
 	r.floodExcept(l, 0)
 	r.scheduleSPF()
 }
@@ -334,9 +350,9 @@ func (r *Router) handleUpdate(n *neighbor, pkt *Packet) {
 func (r *Router) installAndFlood(l *LSA, except RouterID) {
 	if l.Header.Age >= MaxAgeSeconds {
 		// Flush: remove after re-flooding the flush itself.
-		r.db.Remove(l.Header.Key())
+		r.dbRemove(l.Header.Key())
 	} else {
-		r.db.Install(l)
+		r.dbInstall(l)
 	}
 	r.floodExcept(l, except)
 	r.scheduleSPF()
@@ -386,192 +402,156 @@ func (r *Router) scheduleSPF() {
 	})
 }
 
-// computeRoutes rebuilds the FIB from the LSDB: SPF over the router graph
-// (with Fibbing fake nodes grafted in), then per-prefix best-path and
-// next-hop resolution.
+// computeRoutes updates the FIB from the LSDB. The default path is the
+// delta pipeline: replay the logged LSDB mutations onto the cached SPF
+// graph, patch the shortest-path tree incrementally, recompute routes only
+// for prefixes whose announcers were touched, and emit the result as a
+// fib.Diff. It falls back to recomputeFull when no cache exists, the
+// replay detects an inconsistency, or tombstoned slots dominate the cache.
 func (r *Router) computeRoutes() {
 	r.spfRuns++
-	g, index, nodes := r.buildGraph()
-	selfIdx, ok := index[r.id]
+	changes := r.changeLog
+	r.changeLog = nil
+	if r.cache == nil {
+		r.recomputeFull()
+		return
+	}
+	c := r.cache
+	eff := &effects{dirtyPrefixes: make(map[string]bool)}
+	for _, ch := range changes {
+		r.applyChange(c, ch, eff)
+		if eff.rebuild {
+			r.recomputeFull()
+			return
+		}
+	}
+	if len(c.slots) > 2*c.live+16 {
+		// Tombstones dominate after heavy churn: compact via a rebuild.
+		r.recomputeFull()
+		return
+	}
+	if len(eff.edges) == 0 && len(eff.dirtyPrefixes) == 0 {
+		return // sequence-number noise only: routing cannot have changed
+	}
+	selfIdx, ok := c.index[r.id]
 	if !ok {
-		return // we have not originated our own Router LSA yet
+		r.cache = nil // our own LSA vanished; resync on the next run
+		return
 	}
-	tree := spf.Compute(g, selfIdx, nil)
 
-	table := fib.NewTable(r.node)
-
-	// Group announcements per prefix. A Prefix LSA announces from its
-	// advertising router; a Fake LSA announces from its fake node.
-	type announcer struct {
-		idx    topo.NodeID // graph index of the announcing node
-		metric uint32
-		fake   *LSA
+	touchedAll := false
+	var touchedSet map[topo.NodeID]bool
+	if len(eff.edges) > 0 {
+		tree, touched, full := spf.Incremental(c.g, c.tree, eff.edges, nil)
+		c.tree = tree
+		if full {
+			// The dirty region was too large: Incremental ran a whole
+			// Dijkstra. Count it as a full run so the telemetry split
+			// reflects what actually executed.
+			touchedAll = true
+			r.spfFullRuns++
+		} else {
+			touchedSet = make(map[topo.NodeID]bool, len(touched))
+			for _, v := range touched {
+				touchedSet[v] = true
+			}
+			r.spfIncRuns++
+		}
+	} else {
+		r.spfIncRuns++ // prefix-only change: no SPF work at all
 	}
-	byPrefix := make(map[string][]announcer)
-	prefixOf := make(map[string]topo.Prefix)
-	for _, l := range r.db.ByType(TypePrefix) {
-		aIdx, ok := index[l.Header.AdvRouter]
+
+	anns, prefixOf := r.collectAnnouncers(c)
+	diff := &fib.Diff{Router: r.node}
+	for k, alist := range anns {
+		if !touchedAll && !eff.dirtyPrefixes[k] && !announcerTouched(alist, touchedSet) {
+			continue
+		}
+		p := prefixOf[k]
+		route, ok := r.routeFor(c, p, alist, selfIdx)
+		old, had := r.fib.Get(p)
+		switch {
+		case ok && (!had || !route.Equal(old)):
+			diff.Upsert(route)
+		case !ok && had:
+			diff.Delete(p)
+		}
+	}
+	// Prefixes whose last announcement vanished from the LSDB.
+	for k := range eff.dirtyPrefixes {
+		if _, still := anns[k]; still {
+			continue
+		}
+		p, err := netip.ParsePrefix(k)
+		if err != nil {
+			continue
+		}
+		if _, had := r.fib.Get(p); had {
+			diff.Delete(p)
+		}
+	}
+	if diff.Empty() {
+		return
+	}
+	table := r.fib.Clone()
+	if err := table.ApplyDiff(diff); err != nil {
+		r.dom.protocolError(r.id, err)
+		r.recomputeFull()
+		return
+	}
+	r.fib = table
+	r.dom.fibChanged(r.node, table, diff)
+}
+
+// announcerTouched reports whether any announcer sits in the touched set.
+func announcerTouched(anns []announcer, touched map[topo.NodeID]bool) bool {
+	for _, a := range anns {
+		if touched[a.idx] {
+			return true
+		}
+	}
+	return false
+}
+
+// buildFullState computes a fresh cache and a from-scratch table directly
+// from the LSDB: the ground truth the delta pipeline must reproduce. ok is
+// false before the router originated its own Router LSA. It mutates no
+// router state, so equivalence tests use it as the reference oracle.
+func (r *Router) buildFullState() (c *spfCache, table *fib.Table, ok bool) {
+	c = r.buildCache()
+	selfIdx, ok := c.index[r.id]
+	if !ok {
+		return nil, nil, false
+	}
+	c.tree = spf.Compute(c.g, selfIdx, nil)
+	table = fib.NewTable(r.node)
+	anns, prefixOf := r.collectAnnouncers(c)
+	for k, alist := range anns {
+		route, ok := r.routeFor(c, prefixOf[k], alist, selfIdx)
 		if !ok {
 			continue
 		}
-		k := l.Prefix.String()
-		byPrefix[k] = append(byPrefix[k], announcer{idx: aIdx, metric: l.Metric})
-		prefixOf[k] = topo.Prefix{Prefix: l.Prefix}
-	}
-	for fakeIdx, l := range nodes.fakes {
-		k := l.Prefix.String()
-		byPrefix[k] = append(byPrefix[k], announcer{idx: fakeIdx, metric: l.Metric, fake: l})
-		prefixOf[k] = topo.Prefix{Prefix: l.Prefix}
-	}
-
-	for k, anns := range byPrefix {
-		p := prefixOf[k].Prefix
-		best := spf.Infinity
-		local := false
-		for _, a := range anns {
-			if a.fake == nil && a.idx == selfIdx {
-				local = true
-				break
-			}
-			if !tree.Reachable(a.idx) {
-				continue
-			}
-			if d := tree.Dist[a.idx] + int64(a.metric); d < best {
-				best = d
-			}
-		}
-		if local {
-			if err := table.Install(fib.Route{Prefix: p, Local: true}); err != nil {
-				r.dom.protocolError(r.id, err)
-			}
-			continue
-		}
-		if best == spf.Infinity {
-			continue
-		}
-
-		// Next-hop synthesis. Real announcers and remote fakes
-		// contribute a deduplicated set of first hops (standard ECMP);
-		// each fake attached to *this* router contributes one extra
-		// RIB path to its forwarding address — Fibbing's uneven
-		// splitting.
-		setNH := make(map[topo.NodeID]bool)
-		extra := make(map[topo.NodeID]int)
-		for _, a := range anns {
-			if !tree.Reachable(a.idx) || tree.Dist[a.idx]+int64(a.metric) != best {
-				continue
-			}
-			if a.fake != nil && a.fake.AttachedTo == r.id {
-				via := RouterNode(a.fake.ForwardVia)
-				if _, ok := r.dom.topo.FindLink(r.node, via); !ok {
-					r.dom.protocolError(r.id, fmt.Errorf(
-						"ospf: fake LSA %s forwards via non-neighbor %d",
-						a.fake.Header.Key(), a.fake.ForwardVia))
-					continue
-				}
-				// A fake next hop is only usable while the adjacency to
-				// its forwarding address is up — otherwise the lie would
-				// blackhole traffic after a link failure.
-				if nb := r.nbrs[a.fake.ForwardVia]; nb == nil || !nb.up {
-					continue
-				}
-				extra[via]++
-				continue
-			}
-			for _, nh := range tree.NextHops(a.idx) {
-				node, ok := nodes.toNode(nh.Node)
-				if !ok {
-					continue
-				}
-				setNH[node] = true
-			}
-		}
-		var nhs []fib.NextHop
-		for node := range setNH {
-			l, ok := r.dom.topo.FindLink(r.node, node)
-			if !ok {
-				continue
-			}
-			nhs = append(nhs, fib.NextHop{Node: node, Link: l.ID, Weight: 1})
-		}
-		for node, w := range extra {
-			l, _ := r.dom.topo.FindLink(r.node, node)
-			nhs = append(nhs, fib.NextHop{Node: node, Link: l.ID, Weight: w})
-		}
-		if len(nhs) == 0 {
-			continue
-		}
-		if err := table.Install(fib.Route{Prefix: p, NextHops: nhs, Distance: best}); err != nil {
+		if err := table.Install(route); err != nil {
 			r.dom.protocolError(r.id, err)
 		}
 	}
+	return c, table, true
+}
 
+// recomputeFull rebuilds the cache from the LSDB, runs a full Dijkstra,
+// recomputes every prefix, and emits the whole-table difference as a diff
+// so the data plane still re-paths selectively.
+func (r *Router) recomputeFull() {
+	c, table, ok := r.buildFullState()
+	if !ok {
+		r.cache = nil
+		return // we have not originated our own Router LSA yet
+	}
+	r.cache = c
+	r.spfFullRuns++
+	diff := fib.DiffTables(r.node, r.fib, table)
 	r.fib = table
-	r.dom.fibChanged(r.node, table)
-}
-
-// graphNodes tracks the mapping between graph indices and protocol
-// entities: real routers occupy indices [0, len(index)); fake nodes are
-// appended after them.
-type graphNodes struct {
-	ids   []RouterID           // graph index -> RouterID, for real routers
-	fakes map[topo.NodeID]*LSA // graph index -> fake LSA
-}
-
-// toNode resolves a graph index of a *real* router to its topology node.
-func (gn *graphNodes) toNode(idx topo.NodeID) (topo.NodeID, bool) {
-	if int(idx) >= len(gn.ids) {
-		return 0, false
+	if !diff.Empty() {
+		r.dom.fibChanged(r.node, table, diff)
 	}
-	return RouterNode(gn.ids[idx]), true
-}
-
-// buildGraph materialises the LSDB into an SPF graph: real links require
-// the two-way check (both endpoints advertise each other); fake nodes hang
-// off their attachment router with the advertised attach cost.
-func (r *Router) buildGraph() (*spf.Graph, map[RouterID]topo.NodeID, *graphNodes) {
-	routerLSAs := r.db.ByType(TypeRouter)
-	index := make(map[RouterID]topo.NodeID, len(routerLSAs))
-	gn := &graphNodes{fakes: make(map[topo.NodeID]*LSA)}
-	for _, l := range routerLSAs {
-		index[l.Header.AdvRouter] = topo.NodeID(len(gn.ids))
-		gn.ids = append(gn.ids, l.Header.AdvRouter)
-	}
-	g := spf.NewGraph(len(gn.ids))
-	advertises := func(from, to RouterID) bool {
-		for _, l := range routerLSAs {
-			if l.Header.AdvRouter != from {
-				continue
-			}
-			for _, rl := range l.RouterLinks {
-				if rl.Neighbor == to {
-					return true
-				}
-			}
-		}
-		return false
-	}
-	for _, l := range routerLSAs {
-		u := index[l.Header.AdvRouter]
-		for _, rl := range l.RouterLinks {
-			v, ok := index[rl.Neighbor]
-			if !ok {
-				continue
-			}
-			if !advertises(rl.Neighbor, l.Header.AdvRouter) {
-				continue // two-way check failed
-			}
-			g.AddEdge(u, spf.Edge{To: v, Weight: int64(rl.Metric), Link: topo.NoLink})
-		}
-	}
-	for _, l := range r.db.ByType(TypeFake) {
-		attach, ok := index[l.AttachedTo]
-		if !ok {
-			continue
-		}
-		fakeIdx := g.AddNode()
-		g.AddEdge(attach, spf.Edge{To: fakeIdx, Weight: int64(l.AttachCost), Link: topo.NoLink})
-		gn.fakes[fakeIdx] = l
-	}
-	return g, index, gn
 }

@@ -55,3 +55,21 @@ func SpecByName(name string) (Spec, bool) {
 	}
 	return Spec{}, false
 }
+
+// ScaleSpecs returns the large-topology cells unlocked by the delta
+// pipeline (incremental SPF + FIB diffs + selective flow re-routing):
+// sizes a full-recompute control plane made too slow to sweep. They are
+// run by `fiblab -scale`, which reports per-cell wall-clock and
+// scheduler-events-executed so slowdowns stay visible; they are not part
+// of the CI matrix gate.
+func ScaleSpecs() []Spec {
+	specs := []Spec{
+		{Topo: TopoSpec{Family: "fattree", Size: 8, Seed: 2}, Workload: "surge", Seed: 1},
+		{Topo: TopoSpec{Family: "ring", Size: 64}, Workload: "surge", Seed: 2},
+		{Topo: TopoSpec{Family: "waxman", Size: 200, Seed: 7}, Workload: "surge", Seed: 3},
+	}
+	for i := range specs {
+		specs[i] = specs[i].withDefaults()
+	}
+	return specs
+}

@@ -94,3 +94,20 @@ func TestScenarioWaveAccounting(t *testing.T) {
 		t.Fatalf("sessions %d != scheduled flows %d", rep.Sessions, flows)
 	}
 }
+
+// TestScaleSpecsBuild validates the scaling cells without running them:
+// the topologies generate cleanly and every spec is named and bounded.
+func TestScaleSpecsBuild(t *testing.T) {
+	specs := ScaleSpecs()
+	if len(specs) == 0 {
+		t.Fatal("no scale specs")
+	}
+	for _, s := range specs {
+		if s.Name == "" || s.Duration <= 0 {
+			t.Fatalf("spec missing defaults: %+v", s)
+		}
+		if _, _, err := s.Topo.Build(); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+	}
+}

@@ -60,6 +60,13 @@ type Report struct {
 	FirstReactionAt time.Duration         `json:"first_reaction_at"` // first decision; -1 if none
 	ReactionLatency time.Duration         `json:"reaction_latency"`  // FirstReactionAt - FirstHotAt; -1 if n/a
 
+	// Simulation cost telemetry: scheduler events executed and the SPF
+	// strategy split, so scaling runs (fiblab -scale) can show where the
+	// time goes and whether the delta pipeline carried the load.
+	Events             uint64 `json:"events,omitempty"`
+	SPFIncrementalRuns uint64 `json:"spf_incremental_runs,omitempty"`
+	SPFFullRuns        uint64 `json:"spf_full_runs,omitempty"`
+
 	ControllerErrors []string `json:"controller_errors,omitempty"`
 	ProtocolErrors   []string `json:"protocol_errors,omitempty"`
 	// Notes carries non-fatal reporting degradations (e.g. the LP bound

@@ -191,8 +191,25 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	}
 
 	rep.FinalUtilisation = sim.Net.MaxUtilisation()
+	rep.Events = sim.Sched.Ran()
+	igpStats := sim.Domain.Stats()
+	rep.SPFIncrementalRuns = igpStats.SPFIncrementalRuns
+	rep.SPFFullRuns = igpStats.SPFFullRuns
 	if len(demandsAtSettle) > 0 {
-		if opt, err := te.SolveMinMax(tp, demandsAtSettle); err == nil {
+		// The dense-simplex LP bound is for reporting only; beyond the
+		// controller's own LP size limit it would dominate the cell's
+		// wall-clock (the scale cells would take hours), so skip it and
+		// note the degradation. The LP-optimality invariant only fires
+		// when LPOptimum is set.
+		routers := 0
+		for _, n := range tp.Nodes() {
+			if !n.Host {
+				routers++
+			}
+		}
+		if routers > controller.DefaultMaxLPRouters {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("LP bound skipped: %d routers", routers))
+		} else if opt, err := te.SolveMinMax(tp, demandsAtSettle); err == nil {
 			rep.LPOptimum = opt.MaxUtilisation
 		} else {
 			rep.Notes = append(rep.Notes, fmt.Sprintf("LP bound unavailable: %v", err))

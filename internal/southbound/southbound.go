@@ -155,11 +155,25 @@ func (m *LieManager) LieCount() int {
 	return n
 }
 
+// Delta is the minimal on-the-wire change one Apply performed: the lies
+// it injected and the lies it withdrew. Lies present before and after are
+// never re-signalled, so an empty delta means the IGP saw no traffic at
+// all. It is the southbound stage of the delta pipeline: each injected or
+// withdrawn lie becomes one fake-LSA change in every router's LSDB change
+// log and flows from there through incremental SPF into FIB diffs.
+type Delta struct {
+	Injected  []fibbing.Lie
+	Withdrawn []fibbing.Lie
+}
+
+// Empty reports whether the reconciliation touched the wire.
+func (d Delta) Empty() bool { return len(d.Injected) == 0 && len(d.Withdrawn) == 0 }
+
 // Apply reconciles the installed lies for one prefix towards desired:
 // lies present in both stay untouched; extra installed lies are withdrawn
-// (MaxAge re-origination); missing lies are injected fresh. It reports
-// whether anything changed on the wire.
-func (m *LieManager) Apply(prefix string, desired []fibbing.Lie) (bool, error) {
+// (MaxAge re-origination); missing lies are injected fresh. It returns
+// the delta it signalled.
+func (m *LieManager) Apply(prefix string, desired []fibbing.Lie) (Delta, error) {
 	cur := m.installed[prefix]
 
 	// Multiset diff on the Lie value.
@@ -177,13 +191,15 @@ func (m *LieManager) Apply(prefix string, desired []fibbing.Lie) (bool, error) {
 			drop = append(drop, e)
 		}
 	}
+	var delta Delta
 	// Withdraw removed lies.
 	for _, e := range drop {
 		lsa := e.lie.ToLSA(m.adv, e.lsid, e.seq+1)
 		lsa.Header.Age = ospf.MaxAgeSeconds
 		if err := m.inj.Inject(lsa); err != nil {
-			return false, fmt.Errorf("southbound: withdraw %v: %w", e.lie, err)
+			return delta, fmt.Errorf("southbound: withdraw %v: %w", e.lie, err)
 		}
+		delta.Withdrawn = append(delta.Withdrawn, e.lie)
 	}
 	// Inject new lies, deterministically ordered.
 	var missing []fibbing.Lie
@@ -197,16 +213,17 @@ func (m *LieManager) Apply(prefix string, desired []fibbing.Lie) (bool, error) {
 		m.nextLSID++
 		e := lieEntry{lsid: m.nextLSID, seq: 1, lie: l}
 		if err := m.inj.Inject(l.ToLSA(m.adv, e.lsid, e.seq)); err != nil {
-			return false, fmt.Errorf("southbound: inject %v: %w", l, err)
+			return delta, fmt.Errorf("southbound: inject %v: %w", l, err)
 		}
 		keep = append(keep, e)
+		delta.Injected = append(delta.Injected, l)
 	}
 	if len(keep) == 0 {
 		delete(m.installed, prefix)
 	} else {
 		m.installed[prefix] = keep
 	}
-	return len(drop) > 0 || len(missing) > 0, nil
+	return delta, nil
 }
 
 // WithdrawAll flushes every live lie (controller shutdown, as Fibbing

@@ -49,12 +49,12 @@ func TestLieManagerApplyAndWithdraw(t *testing.T) {
 	mgr := NewLieManager(DirectInjector{Router: d.Router(tp.MustNode("R3"))}, ospf.ControllerIDBase)
 	lies := fig1Lies(t, tp)
 
-	changed, err := mgr.Apply(topo.Fig1BluePrefixName, lies)
+	delta, err := mgr.Apply(topo.Fig1BluePrefixName, lies)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !changed || mgr.LieCount() != 3 {
-		t.Fatalf("changed=%v count=%d", changed, mgr.LieCount())
+	if len(delta.Injected) != 3 || len(delta.Withdrawn) != 0 || mgr.LieCount() != 3 {
+		t.Fatalf("delta=%+v count=%d", delta, mgr.LieCount())
 	}
 	if _, err := d.RunUntilConverged(d.Scheduler().Now() + 60*time.Second); err != nil {
 		t.Fatal(err)
@@ -64,12 +64,12 @@ func TestLieManagerApplyAndWithdraw(t *testing.T) {
 	}
 
 	// Re-applying the identical set must be a no-op.
-	changed, err = mgr.Apply(topo.Fig1BluePrefixName, lies)
+	delta, err = mgr.Apply(topo.Fig1BluePrefixName, lies)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if changed {
-		t.Fatalf("idempotent Apply reported a change")
+	if !delta.Empty() {
+		t.Fatalf("idempotent Apply reported delta %+v", delta)
 	}
 
 	// Withdraw everything: routing reverts, databases are clean.
@@ -111,12 +111,12 @@ func TestLieManagerPartialReconcile(t *testing.T) {
 			fbOnly = append(fbOnly, l)
 		}
 	}
-	changed, err := mgr.Apply(topo.Fig1BluePrefixName, fbOnly)
+	delta, err := mgr.Apply(topo.Fig1BluePrefixName, fbOnly)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !changed || mgr.LieCount() != 1 {
-		t.Fatalf("changed=%v count=%d", changed, mgr.LieCount())
+	if len(delta.Withdrawn) != 2 || len(delta.Injected) != 0 || mgr.LieCount() != 1 {
+		t.Fatalf("delta=%+v count=%d", delta, mgr.LieCount())
 	}
 	if _, err := d.RunUntilConverged(d.Scheduler().Now() + 60*time.Second); err != nil {
 		t.Fatal(err)

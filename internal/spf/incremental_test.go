@@ -1,0 +1,212 @@
+package spf
+
+import (
+	"math/rand"
+	"testing"
+
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// randomGraph builds a connected-ish directed graph with symmetric random
+// edges, mirroring the shape of LSDB-derived router graphs.
+func randomGraph(rng *rand.Rand, n int) *Graph {
+	g := NewGraph(n)
+	link := topo.LinkID(0)
+	addPair := func(a, b topo.NodeID, w int64) {
+		g.AddEdge(a, Edge{To: b, Weight: w, Link: link})
+		link++
+		g.AddEdge(b, Edge{To: a, Weight: w, Link: link})
+		link++
+	}
+	// Random spanning tree first so most nodes are reachable.
+	for v := 1; v < n; v++ {
+		u := topo.NodeID(rng.Intn(v))
+		addPair(u, topo.NodeID(v), 1+rng.Int63n(10))
+	}
+	extra := n
+	for i := 0; i < extra; i++ {
+		a, b := topo.NodeID(rng.Intn(n)), topo.NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		addPair(a, b, 1+rng.Int63n(10))
+	}
+	return g
+}
+
+// mutate applies one random structural change and returns its change list.
+func mutate(rng *rand.Rand, g *Graph) []GraphChange {
+	n := g.NumNodes()
+	switch rng.Intn(4) {
+	case 0: // reweight or create the adjacency pair u<->v
+		u := topo.NodeID(rng.Intn(n))
+		v := topo.NodeID(rng.Intn(n))
+		if u == v {
+			return nil
+		}
+		w := 1 + rng.Int63n(10)
+		var cs []GraphChange
+		if g.ReplaceEdges(u, v, []Edge{{Weight: w, Link: topo.LinkID(1000 + rng.Intn(50))}}) {
+			cs = append(cs, GraphChange{From: u, To: v})
+		}
+		if g.ReplaceEdges(v, u, []Edge{{Weight: w, Link: topo.LinkID(1000 + rng.Intn(50))}}) {
+			cs = append(cs, GraphChange{From: v, To: u})
+		}
+		return cs
+	case 1: // remove the adjacency pair
+		u := topo.NodeID(rng.Intn(n))
+		v := topo.NodeID(rng.Intn(n))
+		if u == v {
+			return nil
+		}
+		var cs []GraphChange
+		if g.ReplaceEdges(u, v, nil) {
+			cs = append(cs, GraphChange{From: u, To: v})
+		}
+		if g.ReplaceEdges(v, u, nil) {
+			cs = append(cs, GraphChange{From: v, To: u})
+		}
+		return cs
+	case 2: // graft a leaf node (a fake-node install)
+		attach := topo.NodeID(rng.Intn(n))
+		leaf := g.AddNode()
+		g.AddEdge(attach, Edge{To: leaf, Weight: rng.Int63n(5), Link: topo.NoLink})
+		return []GraphChange{{From: attach, To: leaf}}
+	default: // detach a leaf (a fake-node withdraw): drop an arbitrary edge
+		u := topo.NodeID(rng.Intn(n))
+		if len(g.Out[u]) == 0 {
+			return nil
+		}
+		v := g.Out[u][rng.Intn(len(g.Out[u]))].To
+		if g.ReplaceEdges(u, v, nil) {
+			return []GraphChange{{From: u, To: v}}
+		}
+		return nil
+	}
+}
+
+// TestIncrementalMatchesFull chains random mutations and asserts that the
+// incrementally patched tree is entry-for-entry identical to a fresh full
+// Dijkstra after every step, with and without a skip function.
+func TestIncrementalMatchesFull(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(40)
+		g := randomGraph(rng, n)
+		src := topo.NodeID(rng.Intn(n))
+		var skip func(topo.NodeID) bool
+		if seed%3 == 0 {
+			skip = func(v topo.NodeID) bool { return v%5 == 0 && v != src }
+		}
+		prev := Compute(g, src, skip)
+		sawIncremental := false
+		for step := 0; step < 25; step++ {
+			changes := mutate(rng, g)
+			tree, touched, full := Incremental(g, prev, changes, skip)
+			want := Compute(g, src, skip)
+			if !tree.Equal(want) {
+				t.Fatalf("seed %d step %d: incremental tree diverges from full (changes %v, touched %v, full %v)",
+					seed, step, changes, touched, full)
+			}
+			if err := Validate(g, tree); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			if !full && len(changes) > 0 {
+				sawIncremental = true
+			}
+			prev = tree
+		}
+		if !sawIncremental {
+			t.Fatalf("seed %d: every step fell back to full recompute", seed)
+		}
+	}
+}
+
+// TestIncrementalTouchedCoversDifferences verifies the touched set is a
+// sound over-approximation: any node whose distance or next hops changed
+// must be listed.
+func TestIncrementalTouchedCoversDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 24)
+	src := topo.NodeID(0)
+	prev := Compute(g, src, nil)
+	for step := 0; step < 40; step++ {
+		changes := mutate(rng, g)
+		tree, touched, full := Incremental(g, prev, changes, nil)
+		if full {
+			prev = tree
+			continue
+		}
+		inTouched := make(map[topo.NodeID]bool, len(touched))
+		for _, v := range touched {
+			inTouched[v] = true
+		}
+		for v := 0; v < len(prev.Dist); v++ {
+			id := topo.NodeID(v)
+			if prev.Dist[v] != tree.Dist[v] && !inTouched[id] {
+				t.Fatalf("step %d: node %d distance changed (%d -> %d) but not touched",
+					step, v, prev.Dist[v], tree.Dist[v])
+			}
+			a, b := prev.preds[v], tree.preds[v]
+			if len(a) != len(b) && !inTouched[id] {
+				t.Fatalf("step %d: node %d preds changed but not touched", step, v)
+			}
+		}
+		prev = tree
+	}
+}
+
+// TestIncrementalNoChanges returns the previous tree untouched.
+func TestIncrementalNoChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 12)
+	prev := Compute(g, 0, nil)
+	tree, touched, full := Incremental(g, prev, nil, nil)
+	if tree != prev || touched != nil || full {
+		t.Fatalf("no-op incremental: tree=%p prev=%p touched=%v full=%v", tree, prev, touched, full)
+	}
+}
+
+// TestIncrementalGrownGraph covers the fake-node install path: the graph
+// gains leaves after the previous tree was computed.
+func TestIncrementalGrownGraph(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, Edge{To: 1, Weight: 1, Link: 0})
+	g.AddEdge(1, Edge{To: 0, Weight: 1, Link: 1})
+	g.AddEdge(1, Edge{To: 2, Weight: 1, Link: 2})
+	g.AddEdge(2, Edge{To: 1, Weight: 1, Link: 3})
+	prev := Compute(g, 0, nil)
+	leaf := g.AddNode()
+	g.AddEdge(2, Edge{To: leaf, Weight: 0, Link: topo.NoLink})
+	tree, _, _ := Incremental(g, prev, []GraphChange{{From: 2, To: leaf}}, nil)
+	want := Compute(g, 0, nil)
+	if !tree.Equal(want) {
+		t.Fatalf("grown graph: incremental %v vs full %v", tree.Dist, want.Dist)
+	}
+	if tree.Dist[leaf] != 2 {
+		t.Fatalf("leaf dist = %d, want 2", tree.Dist[leaf])
+	}
+}
+
+func TestReplaceEdgesReporting(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, Edge{To: 1, Weight: 2, Link: 7})
+	if g.ReplaceEdges(0, 1, []Edge{{Weight: 2, Link: 7}}) {
+		t.Fatal("identical replacement reported as change")
+	}
+	if !g.ReplaceEdges(0, 1, []Edge{{Weight: 3, Link: 7}}) {
+		t.Fatal("reweight not reported")
+	}
+	if !g.ReplaceEdges(0, 1, nil) {
+		t.Fatal("removal not reported")
+	}
+	if g.ReplaceEdges(0, 1, nil) {
+		t.Fatal("removing an absent edge reported as change")
+	}
+	if !g.ReplaceEdges(0, 2, []Edge{{Weight: 1, Link: 9}}) {
+		t.Fatal("addition not reported")
+	}
+	if len(g.Out[0]) != 1 || g.Out[0][0].To != 2 {
+		t.Fatalf("unexpected adjacency %v", g.Out[0])
+	}
+}

@@ -6,6 +6,12 @@
 // predecessor DAG, from which callers derive next-hop sets, enumerate all
 // equal-cost paths, and count path multiplicities — the quantity Fibbing
 // manipulates to realise uneven splitting ratios.
+//
+// Incremental (incremental.go) patches a Tree from a list of GraphChanges
+// instead of re-running Dijkstra, falling back to a full recompute when
+// the dirty region exceeds MaxDirtyFraction of the graph. It is the first
+// stage of the delta pipeline: IGP change → patched tree → FIB diff →
+// selective flow re-routing.
 package spf
 
 import (
@@ -65,6 +71,47 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// ReplaceEdges replaces the multiset of directed edges from -> to with the
+// given ones (each edge's To field is forced to to). It reports whether the
+// edge set actually differed, so incremental graph maintainers can build
+// GraphChange lists for Incremental without tracking weights themselves.
+func (g *Graph) ReplaceEdges(from, to topo.NodeID, edges []Edge) bool {
+	var old []Edge
+	kept := g.Out[from][:0]
+	for _, e := range g.Out[from] {
+		if e.To == to {
+			old = append(old, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for _, e := range edges {
+		e.To = to
+		kept = append(kept, e)
+	}
+	g.Out[from] = kept
+	if len(old) != len(edges) {
+		return true
+	}
+	// Multiset comparison on (Weight, Link); edge lists here are tiny
+	// (parallel links between one node pair).
+	matched := make([]bool, len(old))
+	for _, e := range edges {
+		found := false
+		for i, o := range old {
+			if !matched[i] && o.Weight == e.Weight && o.Link == e.Link {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return true
+		}
+	}
+	return false
+}
+
 // FromTopology builds the SPF graph of the router-level topology. Host
 // nodes are present (so IDs align) but contribute no transit: edges from
 // hosts exist, edges into hosts exist, yet hosts are excluded as transit by
@@ -87,6 +134,12 @@ type Tree struct {
 	// preds[v] lists, for every node v on some shortest path, the edges
 	// (u -> v) that lie on a shortest path from Src.
 	preds [][]pred
+	// kids caches the CSR inversion of preds (children of every node in
+	// the shortest-path DAG), built lazily by childrenCSR. Incremental
+	// stores it on the trees it returns so the next patch of the same
+	// tree gets the old-DAG closure for free.
+	kids   dagChildren
+	kidsOK bool
 }
 
 type pred struct {
@@ -189,7 +242,58 @@ func Compute(g *Graph, src topo.NodeID, skip func(topo.NodeID) bool) *Tree {
 			}
 		}
 	}
+	t.canonicalize()
 	return t
+}
+
+// canonicalize sorts every predecessor list by (from, link) so that trees
+// produced by different strategies (full Dijkstra vs Incremental) compare
+// equal entry for entry.
+func (t *Tree) canonicalize() {
+	for _, ps := range t.preds {
+		sortPreds(ps)
+	}
+}
+
+func sortPreds(ps []pred) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && predLess(ps[j], ps[j-1]); j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+func predLess(a, b pred) bool {
+	if a.from != b.from {
+		return a.from < b.from
+	}
+	return a.link < b.link
+}
+
+// Equal reports whether two trees encode identical routing state: same
+// source, same distances, and identical canonicalised predecessor sets.
+// Trees over graphs of different sizes are never equal.
+func (t *Tree) Equal(o *Tree) bool {
+	if o == nil || t.Src != o.Src || len(t.Dist) != len(o.Dist) || len(t.preds) != len(o.preds) {
+		return false
+	}
+	for i := range t.Dist {
+		if t.Dist[i] != o.Dist[i] {
+			return false
+		}
+	}
+	for v := range t.preds {
+		a, b := t.preds[v], o.preds[v]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Reachable reports whether dst was reached.
@@ -323,16 +427,34 @@ func FormatPath(t *topo.Topology, path []topo.NodeID) string {
 	return b.String()
 }
 
+// HostSkip returns the canonical skip function for graphs derived from t:
+// host nodes never transit. Graph indices >= t.NumNodes() (synthetic nodes
+// appended to a topology-derived graph, e.g. Fibbing's fake nodes) are
+// never skipped.
+func HostSkip(t *topo.Topology) func(topo.NodeID) bool {
+	return func(n topo.NodeID) bool {
+		return int(n) < t.NumNodes() && t.Node(n).Host
+	}
+}
+
+// ComputeRouters runs Compute from src over a graph derived from t
+// (possibly extended with synthetic nodes) with the canonical host-skip
+// rule. It is the shared entry point of every caller that builds ad-hoc
+// graphs over a topology: TE heuristics, CSPF, the controller's what-if
+// evaluation.
+func ComputeRouters(g *Graph, t *topo.Topology, src topo.NodeID) *Tree {
+	return Compute(g, src, HostSkip(t))
+}
+
 // AllPairs computes one Tree per router (hosts excluded as sources).
 func AllPairs(t *topo.Topology) map[topo.NodeID]*Tree {
 	g := FromTopology(t)
-	skip := func(n topo.NodeID) bool { return t.Node(n).Host }
 	out := make(map[topo.NodeID]*Tree, t.NumNodes())
 	for _, n := range t.Nodes() {
 		if n.Host {
 			continue
 		}
-		out[n.ID] = Compute(g, n.ID, skip)
+		out[n.ID] = ComputeRouters(g, t, n.ID)
 	}
 	return out
 }

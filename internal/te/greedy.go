@@ -115,7 +115,7 @@ func greedyPath(t *topo.Topology, loads map[topo.LinkID]float64, src topo.NodeID
 		}
 		g.AddEdge(l.From, spf.Edge{To: l.To, Weight: cost, Link: l.ID})
 	}
-	tree := spf.Compute(g, src, func(n topo.NodeID) bool { return t.Node(n).Host })
+	tree := spf.ComputeRouters(g, t, src)
 	best := spf.Infinity
 	var bestSink topo.NodeID = topo.NoNode
 	for s := range sinks {

@@ -124,7 +124,7 @@ func cspf(t *topo.Topology, residual map[topo.LinkID]float64, src topo.NodeID, s
 		}
 		g.AddEdge(l.From, spf.Edge{To: l.To, Weight: l.Weight, Link: l.ID})
 	}
-	tree := spf.Compute(g, src, func(n topo.NodeID) bool { return t.Node(n).Host })
+	tree := spf.ComputeRouters(g, t, src)
 	bestDist := spf.Infinity
 	var best topo.NodeID = topo.NoNode
 	for s := range sinks {
