@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz matrix bench bench-gate scale
+.PHONY: all build test race vet fuzz matrix quickstart bench bench-gate scale
 
 all: vet build test
 
@@ -26,6 +26,11 @@ fuzz:
 # The scenario-matrix stress harness as a CI gate.
 matrix:
 	$(GO) run ./cmd/fiblab -matrix
+
+# Example smoke: quickstart exercises the public API end to end (the CI
+# runs it so example drift fails the build).
+quickstart:
+	$(GO) run ./examples/quickstart
 
 # Refresh the committed benchmark baseline. -benchtime=1x keeps it quick
 # and deterministic enough for trajectory tracking; bump it locally when

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"fibbing.net/fibbing/internal/controller"
 	"fibbing.net/fibbing/internal/experiments"
 	"fibbing.net/fibbing/internal/fib"
 	"fibbing.net/fibbing/internal/fibbing"
@@ -326,6 +327,47 @@ func BenchmarkIncrementalVsFull(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(fulls)/float64(b.N*tc.reps), "fallbacks/op")
+		})
+	}
+}
+
+// --- Planner benchmarks -------------------------------------------------
+
+// BenchmarkPlanner times the controller's strategy fan-out: all stock
+// strategies proposing concurrently plus scoring, on the paper's gadget
+// and a fat-tree fabric. This is the per-alarm control-loop cost.
+func BenchmarkPlanner(b *testing.B) {
+	type plannerCase struct {
+		name    string
+		tp      *topo.Topology
+		demands []topo.Demand
+	}
+	fig1 := topo.Fig1(topo.Fig1Opts{})
+	ft := topo.FatTree(topo.FatTreeOpts{K: 4, Capacity: 10e6, MaxWeight: 3, Seed: 1})
+	cases := []plannerCase{
+		{"fig1", fig1, topo.Fig1Demands(fig1, 15.5e6)},
+		{"fattree4", ft, topo.RandomDemands(ft, 4, 3e6, 9e6, 1)},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			loads, err := te.IGPLoads(tc.tp, tc.demands)
+			if err != nil {
+				b.Fatal(err)
+			}
+			alarm, ok := controller.HottestLinkAlarm(tc.tp, loads)
+			if !ok {
+				b.Fatal("no capacitated link")
+			}
+			ctx := controller.AnalyticPlanContext(tc.tp, tc.demands, nil,
+				controller.AlarmEvent(alarm), controller.Config{})
+			planner := controller.NewPlanner()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, errs := planner.Plan(ctx); len(errs) > 0 {
+					b.Fatal(errs)
+				}
+			}
 		})
 	}
 }

@@ -35,9 +35,10 @@ func main() {
 	rate := flag.String("rate", "500K", "per-video bitrate")
 	noCtrl := flag.Bool("no-controller", false, "disable the Fibbing controller (to see the stutter)")
 	pace := flag.Float64("pace", 1.0, "virtual seconds per wall second (e.g. 10 for a fast replay)")
+	strategies := flag.String("strategies", "", "comma-separated reaction strategies (empty keeps the stock set)")
 	flag.Parse()
 
-	if err := run(*listen, *duration, *rate, !*noCtrl, *pace); err != nil {
+	if err := run(*listen, *duration, *rate, !*noCtrl, *pace, *strategies); err != nil {
 		fmt.Fprintf(os.Stderr, "fibbingd: %v\n", err)
 		os.Exit(1)
 	}
@@ -56,7 +57,7 @@ func (l lockedTransport) handle(req []byte) []byte {
 	return l.agent.HandleRequest(req)
 }
 
-func run(listen string, duration time.Duration, rateSpec string, withCtrl bool, pace float64) error {
+func run(listen string, duration time.Duration, rateSpec string, withCtrl bool, pace float64, strategies string) error {
 	videoRate, err := topo.ParseBits(rateSpec)
 	if err != nil {
 		return err
@@ -64,8 +65,14 @@ func run(listen string, duration time.Duration, rateSpec string, withCtrl bool, 
 	if pace <= 0 {
 		return fmt.Errorf("pace must be positive")
 	}
+	strategySet, err := controller.ParseStrategies(strategies)
+	if err != nil {
+		return err
+	}
 
-	sim, err := controller.NewSim(controller.SimOpts{WithCtrl: withCtrl, TrackPlayers: true})
+	sim, err := controller.NewSim(controller.SimOpts{
+		WithCtrl: withCtrl, TrackPlayers: true, Strategies: strategySet,
+	})
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,8 @@
 //	fiblab -matrix                  # the full matrix
 //	fiblab -topo waxman -size 20 -seed 4 -workload flash -failure flap
 //	fiblab -matrix -json > out.json # machine-readable reports
+//	fiblab -run ring/surge -strategies=localecmp,ksp
+//	                                # restrict the reaction-strategy set
 //
 // The exit status is non-zero when any executed cell violates its
 // invariants, so fiblab doubles as a CI gate.
@@ -22,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"fibbing.net/fibbing/internal/controller"
 	"fibbing.net/fibbing/internal/scenarios"
 )
 
@@ -33,6 +36,7 @@ func main() {
 		scale    = flag.Bool("scale", false, "run the large-topology scaling cells (controller on), reporting wall-clock and events executed")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of text")
 		duration = flag.Duration("duration", 0, "override the scenario duration")
+		strats   = flag.String("strategies", "", "comma-separated reaction strategies (e.g. localecmp,ksp,lpoptimal); empty keeps the stock set")
 
 		topoF    = flag.String("topo", "", "ad-hoc run: topology family (fig1, abilene, fattree, ring, grid, waxman, random)")
 		size     = flag.Int("size", 0, "ad-hoc run: topology size knob")
@@ -42,6 +46,18 @@ func main() {
 	)
 	flag.Parse()
 
+	// Resolve the strategy set once, up front: a bad name is a usage
+	// error, and the canonical names feed Spec.Strategies.
+	var strategyNames []string
+	if *strats != "" {
+		set, err := controller.ParseStrategies(*strats)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
+			os.Exit(2)
+		}
+		strategyNames = controller.StrategyNames(set)
+	}
+
 	if *list {
 		for _, s := range scenarios.MatrixSpecs() {
 			fmt.Println(s.Name)
@@ -50,7 +66,7 @@ func main() {
 	}
 
 	if *scale {
-		runScale(*duration, *jsonOut)
+		runScale(*duration, *jsonOut, strategyNames)
 		return
 	}
 
@@ -83,6 +99,9 @@ func main() {
 	for _, spec := range specs {
 		if *duration > 0 {
 			spec.Duration = *duration
+		}
+		if len(strategyNames) > 0 {
+			spec.Strategies = strategyNames
 		}
 		cmp, err := scenarios.Compare(spec)
 		if err != nil {
@@ -124,11 +143,14 @@ type scaleResult struct {
 // runScale executes the large-topology cells (controller on, no
 // counterfactual side: these measure cost, not invariants) and prints
 // per-cell wall-clock and scheduler events executed.
-func runScale(duration time.Duration, jsonOut bool) {
+func runScale(duration time.Duration, jsonOut bool, strategyNames []string) {
 	var results []scaleResult
 	for _, spec := range scenarios.ScaleSpecs() {
 		if duration > 0 {
 			spec.Duration = duration
+		}
+		if len(strategyNames) > 0 {
+			spec.Strategies = strategyNames
 		}
 		start := time.Now()
 		rep, err := scenarios.Run(spec, true)

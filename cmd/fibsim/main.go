@@ -1,13 +1,15 @@
 // Command fibsim is a one-shot analytic what-if tool: given a topology
 // (the paper's Figure 1 by default, or a topology file) and a demand set,
 // it prints the plain-IGP link loads, the LP-optimal min-max utilisation,
-// the Fibbing realisation (lies and achieved utilisation), and the
-// RSVP-TE baseline — the full §2 comparison for arbitrary inputs.
+// the Fibbing realisation (lies and achieved utilisation), the RSVP-TE
+// baseline — the full §2 comparison for arbitrary inputs — and what the
+// controller's strategy planner would do about the hottest link.
 //
 // Usage:
 //
 //	fibsim [-topo file] [-demand ingress:prefix:bps]... [-denom 16]
 //	fibsim -demand B:blue:8M -demand A:blue:8M
+//	fibsim -strategies localecmp,ksp,lpoptimal   # what-if planner run
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"fibbing.net/fibbing/internal/controller"
 	"fibbing.net/fibbing/internal/metrics"
 	"fibbing.net/fibbing/internal/te"
 	"fibbing.net/fibbing/internal/topo"
@@ -32,17 +35,19 @@ func (d *demandFlags) Set(s string) error {
 func main() {
 	topoFile := flag.String("topo", "", "topology file (default: the paper's Figure 1)")
 	denom := flag.Int("denom", 16, "max ECMP weight denominator for split quantisation")
+	strategies := flag.String("strategies", "localecmp,lpoptimal,ksp",
+		"reaction strategies for the planner what-if section (empty disables it)")
 	var demands demandFlags
 	flag.Var(&demands, "demand", "demand as ingress:prefix:bps (repeatable), e.g. B:blue:8M")
 	flag.Parse()
 
-	if err := run(*topoFile, demands, *denom); err != nil {
+	if err := run(*topoFile, demands, *denom, *strategies); err != nil {
 		fmt.Fprintf(os.Stderr, "fibsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(topoFile string, demandSpecs []string, denom int) error {
+func run(topoFile string, demandSpecs []string, denom int, strategies string) error {
 	var t *topo.Topology
 	if topoFile == "" {
 		t = topo.Fig1(topo.Fig1Opts{})
@@ -112,6 +117,50 @@ func run(topoFile string, demandSpecs []string, denom int) error {
 	}
 	if len(rsvp.Unplaced) > 0 {
 		fmt.Printf("  unplaced demands: %v\n", rsvp.Unplaced)
+	}
+
+	return planWhatIf(t, demands, loads, strategies)
+}
+
+// planWhatIf runs the controller's strategy planner analytically: it
+// synthesises an alarm on the hottest link of the plain-IGP routing,
+// fans the selected strategies out, and prints every proposal plus the
+// plan the planner would commit.
+func planWhatIf(t *topo.Topology, demands []topo.Demand, loads map[topo.LinkID]float64, strategies string) error {
+	set, err := controller.ParseStrategies(strategies)
+	if err != nil {
+		return err
+	}
+	if len(set) == 0 {
+		return nil
+	}
+	alarm, ok := controller.HottestLinkAlarm(t, loads)
+	if !ok {
+		return nil // uncapacitated topology: nothing to react to
+	}
+	planner := controller.NewPlanner(set...)
+	ctx := controller.AnalyticPlanContext(t, demands, nil,
+		controller.AlarmEvent(alarm), controller.Config{})
+	fmt.Printf("\n-- reaction-strategy planner (alarm on %s at %.0f%%, base util %.3f) --\n",
+		alarm.Name, 100*alarm.Utilisation, ctx.BaseUtil)
+
+	plans, errs := planner.ProposeAll(ctx)
+	tb := metrics.NewTable("strategy", "lies", "predicted util", "meets target", "rationale")
+	for _, p := range plans {
+		tb.AddRow(p.Strategy, p.TotalLies(), fmt.Sprintf("%.3f", p.PredictedUtil),
+			p.PredictedUtil <= ctx.Target, p.Rationale)
+	}
+	if err := tb.Render(os.Stdout); err != nil {
+		return err
+	}
+	for _, e := range errs {
+		fmt.Printf("  strategy error: %v\n", e)
+	}
+	if winner := planner.Select(ctx, plans); winner != nil {
+		fmt.Printf("  planner would commit: %s (%d lies, predicted util %.3f)\n",
+			winner.Strategy, winner.TotalLies(), winner.PredictedUtil)
+	} else {
+		fmt.Println("  planner would commit: nothing (no admissible plan)")
 	}
 	return nil
 }

@@ -7,6 +7,15 @@
 // traffic-engineering solvers (min-max LP, weight search, RSVP-TE/CSPF),
 // and the Fibbing controller itself.
 //
+// The controller is a policy engine with a pluggable reaction-strategy
+// API: a Strategy proposes, a Plan is the typed proposal (per-prefix lie
+// sets plus predicted max utilisation), and a southbound.Transaction
+// commits the winner all-or-nothing. The Planner fans registered
+// strategies out concurrently and scores them; the paper's tiers are the
+// stock strategies (local-ecmp, lp-optimal, ksp, withdraw) and custom
+// policies register via controller.New(..., WithStrategies(...)). See
+// README.md ("The reaction-strategy API").
+//
 // The implementation lives under internal/; see README.md for the
 // package map and how to run the examples, experiments and benchmarks.
 // The root-level benchmarks (bench_test.go) regenerate every figure of

@@ -32,23 +32,39 @@ func main() {
 	fmt.Printf("random network: %d routers, %d links, content prefix %v\n",
 		network.NumNodes(), network.NumLinks()/2, p.Prefix)
 
+	// Pick the reaction-strategy set explicitly (the same set the
+	// -strategies flags of fiblab/fibbingd select); any custom
+	// controller.Strategy implementation could ride along here.
+	strategies, err := controller.ParseStrategies("localecmp,ksp,lpoptimal")
+	if err != nil {
+		log.Fatal(err)
+	}
 	sim, err := controller.NewSim(controller.SimOpts{
-		Topology: network,
-		Prefix:   "d0",
-		AttachAt: network.Name(p.Attachments[0].Node), // PoP next to the content
-		WithCtrl: true,
+		Topology:   network,
+		Prefix:     "d0",
+		AttachAt:   network.Name(p.Attachments[0].Node), // PoP next to the content
+		WithCtrl:   true,
+		Strategies: strategies,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("reaction strategies: %v\n", sim.Ctrl.Planner().Strategies())
 
-	// A 90-second Poisson crowd: ~1.5 sessions/s, mean hold 40 s,
-	// 800 kbit/s each, all entering at one far-away router.
-	ingress := farthestRouter(network, p.Attachments[0].Node)
-	waves := flashcrowd.PoissonWaves(network.Name(ingress), 90*time.Second,
-		1.5, 40*time.Second, 0.8e6, 42)
-	fmt.Printf("flash crowd: %d sessions arriving at %s over 90s\n",
-		len(waves), network.Name(ingress))
+	// A 90-second Poisson crowd from the two farthest routers (~0.8
+	// sessions/s each, mean hold 40 s, 400 kbit/s per session). Two
+	// ingresses matter: their shortest paths overlap mid-network — the
+	// Figure 1 situation at random-topology scale — so rerouting can
+	// genuinely relieve the congestion (a single saturated source's
+	// egress cut cannot be routed around, and the planner refuses
+	// zero-gain plans).
+	in1, in2 := farthestRouters(network, p.Attachments[0].Node)
+	waves := flashcrowd.PoissonWaves(network.Name(in1), 90*time.Second,
+		0.8, 40*time.Second, 0.4e6, 42)
+	waves = append(waves, flashcrowd.PoissonWaves(network.Name(in2), 90*time.Second,
+		0.8, 40*time.Second, 0.4e6, 43)...)
+	fmt.Printf("flash crowd: %d sessions arriving at %s and %s over 90s\n",
+		len(waves), network.Name(in1), network.Name(in2))
 	if err := sim.Runner.Schedule(waves); err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +73,7 @@ func main() {
 
 	fmt.Println("\ncontroller decisions:")
 	if len(sim.Ctrl.Decisions) == 0 {
-		fmt.Println("  (none — the crowd never congested a link; try a higher rate)")
+		fmt.Println("  (none — no strategy could improve on IGP routing; try a higher rate)")
 	}
 	for _, d := range sim.Ctrl.Decisions {
 		fmt.Printf("  t=%-6v %-18s lies=%d  %s\n", d.At, d.Strategy, d.Lies, d.Detail)
@@ -69,12 +85,12 @@ func main() {
 	}
 }
 
-// farthestRouter picks the router with the greatest IGP distance from the
-// content, so the crowd crosses as much of the network as possible.
-func farthestRouter(t *topo.Topology, from topo.NodeID) topo.NodeID {
-	best := from
+// farthestRouters picks the two routers with the greatest IGP distance
+// from the content, so the crowd crosses as much of the network as
+// possible and the two shortest paths overlap mid-network.
+func farthestRouters(t *topo.Topology, from topo.NodeID) (topo.NodeID, topo.NodeID) {
 	// Cheap BFS-by-weight approximation: reuse demand helper semantics by
-	// scanning all nodes and picking the max shortest-path cost.
+	// scanning all nodes and picking the max shortest-path costs.
 	type item struct {
 		n topo.NodeID
 		d int64
@@ -94,11 +110,19 @@ func farthestRouter(t *topo.Topology, from topo.NodeID) topo.NodeID {
 			}
 		}
 	}
-	var bestD int64 = -1
+	best, second := from, from
+	var bestD, secondD int64 = -1, -1
 	for n, d := range dist {
-		if !t.Node(n).Host && d > bestD {
+		if t.Node(n).Host || n == from {
+			continue
+		}
+		switch {
+		case d > bestD:
+			second, secondD = best, bestD
 			best, bestD = n, d
+		case d > secondD:
+			second, secondD = n, d
 		}
 	}
-	return best
+	return best, second
 }

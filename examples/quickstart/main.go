@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 
+	"fibbing.net/fibbing/internal/controller"
 	"fibbing.net/fibbing/internal/fibbing"
 	"fibbing.net/fibbing/internal/te"
 	"fibbing.net/fibbing/internal/topo"
@@ -64,6 +65,23 @@ func main() {
 	fmt.Println("\nper-link loads after Fibbing (bit/s):")
 	for _, line := range te.FormatLoads(network, after) {
 		fmt.Println("  " + line)
+	}
+
+	// 6. The controller's pluggable reaction-strategy API: fan the stock
+	//    strategies out concurrently against the surge and see which plan
+	//    the planner would commit. Custom policies implement
+	//    controller.Strategy and register via WithStrategies.
+	alarm, _ := controller.HottestLinkAlarm(network, loads)
+	planner := controller.NewPlanner(controller.DefaultStrategies()...)
+	ctx := controller.AnalyticPlanContext(network, demands, nil,
+		controller.AlarmEvent(alarm), controller.Config{})
+	fmt.Printf("\nstrategy proposals for the %s alarm (base util %.2f):\n", alarm.Name, ctx.BaseUtil)
+	plans, _ := planner.ProposeAll(ctx)
+	for _, p := range plans {
+		fmt.Printf("  %-10s %d lies -> predicted util %.2f\n", p.Strategy, p.TotalLies(), p.PredictedUtil)
+	}
+	if winner := planner.Select(ctx, plans); winner != nil {
+		fmt.Printf("planner commits: %s (%s)\n", winner.Strategy, winner.Rationale)
 	}
 }
 

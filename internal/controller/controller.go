@@ -5,18 +5,24 @@
 // nodes, and injects them into the IGP through its point of presence.
 // When the surge subsides it withdraws the lies, returning the network to
 // pure IGP routing.
+//
+// The control loop is a policy engine built from three first-class types:
+// a Strategy proposes, a Plan is the typed proposal (per-prefix lie sets
+// plus a predicted max utilisation), and a southbound.Transaction commits
+// the winning plan all-or-nothing. The Planner fans every registered
+// strategy out concurrently and scores the proposals; the paper's tiered
+// reactions (local ECMP, LP-optimal splits, withdrawal) are stock
+// strategies, and new reaction policies plug in through
+// New(..., WithStrategies(...)) without touching the engine.
 package controller
 
 import (
 	"fmt"
-	"math"
 	"sort"
+	"strings"
 	"time"
 
-	"fibbing.net/fibbing/internal/fibbing"
-	"fibbing.net/fibbing/internal/monitor"
 	"fibbing.net/fibbing/internal/southbound"
-	"fibbing.net/fibbing/internal/te"
 	"fibbing.net/fibbing/internal/topo"
 )
 
@@ -27,107 +33,197 @@ import (
 const DefaultTargetUtilisation = 0.75
 
 // DefaultMaxLPRouters is the default topology-size bound for LP-based
-// machinery (the tier-2 reaction here, the LP reporting bound in
+// machinery (the lp-optimal strategy here, the LP reporting bound in
 // internal/scenarios): the dense simplex is vastly superlinear in
 // routers x links and stalls the control loop beyond this size.
 const DefaultMaxLPRouters = 48
 
-// Config parameterises the controller's policy.
+// DefaultWithdrawBelow is the IGP utilisation under which lies are
+// withdrawn once every alarm has cleared.
+const DefaultWithdrawBelow = 0.2
+
+// Config parameterises the controller's policy. Fields whose zero value
+// is a legitimate setting are pointers (Float builds them); nil means
+// "use the default", so an explicit zero is never silently replaced.
 type Config struct {
 	// TargetUtilisation is the post-reaction utilisation the controller
-	// aims for (default DefaultTargetUtilisation). Reactions trigger on
-	// monitor alarms.
-	TargetUtilisation float64
+	// aims for (nil: DefaultTargetUtilisation). Float(0) makes every
+	// reaction purely best-effort: no plan ever "satisfies" the target,
+	// so the planner always minimises predicted utilisation.
+	TargetUtilisation *float64
 	// MaxDenom bounds the ECMP weight denominator when realising
 	// fractional splits (default 16, i.e. at most 16 fake nodes per
 	// router per destination).
 	MaxDenom int
-	// WithdrawBelow: when every watched link drops below this
-	// utilisation (monitor clear alarms), lies are withdrawn
-	// (default 0.2).
-	WithdrawBelow float64
-	// MaxLPRouters bounds the topology size for the tier-2 LP reaction
-	// (default DefaultMaxLPRouters); on larger networks the controller
-	// stays with local equal-cost spreading.
+	// WithdrawBelow: when every alarm has cleared and plain IGP routing
+	// would stay below this utilisation, lies are withdrawn (nil:
+	// DefaultWithdrawBelow). Float(0) disables withdrawal entirely.
+	WithdrawBelow *float64
+	// MaxLPRouters bounds the topology size for the lp-optimal strategy
+	// (default DefaultMaxLPRouters); on larger networks the LP abstains
+	// and the cheaper strategies compete.
 	MaxLPRouters int
 }
 
-func (c Config) withDefaults() Config {
-	if c.TargetUtilisation <= 0 {
-		c.TargetUtilisation = DefaultTargetUtilisation
-	}
-	if c.MaxDenom <= 0 {
-		c.MaxDenom = 16
-	}
-	if c.WithdrawBelow <= 0 {
-		c.WithdrawBelow = 0.2
-	}
-	if c.MaxLPRouters <= 0 {
-		c.MaxLPRouters = DefaultMaxLPRouters
-	}
-	return c
+// Float wraps a float64 for Config's optional fields.
+func Float(v float64) *float64 { return &v }
+
+// resolved carries the policy knobs with every sentinel resolved.
+type resolved struct {
+	target        float64
+	maxDenom      int
+	withdrawBelow float64
+	maxLPRouters  int
 }
 
-// Decision records one controller action, for logs and experiments.
+func (c Config) resolve() resolved {
+	r := resolved{
+		target:        DefaultTargetUtilisation,
+		maxDenom:      16,
+		withdrawBelow: DefaultWithdrawBelow,
+		maxLPRouters:  DefaultMaxLPRouters,
+	}
+	if c.TargetUtilisation != nil {
+		r.target = *c.TargetUtilisation
+	}
+	if c.MaxDenom > 0 {
+		r.maxDenom = c.MaxDenom
+	}
+	if c.WithdrawBelow != nil {
+		r.withdrawBelow = *c.WithdrawBelow
+	}
+	if c.MaxLPRouters > 0 {
+		r.maxLPRouters = c.MaxLPRouters
+	}
+	return r
+}
+
+// Decision records one committed plan, for logs and experiments.
 type Decision struct {
-	At       time.Duration
-	Prefix   string
-	Strategy string // "local-ecmp", "lp-optimal", "withdraw"
+	At     time.Duration
+	Prefix string
+	// Strategy is the winning strategy's name ("local-ecmp",
+	// "lp-optimal", "ksp", "withdraw", or a custom strategy's Name()).
+	Strategy string
 	Lies     int
 	Detail   string
 }
 
-// Controller is the demo's control loop. It is driven by callbacks from
-// the monitor (alarms) and the video servers (client notifications); all
-// callbacks run on the simulation scheduler's goroutine.
+// Controller is the policy engine. It consumes typed Events (monitor
+// alarms, demand changes) and reacts by planning over its registered
+// strategies and committing the winning plan transactionally; all event
+// handling runs on the simulation scheduler's goroutine.
 type Controller struct {
-	topo *topo.Topology
-	lies *southbound.LieManager
-	cfg  Config
-	now  func() time.Duration
+	topo    *topo.Topology
+	lies    *southbound.LieManager
+	cfg     resolved
+	now     func() time.Duration
+	planner *Planner
 
 	// demand model: prefix -> ingress -> aggregate bit/s, maintained
-	// from server notifications.
+	// from demand events.
 	demand map[string]map[topo.NodeID]float64
 
 	// raised tracks links with active congestion alarms.
 	raised map[topo.LinkID]bool
+
+	// futile memoises planning rounds that produced no plan: planning
+	// is a pure function of (event link, demands, installed lies), so
+	// while none of those change, repeated alarms (the monitor's
+	// RepeatEvery, or many saturated links alarming round-robin) would
+	// redo the identical fan-out only to reject the identical proposals.
+	// A commit or a demand change clears the whole memo, so it never
+	// holds more than one entry per alarmed link between changes.
+	futile map[string]bool
 
 	Decisions []Decision
 	// Errors collects reaction failures (the controller keeps running).
 	Errors []error
 }
 
-// New builds a controller injecting lies through the given manager.
-func New(t *topo.Topology, lies *southbound.LieManager, cfg Config, now func() time.Duration) *Controller {
-	return &Controller{
-		topo:   t,
-		lies:   lies,
-		cfg:    cfg.withDefaults(),
-		now:    now,
-		demand: make(map[string]map[topo.NodeID]float64),
-		raised: make(map[topo.LinkID]bool),
+// Option configures a Controller at construction.
+type Option func(*Controller)
+
+// WithConfig sets the policy knobs.
+func WithConfig(cfg Config) Option {
+	return func(c *Controller) { c.cfg = cfg.resolve() }
+}
+
+// WithStrategies replaces the stock strategy set. Strategies are proposed
+// concurrently and scored in registration order on ties.
+func WithStrategies(strategies ...Strategy) Option {
+	return func(c *Controller) {
+		if len(strategies) > 0 {
+			c.planner = NewPlanner(strategies...)
+		}
 	}
 }
 
-// ClientJoined registers a new video session (server notification).
-func (c *Controller) ClientJoined(prefix string, ingress topo.NodeID, rate float64) {
-	m := c.demand[prefix]
-	if m == nil {
-		m = make(map[topo.NodeID]float64)
-		c.demand[prefix] = m
+// New builds a controller injecting lies through the given manager. With
+// no options it runs the stock strategies under the default policy.
+func New(t *topo.Topology, lies *southbound.LieManager, now func() time.Duration, opts ...Option) *Controller {
+	c := &Controller{
+		topo:    t,
+		lies:    lies,
+		cfg:     Config{}.resolve(),
+		now:     now,
+		planner: NewPlanner(),
+		demand:  make(map[string]map[topo.NodeID]float64),
+		raised:  make(map[topo.LinkID]bool),
+		futile:  make(map[string]bool),
 	}
-	m[ingress] += rate
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Planner exposes the engine's planner (for reports and what-if tools).
+func (c *Controller) Planner() *Planner { return c.planner }
+
+// Handle is the controller's single entry point: it consumes one typed
+// event, updates the demand/alarm state, and plans a reaction when the
+// event calls for one.
+func (c *Controller) Handle(ev Event) {
+	switch ev.Kind {
+	case EventDemandChanged:
+		c.applyDemand(ev)
+	case EventAlarmRaised:
+		c.raised[ev.Alarm.Link] = true
+		c.plan(ev)
+	case EventAlarmCleared:
+		delete(c.raised, ev.Alarm.Link)
+		if len(c.raised) == 0 {
+			c.plan(ev)
+		}
+	}
+}
+
+// ClientJoined registers a new video session (convenience wrapper around
+// a demand event).
+func (c *Controller) ClientJoined(prefix string, ingress topo.NodeID, rate float64) {
+	c.Handle(DemandEvent(prefix, ingress, rate))
 }
 
 // ClientLeft unregisters a finished session.
 func (c *Controller) ClientLeft(prefix string, ingress topo.NodeID, rate float64) {
-	if m := c.demand[prefix]; m != nil {
-		m[ingress] -= rate
-		if m[ingress] <= 1e-9 {
-			delete(m, ingress)
+	c.Handle(DemandEvent(prefix, ingress, -rate))
+}
+
+func (c *Controller) applyDemand(ev Event) {
+	m := c.demand[ev.Prefix]
+	if m == nil {
+		if ev.DeltaRate <= 0 {
+			return
 		}
+		m = make(map[topo.NodeID]float64)
+		c.demand[ev.Prefix] = m
 	}
+	m[ev.Ingress] += ev.DeltaRate
+	if m[ev.Ingress] <= 1e-9 {
+		delete(m, ev.Ingress)
+	}
+	clear(c.futile) // changed demands may make a rejected plan viable
 }
 
 // Demands snapshots the current demand model.
@@ -151,272 +247,71 @@ func (c *Controller) Demands() []topo.Demand {
 	return out
 }
 
-// HandleAlarm reacts to monitor threshold crossings.
-func (c *Controller) HandleAlarm(a monitor.Alarm) {
-	if a.Raised {
-		c.raised[a.Link] = true
-		c.react(a)
-		return
-	}
-	delete(c.raised, a.Link)
-	if len(c.raised) == 0 {
-		c.maybeWithdraw()
-	}
-}
-
-// react computes and injects lies for every prefix with demand. Policy:
-//  1. Local ECMP spreading (the demo's first move, Figure 1c's fB): at
-//     the hot link's head router, add unused downhill neighbors as
-//     equal-cost paths. Accepted if predicted utilisation meets target.
-//  2. LP-optimal splits (the demo's second move, Figure 1d's fA pair):
-//     solve min-max utilisation, quantise the splits, realise with
-//     equal-cost lies (or pin-all if paths must be removed).
-func (c *Controller) react(a monitor.Alarm) {
+// plan runs the planner for the event and commits the winning plan. A
+// raised alarm whose installed lies already keep the prediction at target
+// is stale and ignored. Strategy errors are soft as long as some plan
+// commits (mirroring the old tier fallbacks); with no plan they are
+// surfaced.
+func (c *Controller) plan(ev Event) {
 	demands := c.Demands()
-	if len(demands) == 0 {
+	if ev.Kind == EventAlarmRaised && len(demands) == 0 {
 		return
 	}
-	for _, prefix := range c.prefixesWithDemand() {
-		if err := c.reactForPrefix(prefix, demands, a); err != nil {
-			c.Errors = append(c.Errors, fmt.Errorf("controller: %s: %w", prefix, err))
-		}
+	// Check the memo before building the context: a hit means identical
+	// inputs to an earlier no-plan round, so even the base-utilisation
+	// evaluation (a full fluid routing) would come out the same.
+	key := c.planKey(ev, demands)
+	if c.futile[key] {
+		return
 	}
+	ctx := buildPlanContext(c.topo, demands, c.lies.InstalledAll(), ev, c.cfg, len(c.raised))
+	if ev.Kind == EventAlarmRaised && ctx.BaseUtil <= c.cfg.target {
+		return // stale alarm
+	}
+	plan, errs := c.planner.Plan(ctx)
+	if plan == nil {
+		for _, err := range errs {
+			c.Errors = append(c.Errors, fmt.Errorf("controller: %w", err))
+		}
+		c.futile[key] = true
+		return
+	}
+	clear(c.futile)
+	c.commit(plan)
 }
 
-func (c *Controller) prefixesWithDemand() []string {
-	var out []string
-	for name, m := range c.demand {
-		if len(m) > 0 {
-			out = append(out, name)
-		}
-	}
-	sort.Strings(out)
-	return out
-}
-
-// installedLies snapshots the currently installed lies of every prefix
-// the demand set touches.
-func (c *Controller) installedLies(demands []topo.Demand) map[string][]fibbing.Lie {
-	liesByPrefix := make(map[string][]fibbing.Lie)
+// planKey fingerprints a planning round's inputs. Installed lies are
+// covered implicitly: they only change through commits, which clear the
+// memo.
+func (c *Controller) planKey(ev Event, demands []topo.Demand) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d|%v|%d", ev.Alarm.Link, ev.Kind, c.lies.LieCount())
 	for _, d := range demands {
-		if _, ok := liesByPrefix[d.PrefixName]; !ok {
-			liesByPrefix[d.PrefixName] = c.lies.Installed(d.PrefixName)
-		}
+		fmt.Fprintf(&b, "|%s:%d:%g", d.PrefixName, d.Ingress, d.Volume)
 	}
-	return liesByPrefix
+	return b.String()
 }
 
-// predictedMaxUtil computes the fluid max utilisation of routing the
-// current demands over the network with the currently installed lies.
-func (c *Controller) predictedMaxUtil(demands []topo.Demand) (float64, error) {
-	loads, err := te.LoadsWithLies(c.topo, c.installedLies(demands), demands)
-	if err != nil {
-		return 0, err
-	}
-	return te.MaxUtilOfLoads(c.topo, loads), nil
-}
-
-func (c *Controller) reactForPrefix(prefix string, demands []topo.Demand, a monitor.Alarm) error {
-	// Skip when the lies already installed (e.g. by an earlier alarm in
-	// the same poll cycle) are predicted to keep utilisation at target:
-	// the alarm is stale.
-	current := math.Inf(1)
-	if util, err := c.predictedMaxUtil(demands); err == nil {
-		if util <= c.cfg.TargetUtilisation {
-			return nil
-		}
-		current = util
-	}
-
-	// Tier 1: local equal-cost spreading at the congested link's head,
-	// accepted outright when it is predicted to reach the target.
-	hot := c.topo.Link(a.Link)
-	localLies, localUtil, localOK := c.localSpread(prefix, demands, hot.From)
-	if localOK && localUtil <= c.cfg.TargetUtilisation {
-		delta, err := c.lies.Apply(prefix, localLies)
-		if err != nil {
-			return err
-		}
-		if !delta.Empty() {
-			c.log(prefix, "local-ecmp", len(localLies),
-				fmt.Sprintf("ECMP at %s after %s hit %.0f%%", c.topo.Name(hot.From), a.Name, 100*a.Utilisation))
-		}
-		return nil
-	}
-
-	// Tier 3 (shared by both paths below): a local spread that strictly
-	// improves the predicted utilisation is better than nothing.
-	localFallback := func(reason string) (bool, error) {
-		if !localOK || localUtil >= current-1e-9 {
-			return false, nil
-		}
-		delta, err := c.lies.Apply(prefix, localLies)
-		if err != nil {
-			return false, err
-		}
-		if !delta.Empty() {
-			c.log(prefix, "local-ecmp-fallback", len(localLies),
-				fmt.Sprintf("%s; ECMP at %s cuts predicted util to %.2f",
-					reason, c.topo.Name(hot.From), localUtil))
-		}
-		return true, nil
-	}
-
-	// Tier 2: LP-optimal splits, guarded by topology size: beyond the
-	// bound the dense simplex would stall the control loop.
-	if n := c.routerCount(); n > c.cfg.MaxLPRouters {
-		_, err := localFallback(fmt.Sprintf("%d routers exceed the LP bound (%d)", n, c.cfg.MaxLPRouters))
-		return err
-	}
-	if err := c.applyOptimal(prefix, demands, a); err != nil {
-		// The optimum cannot be realised on this topology (e.g. the
-		// augmentation would loop).
-		applied, aerr := localFallback(fmt.Sprintf("optimum unrealisable (%v)", err))
-		if aerr != nil {
-			return aerr
-		}
-		if applied {
-			return nil
-		}
-		return err
-	}
-	return nil
-}
-
-// routerCount returns the number of non-host nodes.
-func (c *Controller) routerCount() int {
-	n := 0
-	for _, node := range c.topo.Nodes() {
-		if !node.Host {
-			n++
-		}
-	}
-	return n
-}
-
-// applyOptimal is the tier-2 reaction: solve the min-max LP, quantise the
-// splits, compile and inject the lies.
-func (c *Controller) applyOptimal(prefix string, demands []topo.Demand, a monitor.Alarm) error {
-	opt, err := te.SolveMinMax(c.topo, demands)
-	if err != nil {
-		return err
-	}
-	splits := opt.Splits[prefix]
-	dag, err := fibbing.SplitsToDAG(splits, c.cfg.MaxDenom)
-	if err != nil {
-		return err
-	}
-	// Drop attachment routers from the DAG: their delivery is local.
-	p, _ := c.topo.PrefixByName(prefix)
-	for _, at := range p.Attachments {
-		delete(dag, at.Node)
-	}
-	aug, err := fibbing.AugmentAddPaths(c.topo, prefix, dag)
-	strategy := "lp-optimal"
-	if err != nil {
-		// The optimum removes IGP paths: fall back to global pinning.
-		aug, err = fibbing.AugmentPinAll(c.topo, prefix, dag)
-		if err != nil {
-			return err
-		}
-		aug, err = fibbing.ReduceLies(c.topo, prefix, aug, dag)
-		if err != nil {
-			return err
-		}
-		strategy = "lp-optimal-pinned"
-	}
-	if err := fibbing.Verify(c.topo, prefix, aug.Lies, dag); err != nil {
-		return fmt.Errorf("refusing unverifiable augmentation: %w", err)
-	}
-	delta, err := c.lies.Apply(prefix, aug.Lies)
-	if err != nil {
-		return err
-	}
-	if !delta.Empty() {
-		c.log(prefix, strategy, len(aug.Lies),
-			fmt.Sprintf("θ*=%.3f after %s hit %.0f%%", opt.MaxUtilisation, a.Name, 100*a.Utilisation))
-	}
-	return nil
-}
-
-// localSpread builds the tier-1 requirement: hot router keeps its IGP
-// next hops and adds every unused downhill neighbor, evenly. Returns the
-// lies with their predicted max utilisation; ok means the lies exist and
-// verify (the caller decides whether the prediction is good enough).
-func (c *Controller) localSpread(prefix string, demands []topo.Demand, hot topo.NodeID) ([]fibbing.Lie, float64, bool) {
-	views, err := fibbing.IGPView(c.topo, prefix)
-	if err != nil {
-		return nil, 0, false
-	}
-	hv, ok := views[hot]
-	if !ok || hv.Local || len(hv.NextHops) == 0 {
-		return nil, 0, false
-	}
-	desired := fibbing.NextHopWeights{}
-	for nh := range hv.NextHops {
-		desired[nh] = 1
-	}
-	added := false
-	for _, lid := range c.topo.OutLinks(hot) {
-		v := c.topo.Link(lid).To
-		if c.topo.Node(v).Host || desired[v] > 0 {
-			continue
-		}
-		vv, ok := views[v]
-		if !ok {
-			continue
-		}
-		if vv.Local || (len(vv.NextHops) > 0 && vv.Dist < hv.Dist) {
-			desired[v] = 1
-			added = true
-		}
-	}
-	if !added {
-		return nil, 0, false
-	}
-	dag := fibbing.DAG{hot: desired}
-	aug, err := fibbing.AugmentAddPaths(c.topo, prefix, dag)
-	if err != nil {
-		return nil, 0, false
-	}
-	// Evaluate the candidate against the full installed lie set (other
-	// prefixes keep their lies; this prefix's are replaced by the
-	// candidate), mirroring predictedMaxUtil so the caller's comparison
-	// is apples-to-apples.
-	liesByPrefix := c.installedLies(demands)
-	liesByPrefix[prefix] = aug.Lies
-	loads, err := te.LoadsWithLies(c.topo, liesByPrefix, demands)
-	if err != nil {
-		return nil, 0, false
-	}
-	if err := fibbing.Verify(c.topo, prefix, aug.Lies, dag); err != nil {
-		return nil, 0, false
-	}
-	return aug.Lies, te.MaxUtilOfLoads(c.topo, loads), true
-}
-
-// maybeWithdraw removes all lies once the network would stay below the
-// withdraw threshold on plain IGP routing with current demands.
-func (c *Controller) maybeWithdraw() {
-	if c.lies.LieCount() == 0 {
-		return
-	}
-	demands := c.Demands()
-	if len(demands) > 0 {
-		loads, err := te.IGPLoads(c.topo, demands)
-		if err != nil {
-			c.Errors = append(c.Errors, err)
+// commit applies the plan's per-prefix lie sets through one southbound
+// transaction: either every prefix reconciles or none does.
+func (c *Controller) commit(plan *Plan) {
+	tx := c.lies.Begin()
+	prefixes := plan.Prefixes()
+	for _, prefix := range prefixes {
+		if err := tx.Apply(prefix, plan.Lies[prefix]); err != nil {
+			c.Errors = append(c.Errors, fmt.Errorf("controller: commit %s: %w", plan.Strategy, err))
 			return
 		}
-		if te.MaxUtilOfLoads(c.topo, loads) > c.cfg.WithdrawBelow {
-			return // IGP alone would congest again; keep the lies
-		}
 	}
-	if err := c.lies.WithdrawAll(); err != nil {
-		c.Errors = append(c.Errors, err)
+	delta, err := tx.Commit()
+	if err != nil {
+		c.Errors = append(c.Errors, fmt.Errorf("controller: commit %s: %w", plan.Strategy, err))
 		return
 	}
-	c.log("*", "withdraw", 0, "surge over; network back to pure IGP")
+	if delta.Empty() {
+		return // the plan was already installed; the IGP saw no traffic
+	}
+	c.log(strings.Join(prefixes, ","), plan.Strategy, plan.TotalLies(), plan.Rationale)
 }
 
 func (c *Controller) log(prefix, strategy string, lies int, detail string) {

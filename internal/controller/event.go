@@ -1,0 +1,63 @@
+package controller
+
+import (
+	"fibbing.net/fibbing/internal/monitor"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// EventKind enumerates what can drive the controller.
+type EventKind int
+
+const (
+	// EventAlarmRaised: the monitor saw a link cross its high threshold.
+	EventAlarmRaised EventKind = iota
+	// EventAlarmCleared: the link dropped below the low threshold.
+	EventAlarmCleared
+	// EventDemandChanged: a video session joined (positive DeltaRate) or
+	// left (negative DeltaRate) at an ingress.
+	EventDemandChanged
+)
+
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventAlarmRaised:
+		return "alarm-raised"
+	case EventAlarmCleared:
+		return "alarm-cleared"
+	case EventDemandChanged:
+		return "demand-changed"
+	}
+	return "unknown"
+}
+
+// Event is the controller's typed input: the monitor and the video
+// servers produce events, Controller.Handle consumes them. Replaces the
+// bare method callbacks (HandleAlarm / ClientJoined / ClientLeft) so
+// every harness drives one engine through one entry point.
+type Event struct {
+	Kind EventKind
+	// Alarm is set for EventAlarmRaised / EventAlarmCleared.
+	Alarm monitor.Alarm
+	// Prefix / Ingress / DeltaRate describe an EventDemandChanged:
+	// DeltaRate bit/s joined (positive) or left (negative) the demand
+	// aggregate for Prefix at Ingress.
+	Prefix    string
+	Ingress   topo.NodeID
+	DeltaRate float64
+}
+
+// AlarmEvent wraps a monitor alarm into the matching event.
+func AlarmEvent(a monitor.Alarm) Event {
+	kind := EventAlarmCleared
+	if a.Raised {
+		kind = EventAlarmRaised
+	}
+	return Event{Kind: kind, Alarm: a}
+}
+
+// DemandEvent builds a demand-change event; rate is positive for a join,
+// negative for a leave.
+func DemandEvent(prefix string, ingress topo.NodeID, rate float64) Event {
+	return Event{Kind: EventDemandChanged, Prefix: prefix, Ingress: ingress, DeltaRate: rate}
+}

@@ -1,0 +1,249 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/monitor"
+	"fibbing.net/fibbing/internal/te"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+const utilEpsilon = 1e-9
+
+// Planner runs a registered strategy set against a PlanContext: all
+// strategies propose concurrently (Propose is pure), the resulting plans
+// are scored, and the best plan wins. Scoring order: target-utilisation
+// satisfaction first, then lie budget (total live lies after commit),
+// then predicted utilisation, then registration order as the
+// deterministic tie-break.
+type Planner struct {
+	strategies []Strategy
+}
+
+// NewPlanner builds a planner over the given strategies (registration
+// order is the scoring tie-break). With no strategies it uses the stock
+// set.
+func NewPlanner(strategies ...Strategy) *Planner {
+	if len(strategies) == 0 {
+		strategies = DefaultStrategies()
+	}
+	return &Planner{strategies: strategies}
+}
+
+// Strategies returns the registered strategy names in order.
+func (p *Planner) Strategies() []string { return StrategyNames(p.strategies) }
+
+// ProposeAll fans every registered strategy out concurrently and returns
+// their plans in registration order (strategies that abstain contribute
+// nothing). Errors are collected per strategy, never aborting the others.
+func (p *Planner) ProposeAll(ctx PlanContext) ([]*Plan, []error) {
+	plans := make([]*Plan, len(p.strategies))
+	errs := make([]error, len(p.strategies))
+	var wg sync.WaitGroup
+	for i, s := range p.strategies {
+		wg.Add(1)
+		go func(i int, s Strategy) {
+			defer wg.Done()
+			plan, err := s.Propose(ctx)
+			if err != nil {
+				errs[i] = fmt.Errorf("strategy %s: %w", s.Name(), err)
+				return
+			}
+			plans[i] = plan
+		}(i, s)
+	}
+	wg.Wait()
+	var outPlans []*Plan
+	for _, plan := range plans {
+		if plan != nil {
+			outPlans = append(outPlans, plan)
+		}
+	}
+	var outErrs []error
+	for _, err := range errs {
+		if err != nil {
+			outErrs = append(outErrs, err)
+		}
+	}
+	return outPlans, outErrs
+}
+
+// Plan proposes concurrently, scores, and returns the winning plan (nil
+// when no strategy has an admissible proposal). For congestion reactions
+// (EventAlarmRaised) a plan is admissible only if it satisfies the target
+// utilisation or strictly improves on the no-op plan — a committed plan
+// never worsens the predicted max utilisation. Clear-triggered plans
+// (withdrawal) self-guard against the withdraw threshold instead.
+func (p *Planner) Plan(ctx PlanContext) (*Plan, []error) {
+	plans, errs := p.ProposeAll(ctx)
+	return p.Select(ctx, plans), errs
+}
+
+// Select scores already-proposed plans (in registration order, as
+// returned by ProposeAll) and returns the admissible winner, filling
+// each plan's LieCost. What-if tools that want both the proposals and
+// the verdict call ProposeAll once and Select on the result instead of
+// paying the strategy fan-out twice.
+func (p *Planner) Select(ctx PlanContext, plans []*Plan) *Plan {
+	var best *Plan
+	for _, plan := range plans {
+		plan.LieCost = liveLiesAfter(ctx.Installed, plan)
+		if ctx.Event.Kind == EventAlarmRaised && !admissible(ctx, plan) {
+			continue
+		}
+		if best == nil || better(ctx, plan, best) {
+			best = plan
+		}
+	}
+	return best
+}
+
+// admissible gates congestion-reaction plans: strictly improve on the
+// no-op plan, or reach the target without worsening it. Either way a
+// committed plan never increases the predicted max utilisation.
+func admissible(ctx PlanContext, plan *Plan) bool {
+	if plan.PredictedUtil < ctx.BaseUtil-utilEpsilon {
+		return true
+	}
+	return plan.PredictedUtil <= ctx.Target+utilEpsilon &&
+		plan.PredictedUtil <= ctx.BaseUtil+utilEpsilon
+}
+
+// better reports whether a beats b under the scoring order. Strict: on a
+// full tie the earlier-registered plan (b) is kept.
+func better(ctx PlanContext, a, b *Plan) bool {
+	satA := a.PredictedUtil <= ctx.Target+utilEpsilon
+	satB := b.PredictedUtil <= ctx.Target+utilEpsilon
+	if satA != satB {
+		return satA
+	}
+	if a.LieCost != b.LieCost {
+		return a.LieCost < b.LieCost
+	}
+	if math.Abs(a.PredictedUtil-b.PredictedUtil) > utilEpsilon {
+		return a.PredictedUtil < b.PredictedUtil
+	}
+	return false
+}
+
+// liveLiesAfter counts the lies that would be live after committing the
+// plan over the installed state.
+func liveLiesAfter(installed map[string][]fibbing.Lie, plan *Plan) int {
+	n := 0
+	for prefix, lies := range installed {
+		if _, replaced := plan.Lies[prefix]; !replaced {
+			n += len(lies)
+		}
+	}
+	return n + plan.TotalLies()
+}
+
+// AnalyticPlanContext builds a PlanContext outside a running simulation —
+// for one-shot what-if planning (cmd/fibsim), tests, and benchmarks. The
+// installed map may be nil; cfg uses its usual defaults.
+func AnalyticPlanContext(t *topo.Topology, demands []topo.Demand,
+	installed map[string][]fibbing.Lie, ev Event, cfg Config) PlanContext {
+	raised := 0
+	if ev.Kind == EventAlarmRaised {
+		raised = 1
+	}
+	return buildPlanContext(t, demands, installed, ev, cfg.resolve(), raised)
+}
+
+// buildPlanContext is the single assembly point for PlanContexts: the
+// running controller and the analytic what-if path both go through it,
+// so the evaluator wiring and base-utilisation semantics cannot diverge.
+func buildPlanContext(t *topo.Topology, demands []topo.Demand,
+	installed map[string][]fibbing.Lie, ev Event, r resolved, raisedAlarms int) PlanContext {
+	if installed == nil {
+		installed = map[string][]fibbing.Lie{}
+	}
+	eval := newEvaluator(t, installed, demands)
+	base := 0.0
+	if len(demands) > 0 {
+		if u, err := eval(nil); err == nil {
+			base = u
+		} else {
+			base = math.Inf(1)
+		}
+	}
+	return PlanContext{
+		Topo:          t,
+		Event:         ev,
+		Demands:       demands,
+		Prefixes:      prefixNamesOf(demands),
+		Installed:     installed,
+		RaisedAlarms:  raisedAlarms,
+		BaseUtil:      base,
+		Target:        r.target,
+		WithdrawBelow: r.withdrawBelow,
+		MaxDenom:      r.maxDenom,
+		MaxLPRouters:  r.maxLPRouters,
+		Evaluate:      eval,
+	}
+}
+
+// HottestLinkAlarm synthesises the raised alarm fibsim-style what-if
+// planning needs: the highest-utilisation capacitated router-router link
+// of the given loads.
+func HottestLinkAlarm(t *topo.Topology, loads map[topo.LinkID]float64) (monitor.Alarm, bool) {
+	var best monitor.Alarm
+	found := false
+	for _, l := range t.Links() {
+		if l.Capacity <= 0 || t.Node(l.From).Host || t.Node(l.To).Host {
+			continue
+		}
+		util := loads[l.ID] / l.Capacity
+		if !found || util > best.Utilisation {
+			best = monitor.Alarm{
+				Link:        l.ID,
+				Name:        fmt.Sprintf("%s-%s", t.Name(l.From), t.Name(l.To)),
+				Utilisation: util,
+				Raised:      true,
+			}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// newEvaluator builds the PlanContext.Evaluate closure: overlay-aware
+// fluid routing of demands over installed lies. Safe for concurrent use.
+func newEvaluator(t *topo.Topology, installed map[string][]fibbing.Lie, demands []topo.Demand) func(map[string][]fibbing.Lie) (float64, error) {
+	return func(overlay map[string][]fibbing.Lie) (float64, error) {
+		merged := make(map[string][]fibbing.Lie, len(installed)+len(overlay))
+		for prefix, lies := range installed {
+			merged[prefix] = lies
+		}
+		for prefix, lies := range overlay {
+			if len(lies) == 0 {
+				delete(merged, prefix)
+				continue
+			}
+			merged[prefix] = lies
+		}
+		loads, err := te.LoadsWithLies(t, merged, demands)
+		if err != nil {
+			return 0, err
+		}
+		return te.MaxUtilOfLoads(t, loads), nil
+	}
+}
+
+func prefixNamesOf(demands []topo.Demand) []string {
+	seen := make(map[string]bool, len(demands))
+	var out []string
+	for _, d := range demands {
+		if d.Volume <= 0 || seen[d.PrefixName] {
+			continue
+		}
+		seen[d.PrefixName] = true
+		out = append(out, d.PrefixName)
+	}
+	sort.Strings(out)
+	return out
+}

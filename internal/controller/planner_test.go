@@ -1,0 +1,416 @@
+package controller
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/monitor"
+	"fibbing.net/fibbing/internal/ospf"
+	"fibbing.net/fibbing/internal/southbound"
+	"fibbing.net/fibbing/internal/te"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+func alarmOn(t *testing.T, tp *topo.Topology, a, b string, util float64) monitor.Alarm {
+	t.Helper()
+	l, ok := tp.FindLink(tp.MustNode(a), tp.MustNode(b))
+	if !ok {
+		t.Fatalf("no link %s-%s", a, b)
+	}
+	return monitor.Alarm{Link: l.ID, Name: a + "-" + b, Utilisation: util, Raised: true}
+}
+
+// TestStockStrategySelection is the table-driven selection test: each
+// stock strategy wins on a topology crafted for it.
+func TestStockStrategySelection(t *testing.T) {
+	fig1 := topo.Fig1(topo.Fig1Opts{})
+	blue := topo.Fig1BluePrefixName
+	b := fig1.MustNode("B")
+	a := fig1.MustNode("A")
+
+	fig1Lies := func() []fibbing.Lie {
+		aug, err := fibbing.AugmentAddPaths(fig1, blue, fibbing.Fig1DAG(fig1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return aug.Lies
+	}
+
+	ring := topo.Ring(topo.RingOpts{N: 9, Capacity: 10e6})
+	r4 := ring.MustNode("r4")
+
+	cases := []struct {
+		name      string
+		topo      *topo.Topology
+		demands   []topo.Demand
+		installed map[string][]fibbing.Lie
+		event     func() Event
+		cfg       Config
+		want      string
+	}{
+		{
+			// A single surge at B: spreading at the hot router reaches the
+			// target with one lie — the cheapest satisfying plan.
+			name:    "local-ecmp",
+			topo:    fig1,
+			demands: []topo.Demand{{Ingress: b, PrefixName: blue, Volume: 15e6}},
+			event:   func() Event { return AlarmEvent(alarmOn(t, fig1, "B", "R2", 0.94)) },
+			want:    "local-ecmp",
+		},
+		{
+			// The paper's wave 3: surges at A and B overload both B links;
+			// only the LP's uneven splits reach the target.
+			name: "lp-optimal",
+			topo: fig1,
+			demands: []topo.Demand{
+				{Ingress: a, PrefixName: blue, Volume: 15.5e6},
+				{Ingress: b, PrefixName: blue, Volume: 15.5e6},
+			},
+			event: func() Event { return AlarmEvent(alarmOn(t, fig1, "B", "R2", 0.99)) },
+			want:  "lp-optimal",
+		},
+		{
+			// The ring is the worst case for local spreading (the only
+			// alternative is uphill, the long way around), and the LP is
+			// gated out by MaxLPRouters: only ksp can recruit the reverse
+			// path.
+			name:    "ksp",
+			topo:    ring,
+			demands: []topo.Demand{{Ingress: r4, PrefixName: topo.RingPrefixName, Volume: 14e6}},
+			event:   func() Event { return AlarmEvent(alarmOn(t, ring, "r4", "r3", 0.99)) },
+			cfg:     Config{MaxLPRouters: 4},
+			want:    "ksp",
+		},
+		{
+			// The surge is over: the last alarm cleared and plain IGP
+			// routing stays below the withdraw threshold.
+			name:      "withdraw",
+			topo:      fig1,
+			demands:   []topo.Demand{{Ingress: b, PrefixName: blue, Volume: 0.5e6}},
+			installed: map[string][]fibbing.Lie{blue: fig1Lies()},
+			event: func() Event {
+				a := alarmOn(t, fig1, "B", "R2", 0.05)
+				a.Raised = false
+				return AlarmEvent(a)
+			},
+			want: "withdraw",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx := AnalyticPlanContext(tc.topo, tc.demands, tc.installed, tc.event(), tc.cfg)
+			planner := NewPlanner()
+			plan, errs := planner.Plan(ctx)
+			for _, err := range errs {
+				t.Logf("strategy error: %v", err)
+			}
+			if plan == nil {
+				t.Fatalf("no plan committed (base %.3f)", ctx.BaseUtil)
+			}
+			if plan.Strategy != tc.want {
+				t.Fatalf("winner = %s (util %.3f, %d lies), want %s",
+					plan.Strategy, plan.PredictedUtil, plan.TotalLies(), tc.want)
+			}
+			if ctx.Event.Kind == EventAlarmRaised && plan.PredictedUtil > ctx.BaseUtil+1e-6 {
+				t.Fatalf("winning plan worsens predicted util: %.3f > base %.3f",
+					plan.PredictedUtil, ctx.BaseUtil)
+			}
+		})
+	}
+}
+
+// rendezvousStrategy blocks until its partner is proposing too, proving
+// the planner fans strategies out concurrently (a sequential planner
+// deadlocks here and trips the timeout).
+type rendezvousStrategy struct {
+	name string
+	in   chan<- string
+	out  <-chan struct{}
+}
+
+func (s rendezvousStrategy) Name() string { return s.name }
+
+func (s rendezvousStrategy) Propose(PlanContext) (*Plan, error) {
+	s.in <- s.name
+	select {
+	case <-s.out:
+		return nil, nil
+	case <-time.After(5 * time.Second):
+		return nil, fmt.Errorf("%s: partner never proposed concurrently", s.name)
+	}
+}
+
+func TestPlannerProposesConcurrently(t *testing.T) {
+	arrived := make(chan string, 2)
+	release := make(chan struct{})
+	go func() {
+		<-arrived
+		<-arrived // both strategies are inside Propose at once
+		close(release)
+	}()
+	planner := NewPlanner(
+		rendezvousStrategy{name: "s1", in: arrived, out: release},
+		rendezvousStrategy{name: "s2", in: arrived, out: release},
+	)
+	fig1 := topo.Fig1(topo.Fig1Opts{})
+	ctx := AnalyticPlanContext(fig1, nil, nil, Event{Kind: EventAlarmRaised}, Config{})
+	if _, errs := planner.Plan(ctx); len(errs) > 0 {
+		t.Fatalf("strategies did not run concurrently: %v", errs)
+	}
+}
+
+// countingInjector accepts every LSA unless failAt (1-based) is hit.
+type countingInjector struct {
+	failAt int
+	calls  int
+}
+
+func (f *countingInjector) Inject(*ospf.LSA) error {
+	f.calls++
+	if f.failAt > 0 && f.calls == f.failAt {
+		return fmt.Errorf("injector down (call %d)", f.calls)
+	}
+	return nil
+}
+
+// zooContexts builds raised-alarm planning contexts across the topology
+// zoo with seeded random demands.
+func zooContexts(t *testing.T) []PlanContext {
+	t.Helper()
+	type zt struct {
+		name string
+		tp   *topo.Topology
+	}
+	var tops []zt
+	tops = append(tops, zt{"fig1", topo.Fig1(topo.Fig1Opts{})})
+	tops = append(tops, zt{"ring9", topo.Ring(topo.RingOpts{N: 9, Capacity: 10e6})})
+	tops = append(tops, zt{"fattree4", topo.FatTree(topo.FatTreeOpts{K: 4, Capacity: 10e6, MaxWeight: 3, Seed: 1})})
+	tops = append(tops, zt{"waxman16", topo.Waxman(topo.WaxmanOpts{Nodes: 16, Capacity: 10e6, MaxWeight: 5, Seed: 0})})
+	for seed := int64(1); seed <= 2; seed++ {
+		tops = append(tops, zt{fmt.Sprintf("random12-%d", seed), topo.RandomConnected(topo.RandomOpts{
+			Nodes: 12, Degree: 3, MaxWeight: 5, Prefixes: 2, Capacity: 10e6, Seed: seed,
+		})})
+	}
+	var out []PlanContext
+	for _, z := range tops {
+		for seed := int64(1); seed <= 3; seed++ {
+			demands := topo.RandomDemands(z.tp, 4, 3e6, 9e6, seed)
+			loads, err := te.IGPLoads(z.tp, demands)
+			if err != nil {
+				t.Fatalf("%s: %v", z.name, err)
+			}
+			alarm, ok := HottestLinkAlarm(z.tp, loads)
+			if !ok {
+				continue
+			}
+			out = append(out, AnalyticPlanContext(z.tp, demands, nil, AlarmEvent(alarm), Config{}))
+		}
+	}
+	return out
+}
+
+// TestPlannerNeverWorsensAcrossZoo is the zoo property test: whatever the
+// topology and demand set, a committed plan's predicted max utilisation
+// never exceeds the no-op plan's, and the plan's claimed prediction is
+// honest (re-evaluating its lies reproduces it).
+func TestPlannerNeverWorsensAcrossZoo(t *testing.T) {
+	planner := NewPlanner()
+	plans := 0
+	for _, ctx := range zooContexts(t) {
+		plan, _ := planner.Plan(ctx)
+		if plan == nil {
+			continue
+		}
+		plans++
+		if plan.PredictedUtil > ctx.BaseUtil+1e-6 {
+			t.Fatalf("%s plan worsens predicted util: %.4f > base %.4f",
+				plan.Strategy, plan.PredictedUtil, ctx.BaseUtil)
+		}
+		again, err := ctx.Evaluate(plan.Lies)
+		if err != nil {
+			t.Fatalf("re-evaluating %s plan: %v", plan.Strategy, err)
+		}
+		if diff := again - plan.PredictedUtil; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s plan prediction dishonest: claims %.6f, evaluates %.6f",
+				plan.Strategy, plan.PredictedUtil, again)
+		}
+	}
+	if plans == 0 {
+		t.Fatal("no context produced a plan; the property was never exercised")
+	}
+}
+
+// TestCommitRollbackAcrossZoo is the rollback half of the zoo property:
+// committing a plan through a Transaction whose injector dies at every
+// possible call leaves the installed lies exactly as they were — no
+// half-installed multi-prefix state.
+func TestCommitRollbackAcrossZoo(t *testing.T) {
+	planner := NewPlanner()
+	checked := 0
+	for _, ctx := range zooContexts(t) {
+		plan, _ := planner.Plan(ctx)
+		if plan == nil {
+			continue
+		}
+		// Baseline state: a previous (smaller) plan is installed — take
+		// the first lie of each prefix — so rollback must restore
+		// something, not just clear.
+		baseline := make(map[string][]fibbing.Lie)
+		for prefix, lies := range plan.Lies {
+			if len(lies) > 0 {
+				baseline[prefix] = lies[:1]
+			}
+		}
+		for failAt := 1; ; failAt++ {
+			inj := &countingInjector{}
+			mgr := southbound.NewLieManager(inj, ospf.ControllerIDBase)
+			for prefix, lies := range baseline {
+				if _, err := mgr.Apply(prefix, lies); err != nil {
+					t.Fatal(err)
+				}
+			}
+			inj.failAt = inj.calls + failAt
+			tx := mgr.Begin()
+			var commitErr error
+			for _, prefix := range plan.Prefixes() {
+				if commitErr = tx.Apply(prefix, plan.Lies[prefix]); commitErr != nil {
+					break
+				}
+			}
+			if commitErr == nil {
+				// The injector never hit failAt: the whole commit fits in
+				// fewer calls, so every failure point has been tested.
+				if _, err := tx.Commit(); err != nil {
+					t.Fatal(err)
+				}
+				break
+			}
+			got := mgr.InstalledAll()
+			if len(got) != len(baseline) {
+				t.Fatalf("failAt=%d: %d prefixes installed after rollback, want %d",
+					failAt, len(got), len(baseline))
+			}
+			for prefix, want := range baseline {
+				lies := got[prefix]
+				if len(lies) != len(want) || lies[0] != want[0] {
+					t.Fatalf("failAt=%d: prefix %s = %v after rollback, want %v",
+						failAt, prefix, lies, want)
+				}
+			}
+		}
+		checked++
+		if checked >= 6 {
+			break // bounded: every failure point of six zoo plans
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no plan to roll back; the property was never exercised")
+	}
+}
+
+// TestCustomStrategyEndToEnd registers a custom strategy on a live
+// controller via WithStrategies and drives it through the typed event
+// API: the custom plan must be committed through the transaction and
+// logged as a decision.
+func TestCustomStrategyEndToEnd(t *testing.T) {
+	fig1 := topo.Fig1(topo.Fig1Opts{})
+	blue := topo.Fig1BluePrefixName
+	inj := &countingInjector{}
+	lies := southbound.NewLieManager(inj, ospf.ControllerIDBase)
+
+	custom := strategyFunc{
+		name: "pin-b",
+		propose: func(ctx PlanContext) (*Plan, error) {
+			dag := fibbing.DAG{fig1.MustNode("B"): fibbing.NextHopWeights{
+				fig1.MustNode("R2"): 1, fig1.MustNode("R3"): 1,
+			}}
+			aug, err := fibbing.AugmentAddPaths(ctx.Topo, blue, dag)
+			if err != nil {
+				return nil, err
+			}
+			overlay := map[string][]fibbing.Lie{blue: aug.Lies}
+			util, err := ctx.Evaluate(overlay)
+			if err != nil {
+				return nil, err
+			}
+			return &Plan{Strategy: "pin-b", Lies: overlay, PredictedUtil: util, Rationale: "custom"}, nil
+		},
+	}
+	ctrl := New(fig1, lies, func() time.Duration { return 42 * time.Second },
+		WithStrategies(custom))
+	ctrl.Handle(DemandEvent(blue, fig1.MustNode("B"), 15e6))
+	ctrl.Handle(AlarmEvent(alarmOn(t, fig1, "B", "R2", 0.94)))
+
+	if len(ctrl.Errors) > 0 {
+		t.Fatalf("controller errors: %v", ctrl.Errors)
+	}
+	if len(ctrl.Decisions) != 1 || ctrl.Decisions[0].Strategy != "pin-b" {
+		t.Fatalf("decisions = %+v, want one pin-b commit", ctrl.Decisions)
+	}
+	if lies.LieCount() == 0 {
+		t.Fatal("custom plan not installed")
+	}
+}
+
+// strategyFunc adapts a closure into a Strategy.
+type strategyFunc struct {
+	name    string
+	propose func(PlanContext) (*Plan, error)
+}
+
+func (s strategyFunc) Name() string                           { return s.name }
+func (s strategyFunc) Propose(ctx PlanContext) (*Plan, error) { return s.propose(ctx) }
+
+// TestStrategyNameResolution covers the flag-format parsing used by
+// fiblab/fibsim/fibbingd, including the implied withdraw strategy.
+func TestStrategyNameResolution(t *testing.T) {
+	set, err := ParseStrategies("localecmp,ksp,lpoptimal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := StrategyNames(set)
+	want := []string{"local-ecmp", "ksp", "lp-optimal", "withdraw"}
+	if len(got) != len(want) {
+		t.Fatalf("strategies = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("strategies = %v, want %v", got, want)
+		}
+	}
+	if _, err := ParseStrategies("nope"); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	if set, err := ParseStrategies(""); err != nil || set != nil {
+		t.Fatalf("empty csv: set=%v err=%v", set, err)
+	}
+}
+
+// TestWithdrawBelowZeroSentinel: an explicit Float(0) disables
+// withdrawal (the zero is no longer conflated with "unset").
+func TestWithdrawBelowZeroSentinel(t *testing.T) {
+	fig1 := topo.Fig1(topo.Fig1Opts{})
+	blue := topo.Fig1BluePrefixName
+	aug, err := fibbing.AugmentAddPaths(fig1, blue, fibbing.Fig1DAG(fig1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	clearEvent := func() Event {
+		a := alarmOn(t, fig1, "B", "R2", 0.01)
+		a.Raised = false
+		return AlarmEvent(a)
+	}
+	installed := map[string][]fibbing.Lie{blue: aug.Lies}
+
+	ctx := AnalyticPlanContext(fig1, nil, installed, clearEvent(), Config{WithdrawBelow: Float(0)})
+	if plan, _ := NewPlanner().Plan(ctx); plan != nil {
+		t.Fatalf("WithdrawBelow=Float(0) still withdrew: %+v", plan)
+	}
+	ctx = AnalyticPlanContext(fig1, nil, installed, clearEvent(), Config{})
+	plan, _ := NewPlanner().Plan(ctx)
+	if plan == nil || plan.Strategy != "withdraw" {
+		t.Fatalf("default WithdrawBelow did not withdraw: %+v", plan)
+	}
+}

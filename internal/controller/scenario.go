@@ -36,12 +36,15 @@ type Sim struct {
 
 // SimOpts parameterises NewSim.
 type SimOpts struct {
-	Topology     *topo.Topology // default: Fig1
-	Prefix       string         // default: blue
-	AttachAt     string         // controller PoP router, default R3
-	WithCtrl     bool           // false disables the Fibbing controller
-	Monitor      monitor.Config
-	Controller   Config
+	Topology   *topo.Topology // default: Fig1
+	Prefix     string         // default: blue
+	AttachAt   string         // controller PoP router, default R3
+	WithCtrl   bool           // false disables the Fibbing controller
+	Monitor    monitor.Config
+	Controller Config
+	// Strategies replaces the controller's stock strategy set (see
+	// WithStrategies); nil keeps DefaultStrategies.
+	Strategies   []Strategy
 	SampleEvery  time.Duration // throughput series sampling, default 1s
 	VideoSample  time.Duration // player tick, default 250ms
 	TrackPlayers bool          // attach a SimSession per flow
@@ -68,14 +71,16 @@ func NewSim(o SimOpts) (*Sim, error) {
 	if o.Monitor.HighThreshold <= 0 {
 		o.Monitor.HighThreshold = 0.85
 	}
-	if o.Monitor.LowThreshold <= 0 {
-		o.Monitor.LowThreshold = 0.1
+	// nil means unset: an explicit monitor.Float(0)/monitor.Int(0) is a
+	// legitimate setting and passes through untouched.
+	if o.Monitor.LowThreshold == nil {
+		o.Monitor.LowThreshold = monitor.Float(0.1)
 	}
 	if o.Monitor.Alpha <= 0 {
 		o.Monitor.Alpha = 0.7
 	}
-	if o.Monitor.RepeatEvery == 0 {
-		o.Monitor.RepeatEvery = 2
+	if o.Monitor.RepeatEvery == nil {
+		o.Monitor.RepeatEvery = monitor.Int(2)
 	}
 
 	s := &Sim{Topo: o.Topology, Sched: event.NewScheduler()}
@@ -100,9 +105,11 @@ func NewSim(o SimOpts) (*Sim, error) {
 		return nil, fmt.Errorf("controller: attach node %q is not a router", o.AttachAt)
 	}
 	s.Lies = southbound.NewLieManager(southbound.DirectInjector{Router: pop}, ospf.ControllerIDBase)
-	s.Ctrl = New(s.Topo, s.Lies, o.Controller, s.Sched.Now)
+	s.Ctrl = New(s.Topo, s.Lies, s.Sched.Now,
+		WithConfig(o.Controller), WithStrategies(o.Strategies...))
 	if o.WithCtrl {
-		s.Poller.OnAlarm = s.Ctrl.HandleAlarm
+		// The monitor's bare callback becomes a typed controller event.
+		s.Poller.OnAlarm = func(a monitor.Alarm) { s.Ctrl.Handle(AlarmEvent(a)) }
 	}
 
 	s.Runner = &flashcrowd.Runner{
@@ -110,10 +117,10 @@ func NewSim(o SimOpts) (*Sim, error) {
 		Sched:  s.Sched,
 		Prefix: o.Prefix,
 		OnJoin: func(ingress topo.NodeID, rate float64) {
-			s.Ctrl.ClientJoined(o.Prefix, ingress, rate)
+			s.Ctrl.Handle(DemandEvent(o.Prefix, ingress, rate))
 		},
 		OnLeave: func(ingress topo.NodeID, rate float64) {
-			s.Ctrl.ClientLeft(o.Prefix, ingress, rate)
+			s.Ctrl.Handle(DemandEvent(o.Prefix, ingress, -rate))
 		},
 	}
 	switch {

@@ -60,15 +60,19 @@ type Alarm struct {
 	Raised bool
 }
 
-// Config parameterises a Poller.
+// Config parameterises a Poller. Fields whose zero value is a legitimate
+// setting are pointers (Float/Int build them); nil means "use the
+// default", so an explicit zero is never silently replaced.
 type Config struct {
 	Interval time.Duration // poll period (default 2s)
 	// Alpha is the EWMA smoothing factor (default 0.5).
 	Alpha float64
-	// HighThreshold raises an alarm (default 0.7), LowThreshold clears
-	// it (default 0.3); hysteresis avoids flapping.
+	// HighThreshold raises an alarm (default 0.7).
 	HighThreshold float64
-	LowThreshold  float64
+	// LowThreshold clears a raised alarm (nil: default 0.3); hysteresis
+	// avoids flapping. Float(0) clears only on a fully idle link; a
+	// negative threshold never clears.
+	LowThreshold *float64
 	// RaiseAfter / ClearAfter demand k consecutive polls beyond the
 	// threshold (default 1 / 2).
 	RaiseAfter int
@@ -76,9 +80,17 @@ type Config struct {
 	// RepeatEvery re-fires the raised alarm every k consecutive
 	// above-threshold polls while the alarm stays raised, so the
 	// controller learns that its last reaction was insufficient (or a
-	// new surge hit the same link). 0 disables repeats.
-	RepeatEvery int
+	// new surge hit the same link). nil or Int(0) disables repeats
+	// (callers layering their own default, e.g. controller.NewSim,
+	// distinguish the two).
+	RepeatEvery *int
 }
+
+// Float wraps a float64 for Config's optional fields.
+func Float(v float64) *float64 { return &v }
+
+// Int wraps an int for Config's optional fields.
+func Int(v int) *int { return &v }
 
 func (c Config) withDefaults() Config {
 	if c.Interval <= 0 {
@@ -90,14 +102,17 @@ func (c Config) withDefaults() Config {
 	if c.HighThreshold <= 0 {
 		c.HighThreshold = 0.7
 	}
-	if c.LowThreshold <= 0 {
-		c.LowThreshold = 0.3
+	if c.LowThreshold == nil {
+		c.LowThreshold = Float(0.3)
 	}
 	if c.RaiseAfter <= 0 {
 		c.RaiseAfter = 1
 	}
 	if c.ClearAfter <= 0 {
 		c.ClearAfter = 2
+	}
+	if c.RepeatEvery == nil {
+		c.RepeatEvery = Int(0)
 	}
 	return c
 }
@@ -198,7 +213,7 @@ func (p *Poller) updateAlarm(wl WatchedLink, st *linkState, util float64) {
 	case util >= p.cfg.HighThreshold:
 		st.hiStreak++
 		st.loStreak = 0
-	case util <= p.cfg.LowThreshold:
+	case util <= *p.cfg.LowThreshold:
 		st.loStreak++
 		st.hiStreak = 0
 	default:
@@ -210,8 +225,8 @@ func (p *Poller) updateAlarm(wl WatchedLink, st *linkState, util float64) {
 		if p.OnAlarm != nil {
 			p.OnAlarm(Alarm{Link: wl.Link, Name: wl.Name, Utilisation: util, Raised: true})
 		}
-	} else if st.raised && p.cfg.RepeatEvery > 0 &&
-		st.hiStreak > 0 && st.hiStreak%p.cfg.RepeatEvery == 0 {
+	} else if st.raised && *p.cfg.RepeatEvery > 0 &&
+		st.hiStreak > 0 && st.hiStreak%*p.cfg.RepeatEvery == 0 {
 		if p.OnAlarm != nil {
 			p.OnAlarm(Alarm{Link: wl.Link, Name: wl.Name, Utilisation: util, Raised: true})
 		}

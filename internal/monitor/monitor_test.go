@@ -90,7 +90,7 @@ func TestPollerMeasuresRate(t *testing.T) {
 func TestAlarmRaiseAndClearWithHysteresis(t *testing.T) {
 	r := newRig(t, Config{
 		Interval: time.Second, Alpha: 1,
-		HighThreshold: 0.7, LowThreshold: 0.3,
+		HighThreshold: 0.7, LowThreshold: Float(0.3),
 		RaiseAfter: 2, ClearAfter: 2,
 	})
 	var alarms []Alarm

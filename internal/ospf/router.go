@@ -75,6 +75,14 @@ type Router struct {
 	spfScheduled bool
 	spfRuns      uint64
 
+	// flushed remembers recently MaxAged LSAs (key -> seq/instant of the
+	// flush) so a neighbor's crossing retransmission of an older positive
+	// instance cannot resurrect a withdrawn LSA — the stand-in for real
+	// OSPF's "retain the MaxAge LSA until every neighbor acked it".
+	// Without it, heavy lie churn (the controller replacing one large
+	// plan with another) ping-pongs flush/reinstall floods forever.
+	flushed map[Key]flushMark
+
 	// Delta pipeline state: LSDB mutations logged since the last SPF run,
 	// and the incrementally maintained graph/tree they are replayed onto.
 	changeLog   []lsaChange
@@ -87,23 +95,33 @@ type Router struct {
 	BytesSent                uint64
 }
 
+// flushMark records one flushed LSA: the sequence number of the MaxAge
+// instance and when it was seen (for pruning).
+type flushMark struct {
+	seq uint32
+	at  time.Duration
+}
+
 func newRouter(dom *Domain, node topo.NodeID, cfg Config) *Router {
 	r := &Router{
-		dom:    dom,
-		node:   node,
-		id:     NodeRouterID(node),
-		cfg:    cfg,
-		nbrs:   make(map[RouterID]*neighbor),
-		db:     NewLSDB(),
-		fib:    fib.NewTable(node),
-		ownSeq: make(map[Key]uint32),
+		dom:     dom,
+		node:    node,
+		id:      NodeRouterID(node),
+		cfg:     cfg,
+		nbrs:    make(map[RouterID]*neighbor),
+		db:      NewLSDB(),
+		fib:     fib.NewTable(node),
+		ownSeq:  make(map[Key]uint32),
+		flushed: make(map[Key]flushMark),
 	}
 	r.db.SetClock(dom.sched.Now)
 	return r
 }
 
 // ageSweep purges LSAs that reached MaxAge without a refresh — their
-// originator is gone (crashed router, departed controller).
+// originator is gone (crashed router, departed controller) — and prunes
+// flush tombstones old enough that no retransmission of the withdrawn
+// instance can still be in flight.
 func (r *Router) ageSweep() {
 	changed := false
 	for _, k := range r.db.Expired() {
@@ -112,6 +130,12 @@ func (r *Router) ageSweep() {
 	}
 	if changed {
 		r.scheduleSPF()
+	}
+	now := r.dom.sched.Now()
+	for k, m := range r.flushed {
+		if now-m.at >= r.cfg.AgeSweep {
+			delete(r.flushed, k)
+		}
 	}
 }
 
@@ -332,7 +356,14 @@ func (r *Router) handleUpdate(n *neighbor, pkt *Packet) {
 		old, have := r.db.Get(l.Header.Key())
 		switch {
 		case !have && l.Header.Age >= MaxAgeSeconds:
-			// Flush for an LSA we do not have: just ack.
+			// Flush for an LSA we do not have: remember it and ack, so a
+			// positive instance still retransmitting somewhere cannot
+			// resurrect the withdrawal.
+			r.noteFlush(l.Header)
+			r.sendAck(n, l.Header)
+		case !have && l.Header.Seq <= r.flushed[l.Header.Key()].seq:
+			// A stale retransmission of an instance we already flushed:
+			// ack it away instead of resurrecting the withdrawn LSA.
 			r.sendAck(n, l.Header)
 		case !have || l.Header.Newer(old.Header):
 			r.sendAck(n, l.Header)
@@ -348,14 +379,28 @@ func (r *Router) handleUpdate(n *neighbor, pkt *Packet) {
 }
 
 func (r *Router) installAndFlood(l *LSA, except RouterID) {
+	k := l.Header.Key()
 	if l.Header.Age >= MaxAgeSeconds {
 		// Flush: remove after re-flooding the flush itself.
-		r.dbRemove(l.Header.Key())
+		r.noteFlush(l.Header)
+		r.dbRemove(k)
 	} else {
+		// A genuinely newer instance supersedes any flush tombstone.
+		if m, ok := r.flushed[k]; ok && l.Header.Seq > m.seq {
+			delete(r.flushed, k)
+		}
 		r.dbInstall(l)
 	}
 	r.floodExcept(l, except)
 	r.scheduleSPF()
+}
+
+// noteFlush records a MaxAge instance in the tombstone map.
+func (r *Router) noteFlush(h Header) {
+	k := h.Key()
+	if m, ok := r.flushed[k]; !ok || h.Seq > m.seq {
+		r.flushed[k] = flushMark{seq: h.Seq, at: r.dom.sched.Now()}
+	}
 }
 
 func (r *Router) handleAck(n *neighbor, pkt *Packet) {

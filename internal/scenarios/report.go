@@ -2,6 +2,7 @@ package scenarios
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -53,8 +54,13 @@ type Report struct {
 	Waves         []WaveDelivery `json:"waves"`
 
 	// Controller activity.
-	Lies            int                   `json:"lies"`
-	LiesByPrefix    map[string]int        `json:"lies_by_prefix,omitempty"`
+	Lies         int            `json:"lies"`
+	LiesByPrefix map[string]int `json:"lies_by_prefix,omitempty"`
+	// Strategies is the registered reaction-strategy set; StrategyWins
+	// counts committed plans per winning strategy (each Decision also
+	// carries its winner's name).
+	Strategies      []string              `json:"strategies,omitempty"`
+	StrategyWins    map[string]int        `json:"strategy_wins,omitempty"`
 	Decisions       []controller.Decision `json:"decisions,omitempty"`
 	FirstHotAt      time.Duration         `json:"first_hot_at"`      // first sample >= alarm threshold; -1 if never
 	FirstReactionAt time.Duration         `json:"first_reaction_at"` // first decision; -1 if none
@@ -85,9 +91,22 @@ func (r *Report) Summary() string {
 	if r.ReactionLatency >= 0 {
 		lat = r.ReactionLatency.String()
 	}
-	return fmt.Sprintf("%-28s %s settled=%.2f peak=%.2f analytic=%.2f lp=%.2f lies=%d stalls=%.1fs late=%.1fs react=%s delivered=%.0fMbit",
+	s := fmt.Sprintf("%-28s %s settled=%.2f peak=%.2f analytic=%.2f lp=%.2f lies=%d stalls=%.1fs late=%.1fs react=%s delivered=%.0fMbit",
 		r.Scenario, mode, r.SettledUtilisation, r.PeakUtilisation, r.AnalyticUtilisation,
 		r.LPOptimum, r.Lies, r.StallSeconds, r.LateStallSeconds, lat, r.DeliveredMbit)
+	if len(r.StrategyWins) > 0 {
+		names := make([]string, 0, len(r.StrategyWins))
+		for name := range r.StrategyWins {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, len(names))
+		for i, name := range names {
+			parts[i] = fmt.Sprintf("%s:%d", name, r.StrategyWins[name])
+		}
+		s += " wins=" + strings.Join(parts, ",")
+	}
+	return s
 }
 
 // Comparison pairs the controller-on and controller-off runs of one spec

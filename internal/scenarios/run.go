@@ -62,6 +62,10 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	}
 
 	p, _ := tp.PrefixByName(prefix)
+	strategies, err := controller.StrategiesByName(spec.Strategies)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
 	// The alarm threshold is set explicitly so the report's first-hot
 	// detection below measures against the same value the monitor uses.
 	const hotThreshold = 0.85
@@ -70,6 +74,7 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 		Prefix:       prefix,
 		AttachAt:     tp.Name(p.Attachments[0].Node),
 		WithCtrl:     withCtrl,
+		Strategies:   strategies,
 		TrackPlayers: true,
 		SampleEvery:  500 * time.Millisecond,
 		VideoSample:  250 * time.Millisecond,
@@ -237,10 +242,15 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 		}
 	}
 	rep.Decisions = sim.Ctrl.Decisions
+	rep.Strategies = sim.Ctrl.Planner().Strategies()
 	if len(rep.Decisions) > 0 {
 		rep.FirstReactionAt = rep.Decisions[0].At
 		if rep.FirstHotAt >= 0 && rep.FirstReactionAt >= rep.FirstHotAt {
 			rep.ReactionLatency = rep.FirstReactionAt - rep.FirstHotAt
+		}
+		rep.StrategyWins = make(map[string]int)
+		for _, d := range rep.Decisions {
+			rep.StrategyWins[d.Strategy]++
 		}
 	}
 	for _, err := range sim.Ctrl.Errors {

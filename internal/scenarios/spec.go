@@ -152,6 +152,10 @@ type Spec struct {
 	Duration time.Duration `json:"duration,omitempty"`
 	// Seed perturbs workload randomness (Poisson arrivals).
 	Seed int64 `json:"seed,omitempty"`
+	// Strategies names the controller's reaction-strategy set (stock
+	// names, e.g. "localecmp,ksp"; the withdraw strategy is implied).
+	// Empty keeps controller.DefaultStrategies.
+	Strategies []string `json:"strategies,omitempty"`
 }
 
 func (s Spec) withDefaults() Spec {

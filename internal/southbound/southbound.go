@@ -146,6 +146,26 @@ func (m *LieManager) Installed(prefix string) []fibbing.Lie {
 	return out
 }
 
+// InstalledAll snapshots every prefix's installed lies. Prefixes without
+// live lies are absent from the map.
+func (m *LieManager) InstalledAll() map[string][]fibbing.Lie {
+	out := make(map[string][]fibbing.Lie, len(m.installed))
+	for prefix := range m.installed {
+		out[prefix] = m.Installed(prefix)
+	}
+	return out
+}
+
+// InstalledPrefixes returns the sorted names of prefixes with live lies.
+func (m *LieManager) InstalledPrefixes() []string {
+	out := make([]string, 0, len(m.installed))
+	for prefix := range m.installed {
+		out = append(out, prefix)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // LieCount returns the total number of live lies.
 func (m *LieManager) LieCount() int {
 	n := 0
@@ -173,6 +193,13 @@ func (d Delta) Empty() bool { return len(d.Injected) == 0 && len(d.Withdrawn) ==
 // lies present in both stay untouched; extra installed lies are withdrawn
 // (MaxAge re-origination); missing lies are injected fresh. It returns
 // the delta it signalled.
+//
+// Apply is atomic per prefix: when the injector fails mid-batch, the lies
+// it already signalled in this call are compensated (fresh injections are
+// MaxAged out, withdrawals are re-originated) before the error returns,
+// so a failed Apply leaves the prefix's live lie set exactly as it was.
+// If a compensation itself fails, the bookkeeping tracks what is actually
+// live on the wire and the returned error reports both failures.
 func (m *LieManager) Apply(prefix string, desired []fibbing.Lie) (Delta, error) {
 	cur := m.installed[prefix]
 
@@ -191,15 +218,50 @@ func (m *LieManager) Apply(prefix string, desired []fibbing.Lie) (Delta, error) 
 			drop = append(drop, e)
 		}
 	}
-	var delta Delta
+
+	var withdrawn []lieEntry // drops signalled so far (seq at their MaxAge origination)
+	var injected []lieEntry  // fresh lies signalled so far
+	// fail unwinds the lies this call already signalled, in reverse, and
+	// records whatever actually ends up live: kept entries, drops whose
+	// withdrawal never went out, compensated state for the rest.
+	fail := func(cause error) (Delta, error) {
+		final := append([]lieEntry(nil), keep...)
+		final = append(final, drop[len(withdrawn):]...) // never signalled: still live
+		var rollbackErrs []error
+		for i := len(injected) - 1; i >= 0; i-- {
+			e := injected[i]
+			lsa := e.lie.ToLSA(m.adv, e.lsid, e.seq+1)
+			lsa.Header.Age = ospf.MaxAgeSeconds
+			if err := m.inj.Inject(lsa); err != nil {
+				rollbackErrs = append(rollbackErrs, err)
+				final = append(final, e) // compensation failed: the lie is live
+			}
+		}
+		for i := len(withdrawn) - 1; i >= 0; i-- {
+			e := withdrawn[i]
+			e.seq++ // the fresh origination must beat the MaxAge LSA
+			if err := m.inj.Inject(e.lie.ToLSA(m.adv, e.lsid, e.seq)); err != nil {
+				rollbackErrs = append(rollbackErrs, err)
+				continue // stays withdrawn
+			}
+			final = append(final, e)
+		}
+		m.setInstalled(prefix, final)
+		if len(rollbackErrs) > 0 {
+			return Delta{}, fmt.Errorf("%w (rollback also failed: %v)", cause, rollbackErrs)
+		}
+		return Delta{}, cause
+	}
+
 	// Withdraw removed lies.
 	for _, e := range drop {
 		lsa := e.lie.ToLSA(m.adv, e.lsid, e.seq+1)
 		lsa.Header.Age = ospf.MaxAgeSeconds
 		if err := m.inj.Inject(lsa); err != nil {
-			return delta, fmt.Errorf("southbound: withdraw %v: %w", e.lie, err)
+			return fail(fmt.Errorf("southbound: withdraw %v: %w", e.lie, err))
 		}
-		delta.Withdrawn = append(delta.Withdrawn, e.lie)
+		e.seq++
+		withdrawn = append(withdrawn, e)
 	}
 	// Inject new lies, deterministically ordered.
 	var missing []fibbing.Lie
@@ -210,20 +272,112 @@ func (m *LieManager) Apply(prefix string, desired []fibbing.Lie) (Delta, error) 
 	}
 	sort.Slice(missing, func(i, j int) bool { return lieLess(missing[i], missing[j]) })
 	for _, l := range missing {
-		m.nextLSID++
-		e := lieEntry{lsid: m.nextLSID, seq: 1, lie: l}
+		lsid := m.nextLSID + 1
+		e := lieEntry{lsid: lsid, seq: 1, lie: l}
 		if err := m.inj.Inject(l.ToLSA(m.adv, e.lsid, e.seq)); err != nil {
-			return delta, fmt.Errorf("southbound: inject %v: %w", l, err)
+			return fail(fmt.Errorf("southbound: inject %v: %w", l, err))
 		}
-		keep = append(keep, e)
-		delta.Injected = append(delta.Injected, l)
+		m.nextLSID = lsid
+		injected = append(injected, e)
 	}
-	if len(keep) == 0 {
-		delete(m.installed, prefix)
-	} else {
-		m.installed[prefix] = keep
+	keep = append(keep, injected...)
+	m.setInstalled(prefix, keep)
+	var delta Delta
+	for _, e := range withdrawn {
+		delta.Withdrawn = append(delta.Withdrawn, e.lie)
+	}
+	for _, e := range injected {
+		delta.Injected = append(delta.Injected, e.lie)
 	}
 	return delta, nil
+}
+
+func (m *LieManager) setInstalled(prefix string, entries []lieEntry) {
+	if len(entries) == 0 {
+		delete(m.installed, prefix)
+		return
+	}
+	m.installed[prefix] = entries
+}
+
+// Transaction is an all-or-nothing commit of a multi-prefix lie set: each
+// Apply reconciles one prefix, and a failure rolls every prefix the
+// transaction already touched back to its pre-transaction lies. The
+// controller's Planner commits whole Plans through it so a mid-apply
+// injector failure can never leave a half-installed multi-prefix state.
+type Transaction struct {
+	m      *LieManager
+	prev   map[string][]fibbing.Lie
+	order  []string
+	delta  Delta
+	closed bool
+}
+
+// Begin opens a transaction on the manager. Transactions are not
+// concurrent-safe with each other or with direct Apply calls.
+func (m *LieManager) Begin() *Transaction {
+	return &Transaction{m: m, prev: make(map[string][]fibbing.Lie)}
+}
+
+// Apply reconciles one prefix towards desired (nil/empty withdraws all of
+// its lies). On an injector error the transaction rolls back every prefix
+// it touched — including this one, whose per-prefix Apply already
+// self-compensated — and returns the error; the transaction is closed.
+func (t *Transaction) Apply(prefix string, desired []fibbing.Lie) error {
+	if t.closed {
+		return fmt.Errorf("southbound: transaction already closed")
+	}
+	if _, seen := t.prev[prefix]; !seen {
+		t.prev[prefix] = t.m.Installed(prefix)
+		t.order = append(t.order, prefix)
+	}
+	delta, err := t.m.Apply(prefix, desired)
+	t.delta.Injected = append(t.delta.Injected, delta.Injected...)
+	t.delta.Withdrawn = append(t.delta.Withdrawn, delta.Withdrawn...)
+	if err != nil {
+		if rerr := t.rollback(); rerr != nil {
+			return fmt.Errorf("%w (transaction rollback: %v)", err, rerr)
+		}
+		return err
+	}
+	return nil
+}
+
+// Commit finalises the transaction and returns the accumulated on-wire
+// delta. Committing a transaction that already failed (auto-rollback) or
+// was rolled back returns an error: the work was reverted, not applied.
+// Further calls on the transaction fail.
+func (t *Transaction) Commit() (Delta, error) {
+	if t.closed {
+		return Delta{}, fmt.Errorf("southbound: transaction already closed")
+	}
+	t.closed = true
+	return t.delta, nil
+}
+
+// Rollback restores every touched prefix to its pre-transaction lie set
+// and closes the transaction.
+func (t *Transaction) Rollback() error {
+	if t.closed {
+		return fmt.Errorf("southbound: transaction already closed")
+	}
+	return t.rollback()
+}
+
+func (t *Transaction) rollback() error {
+	t.closed = true
+	t.delta = Delta{}
+	var errs []error
+	for i := len(t.order) - 1; i >= 0; i-- {
+		prefix := t.order[i]
+		if _, err := t.m.Apply(prefix, t.prev[prefix]); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("southbound: rollback: %v", errs)
+	}
+	return nil
 }
 
 // WithdrawAll flushes every live lie (controller shutdown, as Fibbing

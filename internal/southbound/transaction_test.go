@@ -1,0 +1,180 @@
+package southbound
+
+import (
+	"fmt"
+	"testing"
+
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/ospf"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// flakyInjector fails the Nth Inject call (1-based); failAt <= 0 never
+// fails. It records every accepted LSA so tests can count compensations.
+type flakyInjector struct {
+	failAt   int
+	calls    int
+	accepted []*ospf.LSA
+}
+
+func (f *flakyInjector) Inject(l *ospf.LSA) error {
+	f.calls++
+	if f.failAt > 0 && f.calls == f.failAt {
+		return fmt.Errorf("injector down (call %d)", f.calls)
+	}
+	f.accepted = append(f.accepted, l)
+	return nil
+}
+
+// liveByLSID replays the accepted LSAs: the latest origination per LSID
+// wins, MaxAge removes it. What remains is what the IGP would hold.
+func (f *flakyInjector) liveByLSID() map[uint32]*ospf.LSA {
+	live := make(map[uint32]*ospf.LSA)
+	for _, l := range f.accepted {
+		if cur, ok := live[l.Header.LSID]; ok && cur.Header.Seq > l.Header.Seq {
+			continue
+		}
+		if l.Header.Age >= ospf.MaxAgeSeconds {
+			delete(live, l.Header.LSID)
+			continue
+		}
+		live[l.Header.LSID] = l
+	}
+	return live
+}
+
+func testLies(t *testing.T) []fibbing.Lie {
+	t.Helper()
+	tp := topo.Fig1(topo.Fig1Opts{})
+	return fig1Lies(t, tp)
+}
+
+// TestApplyPartialFailureAtomicity: when the injector dies mid-batch, the
+// lies Apply already injected in that batch must be withdrawn again
+// before the error returns — the manager's bookkeeping and the replayed
+// wire state both equal the pre-call state.
+func TestApplyPartialFailureAtomicity(t *testing.T) {
+	lies := testLies(t) // 3 lies: 1 fB + 2 fA
+	for failAt := 1; failAt <= len(lies); failAt++ {
+		inj := &flakyInjector{failAt: failAt}
+		mgr := NewLieManager(inj, ospf.ControllerIDBase)
+		if _, err := mgr.Apply(topo.Fig1BluePrefixName, lies); err == nil {
+			t.Fatalf("failAt=%d: Apply succeeded despite injector failure", failAt)
+		}
+		if n := mgr.LieCount(); n != 0 {
+			t.Fatalf("failAt=%d: %d lies half-installed after failed Apply", failAt, n)
+		}
+		if live := inj.liveByLSID(); len(live) != 0 {
+			t.Fatalf("failAt=%d: %d fake LSAs left live on the wire", failAt, len(live))
+		}
+	}
+}
+
+// TestApplyWithdrawFailureRestores: a reconciliation that must withdraw
+// lies fails mid-withdraw; the already-withdrawn lies are re-originated
+// and the installed set stays the original one.
+func TestApplyWithdrawFailureRestores(t *testing.T) {
+	lies := testLies(t)
+	inj := &flakyInjector{}
+	mgr := NewLieManager(inj, ospf.ControllerIDBase)
+	if _, err := mgr.Apply(topo.Fig1BluePrefixName, lies); err != nil {
+		t.Fatal(err)
+	}
+	// Next two calls: first withdrawal succeeds, second fails.
+	inj.failAt = inj.calls + 2
+	if _, err := mgr.Apply(topo.Fig1BluePrefixName, nil); err == nil {
+		t.Fatal("Apply succeeded despite injector failure")
+	}
+	if n := mgr.LieCount(); n != len(lies) {
+		t.Fatalf("installed count = %d after failed withdraw, want %d", n, len(lies))
+	}
+	if live := inj.liveByLSID(); len(live) != len(lies) {
+		t.Fatalf("%d fake LSAs live on the wire, want %d", len(live), len(lies))
+	}
+	// The manager must still be able to reconcile once the injector heals
+	// (sequence numbers moved past the aborted withdrawal).
+	inj.failAt = 0
+	if _, err := mgr.Apply(topo.Fig1BluePrefixName, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := mgr.LieCount(); n != 0 {
+		t.Fatalf("lies not withdrawn after heal: %d", n)
+	}
+	if live := inj.liveByLSID(); len(live) != 0 {
+		t.Fatalf("%d fake LSAs live after heal", len(live))
+	}
+}
+
+// TestTransactionRollsBackAppliedPrefixes: a multi-prefix transaction
+// whose second prefix fails mid-apply must restore the first prefix's
+// previous lies — no half-installed multi-prefix state.
+func TestTransactionRollsBackAppliedPrefixes(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	blue := fig1Lies(t, tp)
+	b, r3 := tp.MustNode("B"), tp.MustNode("R3")
+	green := []fibbing.Lie{{Prefix: topo.Fig1BluePrefix, Attach: b, Via: r3, Cost: 2}}
+
+	inj := &flakyInjector{}
+	mgr := NewLieManager(inj, ospf.ControllerIDBase)
+	// Pre-state: "green" has one installed lie.
+	if _, err := mgr.Apply("green", green); err != nil {
+		t.Fatal(err)
+	}
+	preCalls := inj.calls
+
+	// Transaction: replace green's lie (1 withdraw + 1 inject), then
+	// install blue's 3; fail on blue's second injection.
+	replacement := []fibbing.Lie{{Prefix: topo.Fig1BluePrefix, Attach: b, Via: r3, Cost: 3}}
+	inj.failAt = preCalls + 2 + 2
+	tx := mgr.Begin()
+	if err := tx.Apply("green", replacement); err != nil {
+		t.Fatalf("first prefix failed early: %v", err)
+	}
+	err := tx.Apply(topo.Fig1BluePrefixName, blue)
+	if err == nil {
+		t.Fatal("transaction succeeded despite injector failure")
+	}
+
+	// Green must be back to its pre-transaction lie, blue empty.
+	got := mgr.Installed("green")
+	if len(got) != 1 || got[0] != green[0] {
+		t.Fatalf("green after rollback = %v, want %v", got, green)
+	}
+	if n := len(mgr.Installed(topo.Fig1BluePrefixName)); n != 0 {
+		t.Fatalf("blue half-installed: %d lies", n)
+	}
+	if live := inj.liveByLSID(); len(live) != 1 {
+		t.Fatalf("%d fake LSAs live, want 1 (green's original)", len(live))
+	}
+	// The closed transaction refuses further work.
+	if err := tx.Apply("green", nil); err == nil {
+		t.Fatal("closed transaction accepted Apply")
+	}
+}
+
+// TestTransactionCommitDelta: a successful transaction accumulates the
+// per-prefix deltas and leaves the desired state installed.
+func TestTransactionCommitDelta(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	blue := fig1Lies(t, tp)
+	inj := &flakyInjector{}
+	mgr := NewLieManager(inj, ospf.ControllerIDBase)
+
+	tx := mgr.Begin()
+	if err := tx.Apply(topo.Fig1BluePrefixName, blue); err != nil {
+		t.Fatal(err)
+	}
+	delta, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta.Injected) != len(blue) || len(delta.Withdrawn) != 0 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	if mgr.LieCount() != len(blue) {
+		t.Fatalf("installed = %d", mgr.LieCount())
+	}
+	if _, err := tx.Commit(); err == nil {
+		t.Fatal("double Commit succeeded")
+	}
+}

@@ -12,6 +12,18 @@ import (
 // Used by path-based TE heuristics that need alternatives beyond the ECMP
 // set (e.g. evaluating detour candidates).
 func KShortest(g *Graph, src, dst topo.NodeID, k int, skip func(topo.NodeID) bool) [][]topo.NodeID {
+	return KShortestSpurLimit(g, src, dst, k, 0, skip)
+}
+
+// KShortestSpurLimit is KShortest with Yen's spur scan bounded to the
+// first spurLimit nodes of each parent path (0 means unbounded). Bounding
+// the scan keeps the search O(spurLimit) Dijkstras per accepted path
+// instead of O(path length): deviations near the source are the ones
+// load-balancing can exploit, and on long sparse paths (a 64-node ring)
+// the unbounded scan spends thousands of Dijkstras proving no further
+// path exists. The controller's ksp strategy runs this on every alarm,
+// so the bound is what keeps the control loop cheap at scale.
+func KShortestSpurLimit(g *Graph, src, dst topo.NodeID, k, spurLimit int, skip func(topo.NodeID) bool) [][]topo.NodeID {
 	if k <= 0 || src == dst {
 		return nil
 	}
@@ -43,7 +55,11 @@ func KShortest(g *Graph, src, dst topo.NodeID, k int, skip func(topo.NodeID) boo
 	for len(result) < k {
 		prev := result[len(result)-1]
 		// For each spur node of the previous path, search a deviation.
-		for i := 0; i+1 < len(prev); i++ {
+		spurs := len(prev) - 1
+		if spurLimit > 0 && spurs > spurLimit {
+			spurs = spurLimit
+		}
+		for i := 0; i < spurs; i++ {
 			spur := prev[i]
 			root := prev[:i+1]
 
