@@ -42,12 +42,13 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_baseline.json < bench.out.tmp; s=$$?; rm -f bench.out.tmp; exit $$s
 	@echo wrote BENCH_baseline.json
 
-# Regression gate on the incremental-SPF hot path: fails when ns/op of
-# the delta-pipeline benchmark regresses >2x against the committed
-# baseline. -count 5 + best-of in benchjson filters scheduler noise.
+# Regression gate on the delta hot paths: fails when ns/op of the
+# incremental-SPF benchmark or the aggregate traffic plane's 100k-viewer
+# join benchmark regresses >2x against the committed baseline. -count 5 +
+# best-of in benchjson filters scheduler noise.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalVsFull' -benchtime 1x -count 5 . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
-	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'IncrementalVsFull.*/incremental$$' -max-ratio 2 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
+	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalVsFull|BenchmarkReshareIncremental' -benchtime 1x -count 5 . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'IncrementalVsFull.*/incremental$$|ReshareIncremental/viewers=100000/join$$' -max-ratio 2 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
 
 # The large-topology scaling cells with wall-clock/event telemetry.
 scale:

@@ -11,9 +11,11 @@ import (
 	"time"
 
 	"fibbing.net/fibbing/internal/controller"
+	"fibbing.net/fibbing/internal/event"
 	"fibbing.net/fibbing/internal/experiments"
 	"fibbing.net/fibbing/internal/fib"
 	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/netsim"
 	"fibbing.net/fibbing/internal/ospf"
 	"fibbing.net/fibbing/internal/scenarios"
 	"fibbing.net/fibbing/internal/spf"
@@ -327,6 +329,96 @@ func BenchmarkIncrementalVsFull(b *testing.B) {
 				}
 			}
 			b.ReportMetric(float64(fulls)/float64(b.N*tc.reps), "fallbacks/op")
+		})
+	}
+}
+
+// BenchmarkReshareIncremental measures the aggregate traffic plane's
+// delta path at viewer scale: a diamond network carrying 1k/10k/100k
+// same-rate viewers (two ECMP path-classes). "join" is the incremental
+// op — one flow joins and leaves, re-solving only the dirty
+// bottleneck-dependency component in O(aggregates). "full" forces the
+// pre-aggregation behaviour — SetTable invalidates everything, so every
+// viewer is re-traced and the solve runs globally. The committed baseline
+// records the gap the CI bench gate protects (the acceptance bar is a
+// >= 10x join-vs-full advantage at 100k viewers).
+func BenchmarkReshareIncremental(b *testing.B) {
+	buildNet := func(viewers int) (*netsim.Network, *event.Scheduler, topo.NodeID, *fib.Table) {
+		tp := topo.New()
+		s := tp.AddNode("s")
+		u := tp.AddNode("u")
+		v := tp.AddNode("v")
+		d := tp.AddNode("d")
+		lsu, _ := tp.AddLink(s, u, 1, topo.LinkOpts{Capacity: 10e9})
+		lsv, _ := tp.AddLink(s, v, 1, topo.LinkOpts{Capacity: 10e9})
+		lud, _ := tp.AddLink(u, d, 1, topo.LinkOpts{Capacity: 10e9})
+		lvd, _ := tp.AddLink(v, d, 1, topo.LinkOpts{Capacity: 10e9})
+		pfx := topo.Fig1BluePrefix
+		tp.AddPrefix(pfx, "crowd", topo.Attachment{Node: d})
+
+		sched := event.NewScheduler()
+		net := netsim.New(tp, sched, time.Second)
+		net.DropSeries = true
+		ts := fib.NewTable(s)
+		tu := fib.NewTable(u)
+		tv := fib.NewTable(v)
+		td := fib.NewTable(d)
+		for _, err := range []error{
+			ts.Install(fib.Route{Prefix: pfx, NextHops: []fib.NextHop{
+				{Node: u, Link: lsu, Weight: 1}, {Node: v, Link: lsv, Weight: 1}}}),
+			tu.Install(fib.Route{Prefix: pfx, NextHops: []fib.NextHop{{Node: d, Link: lud, Weight: 1}}}),
+			tv.Install(fib.Route{Prefix: pfx, NextHops: []fib.NextHop{{Node: d, Link: lvd, Weight: 1}}}),
+			td.Install(fib.Route{Prefix: pfx, Local: true}),
+		} {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		net.SetTable(s, ts)
+		net.SetTable(u, tu)
+		net.SetTable(v, tv)
+		net.SetTable(d, td)
+		rate := 1.7 * 10e9 / float64(viewers)
+		for i := 0; i < viewers; i++ {
+			key := fib.FlowKey{
+				Src:     ospf.Loopback(s),
+				Dst:     ospf.HostAddr(pfx, i),
+				SrcPort: uint16(10000 + i%50000), DstPort: 8080, Proto: 6,
+			}
+			net.AddFlow(s, key, rate)
+		}
+		sched.RunUntil(time.Second)
+		return net, sched, s, ts
+	}
+	greedyKey := fib.FlowKey{
+		Src: ospf.Loopback(0), Dst: ospf.HostAddr(topo.Fig1BluePrefix, 0),
+		SrcPort: 1, DstPort: 8080, Proto: 6,
+	}
+	for _, viewers := range []int{1000, 10_000, 100_000} {
+		viewers := viewers
+		b.Run(fmt.Sprintf("viewers=%d/join", viewers), func(b *testing.B) {
+			net, sched, s, _ := buildNet(viewers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				id := net.AddFlow(s, greedyKey, 0)
+				sched.RunUntil(sched.Now()) // fire the recompute: incremental reshare
+				net.RemoveFlow(id)
+				sched.RunUntil(sched.Now())
+			}
+			b.StopTimer()
+			if st := net.Stats(); st.ReshareIncremental == 0 {
+				b.Fatal("join churn never ran incrementally")
+			}
+		})
+		b.Run(fmt.Sprintf("viewers=%d/full", viewers), func(b *testing.B) {
+			net, sched, s, ts := buildNet(viewers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.SetTable(s, ts) // invalidate everything: per-viewer re-trace + global solve
+				sched.RunUntil(sched.Now())
+			}
 		})
 	}
 }

@@ -11,6 +11,8 @@
 //	fiblab -matrix -json > out.json # machine-readable reports
 //	fiblab -run ring/surge -strategies=localecmp,ksp
 //	                                # restrict the reaction-strategy set
+//	fiblab -run ring/surge -viewers 100000
+//	                                # same demand sliced into 100k sessions
 //
 // The exit status is non-zero when any executed cell violates its
 // invariants, so fiblab doubles as a CI gate.
@@ -43,6 +45,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "ad-hoc run: seed")
 		workload = flag.String("workload", "surge", "ad-hoc run: workload (surge, flash, ramp, dual)")
 		failure  = flag.String("failure", "", "ad-hoc run: failure schedule (hotlink, flap)")
+		viewers  = flag.Int("viewers", 0, "scale the crowd to about this many sessions (exact for surge; same total demand, finer slices; 0 keeps the default sizing)")
 	)
 	flag.Parse()
 
@@ -66,7 +69,7 @@ func main() {
 	}
 
 	if *scale {
-		runScale(*duration, *jsonOut, strategyNames)
+		runScale(*duration, *jsonOut, strategyNames, *viewers)
 		return
 	}
 
@@ -102,6 +105,9 @@ func main() {
 		}
 		if len(strategyNames) > 0 {
 			spec.Strategies = strategyNames
+		}
+		if *viewers > 0 {
+			spec.Viewers = *viewers
 		}
 		cmp, err := scenarios.Compare(spec)
 		if err != nil {
@@ -143,7 +149,7 @@ type scaleResult struct {
 // runScale executes the large-topology cells (controller on, no
 // counterfactual side: these measure cost, not invariants) and prints
 // per-cell wall-clock and scheduler events executed.
-func runScale(duration time.Duration, jsonOut bool, strategyNames []string) {
+func runScale(duration time.Duration, jsonOut bool, strategyNames []string, viewers int) {
 	var results []scaleResult
 	for _, spec := range scenarios.ScaleSpecs() {
 		if duration > 0 {
@@ -151,6 +157,9 @@ func runScale(duration time.Duration, jsonOut bool, strategyNames []string) {
 		}
 		if len(strategyNames) > 0 {
 			spec.Strategies = strategyNames
+		}
+		if viewers > 0 {
+			spec.Viewers = viewers
 		}
 		start := time.Now()
 		rep, err := scenarios.Run(spec, true)
@@ -161,9 +170,11 @@ func runScale(duration time.Duration, jsonOut bool, strategyNames []string) {
 		wall := time.Since(start)
 		results = append(results, scaleResult{Report: rep, WallClock: wall.Seconds()})
 		if !jsonOut {
-			fmt.Printf("%-16s wall=%8.2fs events=%9d spf=%d inc/%d full settled=%.2f lies=%d\n",
+			fmt.Printf("%-24s wall=%8.2fs events=%9d spf=%d inc/%d full reshare=%d inc/%d full sessions=%d aggs=%d settled=%.2f lies=%d\n",
 				spec.Name, wall.Seconds(), rep.Events,
-				rep.SPFIncrementalRuns, rep.SPFFullRuns, rep.SettledUtilisation, rep.Lies)
+				rep.SPFIncrementalRuns, rep.SPFFullRuns,
+				rep.ReshareIncremental, rep.ReshareFull,
+				rep.Sessions, rep.Aggregates, rep.SettledUtilisation, rep.Lies)
 		}
 	}
 	if jsonOut {

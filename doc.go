@@ -2,10 +2,12 @@
 // action: On-demand load-balancing for better video delivery" (Tilmans,
 // Vissicchio, Vanbever, Rexford — SIGCOMM 2016 demo), including every
 // substrate the demo runs on: a link-state IGP with wire-encoded LSAs and
-// reliable flooding, weighted-ECMP FIBs, a fluid data-plane simulator, an
-// SNMPv2c monitoring stack, video streaming with QoE accounting, the
-// traffic-engineering solvers (min-max LP, weight search, RSVP-TE/CSPF),
-// and the Fibbing controller itself.
+// reliable flooding, weighted-ECMP FIBs, a fluid data-plane simulator
+// whose flows collapse into per-path-class aggregates (100k-viewer crowds
+// cost what their distinct paths cost — see README.md, "The traffic
+// plane"), an SNMPv2c monitoring stack, video streaming with QoE
+// accounting, the traffic-engineering solvers (min-max LP, weight search,
+// RSVP-TE/CSPF), and the Fibbing controller itself.
 //
 // The controller is a policy engine with a pluggable reaction-strategy
 // API: a Strategy proposes, a Plan is the typed proposal (per-prefix lie

@@ -4,20 +4,34 @@
 // without the controller — and prints the link-throughput series and the
 // per-session playback quality, reproducing "smooth with Fibbing,
 // stuttering without".
+//
+// The -viewers flag scales the same demand to an arbitrary crowd size
+// (e.g. -viewers 100000): per-session bitrate shrinks so the total stays
+// the demo's, and the run reports how few aggregates the traffic plane
+// needed to carry them.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
 	"fibbing.net/fibbing/internal/controller"
+	"fibbing.net/fibbing/internal/flashcrowd"
 	"fibbing.net/fibbing/internal/metrics"
+	"fibbing.net/fibbing/internal/topo"
 	"fibbing.net/fibbing/internal/video"
 )
 
 func main() {
+	viewers := flag.Int("viewers", 0, "scale the demo crowd to this many sessions (0 keeps the paper's 62)")
+	flag.Parse()
+	if *viewers > 0 {
+		runScaled(*viewers)
+		return
+	}
 	for _, withCtrl := range []bool{true, false} {
 		label := "WITH Fibbing controller"
 		if !withCtrl {
@@ -44,5 +58,49 @@ func main() {
 			100*agg.MeanRebuffer, 100*agg.WorstRebuffer)
 		fmt.Printf("delivered %.1f of %.1f Mbit/s demanded; max link utilisation %.2f; %d live lies\n\n",
 			sim.Net.TotalThroughput()/1e6, 62*0.5, res.MaxUtilisation, res.LiveLies)
+	}
+}
+
+// runScaled replays the Figure 2 timeline with the demo's total demand
+// sliced into the requested number of sessions — the aggregate traffic
+// plane carries them in a handful of path-classes.
+func runScaled(viewers int) {
+	// The demo's totals: 31 sessions behind B, 31 behind A, 0.5 Mbit/s
+	// each. Keep the aggregate demand, shrink the per-session rate.
+	rate := flashcrowd.DefaultVideoRate * 62 / float64(viewers)
+	fromB := viewers / 2
+	fromA := viewers - fromB - 1
+	var waves []flashcrowd.Wave
+	for _, w := range []flashcrowd.Wave{
+		{At: 0, Ingress: topo.Fig1B, Flows: 1, Rate: rate},
+		{At: 15 * time.Second, Ingress: topo.Fig1B, Flows: fromB, Rate: rate},
+		{At: 35 * time.Second, Ingress: topo.Fig1A, Flows: fromA, Rate: rate},
+	} {
+		if w.Flows > 0 { // tiny -viewers can empty a surge step
+			waves = append(waves, w)
+		}
+	}
+	for _, withCtrl := range []bool{true, false} {
+		label := "WITH Fibbing controller"
+		if !withCtrl {
+			label = "WITHOUT controller"
+		}
+		fmt.Printf("==== %s, %d viewers ====\n", label, viewers)
+		sim, err := controller.NewSim(controller.SimOpts{WithCtrl: withCtrl, TrackPlayers: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sim.Runner.Schedule(waves); err != nil {
+			log.Fatal(err)
+		}
+		sim.Run(60 * time.Second)
+
+		agg := video.AggregateQoE(sim.QoE())
+		stats := sim.Net.Stats()
+		fmt.Printf("playback: %d sessions, %d smooth, %d stalls, mean rebuffer %.1f%%\n",
+			agg.Sessions, agg.SmoothSessions, agg.TotalStalls, 100*agg.MeanRebuffer)
+		fmt.Printf("traffic plane: %d flows in %d aggregates; reshare %d incremental / %d full; max utilisation %.2f; %d lies\n\n",
+			stats.Flows, stats.Aggregates, stats.ReshareIncremental, stats.ReshareFull,
+			sim.Net.MaxUtilisation(), sim.Lies.LieCount())
 	}
 }

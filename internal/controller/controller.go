@@ -18,7 +18,7 @@ package controller
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -233,13 +233,13 @@ func (c *Controller) Demands() []topo.Demand {
 	for name := range c.demand {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, name := range names {
 		ingresses := make([]topo.NodeID, 0, len(c.demand[name]))
 		for in := range c.demand[name] {
 			ingresses = append(ingresses, in)
 		}
-		sort.Slice(ingresses, func(i, j int) bool { return ingresses[i] < ingresses[j] })
+		slices.Sort(ingresses)
 		for _, in := range ingresses {
 			out = append(out, topo.Demand{Ingress: in, PrefixName: name, Volume: c.demand[name][in]})
 		}

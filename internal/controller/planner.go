@@ -3,7 +3,7 @@ package controller
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"fibbing.net/fibbing/internal/fibbing"
@@ -244,6 +244,6 @@ func prefixNamesOf(demands []topo.Demand) []string {
 		seen[d.PrefixName] = true
 		out = append(out, d.PrefixName)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }

@@ -123,18 +123,19 @@ func NewSim(o SimOpts) (*Sim, error) {
 			s.Ctrl.Handle(DemandEvent(o.Prefix, ingress, -rate))
 		},
 	}
+	// Sessions attach through shared-ticker pools: one scheduler event
+	// stream per sim instead of one per viewer, which is what lets the
+	// flashcrowd-100k scale cells track every player's QoE.
 	switch {
 	case o.ABR != nil:
-		cfg := *o.ABR
+		pool := video.NewABRSessionPool(s.Sched, s.Net, *o.ABR)
 		s.Runner.OnFlowStarted = func(id netsim.FlowID, _ float64) {
-			s.ABRSessions = append(s.ABRSessions,
-				video.NewABRSimSession(s.Sched, s.Net, id, cfg))
+			s.ABRSessions = append(s.ABRSessions, pool.Attach(id))
 		}
 	case o.TrackPlayers:
-		sample := o.VideoSample
+		pool := video.NewSessionPool(s.Sched, s.Net, o.VideoSample)
 		s.Runner.OnFlowStarted = func(id netsim.FlowID, rate float64) {
-			s.Sessions = append(s.Sessions,
-				video.NewSimSession(s.Sched, s.Net, id, rate, sample))
+			s.Sessions = append(s.Sessions, pool.Attach(id, rate))
 		}
 	}
 

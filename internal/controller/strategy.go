@@ -2,7 +2,7 @@ package controller
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"fibbing.net/fibbing/internal/fibbing"
@@ -79,7 +79,7 @@ func (p *Plan) Prefixes() []string {
 	for prefix := range p.Lies {
 		out = append(out, prefix)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 

@@ -16,10 +16,11 @@ import (
 // concurrent use; simulations drive it from one goroutine and expose
 // snapshots to others behind their own locks.
 type Scheduler struct {
-	now   time.Duration
-	queue eventHeap
-	seq   uint64
-	ran   uint64
+	now     time.Duration
+	queue   eventHeap
+	seq     uint64
+	ran     uint64
+	pending int
 }
 
 // Handle identifies a scheduled event so it can be cancelled.
@@ -47,16 +48,10 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 // and benchmarks).
 func (s *Scheduler) Ran() uint64 { return s.ran }
 
-// Pending returns the number of events still queued.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of events still queued (scheduled, not yet
+// fired, not cancelled). The count is maintained live by At/Cancel/Step,
+// so this is O(1) — simulations poll it inside hot loops.
+func (s *Scheduler) Pending() int { return s.pending }
 
 // At schedules fn at absolute virtual time t. Scheduling in the past
 // (before Now) panics: that is always a simulation bug.
@@ -70,6 +65,7 @@ func (s *Scheduler) At(t time.Duration, fn func()) Handle {
 	ev := &scheduled{at: t, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.queue, ev)
+	s.pending++
 	return Handle{ev: ev}
 }
 
@@ -88,6 +84,7 @@ func (s *Scheduler) Cancel(h Handle) bool {
 		return false
 	}
 	h.ev.cancelled = true
+	s.pending--
 	return true
 }
 
@@ -97,10 +94,11 @@ func (s *Scheduler) Step() bool {
 	for s.queue.Len() > 0 {
 		ev := heap.Pop(&s.queue).(*scheduled)
 		if ev.cancelled {
-			continue
+			continue // already uncounted by Cancel
 		}
 		s.now = ev.at
 		s.ran++
+		s.pending--
 		ev.fn()
 		return true
 	}

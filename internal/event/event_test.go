@@ -1,6 +1,7 @@
 package event
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -172,6 +173,55 @@ func TestNilCallbackPanics(t *testing.T) {
 		}
 	}()
 	s.At(time.Second, nil)
+}
+
+// pendingScan is the O(n) definition Pending replaced: the number of
+// queued, non-cancelled events.
+func pendingScan(s *Scheduler) int {
+	n := 0
+	for _, e := range s.queue {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// TestPendingCounterMatchesScan churns the scheduler through random
+// schedule/cancel/step sequences and asserts the O(1) live counter always
+// equals the O(n) queue scan.
+func TestPendingCounterMatchesScan(t *testing.T) {
+	s := NewScheduler()
+	rng := rand.New(rand.NewSource(7))
+	var handles []Handle
+	check := func(op string) {
+		t.Helper()
+		if got, want := s.Pending(), pendingScan(s); got != want {
+			t.Fatalf("after %s: Pending() = %d, scan = %d", op, got, want)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		switch rng.Intn(4) {
+		case 0, 1:
+			h := s.At(s.Now()+time.Duration(rng.Intn(50))*time.Millisecond, func() {})
+			handles = append(handles, h)
+			check("At")
+		case 2:
+			if len(handles) > 0 {
+				j := rng.Intn(len(handles))
+				s.Cancel(handles[j]) // double-cancel and fired handles included
+				check("Cancel")
+			}
+		case 3:
+			s.Step()
+			check("Step")
+		}
+	}
+	s.Run()
+	check("Run")
+	if s.Pending() != 0 {
+		t.Fatalf("drained queue has Pending() = %d", s.Pending())
+	}
 }
 
 func BenchmarkScheduleAndRun(b *testing.B) {

@@ -147,27 +147,3 @@ func prefixLess(a, b netip.Prefix) bool {
 	}
 	return a.Bits() < b.Bits()
 }
-
-// Affects reports whether a flow towards dst could have changed its next
-// hop at this router: some changed prefix covers dst and is at least as
-// specific as dst's current longest match in t (the post-diff table). A
-// removed more-specific prefix shifts dst to a shorter match; a changed
-// prefix shorter than the current match never wins the LPM and is
-// irrelevant.
-func (d *Diff) Affects(t *Table, dst netip.Addr) bool {
-	if d.Empty() {
-		return false
-	}
-	curBits := -1
-	if t != nil {
-		if _, p, ok := t.lpm.Lookup(dst); ok {
-			curBits = p.Bits()
-		}
-	}
-	for _, c := range d.Changes {
-		if c.Prefix.Contains(dst) && c.Prefix.Bits() >= curBits {
-			return true
-		}
-	}
-	return false
-}

@@ -70,45 +70,3 @@ func TestDiffTablesNilOld(t *testing.T) {
 		t.Fatal("diff from nil does not rebuild the table")
 	}
 }
-
-func TestDiffAffects(t *testing.T) {
-	tbl := NewTable(1)
-	if err := tbl.Install(Route{Prefix: mustPrefix("10.0.0.0/8"), NextHops: []NextHop{{Node: 2, Weight: 1}}}); err != nil {
-		t.Fatal(err)
-	}
-	if err := tbl.Install(Route{Prefix: mustPrefix("10.1.0.0/16"), NextHops: []NextHop{{Node: 3, Weight: 1}}}); err != nil {
-		t.Fatal(err)
-	}
-
-	inTen1 := netip.MustParseAddr("10.1.2.3")
-	inTen9 := netip.MustParseAddr("10.9.2.3")
-	outside := netip.MustParseAddr("192.168.0.1")
-
-	moreSpecific := &Diff{Changes: []RouteChange{{Prefix: mustPrefix("10.1.0.0/16")}}}
-	if !moreSpecific.Affects(tbl, inTen1) {
-		t.Fatal("change to the current LPM match must affect the flow")
-	}
-	if moreSpecific.Affects(tbl, inTen9) {
-		t.Fatal("change to a non-covering prefix must not affect the flow")
-	}
-	lessSpecific := &Diff{Changes: []RouteChange{{Prefix: mustPrefix("10.0.0.0/8")}}}
-	if lessSpecific.Affects(tbl, inTen1) {
-		t.Fatal("change shadowed by a more-specific match must not affect the flow")
-	}
-	if !lessSpecific.Affects(tbl, inTen9) {
-		t.Fatal("change to the covering /8 must affect flows matched by it")
-	}
-	// A removed more-specific prefix shifts the flow to the /8: the diff
-	// names the removed prefix, which is more specific than the new match.
-	removed := &Diff{Changes: []RouteChange{{Prefix: mustPrefix("10.9.0.0/16"), Remove: true}}}
-	if !removed.Affects(tbl, inTen9) {
-		t.Fatal("removal of the previous LPM match must affect the flow")
-	}
-	if removed.Affects(tbl, outside) {
-		t.Fatal("unrelated destination affected")
-	}
-	var empty *Diff
-	if empty.Affects(tbl, inTen1) || !empty.Empty() {
-		t.Fatal("nil diff affects nothing")
-	}
-}

@@ -8,17 +8,19 @@
 // Weight 2 and splits traffic 2/3 : 1/3 with plain ECMP hashing.
 //
 // Tables also move by delta (diff.go): routers emit Diffs (per-prefix
-// RouteChanges), ApplyDiff patches a table in place, DiffTables derives
-// the delta between two tables, and Diff.Affects tells the data plane
-// whether a destination's forwarding could have changed — the key to
-// re-pathing only the flows a routing change touched.
+// RouteChanges), ApplyDiff patches a table in place, and DiffTables
+// derives the delta between two tables. The data plane decides which
+// path-classes a diff can have re-pathed by overlapping the changed
+// prefixes with each class's per-hop matched prefix (netsim's
+// Aggregate.touchedBy).
 package fib
 
 import (
+	"cmp"
 	"fmt"
 	"hash/fnv"
 	"net/netip"
-	"sort"
+	"slices"
 	"strings"
 
 	"fibbing.net/fibbing/internal/lpm"
@@ -69,12 +71,11 @@ func (r Route) Ratios() map[topo.NodeID]float64 {
 // Normalize sorts next hops by node then link, and merges duplicates by
 // summing weights. Returns the route for chaining.
 func (r *Route) Normalize() *Route {
-	sort.Slice(r.NextHops, func(i, j int) bool {
-		a, b := r.NextHops[i], r.NextHops[j]
-		if a.Node != b.Node {
-			return a.Node < b.Node
+	slices.SortFunc(r.NextHops, func(a, b NextHop) int {
+		if c := cmp.Compare(a.Node, b.Node); c != 0 {
+			return c
 		}
-		return a.Link < b.Link
+		return cmp.Compare(a.Link, b.Link)
 	})
 	merged := r.NextHops[:0]
 	for _, nh := range r.NextHops {
@@ -238,32 +239,53 @@ func NewPlane() *Plane {
 	return &Plane{Tables: make(map[topo.NodeID]*Table)}
 }
 
-// Trace walks a flow from the ingress router until some router reports the
-// destination Local, returning the node path (ingress first, delivering
-// router last). It fails on lookup misses, missing tables, and loops.
-func (p *Plane) Trace(ingress topo.NodeID, key FlowKey) ([]topo.NodeID, error) {
+// WalkTrace walks a flow hop by hop from the ingress router, invoking
+// visit at every consulted router with the matched route and the chosen
+// next hop (zero NextHop when the route is Local — the delivery hop).
+// The walk ends on delivery (nil error), on a lookup miss, missing table,
+// forwarding loop or the hop limit (descriptive error), or when visit
+// returns false (nil error; the visitor keeps its own verdict). It is the
+// single implementation of the forwarding walk: Trace and the data
+// plane's aggregate classifier are both built on it.
+func (p *Plane) WalkTrace(ingress topo.NodeID, key FlowKey, visit func(cur topo.NodeID, route Route, nh NextHop) bool) error {
 	const maxHops = 64
-	path := []topo.NodeID{ingress}
 	cur := ingress
 	seen := map[topo.NodeID]bool{ingress: true}
 	for hop := 0; hop < maxHops; hop++ {
 		tbl, ok := p.Tables[cur]
 		if !ok {
-			return path, fmt.Errorf("fib: no table for node %d", cur)
+			return fmt.Errorf("fib: no table for node %d", cur)
 		}
 		nh, route, ok := tbl.Select(key.Dst, key)
 		if !ok {
-			return path, fmt.Errorf("fib: node %d has no route to %v", cur, key.Dst)
+			return fmt.Errorf("fib: node %d has no route to %v", cur, key.Dst)
 		}
 		if route.Local {
-			return path, nil
+			visit(cur, route, NextHop{})
+			return nil
+		}
+		if !visit(cur, route, nh) {
+			return nil
 		}
 		if seen[nh.Node] {
-			return append(path, nh.Node), fmt.Errorf("fib: forwarding loop at node %d", nh.Node)
+			return fmt.Errorf("fib: forwarding loop at node %d", nh.Node)
 		}
 		seen[nh.Node] = true
-		path = append(path, nh.Node)
 		cur = nh.Node
 	}
-	return path, fmt.Errorf("fib: hop limit exceeded towards %v", key.Dst)
+	return fmt.Errorf("fib: hop limit exceeded towards %v", key.Dst)
+}
+
+// Trace walks a flow from the ingress router until some router reports the
+// destination Local, returning the node path (ingress first, delivering
+// router last). It fails on lookup misses, missing tables, and loops.
+func (p *Plane) Trace(ingress topo.NodeID, key FlowKey) ([]topo.NodeID, error) {
+	path := []topo.NodeID{ingress}
+	err := p.WalkTrace(ingress, key, func(_ topo.NodeID, route Route, nh NextHop) bool {
+		if !route.Local {
+			path = append(path, nh.Node)
+		}
+		return true
+	})
+	return path, err
 }

@@ -2,7 +2,7 @@ package fibbing
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"fibbing.net/fibbing/internal/topo"
 )
@@ -171,7 +171,7 @@ func ReduceLies(t *topo.Topology, prefixName string, aug *Augmentation, dag DAG)
 	for u := range groups {
 		routers = append(routers, u)
 	}
-	sort.Slice(routers, func(i, j int) bool { return routers[i] < routers[j] })
+	slices.Sort(routers)
 
 	for _, u := range routers {
 		if _, constrained := dag[u]; constrained {
@@ -281,7 +281,7 @@ func sortedRouters(d DAG) []topo.NodeID {
 	for u := range d {
 		out = append(out, u)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -290,7 +290,7 @@ func sortedNextHops(w NextHopWeights) []topo.NodeID {
 	for v := range w {
 		out = append(out, v)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

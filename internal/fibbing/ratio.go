@@ -1,9 +1,10 @@
 package fibbing
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"fibbing.net/fibbing/internal/topo"
 )
@@ -96,7 +97,7 @@ func roundToSum(norm []float64, q int) []int {
 		for i := range norm {
 			cands = append(cands, cand{i, frac[i]})
 		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].frac > cands[b].frac })
+		slices.SortFunc(cands, func(a, b cand) int { return cmp.Compare(b.frac, a.frac) })
 		for k := 0; total < q; k++ {
 			w[cands[k%len(cands)].idx]++
 			total++
@@ -108,7 +109,7 @@ func roundToSum(norm []float64, q int) []int {
 		for i := range norm {
 			cands = append(cands, cand{i, frac[i]})
 		}
-		sort.Slice(cands, func(a, b int) bool { return cands[a].frac < cands[b].frac })
+		slices.SortFunc(cands, func(a, b cand) int { return cmp.Compare(a.frac, b.frac) })
 		for k := 0; total > q && k < 10*len(cands); k++ {
 			i := cands[k%len(cands)].idx
 			min := 0
@@ -163,7 +164,7 @@ func SplitsToDAG(splits map[topo.NodeID]map[topo.NodeID]float64, maxDenom int) (
 		for v := range frac {
 			nodes = append(nodes, v)
 		}
-		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		slices.Sort(nodes)
 		fr := make([]float64, len(nodes))
 		for i, v := range nodes {
 			fr[i] = frac[v]

@@ -6,9 +6,10 @@
 package lpm
 
 import (
+	"cmp"
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
 )
 
 // Table is a longest-prefix-match table mapping prefixes to values.
@@ -183,12 +184,12 @@ func (t *Table[V]) Walk(fn func(p netip.Prefix, v V) bool) {
 	}
 	collect(t.v4, [16]byte{}, 0, true)
 	collect(t.v6, [16]byte{}, 0, false)
-	sort.Slice(all, func(i, j int) bool {
-		ai, aj := all[i].p.Addr(), all[j].p.Addr()
-		if ai != aj {
-			return ai.Less(aj)
+	slices.SortFunc(all, func(x, y entry) int {
+		ax, ay := x.p.Addr(), y.p.Addr()
+		if ax != ay {
+			return ax.Compare(ay)
 		}
-		return all[i].p.Bits() < all[j].p.Bits()
+		return cmp.Compare(x.p.Bits(), y.p.Bits())
 	})
 	for _, e := range all {
 		if !fn(e.p, e.v) {

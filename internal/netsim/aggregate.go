@@ -1,0 +1,482 @@
+package netsim
+
+// This file is the aggregate plane: the path-class data structures flows
+// collapse into, the FIB trace that classifies them, the link<->aggregate
+// incidence index, and the incremental weighted max-min solver scoped to
+// the dirty bottleneck-dependency component.
+
+import (
+	"cmp"
+	"math"
+	"net/netip"
+	"slices"
+
+	"fibbing.net/fibbing/internal/fib"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// uncappedRate is the sentinel rate of a greedy flow crossing no
+// capacitated link (clamped "infinite" bandwidth: 1 Tbit/s).
+const uncappedRate = 1e12
+
+// shareSlack is the absolute tolerance for declaring a link a bottleneck
+// during progressive filling.
+const shareSlack = 1e-9
+
+// trace is an aggregate's forwarding identity: the node path, the FIB
+// prefix matched at every hop (the "FIB key class" — two flows with equal
+// matches react identically to any route delta at aggregate granularity),
+// and the link path split into all links (for counters) and capacitated
+// links (for fair sharing). A blocked trace has nil slices.
+type trace struct {
+	blocked  bool
+	nodes    []topo.NodeID
+	matched  []netip.Prefix
+	links    []topo.LinkID
+	capLinks []topo.LinkID
+}
+
+// Aggregate is one path-class of identical flows: same ingress, same rate
+// cap, same path, same per-hop FIB matches. All members are allocated the
+// same per-flow rate by max-min fairness, so the aggregate carries one
+// rate and one weight (the member count) instead of per-flow state.
+type Aggregate struct {
+	id      int64
+	sig     uint64
+	ingress topo.NodeID
+	maxRate float64
+	trace
+
+	weight  int
+	members map[FlowID]*Flow
+
+	rate        float64 // per-member allocated rate, bit/s
+	perFlowBits float64 // integrated per-member delivered volume, bits
+	solveIdx    int     // scratch index of the current solve
+}
+
+// Weight returns the member count.
+func (a *Aggregate) Weight() int { return a.weight }
+
+// Rate returns the per-member allocated rate in bit/s.
+func (a *Aggregate) Rate() float64 { return a.rate }
+
+// uses reports whether the aggregate's path crosses the link.
+func (a *Aggregate) uses(link topo.LinkID) bool {
+	if link == topo.NoLink {
+		return false
+	}
+	return slices.Contains(a.links, link)
+}
+
+// touchedBy reports whether a diff at the given router can have re-pathed
+// this aggregate: the router is on the path and some changed prefix is
+// nested with the prefix the aggregate matched there. Two prefixes that
+// both cover a member's destination are necessarily nested, so this is a
+// superset of a per-flow "does a change cover the destination at least
+// as specifically as its current match" test — conservative
+// invalidation, exact re-trace.
+func (a *Aggregate) touchedBy(node topo.NodeID, d *fib.Diff) bool {
+	for i, v := range a.nodes {
+		if v != node {
+			continue
+		}
+		for _, c := range d.Changes {
+			if c.Prefix.Overlaps(a.matched[i]) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// sameTrace reports whether a freshly computed trace matches the
+// aggregate's identity (ingress and cap are the member's own and need no
+// comparison).
+func (a *Aggregate) sameTrace(tr trace) bool {
+	if a.blocked != tr.blocked || len(a.nodes) != len(tr.nodes) {
+		return false
+	}
+	for i := range a.nodes {
+		if a.nodes[i] != tr.nodes[i] || a.matched[i] != tr.matched[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sig hashes the aggregate class key (FNV-1a over the identity words,
+// finished with an avalanche mixer). Collisions chain in Network.aggs and
+// are resolved by full comparison.
+func (tr *trace) sigOf(ingress topo.NodeID, maxRate float64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	word := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	word(uint64(ingress))
+	word(math.Float64bits(maxRate))
+	if tr.blocked {
+		word(1)
+	}
+	for i, v := range tr.nodes {
+		word(uint64(v))
+		a16 := tr.matched[i].Addr().As16()
+		for o := 0; o < 16; o += 8 {
+			var w uint64
+			for b := 0; b < 8; b++ {
+				w = w<<8 | uint64(a16[o+b])
+			}
+			word(w)
+		}
+		word(uint64(tr.matched[i].Bits()))
+	}
+	// splitmix64 finalizer: avalanche so bucket chains stay short.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+// linkState is one capacitated link's side of the incidence index.
+type linkState struct {
+	capacity float64
+	aggs     map[int64]*Aggregate
+}
+
+func (n *Network) linkFor(lid topo.LinkID) *linkState {
+	ls := n.links[lid]
+	if ls == nil {
+		ls = &linkState{capacity: n.topo.Link(lid).Capacity, aggs: make(map[int64]*Aggregate)}
+		n.links[lid] = ls
+	}
+	return ls
+}
+
+// traceFlow classifies one flow against the current tables: the node
+// path, the matched prefix per hop, and the link path. The walk itself is
+// fib.Plane.WalkTrace — the data plane only adds the link resolution and
+// its own link-failure state. Any failure (no table, no route, loop,
+// failed link) yields the canonical blocked trace. Callers hold n.mu.
+func (n *Network) traceFlow(f *Flow) trace {
+	var tr trace
+	plane := fib.Plane{Tables: n.tables}
+	linkOK := true
+	err := plane.WalkTrace(f.Ingress, f.Key, func(cur topo.NodeID, route fib.Route, nh fib.NextHop) bool {
+		tr.nodes = append(tr.nodes, cur)
+		tr.matched = append(tr.matched, route.Prefix)
+		if route.Local {
+			return true
+		}
+		l, found := n.topo.FindLink(cur, nh.Node)
+		if !found || n.linkDown[l.ID] {
+			linkOK = false
+			return false
+		}
+		tr.links = append(tr.links, l.ID)
+		if l.Capacity > 0 {
+			tr.capLinks = append(tr.capLinks, l.ID)
+		}
+		return true
+	})
+	if err != nil || !linkOK {
+		return trace{blocked: true}
+	}
+	return tr
+}
+
+// rebucket joins a flow to the aggregate matching the trace, creating it
+// if absent. Callers hold n.mu.
+func (n *Network) rebucket(f *Flow, tr trace) {
+	sig := tr.sigOf(f.Ingress, f.MaxRate)
+	for _, a := range n.aggs[sig] {
+		if a.ingress == f.Ingress && a.maxRate == f.MaxRate && a.sameTrace(tr) {
+			n.join(f, a)
+			return
+		}
+	}
+	a := &Aggregate{
+		id:      n.nextAgg,
+		sig:     sig,
+		ingress: f.Ingress,
+		maxRate: f.MaxRate,
+		trace:   tr,
+		members: make(map[FlowID]*Flow),
+	}
+	n.nextAgg++
+	n.aggs[sig] = append(n.aggs[sig], a)
+	n.aggByID[a.id] = a
+	switch {
+	case tr.blocked:
+		a.rate = 0
+	case len(tr.capLinks) == 0:
+		// No capacitated link constrains it: the rate is decided here,
+		// outside the solver.
+		a.rate = a.maxRate
+		if a.rate == 0 {
+			a.rate = uncappedRate
+		}
+	}
+	for _, lid := range tr.capLinks {
+		n.linkFor(lid).aggs[a.id] = a
+	}
+	n.join(f, a)
+}
+
+// join adds a member and dirties the aggregate's capacitated links (its
+// fair share changes with its weight). Callers hold n.mu.
+func (n *Network) join(f *Flow, a *Aggregate) {
+	f.agg = a
+	f.joinRef = a.perFlowBits
+	a.members[f.ID] = f
+	a.weight++
+	n.markDirty(a)
+}
+
+// leave removes a member, folding its delivered volume into the flow, and
+// drops the aggregate when it empties. Callers hold n.mu.
+func (n *Network) leave(f *Flow) {
+	a := f.agg
+	f.carried += a.perFlowBits - f.joinRef
+	f.agg = nil
+	delete(a.members, f.ID)
+	a.weight--
+	n.markDirty(a)
+	if a.weight == 0 {
+		n.dropAgg(a)
+	}
+}
+
+func (n *Network) markDirty(a *Aggregate) {
+	for _, lid := range a.capLinks {
+		n.dirty[lid] = true
+	}
+}
+
+func (n *Network) dropAgg(a *Aggregate) {
+	chain := n.aggs[a.sig]
+	for i, c := range chain {
+		if c == a {
+			n.aggs[a.sig] = slices.Delete(chain, i, i+1)
+			break
+		}
+	}
+	if len(n.aggs[a.sig]) == 0 {
+		delete(n.aggs, a.sig)
+	}
+	delete(n.aggByID, a.id)
+	delete(n.invalid, a.id)
+	for _, lid := range a.capLinks {
+		if ls := n.links[lid]; ls != nil {
+			delete(ls.aggs, a.id)
+			if len(ls.aggs) == 0 {
+				// The link leaves the incidence graph; drop its dirty
+				// mark too — a sole occupant's departure couples to
+				// nothing, and a stale mark would inflate the
+				// >50%-dirty fallback's numerator against a shrunken
+				// denominator.
+				delete(n.links, lid)
+				delete(n.dirty, lid)
+			}
+		}
+	}
+}
+
+// reshare recomputes max-min fair rates. When only a bounded set of links
+// changed membership, the solve is scoped to the bottleneck-dependency
+// component: the connected component of the link<->aggregate incidence
+// graph reachable from the dirty links. Rates couple only through shared
+// links, so aggregates outside the closure keep their allocation exactly.
+// A full solve handles the rest (>50% of active links dirty, SetTable).
+func (n *Network) reshare() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Fallback denominator: links currently carrying aggregates. When
+	// most of the active incidence graph is dirty, the closure would
+	// re-solve nearly everything anyway, and counting that as
+	// "incremental" would defeat the telemetry's point.
+	if n.dirtyAll || 2*len(n.dirty) > len(n.links) {
+		n.dirtyAll = false
+		clear(n.dirty)
+		n.solveAll()
+		n.stats.ReshareFull++
+		return
+	}
+	if len(n.dirty) == 0 {
+		return
+	}
+	// Close the dirty links over the incidence component.
+	linkSeen := make(map[topo.LinkID]bool, len(n.dirty))
+	var queue, compLinks []topo.LinkID
+	for lid := range n.dirty {
+		if n.links[lid] != nil {
+			linkSeen[lid] = true
+			queue = append(queue, lid)
+		}
+	}
+	clear(n.dirty)
+	aggSeen := make(map[int64]bool)
+	var compAggs []*Aggregate
+	for len(queue) > 0 {
+		lid := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		compLinks = append(compLinks, lid)
+		for _, a := range n.links[lid].aggs {
+			if aggSeen[a.id] {
+				continue
+			}
+			aggSeen[a.id] = true
+			compAggs = append(compAggs, a)
+			for _, l2 := range a.capLinks {
+				if !linkSeen[l2] {
+					linkSeen[l2] = true
+					queue = append(queue, l2)
+				}
+			}
+		}
+	}
+	if len(compAggs) == 0 {
+		return // departed aggregates left empty links behind
+	}
+	n.solve(compAggs, compLinks)
+	n.stats.ReshareIncremental++
+}
+
+// solveAll runs the solver over every aggregate: blocked ones get zero,
+// unconstrained ones their cap (or the greedy sentinel), the rest the
+// global progressive filling.
+func (n *Network) solveAll() {
+	var aggs []*Aggregate
+	for _, a := range n.aggByID {
+		switch {
+		case a.blocked:
+			a.rate = 0
+		case len(a.capLinks) == 0:
+			a.rate = a.maxRate
+			if a.rate == 0 {
+				a.rate = uncappedRate
+			}
+		default:
+			aggs = append(aggs, a)
+		}
+	}
+	links := make([]topo.LinkID, 0, len(n.links))
+	for lid := range n.links {
+		links = append(links, lid)
+	}
+	n.solve(aggs, links)
+}
+
+// solve runs weighted max-min progressive filling over the given scope.
+// Every aggregate incident to a scope link must be in aggs (guaranteed by
+// component closure), so allocations outside the scope are untouched. An
+// aggregate of weight w behaves exactly like w identical per-flow shares:
+// the solution equals the per-flow global solve restricted to the scope.
+func (n *Network) solve(aggs []*Aggregate, linkIDs []topo.LinkID) {
+	slices.SortFunc(aggs, func(x, y *Aggregate) int { return cmp.Compare(x.id, y.id) })
+	slices.Sort(linkIDs)
+	for i, a := range aggs {
+		a.solveIdx = i
+	}
+	type solveLink struct {
+		capacity float64
+		members  []*Aggregate
+	}
+	links := make([]solveLink, 0, len(linkIDs))
+	for _, lid := range linkIDs {
+		ls := n.links[lid]
+		if ls == nil || len(ls.aggs) == 0 {
+			continue
+		}
+		members := make([]*Aggregate, 0, len(ls.aggs))
+		for _, a := range ls.aggs {
+			members = append(members, a)
+		}
+		slices.SortFunc(members, func(x, y *Aggregate) int { return cmp.Compare(x.id, y.id) })
+		links = append(links, solveLink{capacity: ls.capacity, members: members})
+	}
+
+	frozen := make([]bool, len(aggs)) // indexed bitset, one allocation per solve
+	nFrozen := 0
+	headroom := func(l solveLink) (remaining float64, unfrozen int) {
+		remaining = l.capacity
+		for _, m := range l.members {
+			if frozen[m.solveIdx] {
+				remaining -= m.rate * float64(m.weight)
+			} else {
+				unfrozen += m.weight
+			}
+		}
+		return remaining, unfrozen
+	}
+	for iter := 0; iter <= len(aggs); iter++ {
+		if nFrozen == len(aggs) {
+			break
+		}
+		// Fair share candidate: the tightest link.
+		share := math.Inf(1)
+		for _, l := range links {
+			remaining, w := headroom(l)
+			if w == 0 {
+				continue
+			}
+			if s := remaining / float64(w); s < share {
+				share = s
+			}
+		}
+		if share < 0 {
+			share = 0
+		}
+		// Application-limited aggregates below the share freeze at their cap.
+		progressed := false
+		for _, a := range aggs {
+			if frozen[a.solveIdx] {
+				continue
+			}
+			if a.maxRate > 0 && a.maxRate <= share {
+				a.rate = a.maxRate
+				frozen[a.solveIdx] = true
+				nFrozen++
+				progressed = true
+			}
+		}
+		if progressed {
+			continue // shares relax; recompute
+		}
+		if math.IsInf(share, 1) {
+			for _, a := range aggs {
+				if frozen[a.solveIdx] {
+					continue
+				}
+				a.rate = a.maxRate
+				if a.rate == 0 {
+					a.rate = uncappedRate
+				}
+				frozen[a.solveIdx] = true
+				nFrozen++
+			}
+			break
+		}
+		// Freeze aggregates on bottleneck links at the fair share.
+		for _, l := range links {
+			remaining, w := headroom(l)
+			if w == 0 {
+				continue
+			}
+			if remaining/float64(w) <= share+shareSlack {
+				for _, m := range l.members {
+					if !frozen[m.solveIdx] {
+						m.rate = share
+						frozen[m.solveIdx] = true
+						nFrozen++
+					}
+				}
+			}
+		}
+	}
+}

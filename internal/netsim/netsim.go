@@ -9,17 +9,28 @@
 // link throughput over time is fully determined by routing and fair
 // sharing, both modelled explicitly here.
 //
-// Re-routing is selective: ApplyDiff consumes a router's fib.Diff and
-// re-traces only flows whose current path crosses that router and whose
-// destination the diff affects (plus blocked flows, which any change may
-// unblock). Fair-share rates are still recomputed globally — rates
-// couple all flows through shared links, paths do not.
+// The traffic plane is aggregate-based: flows with the same ingress, rate
+// cap, traced path and per-hop FIB matches collapse into one Aggregate
+// carrying a member weight, so memory and fair-sharing cost scale with the
+// number of distinct path-classes instead of the number of viewers.
+// AddFlow/RemoveFlow/SetFlowMaxRate are O(1) joins and leaves, and the
+// fluid integration (advance) walks aggregates, not flows.
+//
+// Both planes move by delta. Routing: ApplyDiff consumes a router's
+// fib.Diff and re-traces only the aggregates whose per-hop matched
+// prefixes the diff can have re-pathed (plus blocked aggregates, which any
+// change may unblock). Sharing: a link<->aggregate incidence index tracks
+// which links changed membership; reshare closes the dirty link set over
+// the bottleneck-dependency component (the connected component of the
+// incidence graph) and re-runs weighted max-min progressive filling only
+// there, falling back to a full solve when more than half the active links
+// are dirty — the data-plane sibling of spf.Incremental's dirty region.
 package netsim
 
 import (
+	"cmp"
 	"fmt"
-	"math"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -32,7 +43,9 @@ import (
 // FlowID identifies a flow within one Network.
 type FlowID int64
 
-// Flow is one fluid flow.
+// Flow is one fluid flow: the identity of a demand source plus its
+// membership in the aggregate that currently carries it. Flows do not own
+// rates or paths — those live on the aggregate, shared by every member.
 type Flow struct {
 	ID      FlowID
 	Key     fib.FlowKey
@@ -41,24 +54,54 @@ type Flow struct {
 	// video stream's bitrate); 0 means greedy (TCP bulk transfer).
 	MaxRate float64
 
-	rate      float64 // currently allocated rate, bit/s
-	bits      float64 // delivered volume, bits
-	path      []topo.LinkID
-	pathNodes []topo.NodeID
-	blocked   bool // no route: delivers nothing
+	agg     *Aggregate
+	carried float64 // bits delivered in aggregates already left
+	joinRef float64 // agg.perFlowBits when this flow joined
+	gone    bool    // removed while still awaiting its first trace
 }
 
 // Rate returns the currently allocated rate in bit/s.
-func (f *Flow) Rate() float64 { return f.rate }
+func (f *Flow) Rate() float64 {
+	if f.agg == nil {
+		return 0
+	}
+	return f.agg.rate
+}
 
 // DeliveredBytes returns the volume delivered so far.
-func (f *Flow) DeliveredBytes() float64 { return f.bits / 8 }
+func (f *Flow) DeliveredBytes() float64 { return f.deliveredBits() / 8 }
 
-// Path returns the node path the flow currently takes.
-func (f *Flow) Path() []topo.NodeID { return f.pathNodes }
+func (f *Flow) deliveredBits() float64 {
+	bits := f.carried
+	if f.agg != nil {
+		bits += f.agg.perFlowBits - f.joinRef
+	}
+	return bits
+}
+
+// Path returns the node path the flow currently takes (nil while blocked
+// or not yet routed).
+func (f *Flow) Path() []topo.NodeID {
+	if f.agg == nil || f.agg.blocked {
+		return nil
+	}
+	return f.agg.nodes
+}
 
 // Blocked reports whether the flow currently has no route.
-func (f *Flow) Blocked() bool { return f.blocked }
+func (f *Flow) Blocked() bool { return f.agg != nil && f.agg.blocked }
+
+// Stats is the traffic plane's cost telemetry.
+type Stats struct {
+	// ReshareFull counts global max-min solves (all aggregates);
+	// ReshareIncremental counts component-scoped solves.
+	ReshareFull        uint64
+	ReshareIncremental uint64
+	// Aggregates and Flows are the current population sizes; their ratio
+	// is the compression the aggregate plane achieves.
+	Aggregates int
+	Flows      int
+}
 
 // Network is the fluid data plane. All mutation happens on the event
 // scheduler's goroutine; the mutex guards the read-only snapshots taken by
@@ -75,18 +118,37 @@ type Network struct {
 	flows  map[FlowID]*Flow
 	nextID FlowID
 
+	// Aggregate plane: aggregates indexed by class signature (chained on
+	// the rare hash collision) and by id, plus the link<->aggregate
+	// incidence index over capacitated links.
+	aggs    map[uint64][]*Aggregate
+	aggByID map[int64]*Aggregate
+	nextAgg int64
+	links   map[topo.LinkID]*linkState
+
+	// pending flows await their first trace at the next recompute.
+	pending []*Flow
+
+	// invalid aggregates are re-traced member by member at the next
+	// recompute; invalidAll forces a re-trace of everything (SetTable).
+	invalid    map[int64]*Aggregate
+	invalidAll bool
+
+	// dirty is the set of capacitated links whose aggregate membership
+	// changed since the last reshare; dirtyAll forces a global solve.
+	// The >50%-dirty fallback (the analogue of spf.MaxDirtyFraction)
+	// measures against len(links), the active incidence graph.
+	dirty    map[topo.LinkID]bool
+	dirtyAll bool
+
+	stats Stats
+
 	counters map[topo.LinkID]*metrics.Counter // octets forwarded
 	series   map[topo.LinkID]*metrics.Series  // sampled byte/s
 	lastOct  map[topo.LinkID]uint64
 
 	lastUpdate time.Duration
 	recompute  bool // a reroute+reshare is scheduled for this instant
-
-	// Selective re-pathing state: only invalidated flows are re-traced on
-	// the next recompute (fair sharing is always recomputed globally).
-	// invalidAll forces a re-trace of everything (legacy SetTable path).
-	invalid    map[FlowID]bool
-	invalidAll bool
 
 	linkDown map[topo.LinkID]bool
 
@@ -108,10 +170,14 @@ func New(t *topo.Topology, sched *event.Scheduler, sampleEvery time.Duration) *N
 		sched:       sched,
 		tables:      make(map[topo.NodeID]*fib.Table),
 		flows:       make(map[FlowID]*Flow),
+		aggs:        make(map[uint64][]*Aggregate),
+		aggByID:     make(map[int64]*Aggregate),
+		links:       make(map[topo.LinkID]*linkState),
+		invalid:     make(map[int64]*Aggregate),
+		dirty:       make(map[topo.LinkID]bool),
 		counters:    make(map[topo.LinkID]*metrics.Counter),
 		series:      make(map[topo.LinkID]*metrics.Series),
 		lastOct:     make(map[topo.LinkID]uint64),
-		invalid:     make(map[FlowID]bool),
 		linkDown:    make(map[topo.LinkID]bool),
 		sampleEvery: sampleEvery,
 	}
@@ -128,6 +194,16 @@ func New(t *topo.Topology, sched *event.Scheduler, sampleEvery time.Duration) *N
 // Topology returns the simulated topology.
 func (n *Network) Topology() *topo.Topology { return n.topo }
 
+// Stats returns the traffic plane's cost counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.stats
+	s.Aggregates = len(n.aggByID)
+	s.Flows = len(n.flows)
+	return s
+}
+
 // SetTable installs a router's FIB and schedules a re-route of all flows.
 // Safe to call from OnFIBChange inside scheduler events. ApplyDiff is the
 // cheaper delta-aware alternative.
@@ -140,26 +216,23 @@ func (n *Network) SetTable(node topo.NodeID, t *fib.Table) {
 }
 
 // ApplyDiff installs a router's FIB that changed by the given diff and
-// invalidates only the flows the diff can have re-pathed: flows whose
-// current path crosses the router and whose destination's longest-prefix
-// match is covered by a changed entry, plus every currently blocked flow
-// (any change may have opened a path for it). Fair sharing is still
-// recomputed globally afterwards.
+// invalidates only the aggregates the diff can have re-pathed: those whose
+// path crosses the router and whose matched prefix at that hop overlaps a
+// changed prefix, plus every blocked aggregate (any change may have opened
+// a path). Invalidated aggregates re-trace their members at the next
+// recompute; members whose trace is unchanged stay put without touching
+// the fair-share state.
 func (n *Network) ApplyDiff(node topo.NodeID, t *fib.Table, d *fib.Diff) {
 	n.mu.Lock()
 	n.tables[node] = t
 	changed := false
-	for id, f := range n.flows {
-		if n.invalid[id] {
+	for _, a := range n.aggByID {
+		if _, ok := n.invalid[a.id]; ok {
 			changed = true
 			continue
 		}
-		switch {
-		case f.blocked:
-			n.invalid[id] = true
-			changed = true
-		case flowCrosses(f, node) && d.Affects(t, f.Key.Dst):
-			n.invalid[id] = true
+		if a.blocked || a.touchedBy(node, d) {
+			n.invalid[a.id] = a
 			changed = true
 		}
 	}
@@ -169,53 +242,71 @@ func (n *Network) ApplyDiff(node topo.NodeID, t *fib.Table, d *fib.Diff) {
 	}
 }
 
-// flowCrosses reports whether the flow's current path visits the node.
-func flowCrosses(f *Flow, node topo.NodeID) bool {
-	for _, v := range f.pathNodes {
-		if v == node {
-			return true
-		}
-	}
-	return false
-}
-
-// AddFlow injects a flow now and returns its ID. Only the new flow needs
-// a path; existing flows keep theirs and just re-share capacity.
+// AddFlow injects a flow now and returns its ID: an O(1) join — the flow
+// is traced and bucketed into its aggregate at the next recompute instant.
 func (n *Network) AddFlow(ingress topo.NodeID, key fib.FlowKey, maxRate float64) FlowID {
 	n.advance()
 	n.mu.Lock()
 	id := n.nextID
 	n.nextID++
-	n.flows[id] = &Flow{ID: id, Key: key, Ingress: ingress, MaxRate: maxRate}
-	n.invalid[id] = true
+	f := &Flow{ID: id, Key: key, Ingress: ingress, MaxRate: maxRate}
+	n.flows[id] = f
+	n.pending = append(n.pending, f)
 	n.mu.Unlock()
 	n.scheduleRecompute()
 	return id
 }
 
-// SetFlowMaxRate changes a flow's application-limited rate cap (0 = greedy)
-// and re-runs the fair-share allocation. Adaptive-bitrate players use this
-// when they switch rungs.
+// SetFlowMaxRate changes a flow's application-limited rate cap (0 = greedy):
+// the flow leaves its aggregate and joins the sibling with the new cap
+// (same path), dirtying only the links along it. Adaptive-bitrate players
+// use this when they switch rungs.
 func (n *Network) SetFlowMaxRate(id FlowID, maxRate float64) {
 	n.advance()
 	n.mu.Lock()
 	f, ok := n.flows[id]
-	if ok {
+	changed := ok && f.MaxRate != maxRate
+	if changed {
 		f.MaxRate = maxRate
+		if a := f.agg; a != nil {
+			// The old aggregate's trace may be queued for re-tracing (a
+			// diff or link failure invalidated it, the recompute has not
+			// fired yet). The cap-sibling inherits that trace verbatim,
+			// so it must inherit the invalidation too — leave() drops the
+			// old aggregate (and its queue entry) when f was the last
+			// member.
+			_, wasInvalid := n.invalid[a.id]
+			tr := a.trace
+			n.leave(f)
+			n.rebucket(f, tr)
+			if wasInvalid {
+				n.invalid[f.agg.id] = f.agg
+			}
+		}
 	}
 	n.mu.Unlock()
-	if ok {
+	if changed {
 		n.scheduleRecompute()
 	}
 }
 
-// RemoveFlow terminates a flow.
+// RemoveFlow terminates a flow: an O(1) leave from its aggregate.
 func (n *Network) RemoveFlow(id FlowID) {
 	n.advance()
 	n.mu.Lock()
-	delete(n.flows, id)
+	f := n.flows[id]
+	if f != nil {
+		delete(n.flows, id)
+		if f.agg != nil {
+			n.leave(f)
+		} else {
+			f.gone = true
+		}
+	}
 	n.mu.Unlock()
-	n.scheduleRecompute()
+	if f != nil {
+		n.scheduleRecompute()
+	}
 }
 
 // Flow returns a live flow (nil if finished/unknown). The returned struct
@@ -226,11 +317,33 @@ func (n *Network) Flow(id FlowID) *Flow {
 	return n.flows[id]
 }
 
+// Delivered returns the volume (bytes) a flow has delivered so far; ok is
+// false when the flow has finished. It is the accessor demand sources
+// (video sessions) poll, so they never hold flow structs themselves.
+// Like Octets, it advances the fluid model first so the value is current.
+func (n *Network) Delivered(id FlowID) (bytes float64, ok bool) {
+	n.advance()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	f := n.flows[id]
+	if f == nil {
+		return 0, false
+	}
+	return f.deliveredBits() / 8, true
+}
+
 // FlowCount returns the number of live flows.
 func (n *Network) FlowCount() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.flows)
+}
+
+// AggregateCount returns the number of live aggregates (path-classes).
+func (n *Network) AggregateCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.aggByID)
 }
 
 // Octets returns the octet counter of a directed link (SNMP ifOutOctets of
@@ -268,11 +381,11 @@ func (n *Network) SeriesBetween(a, b string) (*metrics.Series, error) {
 }
 
 // SetLinkState fails or heals both directions of a link in the data
-// plane: flows whose current path crosses a failed link are blocked until
-// routing steers them elsewhere (the control plane learns of the failure
-// separately through its own hello timeouts). Only flows crossing the
-// link — plus, on heal, blocked flows that may now have a path — are
-// re-traced.
+// plane: aggregates whose current path crosses a failed link are blocked
+// until routing steers them elsewhere (the control plane learns of the
+// failure separately through its own hello timeouts). Only aggregates
+// crossing the link — plus, on heal, blocked aggregates that may now have
+// a path — are re-traced.
 func (n *Network) SetLinkState(a, b topo.NodeID, up bool) error {
 	l, ok := n.topo.FindLink(a, b)
 	if !ok {
@@ -284,30 +397,17 @@ func (n *Network) SetLinkState(a, b topo.NodeID, up bool) error {
 	if l.Reverse != topo.NoLink {
 		n.linkDown[l.Reverse] = !up
 	}
-	for id, f := range n.flows {
+	for _, ag := range n.aggByID {
 		switch {
-		case !up && (flowUsesLink(f, l.ID) || flowUsesLink(f, l.Reverse)):
-			n.invalid[id] = true
-		case up && f.blocked:
-			n.invalid[id] = true
+		case !up && (ag.uses(l.ID) || ag.uses(l.Reverse)):
+			n.invalid[ag.id] = ag
+		case up && ag.blocked:
+			n.invalid[ag.id] = ag
 		}
 	}
 	n.mu.Unlock()
 	n.scheduleRecompute()
 	return nil
-}
-
-// flowUsesLink reports whether the flow's current path uses the link.
-func flowUsesLink(f *Flow, link topo.LinkID) bool {
-	if link == topo.NoLink {
-		return false
-	}
-	for _, lid := range f.path {
-		if lid == link {
-			return true
-		}
-	}
-	return false
 }
 
 // scheduleRecompute debounces rerouting/resharing to once per instant.
@@ -325,7 +425,8 @@ func (n *Network) scheduleRecompute() {
 	})
 }
 
-// advance integrates flow volume into counters up to the current time.
+// advance integrates delivered volume into counters up to the current
+// time, one step per aggregate instead of per flow x per link.
 func (n *Network) advance() {
 	now := n.sched.Now()
 	dt := now - n.lastUpdate
@@ -335,175 +436,68 @@ func (n *Network) advance() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	secs := dt.Seconds()
-	for _, f := range n.flows {
-		if f.rate <= 0 {
+	for _, a := range n.aggByID {
+		if a.rate <= 0 {
 			continue
 		}
-		bits := f.rate * secs
-		f.bits += bits
-		octets := uint64(bits / 8)
-		for _, l := range f.path {
-			n.counters[l].Add(octets)
+		bits := a.rate * secs
+		a.perFlowBits += bits
+		octets := uint64(bits / 8 * float64(a.weight))
+		for _, lid := range a.links {
+			n.counters[lid].Add(octets)
 		}
 	}
 	n.lastUpdate = now
 }
 
-// reroute re-traces invalidated flows from the current tables. Flows not
-// invalidated keep their paths: a table change at a router off their path
-// (or one that left their destination's route untouched) cannot move them.
+// reroute re-traces invalidated aggregates member by member from the
+// current tables, and buckets pending flows into their aggregates.
+// Members whose trace is unchanged stay in place without dirtying any
+// link; movers leave and join, dirtying exactly the links of both paths.
 func (n *Network) reroute() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	plane := &fib.Plane{Tables: n.tables}
-	for id, f := range n.flows {
-		if !n.invalidAll && !n.invalid[id] {
+	var work []*Aggregate
+	if n.invalidAll {
+		n.invalidAll = false
+		n.dirtyAll = true
+		for _, a := range n.aggByID {
+			work = append(work, a)
+		}
+		clear(n.invalid)
+	} else {
+		for _, a := range n.invalid {
+			work = append(work, a)
+		}
+		clear(n.invalid)
+	}
+	slices.SortFunc(work, func(x, y *Aggregate) int { return cmp.Compare(x.id, y.id) })
+	for _, a := range work {
+		if a.weight == 0 {
+			continue // emptied while queued
+		}
+		ids := make([]FlowID, 0, len(a.members))
+		for id := range a.members {
+			ids = append(ids, id)
+		}
+		slices.Sort(ids)
+		for _, id := range ids {
+			f := a.members[id]
+			tr := n.traceFlow(f)
+			if a.sameTrace(tr) {
+				continue
+			}
+			n.leave(f)
+			n.rebucket(f, tr)
+		}
+	}
+	for _, f := range n.pending {
+		if f.gone {
 			continue
 		}
-		n.retrace(plane, f)
+		n.rebucket(f, n.traceFlow(f))
 	}
-	n.invalidAll = false
-	clear(n.invalid)
-}
-
-// retrace recomputes one flow's path. Callers hold n.mu.
-func (n *Network) retrace(plane *fib.Plane, f *Flow) {
-	nodes, err := plane.Trace(f.Ingress, f.Key)
-	if err != nil {
-		f.blocked = true
-		f.path = nil
-		f.pathNodes = nodes
-		return
-	}
-	f.blocked = false
-	f.pathNodes = nodes
-	f.path = f.path[:0]
-	for i := 0; i+1 < len(nodes); i++ {
-		l, ok := n.topo.FindLink(nodes[i], nodes[i+1])
-		if !ok || n.linkDown[l.ID] {
-			f.blocked = true
-			f.path = nil
-			break
-		}
-		f.path = append(f.path, l.ID)
-	}
-}
-
-// reshare runs max-min fair allocation (progressive filling) with
-// per-flow caps.
-func (n *Network) reshare() {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-
-	type linkState struct {
-		cap      float64
-		unfrozen []*Flow
-	}
-	links := make(map[topo.LinkID]*linkState)
-	var active []*Flow
-	for _, f := range n.flows {
-		if f.blocked {
-			f.rate = 0
-			continue
-		}
-		active = append(active, f)
-		for _, lid := range f.path {
-			l := n.topo.Link(lid)
-			if l.Capacity <= 0 {
-				continue
-			}
-			st := links[lid]
-			if st == nil {
-				st = &linkState{cap: l.Capacity}
-				links[lid] = st
-			}
-			st.unfrozen = append(st.unfrozen, f)
-		}
-	}
-	sort.Slice(active, func(i, j int) bool { return active[i].ID < active[j].ID })
-
-	frozen := make(map[FlowID]bool)
-	for iter := 0; iter < len(active)+1; iter++ {
-		if len(frozen) == len(active) {
-			break
-		}
-		// Fair share candidate: the tightest link.
-		share := math.Inf(1)
-		for _, st := range links {
-			remaining := st.cap
-			cnt := 0
-			for _, f := range st.unfrozen {
-				if frozen[f.ID] {
-					remaining -= f.rate
-				} else {
-					cnt++
-				}
-			}
-			if cnt == 0 {
-				continue
-			}
-			if s := remaining / float64(cnt); s < share {
-				share = s
-			}
-		}
-		if share < 0 {
-			share = 0
-		}
-		// Application-limited flows below the share freeze at their cap.
-		progressed := false
-		for _, f := range active {
-			if frozen[f.ID] {
-				continue
-			}
-			if f.MaxRate > 0 && f.MaxRate <= share {
-				f.rate = f.MaxRate
-				frozen[f.ID] = true
-				progressed = true
-			}
-		}
-		if progressed {
-			continue // shares relax; recompute
-		}
-		if math.IsInf(share, 1) {
-			// Remaining flows cross no capacitated link: rate = cap or
-			// "infinite" (clamped to a sentinel of 1 Tbit/s).
-			for _, f := range active {
-				if frozen[f.ID] {
-					continue
-				}
-				f.rate = f.MaxRate
-				if f.rate == 0 {
-					f.rate = 1e12
-				}
-				frozen[f.ID] = true
-			}
-			break
-		}
-		// Freeze flows on bottleneck links at the fair share.
-		for lid, st := range links {
-			remaining := st.cap
-			cnt := 0
-			for _, f := range st.unfrozen {
-				if frozen[f.ID] {
-					remaining -= f.rate
-				} else {
-					cnt++
-				}
-			}
-			if cnt == 0 {
-				continue
-			}
-			if remaining/float64(cnt) <= share+1e-9 {
-				for _, f := range st.unfrozen {
-					if !frozen[f.ID] {
-						f.rate = share
-						frozen[f.ID] = true
-					}
-				}
-			}
-			_ = lid
-		}
-	}
+	n.pending = nil
 }
 
 // sample appends a throughput point (byte/s over the last interval) to
@@ -525,14 +519,17 @@ func (n *Network) sample() {
 }
 
 // LinkRates returns the instantaneous offered rate (bit/s) per link,
-// summing allocated flow rates. Useful for assertions.
+// summing allocated aggregate rates. Useful for assertions.
 func (n *Network) LinkRates() map[topo.LinkID]float64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := make(map[topo.LinkID]float64)
-	for _, f := range n.flows {
-		for _, lid := range f.path {
-			out[lid] += f.rate
+	for _, a := range n.aggByID {
+		if a.rate <= 0 {
+			continue
+		}
+		for _, lid := range a.links {
+			out[lid] += a.rate * float64(a.weight)
 		}
 	}
 	return out
@@ -559,8 +556,8 @@ func (n *Network) TotalThroughput() float64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	sum := 0.0
-	for _, f := range n.flows {
-		sum += f.rate
+	for _, a := range n.aggByID {
+		sum += a.rate * float64(a.weight)
 	}
 	return sum
 }

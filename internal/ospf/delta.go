@@ -16,9 +16,10 @@ package ospf
 // growth.
 
 import (
+	"cmp"
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
 
 	"fibbing.net/fibbing/internal/fib"
 	"fibbing.net/fibbing/internal/spf"
@@ -75,16 +76,14 @@ func lsaContentEqual(a, b *LSA) bool {
 		}
 		as := append([]RouterLink(nil), a.RouterLinks...)
 		bs := append([]RouterLink(nil), b.RouterLinks...)
-		less := func(s []RouterLink) func(i, j int) bool {
-			return func(i, j int) bool {
-				if s[i].Neighbor != s[j].Neighbor {
-					return s[i].Neighbor < s[j].Neighbor
-				}
-				return s[i].Metric < s[j].Metric
+		compare := func(a, b RouterLink) int {
+			if c := cmp.Compare(a.Neighbor, b.Neighbor); c != 0 {
+				return c
 			}
+			return cmp.Compare(a.Metric, b.Metric)
 		}
-		sort.Slice(as, less(as))
-		sort.Slice(bs, less(bs))
+		slices.SortFunc(as, compare)
+		slices.SortFunc(bs, compare)
 		for i := range as {
 			if as[i] != bs[i] {
 				return false

@@ -1,10 +1,11 @@
 package ospf
 
 import (
+	"cmp"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 )
@@ -75,7 +76,7 @@ func (db *LSDB) Expired() []Key {
 			out = append(out, k)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return keyLess(out[i], out[j]) })
+	slices.SortFunc(out, keyCompare)
 	return out
 }
 
@@ -94,7 +95,7 @@ func (db *LSDB) All() []*LSA {
 	for _, l := range db.entries {
 		out = append(out, l)
 	}
-	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Header.Key(), out[j].Header.Key()) })
+	slices.SortFunc(out, func(a, b *LSA) int { return keyCompare(a.Header.Key(), b.Header.Key()) })
 	return out
 }
 
@@ -106,18 +107,18 @@ func (db *LSDB) ByType(t LSAType) []*LSA {
 			out = append(out, l)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return keyLess(out[i].Header.Key(), out[j].Header.Key()) })
+	slices.SortFunc(out, func(a, b *LSA) int { return keyCompare(a.Header.Key(), b.Header.Key()) })
 	return out
 }
 
-func keyLess(a, b Key) bool {
-	if a.Type != b.Type {
-		return a.Type < b.Type
+func keyCompare(a, b Key) int {
+	if c := cmp.Compare(a.Type, b.Type); c != 0 {
+		return c
 	}
-	if a.AdvRouter != b.AdvRouter {
-		return a.AdvRouter < b.AdvRouter
+	if c := cmp.Compare(a.AdvRouter, b.AdvRouter); c != 0 {
+		return c
 	}
-	return a.LSID < b.LSID
+	return cmp.Compare(a.LSID, b.LSID)
 }
 
 // Digest returns a hash over (key, seq, age-class) of every entry; two
@@ -129,7 +130,7 @@ func (db *LSDB) Digest() [32]byte {
 	for k := range db.entries {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	slices.SortFunc(keys, keyCompare)
 	h := sha256.New()
 	var buf [14]byte
 	for _, k := range keys {

@@ -67,6 +67,16 @@ func ScaleSpecs() []Spec {
 		{Topo: TopoSpec{Family: "fattree", Size: 8, Seed: 2}, Workload: "surge", Seed: 1},
 		{Topo: TopoSpec{Family: "ring", Size: 64}, Workload: "surge", Seed: 2},
 		{Topo: TopoSpec{Family: "waxman", Size: 200, Seed: 7}, Workload: "surge", Seed: 3},
+		// The viewer-scale cells: the same 1.7x overload sliced into 100k
+		// sessions. They exercise the aggregate traffic plane — cost
+		// scales with path-classes (Report.Aggregates), not viewers.
+		// Capacity stays at 100 Mbit/s: the planner's LP numerics lose
+		// their appetite above ~1 Gbit/s volumes (alarms fire, no plan
+		// commits), a pre-existing ceiling tracked in ROADMAP.md.
+		{Name: "flashcrowd-100k", Topo: TopoSpec{Family: "fattree", Size: 4, Seed: 2, Capacity: 100e6},
+			Workload: "surge", Viewers: 100_000, Seed: 4},
+		{Name: "flashcrowd-100k-abilene", Topo: TopoSpec{Family: "abilene", Capacity: 100e6},
+			Workload: "surge", Viewers: 100_000, Seed: 5},
 	}
 	for i := range specs {
 		specs[i] = specs[i].withDefaults()

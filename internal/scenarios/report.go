@@ -2,7 +2,7 @@ package scenarios
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 
@@ -66,12 +66,20 @@ type Report struct {
 	FirstReactionAt time.Duration         `json:"first_reaction_at"` // first decision; -1 if none
 	ReactionLatency time.Duration         `json:"reaction_latency"`  // FirstReactionAt - FirstHotAt; -1 if n/a
 
-	// Simulation cost telemetry: scheduler events executed and the SPF
-	// strategy split, so scaling runs (fiblab -scale) can show where the
-	// time goes and whether the delta pipeline carried the load.
+	// Simulation cost telemetry: scheduler events executed, the SPF
+	// strategy split, and the reshare strategy split, so scaling runs
+	// (fiblab -scale) can show where the time goes and whether the
+	// control- and data-plane delta pipelines carried the load.
 	Events             uint64 `json:"events,omitempty"`
 	SPFIncrementalRuns uint64 `json:"spf_incremental_runs,omitempty"`
 	SPFFullRuns        uint64 `json:"spf_full_runs,omitempty"`
+	// ReshareIncremental counts component-scoped max-min solves,
+	// ReshareFull global ones; their ratio is the data plane's
+	// incremental hit rate. Aggregates is the final path-class count —
+	// against Sessions it shows the aggregate plane's compression.
+	ReshareIncremental uint64 `json:"reshare_incremental_runs,omitempty"`
+	ReshareFull        uint64 `json:"reshare_full_runs,omitempty"`
+	Aggregates         int    `json:"aggregates,omitempty"`
 
 	ControllerErrors []string `json:"controller_errors,omitempty"`
 	ProtocolErrors   []string `json:"protocol_errors,omitempty"`
@@ -99,7 +107,7 @@ func (r *Report) Summary() string {
 		for name := range r.StrategyWins {
 			names = append(names, name)
 		}
-		sort.Strings(names)
+		slices.Sort(names)
 		parts := make([]string, len(names))
 		for i, name := range names {
 			parts[i] = fmt.Sprintf("%s:%d", name, r.StrategyWins[name])

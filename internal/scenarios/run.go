@@ -21,11 +21,25 @@ type flowTrack struct {
 	session   *video.SimSession
 }
 
+// testHookSimBuilt, when set (property tests only), observes the freshly
+// assembled simulation before any wave is scheduled — e.g. to arm a
+// fair-share equivalence checker on the data plane.
+var testHookSimBuilt func(*controller.Sim)
+
 // Run executes one scenario with or without the Fibbing controller and
 // returns its report. Each call builds a fresh topology and simulation,
 // so concurrent Runs (the matrix test's parallel cells) are independent.
 func Run(spec Spec, withCtrl bool) (*Report, error) {
 	spec = spec.withDefaults()
+	if spec.Viewers < 0 {
+		return nil, fmt.Errorf("%s: negative viewer count %d", spec.Name, spec.Viewers)
+	}
+	if spec.Viewers == 1 {
+		// One session carries the whole 1.7x overload as a single
+		// indivisible flow: no routing can spread it, so every
+		// controller-beats-IGP invariant would fail by construction.
+		return nil, fmt.Errorf("%s: a single viewer cannot be load-balanced; use Viewers >= 2", spec.Name)
+	}
 	tp, prefix, err := spec.Topo.Build()
 	if err != nil {
 		return nil, err
@@ -34,6 +48,7 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}
+	e.viewers = spec.Viewers
 	waves, err := buildWaves(spec.Workload, e, spec.Duration, spec.Seed)
 	if err != nil {
 		return nil, err
@@ -83,6 +98,9 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}
+	if testHookSimBuilt != nil {
+		testHookSimBuilt(sim)
+	}
 
 	// Map started flows back to their wave: wave w contributes exactly
 	// w.Flows OnFlowStarted callbacks at time w.At.
@@ -117,9 +135,8 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 		if wi >= 0 && waves[wi].Hold > 0 {
 			hold := waves[wi].Hold
 			sim.Sched.After(hold, func() {
-				_ = sim.Net.Octets(0) // force the fluid model up to now
-				if f := sim.Net.Flow(id); f != nil {
-					tr.delivered = f.DeliveredBytes()
+				if d, ok := sim.Net.Delivered(id); ok {
+					tr.delivered = d
 				}
 				if tr.session != nil {
 					tr.session.Stop()
@@ -172,8 +189,8 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 			rep.FirstHotAt = now
 		}
 		for id, tr := range tracks {
-			if f := sim.Net.Flow(id); f != nil {
-				tr.delivered = f.DeliveredBytes()
+			if d, ok := sim.Net.Delivered(id); ok {
+				tr.delivered = d
 			}
 		}
 	})
@@ -188,10 +205,9 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	sim.Run(spec.Duration)
 
 	// Final delivery reading for flows still alive.
-	_ = sim.Net.Octets(0)
 	for id, tr := range tracks {
-		if f := sim.Net.Flow(id); f != nil {
-			tr.delivered = f.DeliveredBytes()
+		if d, ok := sim.Net.Delivered(id); ok {
+			tr.delivered = d
 		}
 	}
 
@@ -200,6 +216,10 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	igpStats := sim.Domain.Stats()
 	rep.SPFIncrementalRuns = igpStats.SPFIncrementalRuns
 	rep.SPFFullRuns = igpStats.SPFFullRuns
+	netStats := sim.Net.Stats()
+	rep.ReshareFull = netStats.ReshareFull
+	rep.ReshareIncremental = netStats.ReshareIncremental
+	rep.Aggregates = netStats.Aggregates
 	if len(demandsAtSettle) > 0 {
 		// The dense-simplex LP bound is for reporting only; beyond the
 		// controller's own LP size limit it would dominate the cell's

@@ -152,6 +152,14 @@ type Spec struct {
 	Duration time.Duration `json:"duration,omitempty"`
 	// Seed perturbs workload randomness (Poisson arrivals).
 	Seed int64 `json:"seed,omitempty"`
+	// Viewers scales the crowd to an explicit session count: the total
+	// demand stays ~1.7x the primary path's bottleneck capacity, sliced
+	// into equal-rate sessions (0 keeps the default ~42-session sizing).
+	// The surge workload honours the count exactly; flash/ramp/dual
+	// derive their per-wave counts from capacity fractions and land near
+	// it. The flashcrowd-100k scale cell uses it to push a hundred
+	// thousand viewers through the aggregate traffic plane.
+	Viewers int `json:"viewers,omitempty"`
 	// Strategies names the controller's reaction-strategy set (stock
 	// names, e.g. "localecmp,ksp"; the withdraw strategy is implied).
 	// Empty keeps controller.DefaultStrategies.

@@ -1,9 +1,10 @@
 package scenarios
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"time"
 
 	"fibbing.net/fibbing/internal/flashcrowd"
@@ -30,6 +31,10 @@ type env struct {
 	// shortest path towards the attachment: the capacity the IGP alone
 	// would funnel the whole crowd through.
 	pathCap float64
+	// viewers, when positive, slices the crowd's demand into that many
+	// equal-rate sessions (exact for surge, approximate for the
+	// fraction-derived workloads; see Spec.Viewers).
+	viewers int
 	// hop1A/hop1B name the first link of that shortest path (the failure
 	// schedules' victim).
 	hop1A, hop1B string
@@ -72,11 +77,11 @@ func buildEnv(tp *topo.Topology, prefix string) (*env, error) {
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("scenarios: no viable ingress router (all stubs)")
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].dist != cands[j].dist {
-			return cands[i].dist > cands[j].dist
+	slices.SortFunc(cands, func(a, b cand) int {
+		if c := cmp.Compare(b.dist, a.dist); c != 0 {
+			return c
 		}
-		return cands[i].name < cands[j].name
+		return cmp.Compare(a.name, b.name)
 	})
 	e := &env{tp: tp, prefix: prefix, attach: attach, primary: cands[0].name}
 	if len(cands) > 1 {
@@ -110,8 +115,19 @@ func buildEnv(tp *topo.Topology, prefix string) (*env, error) {
 	return e, nil
 }
 
-// videoRate sizes the per-session bitrate so ~25 sessions fill one path.
-func (e *env) videoRate() float64 { return e.pathCap / 25 }
+// overloadFactor is every workload's steady demand relative to the
+// primary path's bottleneck capacity: plain IGP must saturate.
+const overloadFactor = 1.7
+
+// videoRate sizes the per-session bitrate so ~25 sessions fill one path;
+// with an explicit viewer count the same total demand is sliced into that
+// many sessions instead.
+func (e *env) videoRate() float64 {
+	if e.viewers > 0 {
+		return overloadFactor * e.pathCap / float64(e.viewers)
+	}
+	return e.pathCap / 25
+}
 
 // flowsFor converts a fraction of the path capacity into a session count.
 func (e *env) flowsFor(fraction float64) int {
@@ -132,12 +148,19 @@ func buildWaves(kind string, e *env, duration time.Duration, seed int64) ([]flas
 	switch kind {
 	case "surge":
 		// The demo's shape: a scout flow, then two surges from the same
-		// ingress (1 / +N at 5 s / +M at 12 s).
-		return []flashcrowd.Wave{
+		// ingress (1 / +N at 5 s / +M at 12 s). An explicit viewer count
+		// splits exactly that many sessions over the two surges.
+		first, second := e.flowsFor(0.85), e.flowsFor(0.80)
+		if e.viewers > 0 {
+			first = e.viewers / 2
+			second = e.viewers - 1 - first
+		}
+		waves := []flashcrowd.Wave{
 			{At: 1 * time.Second, Ingress: e.primary, Flows: 1, Rate: rate},
-			{At: 5 * time.Second, Ingress: e.primary, Flows: e.flowsFor(0.85), Rate: rate},
-			{At: 12 * time.Second, Ingress: e.primary, Flows: e.flowsFor(0.80), Rate: rate},
-		}, nil
+			{At: 5 * time.Second, Ingress: e.primary, Flows: first, Rate: rate},
+			{At: 12 * time.Second, Ingress: e.primary, Flows: second, Rate: rate},
+		}
+		return nonEmptyWaves(waves), nil
 	case "flash":
 		// A persistent base plus a Poisson arrival burst with long mean
 		// holds: demand ramps continuously instead of stepping.
@@ -177,6 +200,18 @@ func buildWaves(kind string, e *env, duration time.Duration, seed int64) ([]flas
 	default:
 		return nil, fmt.Errorf("scenarios: unknown workload %q", kind)
 	}
+}
+
+// nonEmptyWaves drops zero-flow waves (tiny explicit viewer counts can
+// empty a surge step, and the Runner rejects empty waves).
+func nonEmptyWaves(waves []flashcrowd.Wave) []flashcrowd.Wave {
+	out := waves[:0]
+	for _, w := range waves {
+		if w.Flows > 0 {
+			out = append(out, w)
+		}
+	}
+	return out
 }
 
 // buildFailures produces the failure schedule of a kind, aimed at the

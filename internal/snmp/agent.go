@@ -3,6 +3,7 @@ package snmp
 import (
 	"fmt"
 	"net"
+	"slices"
 	"sort"
 	"sync"
 
@@ -30,7 +31,7 @@ func (m *MIB) Register(oid OID, fn func() Value) {
 	key := oid.String()
 	if _, exists := m.get[key]; !exists {
 		m.oids = append(m.oids, oid.Append()) // copy
-		sort.Slice(m.oids, func(i, j int) bool { return m.oids[i].Cmp(m.oids[j]) < 0 })
+		slices.SortFunc(m.oids, OID.Cmp)
 	}
 	m.get[key] = fn
 }

@@ -11,7 +11,7 @@ package snmp
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -427,5 +427,5 @@ func decodeValue(tag byte, content []byte) (Value, error) {
 
 // SortOIDs sorts a slice of OIDs in MIB order (helper for MIB walks).
 func SortOIDs(oids []OID) {
-	sort.Slice(oids, func(i, j int) bool { return oids[i].Cmp(oids[j]) < 0 })
+	slices.SortFunc(oids, OID.Cmp)
 }

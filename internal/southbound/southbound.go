@@ -7,10 +7,11 @@
 package southbound
 
 import (
+	"cmp"
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"fibbing.net/fibbing/internal/fibbing"
 	"fibbing.net/fibbing/internal/ospf"
@@ -162,7 +163,7 @@ func (m *LieManager) InstalledPrefixes() []string {
 	for prefix := range m.installed {
 		out = append(out, prefix)
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }
 
@@ -270,7 +271,7 @@ func (m *LieManager) Apply(prefix string, desired []fibbing.Lie) (Delta, error) 
 			missing = append(missing, l)
 		}
 	}
-	sort.Slice(missing, func(i, j int) bool { return lieLess(missing[i], missing[j]) })
+	slices.SortFunc(missing, lieCompare)
 	for _, l := range missing {
 		lsid := m.nextLSID + 1
 		e := lieEntry{lsid: lsid, seq: 1, lie: l}
@@ -387,7 +388,7 @@ func (m *LieManager) WithdrawAll() error {
 	for prefix := range m.installed {
 		prefixes = append(prefixes, prefix)
 	}
-	sort.Strings(prefixes)
+	slices.Sort(prefixes)
 	for _, prefix := range prefixes {
 		if _, err := m.Apply(prefix, nil); err != nil {
 			return err
@@ -396,12 +397,12 @@ func (m *LieManager) WithdrawAll() error {
 	return nil
 }
 
-func lieLess(a, b fibbing.Lie) bool {
-	if a.Attach != b.Attach {
-		return a.Attach < b.Attach
+func lieCompare(a, b fibbing.Lie) int {
+	if c := cmp.Compare(a.Attach, b.Attach); c != 0 {
+		return c
 	}
-	if a.Via != b.Via {
-		return a.Via < b.Via
+	if c := cmp.Compare(a.Via, b.Via); c != 0 {
+		return c
 	}
-	return a.Cost < b.Cost
+	return cmp.Compare(a.Cost, b.Cost)
 }

@@ -1,7 +1,8 @@
 package spf
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"fibbing.net/fibbing/internal/topo"
 )
@@ -102,11 +103,17 @@ func KShortestSpurLimit(g *Graph, src, dst topo.NodeID, k, spurLimit int, skip f
 		if len(candidates) == 0 {
 			break
 		}
-		sort.Slice(candidates, func(a, b int) bool {
-			if candidates[a].cost != candidates[b].cost {
-				return candidates[a].cost < candidates[b].cost
+		slices.SortFunc(candidates, func(a, b kcand) int {
+			if c := cmp.Compare(a.cost, b.cost); c != 0 {
+				return c
 			}
-			return lessPath(candidates[a].path, candidates[b].path)
+			if lessPath(a.path, b.path) {
+				return -1
+			}
+			if lessPath(b.path, a.path) {
+				return 1
+			}
+			return 0
 		})
 		result = append(result, candidates[0].path)
 		candidates = candidates[1:]

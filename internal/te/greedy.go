@@ -1,8 +1,9 @@
 package te
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"fibbing.net/fibbing/internal/spf"
 	"fibbing.net/fibbing/internal/topo"
@@ -36,16 +37,16 @@ func SolveGreedy(t *topo.Topology, demands []topo.Demand, chunks int) (*GreedyRe
 		d      topo.Demand
 		volume float64
 	}
-	var slices []slice
+	var parts []slice
 	order := make([]int, len(demands))
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return demands[order[a]].Volume > demands[order[b]].Volume })
+	slices.SortFunc(order, func(a, b int) int { return cmp.Compare(demands[b].Volume, demands[a].Volume) })
 	for _, i := range order {
 		d := demands[i]
 		for c := 0; c < chunks; c++ {
-			slices = append(slices, slice{d: d, volume: d.Volume / float64(chunks)})
+			parts = append(parts, slice{d: d, volume: d.Volume / float64(chunks)})
 		}
 	}
 
@@ -53,7 +54,7 @@ func SolveGreedy(t *topo.Topology, demands []topo.Demand, chunks int) (*GreedyRe
 	flows := make(map[string]map[topo.LinkID]float64)
 
 	res := &GreedyResult{Splits: make(map[string]map[topo.NodeID]map[topo.NodeID]float64)}
-	for _, s := range slices {
+	for _, s := range parts {
 		p, ok := t.PrefixByName(s.d.PrefixName)
 		if !ok {
 			return nil, fmt.Errorf("te: unknown prefix %q", s.d.PrefixName)

@@ -1,8 +1,9 @@
 package te
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"fibbing.net/fibbing/internal/fibbing"
 	"fibbing.net/fibbing/internal/topo"
@@ -27,7 +28,7 @@ func LinkLoads(t *topo.Topology, viewsByPrefix map[string]map[topo.NodeID]fibbin
 	for name := range perPrefix {
 		names = append(names, name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, name := range names {
 		views, ok := viewsByPrefix[name]
 		if !ok {
@@ -64,7 +65,7 @@ func propagate(t *topo.Topology, views map[topo.NodeID]fibbing.RouteView, ingres
 			queue = append(queue, u)
 		}
 	}
-	sort.Slice(queue, func(i, j int) bool { return queue[i] < queue[j] })
+	slices.Sort(queue)
 	processed := 0
 	for len(queue) > 0 {
 		u := queue[0]
@@ -147,7 +148,7 @@ func FormatLoads(t *topo.Topology, loads map[topo.LinkID]float64) []string {
 		l := t.Link(id)
 		rows = append(rows, row{fmt.Sprintf("%s->%s", t.Name(l.From), t.Name(l.To)), v})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	slices.SortFunc(rows, func(a, b row) int { return cmp.Compare(a.name, b.name) })
 	out := make([]string, len(rows))
 	for i, r := range rows {
 		out[i] = fmt.Sprintf("%s: %g", r.name, r.v)

@@ -3,7 +3,7 @@ package te
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"fibbing.net/fibbing/internal/topo"
 )
@@ -62,7 +62,7 @@ func SolveMinMax(t *topo.Topology, demands []topo.Demand) (*MinMaxResult, error)
 		}
 		c.ingress[d.Ingress] += d.Volume
 	}
-	sort.Strings(order)
+	slices.Sort(order)
 
 	// Router-router links only, with finite capacity required.
 	var links []topo.Link

@@ -1,8 +1,9 @@
 package te
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"fibbing.net/fibbing/internal/spf"
 	"fibbing.net/fibbing/internal/topo"
@@ -52,7 +53,7 @@ func PlaceTunnels(t *topo.Topology, demands []topo.Demand) (*RSVPTEResult, error
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return demands[order[a]].Volume > demands[order[b]].Volume })
+	slices.SortFunc(order, func(a, b int) int { return cmp.Compare(demands[b].Volume, demands[a].Volume) })
 
 	for _, di := range order {
 		d := demands[di]

@@ -14,7 +14,7 @@ package topo
 import (
 	"fmt"
 	"net/netip"
-	"sort"
+	"slices"
 	"strings"
 	"time"
 )
@@ -409,7 +409,7 @@ func (t *Topology) String() string {
 	for _, n := range t.nodes {
 		names = append(names, n.Name)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	for _, name := range names {
 		n := t.nodes[t.byName[name]]
 		if n.Host {

@@ -2,7 +2,7 @@ package video
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"fibbing.net/fibbing/internal/event"
@@ -38,7 +38,7 @@ func (c ABRConfig) withDefaults() ABRConfig {
 	if len(c.Ladder) == 0 {
 		c.Ladder = DefaultLadder
 	}
-	sort.Float64s(c.Ladder)
+	slices.Sort(c.Ladder)
 	if c.SegmentDuration <= 0 {
 		c.SegmentDuration = 2 * time.Second
 	}
@@ -94,7 +94,12 @@ type ABRSimSession struct {
 // observe rates above the current rung, without which no player could
 // ever justify an up-switch).
 func NewABRSimSession(sched *event.Scheduler, net *netsim.Network, flow netsim.FlowID, cfg ABRConfig) *ABRSimSession {
-	cfg = cfg.withDefaults()
+	s := newABRSimSession(sched, net, flow, cfg.withDefaults())
+	s.ticker = sched.NewTicker(100*time.Millisecond, func() { s.tick(sched.Now()) })
+	return s
+}
+
+func newABRSimSession(sched *event.Scheduler, net *netsim.Network, flow netsim.FlowID, cfg ABRConfig) *ABRSimSession {
 	s := &ABRSimSession{
 		Player:      NewPlayer(cfg.Ladder[0]), // Bitrate field unused for media accounting
 		cfg:         cfg,
@@ -107,15 +112,14 @@ func NewABRSimSession(sched *event.Scheduler, net *netsim.Network, flow netsim.F
 	s.Player.StartupBuffer = cfg.StartupBuffer
 	s.estimate = metrics.EWMA{Alpha: 0.4}
 	s.beginSegment(sched.Now())
-	s.ticker = sched.NewTicker(100*time.Millisecond, func() { s.tick(sched.Now()) })
 	return s
 }
 
 func (s *ABRSimSession) beginSegment(now time.Duration) {
 	rate := s.cfg.Ladder[s.rung]
 	s.segTarget = rate * s.cfg.SegmentDuration.Seconds() / 8
-	if f := s.net.Flow(s.flow); f != nil {
-		s.segStartBytes = f.DeliveredBytes()
+	if d, ok := s.net.Delivered(s.flow); ok {
+		s.segStartBytes = d
 	}
 	s.segStartTime = now
 	s.net.SetFlowMaxRate(s.flow, rate*4)
@@ -125,9 +129,9 @@ func (s *ABRSimSession) tick(now time.Duration) {
 	if s.done {
 		return
 	}
-	f := s.net.Flow(s.flow)
-	if f != nil {
-		for f != nil && f.DeliveredBytes()-s.segStartBytes >= s.segTarget {
+	delivered, live := s.net.Delivered(s.flow)
+	if live {
+		for delivered-s.segStartBytes >= s.segTarget {
 			// Segment complete: credit media, estimate throughput,
 			// choose the next rung.
 			s.Player.OnDownloadedMedia(s.cfg.SegmentDuration.Seconds())
@@ -150,6 +154,32 @@ func (s *ABRSimSession) tick(now time.Duration) {
 	}
 	s.Player.Advance(now - s.lastAt)
 	s.lastAt = now
+}
+
+// ABRSessionPool drives adaptive sessions from one shared ticker, the
+// ABR counterpart of SessionPool.
+type ABRSessionPool struct {
+	sched    *event.Scheduler
+	net      *netsim.Network
+	cfg      ABRConfig
+	sessions []*ABRSimSession
+}
+
+// NewABRSessionPool starts a pool ticking every 100 ms (the per-session
+// cadence adaptive players use).
+func NewABRSessionPool(sched *event.Scheduler, net *netsim.Network, cfg ABRConfig) *ABRSessionPool {
+	p := &ABRSessionPool{sched: sched, net: net, cfg: cfg.withDefaults()}
+	sched.NewTicker(100*time.Millisecond, func() {
+		p.sessions = tickSessions(p.sessions, sched.Now())
+	})
+	return p
+}
+
+// Attach joins a new adaptive session for the flow to the pool.
+func (p *ABRSessionPool) Attach(flow netsim.FlowID) *ABRSimSession {
+	s := newABRSimSession(p.sched, p.net, flow, p.cfg)
+	p.sessions = append(p.sessions, s)
+	return s
 }
 
 // beginSegmentContinue starts the next segment without resetting the
@@ -177,8 +207,12 @@ func (s *ABRSimSession) Rung() int { return s.rung }
 // Stop halts the session.
 func (s *ABRSimSession) Stop() {
 	s.done = true
-	s.ticker.Stop()
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
 }
+
+func (s *ABRSimSession) finished() bool { return s.done }
 
 // QoE returns playback and quality metrics.
 func (s *ABRSimSession) QoE() ABRQoE {

@@ -11,6 +11,10 @@ import (
 // credits the bytes the flow delivered and advances playback in virtual
 // time. This is how the Figure 2 scenario measures smooth vs. stuttering
 // playback deterministically.
+//
+// A session is a demand source: it joins the traffic plane by flow ID and
+// polls delivered volume through netsim.Delivered — it never holds flow
+// or aggregate state itself.
 type SimSession struct {
 	Player *Player
 
@@ -18,33 +22,37 @@ type SimSession struct {
 	flow     netsim.FlowID
 	lastSeen float64
 	lastAt   time.Duration
-	ticker   *event.Ticker
+	ticker   *event.Ticker // nil when driven by a SessionPool
 	done     bool
 }
 
 // NewSimSession attaches a player to a flow and starts sampling every
-// interval (default 250 ms for smooth buffer dynamics).
+// interval (default 250 ms for smooth buffer dynamics). Prefer a
+// SessionPool when attaching many sessions: one shared ticker instead of
+// one scheduler event stream per viewer.
 func NewSimSession(sched *event.Scheduler, net *netsim.Network, flow netsim.FlowID, bitrate float64, interval time.Duration) *SimSession {
 	if interval <= 0 {
 		interval = 250 * time.Millisecond
 	}
-	s := &SimSession{
+	s := newSimSession(sched, net, flow, bitrate)
+	s.ticker = sched.NewTicker(interval, func() { s.tick(sched.Now()) })
+	return s
+}
+
+func newSimSession(sched *event.Scheduler, net *netsim.Network, flow netsim.FlowID, bitrate float64) *SimSession {
+	return &SimSession{
 		Player: NewPlayer(bitrate),
 		net:    net,
 		flow:   flow,
 		lastAt: sched.Now(),
 	}
-	s.ticker = sched.NewTicker(interval, func() { s.tick(sched.Now()) })
-	return s
 }
 
 func (s *SimSession) tick(now time.Duration) {
 	if s.done {
 		return
 	}
-	f := s.net.Flow(s.flow)
-	if f != nil {
-		delivered := f.DeliveredBytes()
+	if delivered, ok := s.net.Delivered(s.flow); ok {
 		if d := delivered - s.lastSeen; d > 0 {
 			s.Player.OnDownloadedBytes(d)
 		}
@@ -57,8 +65,64 @@ func (s *SimSession) tick(now time.Duration) {
 // Stop halts sampling (e.g. when the flow ends).
 func (s *SimSession) Stop() {
 	s.done = true
-	s.ticker.Stop()
+	if s.ticker != nil {
+		s.ticker.Stop()
+	}
 }
+
+func (s *SimSession) finished() bool { return s.done }
 
 // QoE returns the session's playback metrics so far.
 func (s *SimSession) QoE() QoE { return s.Player.QoE() }
+
+// SessionPool drives any number of SimSessions from one shared ticker:
+// the per-viewer cost of a tick is a delivered-bytes poll plus a player
+// advance, with no per-session scheduler events. This is what keeps
+// 100k-viewer flash crowds inside the event budget.
+type SessionPool struct {
+	sched    *event.Scheduler
+	net      *netsim.Network
+	sessions []*SimSession
+}
+
+// NewSessionPool starts a pool ticking every interval (default 250 ms).
+func NewSessionPool(sched *event.Scheduler, net *netsim.Network, interval time.Duration) *SessionPool {
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	p := &SessionPool{sched: sched, net: net}
+	sched.NewTicker(interval, func() {
+		p.sessions = tickSessions(p.sessions, sched.Now())
+	})
+	return p
+}
+
+// tickSessions advances every live session and compacts stopped ones out
+// in place, so a departed crowd stops costing anything (the QoE lives on
+// in whoever kept the session from Attach). Shared by SessionPool and
+// ABRSessionPool — the ticker itself stays armed because Attach may add
+// sessions later, and an empty pool's tick is a no-op.
+func tickSessions[S interface {
+	tick(now time.Duration)
+	finished() bool
+}](sessions []S, now time.Duration) []S {
+	live := sessions[:0]
+	for _, s := range sessions {
+		if s.finished() {
+			continue
+		}
+		s.tick(now)
+		live = append(live, s)
+	}
+	return live
+}
+
+// Attach joins a new session for the flow to the pool and returns it.
+func (p *SessionPool) Attach(flow netsim.FlowID, bitrate float64) *SimSession {
+	s := newSimSession(p.sched, p.net, flow, bitrate)
+	p.sessions = append(p.sessions, s)
+	return s
+}
+
+// Len returns the number of sessions still ticking.
+func (p *SessionPool) Len() int { return len(p.sessions) }
