@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz matrix quickstart bench bench-gate scale
+.PHONY: all build test race vet fuzz matrix quickstart bench bench-gate scale docs-check
 
 all: vet build test
 
@@ -42,14 +42,44 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_baseline.json < bench.out.tmp; s=$$?; rm -f bench.out.tmp; exit $$s
 	@echo wrote BENCH_baseline.json
 
-# Regression gate on the delta hot paths: fails when ns/op of the
-# incremental-SPF benchmark or the aggregate traffic plane's 100k-viewer
-# join benchmark regresses >2x against the committed baseline. -count 5 +
-# best-of in benchjson filters scheduler noise.
+# Regression gate on the delta hot paths and the Gbit-scale planner:
+# fails when ns/op of the incremental-SPF benchmark, the aggregate
+# traffic plane's 100k-viewer join benchmark, or the planner fan-out at
+# 1 Gbit/s regresses >2x against the committed baseline (the planner
+# benchmark also asserts a plan commits, so the numerics ceiling cannot
+# silently return). -count 5 + best-of in benchjson filters scheduler
+# noise.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalVsFull|BenchmarkReshareIncremental' -benchtime 1x -count 5 . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
-	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'IncrementalVsFull.*/incremental$$|ReshareIncremental/viewers=100000/join$$' -max-ratio 2 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
+	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalVsFull|BenchmarkReshareIncremental|BenchmarkPlannerGbit' -benchtime 1x -count 5 . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'IncrementalVsFull.*/incremental$$|ReshareIncremental/viewers=100000/join$$|PlannerGbit/1G$$' -max-ratio 2 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
 
-# The large-topology scaling cells with wall-clock/event telemetry.
+# The large-topology scaling cells with wall-clock/event telemetry
+# (Gbit-capacity defaults; override with -capacity via `go run`).
 scale:
 	$(GO) run ./cmd/fiblab -scale
+
+# Documentation gate: vet plus a grep-based link-and-anchor check over
+# README.md and docs/ARCHITECTURE.md — every relative markdown link must
+# point at an existing file and every #fragment at a real heading. Pure
+# sh/grep/sed, no tool downloads, like the rest of the build.
+docs-check: vet
+	@set -e; \
+	for doc in README.md docs/ARCHITECTURE.md; do \
+	  test -f "$$doc" || { echo "docs-check: $$doc missing" >&2; exit 1; }; \
+	  dir=$$(dirname "$$doc"); \
+	  for target in $$(grep -oE '\]\([^)]+\)' "$$doc" | sed -e 's/^](//' -e 's/)$$//' | grep -Ev '^(http|mailto:)' ); do \
+	    file=$${target%%\#*}; anchor=$${target#*\#}; \
+	    if [ -n "$$file" ]; then \
+	      test -e "$$dir/$$file" || { echo "docs-check: $$doc links missing file $$target" >&2; exit 1; }; \
+	    fi; \
+	    if [ "$$anchor" != "$$target" ] && [ -n "$$anchor" ]; then \
+	      src="$$dir/$$file"; [ -n "$$file" ] || src="$$doc"; \
+	      grep -hE '^#{1,6} ' "$$src" | sed -e 's/^#\{1,6\} //' | tr '[:upper:]' '[:lower:]' \
+	        | sed -e 's/[^a-z0-9 -]//g' -e 's/ /-/g' | grep -qx "$$anchor" \
+	        || { echo "docs-check: $$doc links missing anchor $$target" >&2; exit 1; }; \
+	    fi; \
+	  done; \
+	done
+	@grep -q 'docs/ARCHITECTURE.md' doc.go || { echo "docs-check: doc.go does not reference docs/ARCHITECTURE.md" >&2; exit 1; }
+	@grep -q 'docs/ARCHITECTURE.md' README.md || { echo "docs-check: README.md does not link docs/ARCHITECTURE.md" >&2; exit 1; }
+	@echo docs-check OK

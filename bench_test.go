@@ -464,6 +464,48 @@ func BenchmarkPlanner(b *testing.B) {
 	}
 }
 
+// BenchmarkPlannerGbit times the strategy fan-out at production traffic
+// magnitudes — Abilene at 1 Gbit/s and 10 Gbit/s uniform capacity with
+// proportional demands. Before the planner numerics went scale-invariant
+// this configuration was the ROADMAP ceiling (alarms fired, no plan was
+// admissible), so each iteration also asserts that a plan commits: the
+// benchmark doubles as a perf gate and a regression tripwire.
+func BenchmarkPlannerGbit(b *testing.B) {
+	for _, capacity := range []float64{1e9, 10e9} {
+		capacity := capacity
+		b.Run(topo.FormatBits(capacity), func(b *testing.B) {
+			tp := topo.Abilene(capacity, time.Millisecond)
+			demands := []topo.Demand{
+				{Ingress: tp.MustNode("Seattle"), PrefixName: "cdn-east", Volume: 0.9 * capacity},
+				{Ingress: tp.MustNode("LosAngeles"), PrefixName: "cdn-east", Volume: 0.6 * capacity},
+				{Ingress: tp.MustNode("Chicago"), PrefixName: "cdn-west", Volume: 0.7 * capacity},
+			}
+			loads, err := te.IGPLoads(tp, demands)
+			if err != nil {
+				b.Fatal(err)
+			}
+			alarm, ok := controller.HottestLinkAlarm(tp, loads)
+			if !ok {
+				b.Fatal("no capacitated link")
+			}
+			ctx := controller.AnalyticPlanContext(tp, demands, nil,
+				controller.AlarmEvent(alarm), controller.Config{})
+			planner := controller.NewPlanner()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, errs := planner.Plan(ctx)
+				if len(errs) > 0 {
+					b.Fatal(errs)
+				}
+				if plan == nil {
+					b.Fatal("no plan commits at Gbit scale (numerics regression)")
+				}
+			}
+		})
+	}
+}
+
 // --- Scenario-matrix benchmarks -----------------------------------------
 
 // BenchmarkScenarioCell runs one representative matrix cell end to end,

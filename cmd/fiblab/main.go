@@ -13,6 +13,9 @@
 //	                                # restrict the reaction-strategy set
 //	fiblab -run ring/surge -viewers 100000
 //	                                # same demand sliced into 100k sessions
+//	fiblab -run abilene/surge -capacity 10G
+//	                                # the same relative problem at 10 Gbit/s
+//	fiblab -scale                   # scaling cells (Gbit-capacity defaults)
 //
 // The exit status is non-zero when any executed cell violates its
 // invariants, so fiblab doubles as a CI gate.
@@ -28,6 +31,7 @@ import (
 
 	"fibbing.net/fibbing/internal/controller"
 	"fibbing.net/fibbing/internal/scenarios"
+	"fibbing.net/fibbing/internal/topo"
 )
 
 func main() {
@@ -41,6 +45,7 @@ func main() {
 		strats   = flag.String("strategies", "", "comma-separated reaction strategies (e.g. localecmp,ksp,lpoptimal); empty keeps the stock set")
 
 		topoF    = flag.String("topo", "", "ad-hoc run: topology family (fig1, abilene, fattree, ring, grid, waxman, random)")
+		capacity = flag.String("capacity", "", "uniform link capacity, e.g. 1G or 10G (ad-hoc runs and overriding matrix/scale cells; empty keeps the cell's own)")
 		size     = flag.Int("size", 0, "ad-hoc run: topology size knob")
 		seed     = flag.Int64("seed", 0, "ad-hoc run: seed")
 		workload = flag.String("workload", "surge", "ad-hoc run: workload (surge, flash, ramp, dual)")
@@ -48,6 +53,18 @@ func main() {
 		viewers  = flag.Int("viewers", 0, "scale the crowd to about this many sessions (exact for surge; same total demand, finer slices; 0 keeps the default sizing)")
 	)
 	flag.Parse()
+
+	// Parse the capacity override once (topo.ParseBits understands the
+	// 1G/10G/100M suffix forms FormatBits emits).
+	capOverride := 0.0
+	if *capacity != "" {
+		v, err := topo.ParseBits(*capacity)
+		if err != nil || v <= 0 {
+			fmt.Fprintf(os.Stderr, "fiblab: bad -capacity %q (want e.g. 100M, 1G, 10G)\n", *capacity)
+			os.Exit(2)
+		}
+		capOverride = v
+	}
 
 	// Resolve the strategy set once, up front: a bad name is a usage
 	// error, and the canonical names feed Spec.Strategies.
@@ -69,7 +86,7 @@ func main() {
 	}
 
 	if *scale {
-		runScale(*duration, *jsonOut, strategyNames, *viewers)
+		runScale(*duration, *jsonOut, strategyNames, *viewers, capOverride)
 		return
 	}
 
@@ -84,7 +101,7 @@ func main() {
 		specs = append(specs, s)
 	case *topoF != "":
 		specs = append(specs, scenarios.Spec{
-			Topo:     scenarios.TopoSpec{Family: *topoF, Size: *size, Seed: *seed},
+			Topo:     scenarios.TopoSpec{Family: *topoF, Size: *size, Seed: *seed, Capacity: capOverride},
 			Workload: *workload,
 			Failure:  *failure,
 			Seed:     *seed,
@@ -108,6 +125,9 @@ func main() {
 		}
 		if *viewers > 0 {
 			spec.Viewers = *viewers
+		}
+		if capOverride > 0 {
+			spec.Topo.Capacity = capOverride
 		}
 		cmp, err := scenarios.Compare(spec)
 		if err != nil {
@@ -149,7 +169,7 @@ type scaleResult struct {
 // runScale executes the large-topology cells (controller on, no
 // counterfactual side: these measure cost, not invariants) and prints
 // per-cell wall-clock and scheduler events executed.
-func runScale(duration time.Duration, jsonOut bool, strategyNames []string, viewers int) {
+func runScale(duration time.Duration, jsonOut bool, strategyNames []string, viewers int, capOverride float64) {
 	var results []scaleResult
 	for _, spec := range scenarios.ScaleSpecs() {
 		if duration > 0 {
@@ -160,6 +180,9 @@ func runScale(duration time.Duration, jsonOut bool, strategyNames []string, view
 		}
 		if viewers > 0 {
 			spec.Viewers = viewers
+		}
+		if capOverride > 0 {
+			spec.Topo.Capacity = capOverride
 		}
 		start := time.Now()
 		rep, err := scenarios.Run(spec, true)

@@ -18,8 +18,17 @@
 // policies register via controller.New(..., WithStrategies(...)). See
 // README.md ("The reaction-strategy API").
 //
+// All traffic magnitudes are bit/s and the planning pipeline is
+// scale-invariant: the LP is normalised by te.ProblemScale and every
+// solver tolerance is relative, so Mbit/s and 100 Gbit/s versions of
+// the same relative problem produce identical plans (README.md, "Units
+// & numerics").
+//
 // The implementation lives under internal/; see README.md for the
-// package map and how to run the examples, experiments and benchmarks.
+// package map and how to run the examples, experiments and benchmarks,
+// and docs/ARCHITECTURE.md for how the paper's concepts (fibbing lies,
+// augmented topology, min-max LP, the reaction loop) map onto the
+// packages and how data flows between them.
 // The root-level benchmarks (bench_test.go) regenerate every figure of
 // the paper and time the scenario-matrix stress harness:
 //

@@ -18,6 +18,7 @@ package controller
 
 import (
 	"fmt"
+	"math"
 	"slices"
 	"strings"
 	"time"
@@ -123,6 +124,12 @@ type Controller struct {
 	// demand model: prefix -> ingress -> aggregate bit/s, maintained
 	// from demand events.
 	demand map[string]map[topo.NodeID]float64
+	// demandPeak mirrors demand with the largest aggregate each entry
+	// has reached: the scale reference for deciding an entry has
+	// drained to zero. After 100k joins and 100k leaves the residual is
+	// accumulated float roundoff proportional to the peak (~Gbit/s for
+	// production crowds), not to any single event's delta.
+	demandPeak map[string]map[topo.NodeID]float64
 
 	// raised tracks links with active congestion alarms.
 	raised map[topo.LinkID]bool
@@ -163,14 +170,15 @@ func WithStrategies(strategies ...Strategy) Option {
 // no options it runs the stock strategies under the default policy.
 func New(t *topo.Topology, lies *southbound.LieManager, now func() time.Duration, opts ...Option) *Controller {
 	c := &Controller{
-		topo:    t,
-		lies:    lies,
-		cfg:     Config{}.resolve(),
-		now:     now,
-		planner: NewPlanner(),
-		demand:  make(map[string]map[topo.NodeID]float64),
-		raised:  make(map[topo.LinkID]bool),
-		futile:  make(map[string]bool),
+		topo:       t,
+		lies:       lies,
+		cfg:        Config{}.resolve(),
+		now:        now,
+		planner:    NewPlanner(),
+		demand:     make(map[string]map[topo.NodeID]float64),
+		demandPeak: make(map[string]map[topo.NodeID]float64),
+		raised:     make(map[topo.LinkID]bool),
+		futile:     make(map[string]bool),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -220,8 +228,22 @@ func (c *Controller) applyDemand(ev Event) {
 		c.demand[ev.Prefix] = m
 	}
 	m[ev.Ingress] += ev.DeltaRate
-	if m[ev.Ingress] <= 1e-9 {
+	pk := c.demandPeak[ev.Prefix]
+	if pk == nil {
+		pk = make(map[topo.NodeID]float64)
+		c.demandPeak[ev.Prefix] = pk
+	}
+	if m[ev.Ingress] > pk[ev.Ingress] {
+		pk[ev.Ingress] = m[ev.Ingress]
+	}
+	// Scale-relative zero test against the entry's peak: a full drain
+	// leaves add/subtract roundoff proportional to the peak aggregate,
+	// far above an absolute cutoff (or the final leave's own delta) once
+	// crowds reach Gbit/s. A surviving phantom entry would keep the
+	// planner chasing a prefix with no real traffic.
+	if m[ev.Ingress] <= 1e-9*math.Max(1, pk[ev.Ingress]) {
 		delete(m, ev.Ingress)
+		delete(pk, ev.Ingress)
 	}
 	clear(c.futile) // changed demands may make a rejected plan viable
 }

@@ -14,6 +14,22 @@ import (
 
 const utilEpsilon = 1e-9
 
+// utilEps is the comparison tolerance for a set of utilisation values:
+// utilEpsilon scaled by the largest finite magnitude involved (at least
+// 1). Utilisations are dimensionless, but on a badly overloaded network
+// they legitimately reach orders of magnitude above 1, where an absolute
+// 1e-9 would misread evaluator roundoff as a real difference; scoring and
+// admissibility must not flip on noise whatever the traffic scale.
+func utilEps(vals ...float64) float64 {
+	scale := 1.0
+	for _, v := range vals {
+		if v = math.Abs(v); v > scale && !math.IsInf(v, 0) {
+			scale = v
+		}
+	}
+	return utilEpsilon * scale
+}
+
 // Planner runs a registered strategy set against a PlanContext: all
 // strategies propose concurrently (Propose is pure), the resulting plans
 // are scored, and the best plan wins. Scoring order: target-utilisation
@@ -104,27 +120,29 @@ func (p *Planner) Select(ctx PlanContext, plans []*Plan) *Plan {
 
 // admissible gates congestion-reaction plans: strictly improve on the
 // no-op plan, or reach the target without worsening it. Either way a
-// committed plan never increases the predicted max utilisation.
+// committed plan never increases the predicted max utilisation. All
+// comparisons use the relative utilEps, so the verdict is identical for
+// rescaled versions of the same problem.
 func admissible(ctx PlanContext, plan *Plan) bool {
-	if plan.PredictedUtil < ctx.BaseUtil-utilEpsilon {
+	if plan.PredictedUtil < ctx.BaseUtil-utilEps(plan.PredictedUtil, ctx.BaseUtil) {
 		return true
 	}
-	return plan.PredictedUtil <= ctx.Target+utilEpsilon &&
-		plan.PredictedUtil <= ctx.BaseUtil+utilEpsilon
+	return plan.PredictedUtil <= ctx.Target+utilEps(plan.PredictedUtil, ctx.Target) &&
+		plan.PredictedUtil <= ctx.BaseUtil+utilEps(plan.PredictedUtil, ctx.BaseUtil)
 }
 
 // better reports whether a beats b under the scoring order. Strict: on a
 // full tie the earlier-registered plan (b) is kept.
 func better(ctx PlanContext, a, b *Plan) bool {
-	satA := a.PredictedUtil <= ctx.Target+utilEpsilon
-	satB := b.PredictedUtil <= ctx.Target+utilEpsilon
+	satA := a.PredictedUtil <= ctx.Target+utilEps(a.PredictedUtil, ctx.Target)
+	satB := b.PredictedUtil <= ctx.Target+utilEps(b.PredictedUtil, ctx.Target)
 	if satA != satB {
 		return satA
 	}
 	if a.LieCost != b.LieCost {
 		return a.LieCost < b.LieCost
 	}
-	if math.Abs(a.PredictedUtil-b.PredictedUtil) > utilEpsilon {
+	if math.Abs(a.PredictedUtil-b.PredictedUtil) > utilEps(a.PredictedUtil, b.PredictedUtil) {
 		return a.PredictedUtil < b.PredictedUtil
 	}
 	return false

@@ -1,0 +1,129 @@
+package controller
+
+// Regression and property tests for planner scale invariance: the
+// pipeline (LP -> splits -> quantisation -> admissibility) used to stall
+// above ~1 Gbit/s demand volumes — alarms fired but no strategy's plan
+// was admissible, because the simplex terminated at a wrong vertex on
+// large-magnitude coefficients (the old ROADMAP ceiling).
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/te"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// abileneAtScale builds the ROADMAP repro: Abilene with uniform link
+// capacity and proportional demands overloading the northern route.
+func abileneAtScale(capacity float64) (*topo.Topology, []topo.Demand) {
+	tp := topo.Abilene(capacity, time.Millisecond)
+	demands := []topo.Demand{
+		{Ingress: tp.MustNode("Seattle"), PrefixName: "cdn-east", Volume: 0.9 * capacity},
+		{Ingress: tp.MustNode("LosAngeles"), PrefixName: "cdn-east", Volume: 0.6 * capacity},
+		{Ingress: tp.MustNode("Chicago"), PrefixName: "cdn-west", Volume: 0.7 * capacity},
+	}
+	return tp, demands
+}
+
+// planAtScale runs the full planner fan-out against the hottest-link
+// alarm and returns the winning plan (nil when nothing commits).
+func planAtScale(t *testing.T, capacity float64) *Plan {
+	t.Helper()
+	tp, demands := abileneAtScale(capacity)
+	loads, err := te.IGPLoads(tp, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarm, ok := HottestLinkAlarm(tp, loads)
+	if !ok {
+		t.Fatal("no capacitated link")
+	}
+	ctx := AnalyticPlanContext(tp, demands, nil, AlarmEvent(alarm), Config{})
+	plan, errs := NewPlanner().Plan(ctx)
+	for _, err := range errs {
+		t.Errorf("capacity %s: %v", topo.FormatBits(capacity), err)
+	}
+	return plan
+}
+
+// TestPlannerGbitAbileneRegression reproduces the exact failure the
+// ROADMAP tracked: on Abilene with Capacity >= 1e9 and proportional
+// demands, alarms fired but no strategy's plan committed. At least one
+// plan must now commit, and it must actually relieve the congestion.
+func TestPlannerGbitAbileneRegression(t *testing.T) {
+	for _, capacity := range []float64{1e9, 10e9} {
+		plan := planAtScale(t, capacity)
+		if plan == nil {
+			t.Fatalf("capacity %s: no plan commits (the old ceiling is back)", topo.FormatBits(capacity))
+		}
+		if plan.PredictedUtil > 0.9 {
+			t.Fatalf("capacity %s: winner %s leaves util %v, want < base 0.9",
+				topo.FormatBits(capacity), plan.Strategy, plan.PredictedUtil)
+		}
+	}
+}
+
+// TestDemandDrainAtScale: 100k small joins accumulating to ~1 Gbit/s,
+// then 100k matching leaves, must leave the demand model empty — the
+// residual is accumulated float roundoff proportional to the peak
+// magnitude, and a cutoff keyed only to the per-event delta would keep
+// a phantom ingress alive for the planner to chase.
+func TestDemandDrainAtScale(t *testing.T) {
+	tp, _ := abileneAtScale(10e9)
+	ctrl := New(tp, nil, func() time.Duration { return 0 })
+	// Heterogeneous rates, leaves in a different order than joins: the
+	// add/subtract sequence does not telescope, so the residual is real
+	// roundoff at the accumulated ~1 Gbit/s magnitude (seed 9 is pinned
+	// to one where that residual exceeds 1e-9x the final leave's rate —
+	// the exact case a delta-keyed cutoff misses).
+	r := rand.New(rand.NewSource(9))
+	const sessions = 100_000
+	rates := make([]float64, sessions)
+	for i := range rates {
+		rates[i] = 1e9 / sessions * (0.5 + r.Float64())
+	}
+	ingress := tp.MustNode("Seattle")
+	for _, rate := range rates {
+		ctrl.ClientJoined("cdn-east", ingress, rate)
+	}
+	r.Shuffle(sessions, func(i, j int) { rates[i], rates[j] = rates[j], rates[i] })
+	for _, rate := range rates {
+		ctrl.ClientLeft("cdn-east", ingress, rate)
+	}
+	if ds := ctrl.Demands(); len(ds) != 0 {
+		t.Fatalf("demand model not empty after full drain: %+v", ds)
+	}
+}
+
+// TestPlannerScaleSweep is the scale-invariance property: the same
+// relative problem, with volumes swept from 1e6 to 1e11, must always
+// commit a plan, select the same strategy, and predict the same
+// (dimensionless) utilisation.
+func TestPlannerScaleSweep(t *testing.T) {
+	ref := planAtScale(t, 10e6)
+	if ref == nil {
+		t.Fatal("reference scale 10e6: no plan commits")
+	}
+	for _, capacity := range []float64{1e6, 1e8, 1e9, 1e10, 1e11} {
+		capacity := capacity
+		t.Run(fmt.Sprintf("capacity=%s", topo.FormatBits(capacity)), func(t *testing.T) {
+			plan := planAtScale(t, capacity)
+			if plan == nil {
+				t.Fatalf("no plan commits at %s", topo.FormatBits(capacity))
+			}
+			if plan.Strategy != ref.Strategy {
+				t.Errorf("strategy %q, want %q (scale changed the decision)", plan.Strategy, ref.Strategy)
+			}
+			if d := math.Abs(plan.PredictedUtil - ref.PredictedUtil); d > 1e-6 {
+				t.Errorf("predicted util %v, want %v (Δ %g)", plan.PredictedUtil, ref.PredictedUtil, d)
+			}
+			if plan.TotalLies() != ref.TotalLies() {
+				t.Errorf("plan installs %d lies, reference installs %d", plan.TotalLies(), ref.TotalLies())
+			}
+		})
+	}
+}

@@ -9,14 +9,27 @@ import (
 	"fibbing.net/fibbing/internal/topo"
 )
 
+// NegligibleSplit is the relative share below which a split ratio is
+// treated as zero by ApproxWeights: a next hop asked to carry less than
+// this fraction of a router's traffic is numerical noise (an LP solved
+// at Gbit magnitudes legitimately reports such residues), not a path
+// worth a fake node. The cutoff is relative to the fraction vector's own
+// sum, so it is invariant under uniform rescaling of the inputs — and
+// far below anything a realisable ECMP weight vector could honour
+// anyway: the smallest nonzero share a denominator-q vector can express
+// is 1/q, orders of magnitude above this.
+const NegligibleSplit = 1e-6
+
 // ApproxWeights converts fractional split ratios into small integer ECMP
 // weights, the quantity Fibbing can realise by duplicating fake next hops.
 //
 // It searches all denominators q in [1, maxDenom] and returns the weight
 // vector (summing to the chosen q) minimising the maximum absolute error
 // |w_i/q - f_i|, preferring smaller q on ties (fewer fake nodes). Every
-// strictly positive fraction is guaranteed a weight of at least 1, so no
-// requested path is silently dropped.
+// fraction above NegligibleSplit (relative to the vector's sum) is
+// guaranteed a weight of at least 1, so no requested path is silently
+// dropped; fractions at or below it are quantisation noise and get
+// weight 0.
 func ApproxWeights(fractions []float64, maxDenom int) ([]int, error) {
 	if maxDenom < 1 {
 		return nil, fmt.Errorf("fibbing: maxDenom %d < 1", maxDenom)
@@ -25,25 +38,30 @@ func ApproxWeights(fractions []float64, maxDenom int) ([]int, error) {
 		return nil, fmt.Errorf("fibbing: empty fraction vector")
 	}
 	sum := 0.0
-	positive := 0
 	for _, f := range fractions {
 		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
 			return nil, fmt.Errorf("fibbing: bad fraction %v", f)
-		}
-		if f > 0 {
-			positive++
 		}
 		sum += f
 	}
 	if sum <= 0 {
 		return nil, fmt.Errorf("fibbing: fractions sum to zero")
 	}
-	if positive > maxDenom {
-		return nil, fmt.Errorf("fibbing: %d positive fractions need denominator > %d", positive, maxDenom)
-	}
 	norm := make([]float64, len(fractions))
+	positive := 0
 	for i, f := range fractions {
 		norm[i] = f / sum
+		if norm[i] <= NegligibleSplit {
+			norm[i] = 0 // solver noise, not a requested path
+		} else {
+			positive++
+		}
+	}
+	if positive == 0 {
+		return nil, fmt.Errorf("fibbing: fractions sum to zero")
+	}
+	if positive > maxDenom {
+		return nil, fmt.Errorf("fibbing: %d positive fractions need denominator > %d", positive, maxDenom)
 	}
 
 	bestErr := math.Inf(1)

@@ -1,0 +1,60 @@
+package fibbing
+
+import (
+	"math"
+	"testing"
+)
+
+// TestApproxWeightsDropsSolverNoise: an LP solved at Gbit magnitudes
+// reports residual flows as split fractions of ~1e-12 relative size.
+// Those must quantise to weight 0, not be pinned up to a real ECMP path.
+func TestApproxWeightsDropsSolverNoise(t *testing.T) {
+	w, err := ApproxWeights([]float64{0.6, 0.4, 1e-12}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[2] != 0 {
+		t.Fatalf("noise fraction got weight %d, want 0 (weights %v)", w[2], w)
+	}
+	if w[0] != 3 || w[1] != 2 {
+		t.Fatalf("weights %v, want [3 2 0]", w)
+	}
+	// At absolute Gbit magnitudes (ApproxWeights normalises internally).
+	w, err = ApproxWeights([]float64{0.6e9, 0.4e9, 1e-3}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 3 || w[1] != 2 || w[2] != 0 {
+		t.Fatalf("Gbit-scale weights %v, want [3 2 0]", w)
+	}
+}
+
+// TestApproxWeightsNoiseOnlyVectorErrors: when every fraction is noise
+// relative to the sum... it cannot happen (shares are relative), but a
+// vector whose sum is carried by fractions all above the cutoff must be
+// unaffected by uniform scaling, tiny or huge.
+func TestApproxWeightsScaleInvariant(t *testing.T) {
+	for _, scale := range []float64{1e-9, 1, 1e11} {
+		w, err := ApproxWeights([]float64{2 * scale, 1 * scale}, 4)
+		if err != nil {
+			t.Fatalf("scale %g: %v", scale, err)
+		}
+		if w[0] != 2 || w[1] != 1 {
+			t.Fatalf("scale %g: weights %v, want [2 1]", scale, w)
+		}
+	}
+}
+
+// TestNegligibleSplitBelowWeightResolution documents the invariant that
+// makes the cutoff safe: no realisable weight vector could honour a
+// dropped fraction anyway.
+func TestNegligibleSplitBelowWeightResolution(t *testing.T) {
+	const maxReasonableDenom = 1024
+	if NegligibleSplit >= 1.0/maxReasonableDenom {
+		t.Fatalf("NegligibleSplit %g not far below the smallest expressible share %g",
+			NegligibleSplit, 1.0/maxReasonableDenom)
+	}
+	if math.IsNaN(NegligibleSplit) || NegligibleSplit <= 0 {
+		t.Fatal("NegligibleSplit must be a small positive constant")
+	}
+}

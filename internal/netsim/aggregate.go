@@ -19,9 +19,20 @@ import (
 // capacitated link (clamped "infinite" bandwidth: 1 Tbit/s).
 const uncappedRate = 1e12
 
-// shareSlack is the absolute tolerance for declaring a link a bottleneck
-// during progressive filling.
+// shareSlack is the relative tolerance for declaring a link a bottleneck
+// during progressive filling; shareEps turns it into the slack for a
+// given fair share. Relative, because shares range from bit/s to
+// 100 Gbit/s and the float noise that the slack absorbs is proportional
+// to the share's magnitude. The solver and the VerifyMaxMin oracle must
+// use the same slack, or they would freeze links in different rounds.
 const shareSlack = 1e-9
+
+func shareEps(share float64) float64 {
+	if share > 1 {
+		return shareSlack * share
+	}
+	return shareSlack
+}
 
 // trace is an aggregate's forwarding identity: the node path, the FIB
 // prefix matched at every hop (the "FIB key class" — two flows with equal
@@ -468,7 +479,7 @@ func (n *Network) solve(aggs []*Aggregate, linkIDs []topo.LinkID) {
 			if w == 0 {
 				continue
 			}
-			if remaining/float64(w) <= share+shareSlack {
+			if remaining/float64(w) <= share+shareEps(share) {
 				for _, m := range l.members {
 					if !frozen[m.solveIdx] {
 						m.rate = share

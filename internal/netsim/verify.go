@@ -136,7 +136,7 @@ func (n *Network) VerifyMaxMin(rel float64) error {
 			if cnt == 0 {
 				continue
 			}
-			if remaining/float64(cnt) <= share+shareSlack {
+			if remaining/float64(cnt) <= share+shareEps(share) {
 				for _, rf := range rl.members {
 					if !frozen[rf] {
 						rf.rate = share

@@ -68,15 +68,26 @@ func ScaleSpecs() []Spec {
 		{Topo: TopoSpec{Family: "ring", Size: 64}, Workload: "surge", Seed: 2},
 		{Topo: TopoSpec{Family: "waxman", Size: 200, Seed: 7}, Workload: "surge", Seed: 3},
 		// The viewer-scale cells: the same 1.7x overload sliced into 100k
-		// sessions. They exercise the aggregate traffic plane — cost
-		// scales with path-classes (Report.Aggregates), not viewers.
-		// Capacity stays at 100 Mbit/s: the planner's LP numerics lose
-		// their appetite above ~1 Gbit/s volumes (alarms fire, no plan
-		// commits), a pre-existing ceiling tracked in ROADMAP.md.
-		{Name: "flashcrowd-100k", Topo: TopoSpec{Family: "fattree", Size: 4, Seed: 2, Capacity: 100e6},
+		// sessions, at production link speeds. They exercise the aggregate
+		// traffic plane — cost scales with path-classes
+		// (Report.Aggregates), not viewers — and, since the planner
+		// numerics went scale-invariant, run at 1 Gbit/s capacity (they
+		// were pinned to 100 Mbit/s while the LP stalled above ~1 Gbit/s;
+		// that ceiling is gone, see README "Units & numerics").
+		{Name: "flashcrowd-100k", Topo: TopoSpec{Family: "fattree", Size: 4, Seed: 2, Capacity: 1e9},
 			Workload: "surge", Viewers: 100_000, Seed: 4},
-		{Name: "flashcrowd-100k-abilene", Topo: TopoSpec{Family: "abilene", Capacity: 100e6},
+		{Name: "flashcrowd-100k-abilene", Topo: TopoSpec{Family: "abilene", Capacity: 1e9},
 			Workload: "surge", Viewers: 100_000, Seed: 5},
+		// The capacity-scale cells: the matrix's default 10 Mbit/s cells
+		// re-run at Gbit and 10 Gbit uniform capacity. Same relative
+		// problem, a thousand times the volume — the planner must make
+		// the same decisions (TestPlannerScaleSweep pins the property;
+		// these cells prove it end to end through monitoring, planning
+		// and the fluid data plane).
+		{Name: "abilene-gbit", Topo: TopoSpec{Family: "abilene", Capacity: 1e9},
+			Workload: "surge", Seed: 6},
+		{Name: "fattree-10gbit", Topo: TopoSpec{Family: "fattree", Size: 4, Seed: 2, Capacity: 10e9},
+			Workload: "surge", Seed: 7},
 	}
 	for i := range specs {
 		specs[i] = specs[i].withDefaults()

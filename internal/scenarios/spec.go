@@ -30,7 +30,10 @@ type TopoSpec struct {
 	// grid side, node count for waxman/random. Ignored by fig1/abilene.
 	Size int `json:"size,omitempty"`
 	// Capacity is the uniform core-link capacity in bit/s; 0 picks the
-	// family default.
+	// family default (10 Mbit/s). Any magnitude works — workloads size
+	// themselves relative to path capacity and the planner numerics are
+	// scale-invariant, so Gbit and 10 Gbit cells (see ScaleSpecs) run
+	// the same relative problem as the Mbit matrix.
 	Capacity float64 `json:"capacity,omitempty"`
 	// Seed drives every random choice of the generator.
 	Seed int64 `json:"seed,omitempty"`
@@ -39,6 +42,9 @@ type TopoSpec struct {
 // Build constructs the topology and returns it with the name of the
 // destination prefix the flash crowd targets.
 func (ts TopoSpec) Build() (*topo.Topology, string, error) {
+	if ts.Capacity < 0 {
+		return nil, "", fmt.Errorf("scenarios: negative capacity %v", ts.Capacity)
+	}
 	capacity := ts.Capacity
 	if capacity == 0 {
 		capacity = 10e6
@@ -157,8 +163,9 @@ type Spec struct {
 	// into equal-rate sessions (0 keeps the default ~42-session sizing).
 	// The surge workload honours the count exactly; flash/ramp/dual
 	// derive their per-wave counts from capacity fractions and land near
-	// it. The flashcrowd-100k scale cell uses it to push a hundred
-	// thousand viewers through the aggregate traffic plane.
+	// it. The flashcrowd-100k scale cells use it to push a hundred
+	// thousand viewers through the aggregate traffic plane at 1 Gbit/s
+	// link capacity.
 	Viewers int `json:"viewers,omitempty"`
 	// Strategies names the controller's reaction-strategy set (stock
 	// names, e.g. "localecmp,ksp"; the withdraw strategy is implied).

@@ -28,8 +28,10 @@ type DemandCandidate struct {
 
 // EstimateDemands estimates the volume of each candidate demand from
 // observed directed-link loads (bit/s), given the per-prefix route views
-// the traffic follows. Iterations and tolerance have sensible defaults at
-// 0 (200 iterations, 1e-6 relative tolerance).
+// the traffic follows. iterations <= 0 defaults to 200; the iteration
+// stops early once the largest multiplicative update falls below 1e-9
+// (a relative criterion, so convergence is identical at any traffic
+// scale).
 func EstimateDemands(t *topo.Topology,
 	viewsByPrefix map[string]map[topo.NodeID]fibbing.RouteView,
 	candidates []DemandCandidate,
@@ -59,15 +61,27 @@ func EstimateDemands(t *topo.Topology,
 		frac[i] = loads
 	}
 
-	// Initial guess: spread total observed volume evenly.
-	total := 0.0
+	// Initial guess: spread total observed volume evenly. The guess (and
+	// every tolerance below) is derived from the observation's own
+	// magnitude, so estimation behaves identically at Kbit/s and 100
+	// Gbit/s. With nothing observed the answer is zero demands and the
+	// iteration is skipped outright.
+	total, maxObs := 0.0, 0.0
 	for _, v := range observed {
 		total += v
+		if v > maxObs {
+			maxObs = v
+		}
 	}
 	x := make([]float64, len(candidates))
-	for i := range x {
-		x[i] = math.Max(total/float64(len(candidates)), 1)
+	if maxObs > 0 {
+		for i := range x {
+			x[i] = total / float64(len(candidates))
+		}
+	} else {
+		iterations = 0
 	}
+	predEps := 1e-12 * maxObs
 
 	predicted := func() map[topo.LinkID]float64 {
 		out := make(map[topo.LinkID]float64)
@@ -85,7 +99,7 @@ func EstimateDemands(t *topo.Topology,
 		for i, f := range frac {
 			num, den := 0.0, 0.0
 			for l, p := range f {
-				if pred[l] <= 1e-12 {
+				if pred[l] <= predEps {
 					continue
 				}
 				num += p * observed[l] / pred[l]

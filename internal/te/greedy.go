@@ -89,8 +89,15 @@ func SolveGreedy(t *topo.Topology, demands []topo.Demand, chunks int) (*GreedyRe
 		}
 	}
 	for name, flow := range flows {
-		removeCycles(t, links, flow)
-		res.Splits[name] = extractSplits(t, links, flow)
+		maxFlow := 0.0
+		for _, v := range flow {
+			if v > maxFlow {
+				maxFlow = v
+			}
+		}
+		eps := SolverRelTol * maxFlow // scale-relative noise floor
+		removeCycles(t, links, flow, eps)
+		res.Splits[name] = extractSplits(t, links, flow, eps)
 	}
 	res.MaxUtilisation = MaxUtilOfLoads(t, loads)
 	return res, nil

@@ -134,15 +134,23 @@ func LoadsWithLies(t *topo.Topology, liesByPrefix map[string][]fibbing.Lie, dema
 }
 
 // FormatLoads renders loads as "A->B: v" lines sorted by link name,
-// for experiment output.
+// for experiment output. Loads below SolverRelTol of the largest load
+// are propagation noise and omitted, whatever the absolute scale.
 func FormatLoads(t *topo.Topology, loads map[topo.LinkID]float64) []string {
+	maxLoad := 0.0
+	for _, v := range loads {
+		if v > maxLoad {
+			maxLoad = v
+		}
+	}
+	eps := SolverRelTol * maxLoad
 	type row struct {
 		name string
 		v    float64
 	}
 	var rows []row
 	for id, v := range loads {
-		if v <= 1e-9 {
+		if v <= eps {
 			continue
 		}
 		l := t.Link(id)

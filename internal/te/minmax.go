@@ -27,6 +27,14 @@ type MinMaxResult struct {
 // same destination aggregate). Demands to prefixes with multiple
 // attachments may be absorbed at any attachment.
 //
+// The LP is solved in normalised units: every capacity and demand volume
+// is divided by ProblemScale(t, demands) before the tableau is built and
+// the flows are multiplied back afterwards, so the solve — and therefore
+// the splits Fibbing realises — is invariant under uniform rescaling of
+// the traffic (Mbit/s and 100 Gbit/s versions of the same relative
+// problem produce the same routing). θ* is dimensionless and needs no
+// rescaling.
+//
 // Host nodes never transit: their links are excluded from the flow graph
 // except as demand entry points is not needed because demands enter at
 // routers directly.
@@ -76,6 +84,8 @@ func SolveMinMax(t *topo.Topology, demands []topo.Demand) (*MinMaxResult, error)
 		return nil, fmt.Errorf("te: no router links")
 	}
 
+	scale := ProblemScale(t, demands)
+
 	bld := NewLPBuilder()
 	theta := bld.AddVar(1) // minimise θ
 
@@ -112,7 +122,7 @@ func SolveMinMax(t *topo.Topology, demands []topo.Demand) (*MinMaxResult, error)
 				}
 				continue
 			}
-			bld.AddEq(terms, c.ingress[n.ID])
+			bld.AddEq(terms, c.ingress[n.ID]/scale)
 		}
 	}
 
@@ -121,7 +131,7 @@ func SolveMinMax(t *topo.Topology, demands []topo.Demand) (*MinMaxResult, error)
 		if l.Capacity <= 0 {
 			continue // uncapacitated
 		}
-		terms := map[int]float64{theta: -l.Capacity}
+		terms := map[int]float64{theta: -l.Capacity / scale}
 		for _, name := range order {
 			terms[x[name][i]] += 1
 		}
@@ -139,29 +149,45 @@ func SolveMinMax(t *topo.Topology, demands []topo.Demand) (*MinMaxResult, error)
 		Splits:         make(map[string]map[topo.NodeID]map[topo.NodeID]float64, len(order)),
 	}
 	for _, name := range order {
+		// Per-link flow below SolverRelTol of the commodity's own volume
+		// is solver noise, whatever the absolute traffic scale; keeping it
+		// would fabricate spurious split ratios for the quantiser to
+		// honour with real ECMP weights.
+		volume := 0.0
+		for _, v := range byName[name].ingress {
+			volume += v / scale
+		}
+		eps := SolverRelTol * volume
+		if eps == 0 {
+			eps = SolverRelTol // zero-volume commodity: any flow is noise
+		}
 		flow := make(map[topo.LinkID]float64, len(links))
 		for i, l := range links {
-			if v := sol[x[name][i]]; v > 1e-9 {
+			if v := sol[x[name][i]]; v > eps {
 				flow[l.ID] = v
 			}
 		}
-		removeCycles(t, links, flow)
+		removeCycles(t, links, flow, eps)
+		res.Splits[name] = extractSplits(t, links, flow, eps)
+		for id := range flow {
+			flow[id] *= scale // back to bit/s
+		}
 		res.Flow[name] = flow
-		res.Splits[name] = extractSplits(t, links, flow)
 	}
 	return res, nil
 }
 
 // removeCycles cancels flow cycles in place (LP optima may contain
-// zero-impact circulations that would confuse split extraction).
-func removeCycles(t *topo.Topology, links []topo.Link, flow map[topo.LinkID]float64) {
+// zero-impact circulations that would confuse split extraction). eps is
+// the caller's noise threshold: flow at or below it is treated as absent.
+func removeCycles(t *topo.Topology, links []topo.Link, flow map[topo.LinkID]float64, eps float64) {
 	out := make(map[topo.NodeID][]topo.Link)
 	rebuild := func() {
 		for k := range out {
 			delete(out, k)
 		}
 		for _, l := range links {
-			if flow[l.ID] > 1e-9 {
+			if flow[l.ID] > eps {
 				out[l.From] = append(out[l.From], l)
 			}
 		}
@@ -180,7 +206,7 @@ func removeCycles(t *topo.Topology, links []topo.Link, flow map[topo.LinkID]floa
 		}
 		for _, l := range cycle {
 			flow[l.ID] -= min
-			if flow[l.ID] <= 1e-9 {
+			if flow[l.ID] <= eps {
 				delete(flow, l.ID)
 			}
 		}
@@ -235,13 +261,14 @@ func findCycle(out map[topo.NodeID][]topo.Link) []topo.Link {
 	return nil
 }
 
-// extractSplits converts per-link flow into per-router next-hop fractions.
-func extractSplits(t *topo.Topology, links []topo.Link, flow map[topo.LinkID]float64) map[topo.NodeID]map[topo.NodeID]float64 {
+// extractSplits converts per-link flow into per-router next-hop fractions,
+// ignoring flow at or below the caller's noise threshold eps.
+func extractSplits(t *topo.Topology, links []topo.Link, flow map[topo.LinkID]float64, eps float64) map[topo.NodeID]map[topo.NodeID]float64 {
 	outFlow := make(map[topo.NodeID]map[topo.NodeID]float64)
 	totals := make(map[topo.NodeID]float64)
 	for _, l := range links {
 		v := flow[l.ID]
-		if v <= 1e-9 {
+		if v <= eps {
 			continue
 		}
 		if outFlow[l.From] == nil {

@@ -120,7 +120,10 @@ func cspf(t *topo.Topology, residual map[topo.LinkID]float64, src topo.NodeID, s
 		if t.Node(l.From).Host || t.Node(l.To).Host {
 			continue
 		}
-		if l.Capacity > 0 && residual[l.ID] < volume-1e-9 {
+		// Relative slack: residual within SolverRelTol of the requested
+		// volume still fits (absolute slack would reject legitimate links
+		// at Gbit volumes, where subtraction roundoff exceeds 1e-9).
+		if l.Capacity > 0 && residual[l.ID] < volume*(1-SolverRelTol) {
 			continue
 		}
 		g.AddEdge(l.From, spf.Edge{To: l.To, Weight: l.Weight, Link: l.ID})

@@ -1,9 +1,9 @@
-// Package te implements the traffic-engineering machinery surrounding
-// Fibbing: the min-max link-utilisation multicommodity-flow optimum the
-// paper says Fibbing can realise (via an LP solved with a from-scratch
-// simplex), and the baselines it argues against — IGP weight optimisation
-// (too slow and disruptive for flash crowds) and MPLS RSVP-TE tunnels
-// (control/data-plane overhead).
+// The dense two-phase primal simplex underneath SolveMinMax and the
+// LPBuilder. All tolerances are relative to the magnitudes of the tableau
+// entries they judge (see scale.go), so the solver keeps working on
+// ill-conditioned inputs — coefficients spanning 1e-3..1e11 — instead of
+// pivoting on noise and terminating at a wrong vertex.
+
 package te
 
 import (
@@ -42,12 +42,17 @@ func (s SimplexStatus) String() string {
 	}
 }
 
-const simplexEps = 1e-9
+const simplexEps = SolverRelTol
 
 // SolveLP minimises c·x subject to A·x = b, x >= 0, using the two-phase
 // primal simplex method with Bland's anti-cycling rule. A is dense with
 // one row per equality constraint. Inequalities must be converted by the
 // caller by adding slack variables (see LPBuilder).
+//
+// Tolerances are relative: feasibility is judged against the largest
+// right-hand-side magnitude (FeasibilityRelTol) and pivot decisions
+// against the magnitudes of the entries involved (SolverRelTol), so the
+// solve is invariant under uniform rescaling of the problem.
 func SolveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, SimplexStatus) {
 	m := len(a)
 	if m == 0 {
@@ -98,24 +103,42 @@ func SolveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, Simpl
 	case simplexUnbounded:
 		return nil, 0, Unbounded // cannot happen in phase 1, defensive
 	}
-	// Check feasibility.
+	// Check feasibility, relative to the problem's right-hand-side
+	// magnitude: residual artificial mass that is pure roundoff at scale
+	// 1e9 must not read as infeasibility (and would, against an absolute
+	// cutoff).
+	bScale := 1.0
+	for _, bi := range B {
+		if bi > bScale {
+			bScale = bi
+		}
+	}
 	sum := 0.0
 	for i, bi := range basis {
 		if bi >= n {
 			sum += tab[i][total]
 		}
 	}
-	if sum > 1e-6 {
+	if sum > FeasibilityRelTol*bScale {
 		return nil, 0, Infeasible
 	}
-	// Drive remaining artificial variables out of the basis.
+	// Drive remaining artificial variables out of the basis. The pivot
+	// element must be significant relative to its row, not in absolute
+	// terms: a 1e-9 entry in a row of 1e9-sized coefficients is noise,
+	// and pivoting on it would blow the tableau up.
 	for i, bi := range basis {
 		if bi < n {
 			continue
 		}
+		rowScale := 1.0
+		for j := 0; j < n; j++ {
+			if v := math.Abs(tab[i][j]); v > rowScale {
+				rowScale = v
+			}
+		}
 		pivoted := false
 		for j := 0; j < n; j++ {
-			if math.Abs(tab[i][j]) > simplexEps {
+			if math.Abs(tab[i][j]) > simplexEps*rowScale {
 				pivot(tab, basis, i, j, total)
 				pivoted = true
 				break
@@ -173,6 +196,10 @@ func runSimplex(tab [][]float64, basis []int, c []float64, total int) simplexOut
 		limit = 200000
 	}
 	// Reduced costs are computed on demand: z_j - c_j using the basis.
+	// Every "is this zero?" decision below is made relative to the
+	// magnitude of the terms that produced the value — an absolute
+	// epsilon misreads cancellation noise as signal once coefficients
+	// leave O(1).
 	for iter := 0; ; iter++ {
 		if iter > limit {
 			return simplexStalled
@@ -184,14 +211,22 @@ func runSimplex(tab [][]float64, basis []int, c []float64, total int) simplexOut
 				continue // frozen artificial
 			}
 			rc := c[j]
+			rcScale := math.Abs(c[j])
 			for i := 0; i < m; i++ {
 				cb := c[basis[i]]
 				if math.IsInf(cb, 1) {
 					cb = 0 // artificial in basis sits at value 0
 				}
-				rc -= cb * tab[i][j]
+				term := cb * tab[i][j]
+				rc -= term
+				if v := math.Abs(term); v > rcScale {
+					rcScale = v
+				}
 			}
-			if rc < -simplexEps {
+			if rcScale < 1 {
+				rcScale = 1
+			}
+			if rc < -simplexEps*rcScale {
 				enter = j
 				break
 			}
@@ -200,13 +235,28 @@ func runSimplex(tab [][]float64, basis []int, c []float64, total int) simplexOut
 			return simplexOptimal
 		}
 		// Leaving row (Bland: min ratio, ties by smallest basis index).
+		// Pivot eligibility is relative to the column's largest entry:
+		// pivoting on an element that is noise at the column's scale
+		// corrupts the basis.
+		colScale := 1.0
+		for i := 0; i < m; i++ {
+			if v := math.Abs(tab[i][enter]); v > colScale {
+				colScale = v
+			}
+		}
+		pivotEps := simplexEps * colScale
 		leave := -1
 		best := math.Inf(1)
 		for i := 0; i < m; i++ {
-			if tab[i][enter] > simplexEps {
+			if tab[i][enter] > pivotEps {
 				ratio := tab[i][total] / tab[i][enter]
-				if ratio < best-simplexEps ||
-					(math.Abs(ratio-best) <= simplexEps && leave >= 0 && basis[i] < basis[leave]) {
+				if leave == -1 {
+					best, leave = ratio, i
+					continue
+				}
+				ratioEps := simplexEps * math.Max(1, math.Max(math.Abs(best), math.Abs(ratio)))
+				if ratio < best-ratioEps ||
+					(math.Abs(ratio-best) <= ratioEps && basis[i] < basis[leave]) {
 					best = ratio
 					leave = i
 				}
