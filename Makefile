@@ -42,16 +42,21 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_baseline.json < bench.out.tmp; s=$$?; rm -f bench.out.tmp; exit $$s
 	@echo wrote BENCH_baseline.json
 
-# Regression gate on the delta hot paths and the Gbit-scale planner:
-# fails when ns/op of the incremental-SPF benchmark, the aggregate
-# traffic plane's 100k-viewer join benchmark, or the planner fan-out at
-# 1 Gbit/s regresses >2x against the committed baseline (the planner
-# benchmark also asserts a plan commits, so the numerics ceiling cannot
-# silently return). -count 5 + best-of in benchjson filters scheduler
-# noise.
+# Regression gate on the delta hot paths, the Gbit-scale planner, and
+# the parallel simulation core: fails when ns/op of the incremental-SPF
+# benchmark, the aggregate traffic plane's 100k-viewer join benchmark,
+# the planner fan-out at 1 Gbit/s, or the worker-pool churn benchmarks
+# (fat-tree k=8 and the scale tier's k=16, both pool widths) regresses
+# >2x against the committed baseline (the planner benchmark also asserts
+# a plan commits, so the numerics ceiling cannot silently return). The
+# parallel benchmarks additionally gate allocs/op (limit 1.05x): the
+# worker pool must not buy wall-clock with garbage. -count 5 + best-of
+# in benchjson filters scheduler noise.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalVsFull|BenchmarkReshareIncremental|BenchmarkPlannerGbit' -benchtime 1x -count 5 . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'IncrementalVsFull.*/incremental$$|ReshareIncremental/viewers=100000/join$$|PlannerGbit/1G$$' -max-ratio 2 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
+	$(GO) test -run '^$$' -bench 'BenchmarkParallelSPF|BenchmarkScaleTier' -benchtime 1x -count 5 -benchmem . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'ParallelSPF/(seq|par)$$|ScaleTier/(seq|par)$$' -max-ratio 2 -max-allocs-ratio 1.05 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
 
 # The large-topology scaling cells with wall-clock/event telemetry
 # (Gbit-capacity defaults; override with -capacity via `go run`).

@@ -561,3 +561,109 @@ func BenchmarkScenarioMatrix(b *testing.B) {
 		}
 	}
 }
+
+// churnBench is a converged IGP domain cached for the parallel-core
+// benchmarks: cold-converging the big fabrics costs tens of seconds (the
+// initial LSDB flood), so it is paid once per process and shared across
+// -count repeats and worker modes. step() flips one core link's weight
+// and re-converges, then restores it — the batch-tick workload the
+// parallel core targets: the change floods (serial packet events), then
+// every router's debounced SPF recompute lands at the same instants and
+// fans out across the pool. The flip-and-restore leaves the domain in its
+// converged state, which is what makes the cache sound; SetWorkers
+// switches modes on the live scheduler between subcases. Output is
+// byte-identical at any width (TestParallelCoreDeterminism pins this);
+// only wall-clock and allocs change.
+type churnBench struct {
+	sched *event.Scheduler
+	dom   *ospf.Domain
+	link  topo.Link
+}
+
+var churnCache = map[string]*churnBench{}
+
+func churnDomain(b *testing.B, name string, build func() *topo.Topology) *churnBench {
+	b.Helper()
+	if c, ok := churnCache[name]; ok {
+		return c
+	}
+	tp := build()
+	sched := event.NewScheduler()
+	dom := ospf.NewDomain(tp, sched, ospf.Config{})
+	dom.Start()
+	if _, err := dom.RunUntilConverged(time.Minute); err != nil {
+		b.Fatal(err)
+	}
+	c := &churnBench{sched: sched, dom: dom}
+	for _, l := range tp.Links() {
+		if !tp.Node(l.From).Host && !tp.Node(l.To).Host {
+			c.link = l
+			break
+		}
+	}
+	churnCache[name] = c
+	return c
+}
+
+func (c *churnBench) step(b *testing.B) {
+	b.Helper()
+	for _, w := range [2]int64{c.link.Weight + 1, c.link.Weight} {
+		if err := c.dom.SetLinkWeight(c.link.From, c.link.To, w); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.dom.RunUntilConverged(time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if errs := c.dom.Errors; len(errs) > 0 {
+		b.Fatalf("protocol errors: %v", errs)
+	}
+}
+
+// runChurn runs the weight-churn op under both pool widths: "seq" pins
+// Workers=1 (the pure sequential core), "par" uses GOMAXPROCS.
+func runChurn(b *testing.B, name string, build func() *topo.Topology) {
+	for _, mode := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"par", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			c := churnDomain(b, name, build)
+			c.sched.SetWorkers(mode.workers)
+			c.step(b) // warm the scratch pools and flood-buffer freelist
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.step(b)
+			}
+			b.StopTimer()
+			if par := c.sched.Parallel(); mode.workers != 1 && par.Workers > 1 && par.Batches == 0 {
+				b.Fatal("pool enabled but no parallel batch executed")
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSPF measures the worker pool on the control plane
+// alone, at CI-friendly size: a converged fat-tree k=8 fabric (80
+// switches + 128 hosts) has one core link's weight flipped and restored
+// per op, debouncing an SPF recompute on every switch.
+func BenchmarkParallelSPF(b *testing.B) {
+	runChurn(b, "fattree8", func() *topo.Topology {
+		return topo.FatTree(topo.FatTreeOpts{K: 8, Capacity: 10e6, MaxWeight: 3, Seed: 2})
+	})
+}
+
+// BenchmarkScaleTier is the million-viewer tier's control-plane cost
+// probe: the fat-tree k=16 fabric of the fattree16-1m scale cell (320
+// switches + 1024 hosts at 10 Gbit/s), weight-churned like
+// BenchmarkParallelSPF. Per op, 320 debounced SPF recomputes over the
+// 1344-node graph ride the batch path — the dominant cost of the
+// million-viewer runs, and the op the multi-core speedup bar is measured
+// on (the par/seq ns/op ratio in BENCH_baseline.json; >= 2x expected at
+// GOMAXPROCS >= 4, ~1x when the pool has one core to run on).
+func BenchmarkScaleTier(b *testing.B) {
+	runChurn(b, "fattree16", func() *topo.Topology {
+		return topo.FatTree(topo.FatTreeOpts{K: 16, Capacity: 10e9, MaxWeight: 3, Seed: 2})
+	})
+}

@@ -34,9 +34,13 @@ type Benchmark struct {
 
 // Baseline is the whole converted run.
 type Baseline struct {
-	GOOS       string      `json:"goos,omitempty"`
-	GOARCH     string      `json:"goarch,omitempty"`
-	CPU        string      `json:"cpu,omitempty"`
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// GOMAXPROCS of the run that produced the record (parsed from the
+	// -N name suffix Go appends): parallel-core numbers only compare
+	// meaningfully at equal pool widths.
+	GOMAXPROCS int         `json:"gomaxprocs,omitempty"`
 	Package    string      `json:"pkg,omitempty"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
@@ -46,6 +50,7 @@ func main() {
 	baselinePath := flag.String("baseline", "", "gate mode: compare stdin against this committed baseline instead of converting")
 	gate := flag.String("gate", ".", "gate mode: regexp selecting which benchmark names are checked")
 	maxRatio := flag.Float64("max-ratio", 2.0, "gate mode: fail when ns/op exceeds baseline by more than this factor")
+	maxAllocs := flag.Float64("max-allocs-ratio", 0, "gate mode: fail when allocs/op exceeds baseline by more than this factor (0 disables; needs -benchmem on both sides)")
 	flag.Parse()
 
 	base := Baseline{}
@@ -76,10 +81,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
 	}
-	stripProcsSuffix(base.Benchmarks)
+	base.GOMAXPROCS = stripProcsSuffix(base.Benchmarks)
 
 	if *baselinePath != "" {
-		os.Exit(gateAgainstBaseline(base, *baselinePath, *gate, *maxRatio))
+		os.Exit(gateAgainstBaseline(base, *baselinePath, *gate, *maxRatio, *maxAllocs))
 	}
 
 	w := os.Stdout
@@ -100,12 +105,13 @@ func main() {
 	}
 }
 
-// gateAgainstBaseline compares the current run (best ns/op per name over
-// -count repeats) against the committed baseline and returns the exit
-// code: 1 when any gated benchmark regressed beyond maxRatio, 0 otherwise.
-// Gated benchmarks missing from either side fail too — a silently dropped
-// benchmark must not pass the gate.
-func gateAgainstBaseline(cur Baseline, path, gate string, maxRatio float64) int {
+// gateAgainstBaseline compares the current run (best ns/op and allocs/op
+// per name over -count repeats) against the committed baseline and
+// returns the exit code: 1 when any gated benchmark regressed beyond
+// maxRatio (ns/op) or maxAllocs (allocs/op; 0 skips the alloc check), 0
+// otherwise. Gated benchmarks missing from either side fail too — a
+// silently dropped benchmark must not pass the gate.
+func gateAgainstBaseline(cur Baseline, path, gate string, maxRatio, maxAllocs float64) int {
 	re, err := regexp.Compile(gate)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: bad -gate: %v\n", err)
@@ -122,6 +128,7 @@ func gateAgainstBaseline(cur Baseline, path, gate string, maxRatio float64) int 
 		return 2
 	}
 	best := make(map[string]float64)
+	bestAllocs := make(map[string]float64)
 	for _, b := range cur.Benchmarks {
 		ns, ok := b.Metrics["ns/op"]
 		if !ok || !re.MatchString(b.Name) {
@@ -129,6 +136,11 @@ func gateAgainstBaseline(cur Baseline, path, gate string, maxRatio float64) int 
 		}
 		if old, seen := best[b.Name]; !seen || ns < old {
 			best[b.Name] = ns
+		}
+		if al, ok := b.Metrics["allocs/op"]; ok {
+			if old, seen := bestAllocs[b.Name]; !seen || al < old {
+				bestAllocs[b.Name] = al
+			}
 		}
 	}
 	failed := false
@@ -153,6 +165,23 @@ func gateAgainstBaseline(cur Baseline, path, gate string, maxRatio float64) int 
 		}
 		fmt.Printf("benchjson: %-9s %-60s %12.0f ns/op vs baseline %12.0f (%.2fx, limit %.1fx)\n",
 			status, b.Name, got, ns, ratio, maxRatio)
+		baseAl, haveBase := b.Metrics["allocs/op"]
+		gotAl, haveCur := bestAllocs[b.Name]
+		if maxAllocs <= 0 || !haveBase || baseAl == 0 {
+			continue
+		}
+		if !haveCur {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL %s: baseline has allocs/op but this run does not (run with -benchmem)\n", b.Name)
+			failed = true
+			continue
+		}
+		status = "ok"
+		if gotAl > baseAl*maxAllocs {
+			status = "GATE FAIL"
+			failed = true
+		}
+		fmt.Printf("benchjson: %-9s %-60s %12.0f allocs/op vs baseline %12.0f (%.2fx, limit %.2fx)\n",
+			status, b.Name, gotAl, baseAl, gotAl/baseAl, maxAllocs)
 	}
 	if matchedBase == 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: GATE FAIL: no baseline benchmark matches %q\n", gate)
@@ -203,26 +232,32 @@ func parseBench(line string) (Benchmark, bool) {
 // '-'. Detect it there, then strip that exact suffix everywhere. If
 // every name has sub-benchmarks (or GOMAXPROCS is 1, which adds no
 // suffix) the names are left untouched.
-func stripProcsSuffix(benchmarks []Benchmark) {
+//
+// It returns the GOMAXPROCS the marker encodes (1 when a top-level name
+// has no marker, 0 when no top-level name exists to decide from).
+func stripProcsSuffix(benchmarks []Benchmark) int {
 	marker := ""
+	procs := 0
 	for _, b := range benchmarks {
 		if strings.ContainsRune(b.Name, '/') {
 			continue
 		}
 		i := strings.LastIndexByte(b.Name, '-')
 		if i < 0 {
-			return // top-level name without marker: GOMAXPROCS == 1
+			return 1 // top-level name without marker: GOMAXPROCS == 1
 		}
-		if _, err := strconv.Atoi(b.Name[i+1:]); err != nil {
-			return
+		n, err := strconv.Atoi(b.Name[i+1:])
+		if err != nil {
+			return 1
 		}
-		marker = b.Name[i:]
+		marker, procs = b.Name[i:], n
 		break
 	}
 	if marker == "" {
-		return
+		return 0
 	}
 	for i := range benchmarks {
 		benchmarks[i].Name = strings.TrimSuffix(benchmarks[i].Name, marker)
 	}
+	return procs
 }

@@ -51,6 +51,7 @@ func main() {
 		workload = flag.String("workload", "surge", "ad-hoc run: workload (surge, flash, ramp, dual)")
 		failure  = flag.String("failure", "", "ad-hoc run: failure schedule (hotlink, flap)")
 		viewers  = flag.Int("viewers", 0, "scale the crowd to about this many sessions (exact for surge; same total demand, finer slices; 0 keeps the default sizing)")
+		workers  = flag.Int("workers", 0, "simulation worker-pool width: 0 uses GOMAXPROCS, 1 forces the sequential core (output is byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -86,7 +87,7 @@ func main() {
 	}
 
 	if *scale {
-		runScale(*duration, *jsonOut, strategyNames, *viewers, capOverride)
+		runScale(*duration, *jsonOut, strategyNames, *viewers, capOverride, *workers)
 		return
 	}
 
@@ -129,6 +130,7 @@ func main() {
 		if capOverride > 0 {
 			spec.Topo.Capacity = capOverride
 		}
+		spec.Workers = *workers
 		cmp, err := scenarios.Compare(spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
@@ -169,7 +171,7 @@ type scaleResult struct {
 // runScale executes the large-topology cells (controller on, no
 // counterfactual side: these measure cost, not invariants) and prints
 // per-cell wall-clock and scheduler events executed.
-func runScale(duration time.Duration, jsonOut bool, strategyNames []string, viewers int, capOverride float64) {
+func runScale(duration time.Duration, jsonOut bool, strategyNames []string, viewers int, capOverride float64, workers int) {
 	var results []scaleResult
 	for _, spec := range scenarios.ScaleSpecs() {
 		if duration > 0 {
@@ -184,6 +186,7 @@ func runScale(duration time.Duration, jsonOut bool, strategyNames []string, view
 		if capOverride > 0 {
 			spec.Topo.Capacity = capOverride
 		}
+		spec.Workers = workers
 		start := time.Now()
 		rep, err := scenarios.Run(spec, true)
 		if err != nil {
@@ -193,11 +196,13 @@ func runScale(duration time.Duration, jsonOut bool, strategyNames []string, view
 		wall := time.Since(start)
 		results = append(results, scaleResult{Report: rep, WallClock: wall.Seconds()})
 		if !jsonOut {
-			fmt.Printf("%-24s wall=%8.2fs events=%9d spf=%d inc/%d full reshare=%d inc/%d full sessions=%d aggs=%d settled=%.2f lies=%d\n",
+			fmt.Printf("%-24s wall=%8.2fs events=%9d spf=%d inc/%d full reshare=%d inc/%d full sessions=%d aggs=%d settled=%.2f lies=%d workers=%d batches=%d par-spf=%d/%d max-batch=%d\n",
 				spec.Name, wall.Seconds(), rep.Events,
 				rep.SPFIncrementalRuns, rep.SPFFullRuns,
 				rep.ReshareIncremental, rep.ReshareFull,
-				rep.Sessions, rep.Aggregates, rep.SettledUtilisation, rep.Lies)
+				rep.Sessions, rep.Aggregates, rep.SettledUtilisation, rep.Lies,
+				rep.Workers, rep.ParallelBatches, rep.ParallelSPFRuns,
+				rep.ParallelSPFRuns+rep.SequentialSPFRuns, rep.MaxBatch)
 		}
 	}
 	if jsonOut {

@@ -51,6 +51,10 @@ type SimOpts struct {
 	// ABR, when set, attaches adaptive-bitrate players instead of
 	// fixed-rate ones (the ABR extension experiment).
 	ABR *video.ABRConfig
+	// Workers sets the scheduler's parallel-batch pool width: 0 means
+	// GOMAXPROCS, 1 selects the pure sequential core. Output is
+	// byte-identical either way; only wall-clock changes.
+	Workers int
 }
 
 // NewSim assembles the emulation. The IGP starts immediately; flows can
@@ -84,6 +88,7 @@ func NewSim(o SimOpts) (*Sim, error) {
 	}
 
 	s := &Sim{Topo: o.Topology, Sched: event.NewScheduler()}
+	s.Sched.SetWorkers(o.Workers)
 	s.Net = netsim.New(s.Topo, s.Sched, o.SampleEvery)
 	s.Domain = ospf.NewDomain(s.Topo, s.Sched, ospf.Config{})
 	// The delta pipeline end to end: routers emit FIB diffs, the data

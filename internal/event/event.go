@@ -4,48 +4,118 @@
 // A Scheduler owns a virtual clock and a time-ordered queue of callbacks.
 // Events scheduled for the same instant fire in scheduling order (FIFO),
 // which keeps simulations deterministic.
+//
+// # Parallel batches
+//
+// Most events are opaque closures and must run one at a time. Events
+// scheduled with AtParallel/AfterParallel instead declare two phases: a
+// compute phase that only reads shared state and writes state owned by the
+// event, and a commit phase that publishes the result. When StepBatch finds
+// a contiguous run of such events at the head instant it fans the compute
+// phases out to a worker pool and then runs the commit phases sequentially
+// in FIFO order — exactly the order the sequential core would have used, so
+// the output is byte-identical regardless of worker count.
+//
+// The independence contract for same-batch parallel events: a compute phase
+// must not write state read by another compute phase, must not touch the
+// scheduler (At/After/Cancel), and a commit phase must not cancel another
+// event in the same batch. Commits may schedule freely.
 package event
 
 import (
 	"container/heap"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 )
 
-// Scheduler is a single-threaded discrete-event loop. It is not safe for
-// concurrent use; simulations drive it from one goroutine and expose
-// snapshots to others behind their own locks.
+// Scheduler is a discrete-event loop driven from one goroutine; worker
+// goroutines exist only inside StepBatch, between fan-out and the
+// WaitGroup barrier. It is not safe for concurrent use; simulations drive
+// it from one goroutine and expose snapshots to others behind their own
+// locks.
 type Scheduler struct {
 	now     time.Duration
 	queue   eventHeap
 	seq     uint64
 	ran     uint64
 	pending int
+
+	workers int
+	batch   []*scheduled // scratch reused across StepBatch calls
+	free    []*scheduled // recycled event structs: At is allocation-free
+	stats   ParallelStats
 }
 
-// Handle identifies a scheduled event so it can be cancelled.
+// ParallelStats is the scheduler's parallel-execution telemetry.
+type ParallelStats struct {
+	// Workers is the configured pool width (1 = sequential core).
+	Workers int `json:"workers"`
+	// Batches counts multi-event parallel batches executed.
+	Batches uint64 `json:"batches"`
+	// BatchedEvents counts events that ran inside those batches.
+	BatchedEvents uint64 `json:"batched_events"`
+	// SoloParallel counts parallel-capable events that ran alone (no
+	// same-instant sibling to batch with).
+	SoloParallel uint64 `json:"solo_parallel"`
+	// MaxBatch is the largest batch seen.
+	MaxBatch int `json:"max_batch"`
+}
+
+// Handle identifies a scheduled event so it can be cancelled. The zero
+// Handle is valid and cancels nothing.
 type Handle struct {
 	ev *scheduled
+	// seq guards against event-struct reuse: Cancel only acts when the
+	// struct still holds the scheduling this handle was issued for.
+	seq uint64
 }
 
 type scheduled struct {
-	at        time.Duration
-	seq       uint64
-	fn        func()
-	cancelled bool
-	index     int
+	at      time.Duration
+	seq     uint64
+	fn      func() // the event body; for parallel events, the commit phase
+	compute func() // non-nil marks a parallel-capable event
+	index   int
 }
 
-// NewScheduler returns a scheduler with the clock at zero.
+// NewScheduler returns a scheduler with the clock at zero and a worker
+// pool sized by GOMAXPROCS.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	s := &Scheduler{}
+	s.SetWorkers(0)
+	return s
+}
+
+// SetWorkers sets the parallel-batch pool width. n <= 0 means GOMAXPROCS;
+// 1 selects the pure sequential core (parallel events still run, one at a
+// time, in FIFO order). Changing the width mid-run is allowed but not
+// between a batch's compute and commit phases (i.e. not from callbacks).
+func (s *Scheduler) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s.workers = n
+}
+
+// Workers returns the configured pool width.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Parallel returns a snapshot of the parallel-execution telemetry.
+func (s *Scheduler) Parallel() ParallelStats {
+	st := s.stats
+	st.Workers = s.workers
+	return st
 }
 
 // Now returns the current virtual time.
 func (s *Scheduler) Now() time.Duration { return s.now }
 
 // Ran returns the number of events executed so far (telemetry for tests
-// and benchmarks).
+// and benchmarks). Events run in a parallel batch count once each, so the
+// total matches the sequential core exactly.
 func (s *Scheduler) Ran() uint64 { return s.ran }
 
 // Pending returns the number of events still queued (scheduled, not yet
@@ -53,20 +123,40 @@ func (s *Scheduler) Ran() uint64 { return s.ran }
 // so this is O(1) — simulations poll it inside hot loops.
 func (s *Scheduler) Pending() int { return s.pending }
 
-// At schedules fn at absolute virtual time t. Scheduling in the past
-// (before Now) panics: that is always a simulation bug.
-func (s *Scheduler) At(t time.Duration, fn func()) Handle {
+func (s *Scheduler) newEvent(t time.Duration, compute, fn func()) Handle {
 	if t < s.now {
 		panic(fmt.Sprintf("event: scheduling at %v before now %v", t, s.now))
 	}
-	if fn == nil {
-		panic("event: nil callback")
+	var ev *scheduled
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = &scheduled{}
 	}
-	ev := &scheduled{at: t, seq: s.seq, fn: fn}
+	ev.at, ev.seq, ev.fn, ev.compute = t, s.seq, fn, compute
 	s.seq++
 	heap.Push(&s.queue, ev)
 	s.pending++
-	return Handle{ev: ev}
+	return Handle{ev: ev, seq: ev.seq}
+}
+
+// release returns a fired event struct to the freelist. The seq bump-proof
+// is the Handle.seq check: a stale handle never matches a recycled struct.
+func (s *Scheduler) release(ev *scheduled) {
+	ev.fn, ev.compute = nil, nil
+	ev.index = -1
+	s.free = append(s.free, ev)
+}
+
+// At schedules fn at absolute virtual time t. Scheduling in the past
+// (before Now) panics: that is always a simulation bug.
+func (s *Scheduler) At(t time.Duration, fn func()) Handle {
+	if fn == nil {
+		panic("event: nil callback")
+	}
+	return s.newEvent(t, nil, fn)
 }
 
 // After schedules fn d after the current virtual time.
@@ -77,46 +167,171 @@ func (s *Scheduler) After(d time.Duration, fn func()) Handle {
 	return s.At(s.now+d, fn)
 }
 
+// AtParallel schedules a two-phase event at absolute time t: compute may
+// run concurrently with other same-instant parallel events' computes (see
+// the package comment for the independence contract), then commit runs on
+// the scheduler goroutine in FIFO order. commit may be nil.
+func (s *Scheduler) AtParallel(t time.Duration, compute, commit func()) Handle {
+	if compute == nil {
+		panic("event: nil compute phase")
+	}
+	return s.newEvent(t, compute, commit)
+}
+
+// AfterParallel schedules a two-phase parallel event d after now.
+func (s *Scheduler) AfterParallel(d time.Duration, compute, commit func()) Handle {
+	if d < 0 {
+		panic("event: negative delay")
+	}
+	return s.AtParallel(s.now+d, compute, commit)
+}
+
 // Cancel prevents a scheduled event from firing. Cancelling an event that
 // already fired (or was already cancelled) is a no-op returning false.
+// The entry is removed from the heap immediately, so cancel-heavy
+// workloads (ticker stops, SPF debounce re-arms, retransmit acks) don't
+// grow the queue unboundedly.
 func (s *Scheduler) Cancel(h Handle) bool {
-	if h.ev == nil || h.ev.cancelled || h.ev.index < 0 {
+	if h.ev == nil || h.ev.index < 0 || h.ev.seq != h.seq {
 		return false
 	}
-	h.ev.cancelled = true
+	ev := heap.Remove(&s.queue, h.ev.index).(*scheduled)
 	s.pending--
+	s.release(ev)
 	return true
 }
 
+// runOne executes a single event sequentially (compute then commit for
+// parallel events) and recycles its struct.
+func (s *Scheduler) runOne(ev *scheduled) {
+	s.ran++
+	s.pending--
+	compute, fn := ev.compute, ev.fn
+	s.release(ev)
+	if compute != nil {
+		compute()
+	}
+	if fn != nil {
+		fn()
+	}
+}
+
 // Step runs the earliest pending event, advancing the clock to its time.
-// It returns false when the queue is empty.
+// It returns false when the queue is empty. Parallel events run both
+// phases inline, preserving the sequential core's exact semantics.
 func (s *Scheduler) Step() bool {
-	for s.queue.Len() > 0 {
-		ev := heap.Pop(&s.queue).(*scheduled)
-		if ev.cancelled {
-			continue // already uncounted by Cancel
-		}
-		s.now = ev.at
-		s.ran++
-		s.pending--
-		ev.fn()
+	if s.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*scheduled)
+	s.now = ev.at
+	s.runOne(ev)
+	return true
+}
+
+// StepBatch runs the earliest pending event like Step, but when that event
+// is parallel-capable it also drains the maximal contiguous FIFO run of
+// same-instant parallel events, fanning their compute phases out to the
+// worker pool before committing in FIFO order. With Workers() == 1 it is
+// exactly Step. Returns false when the queue is empty.
+func (s *Scheduler) StepBatch() bool {
+	if s.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&s.queue).(*scheduled)
+	s.now = ev.at
+	if ev.compute == nil || s.workers <= 1 {
+		s.runOne(ev)
 		return true
 	}
-	return false
+	// Collect the batch: same instant, parallel, with no non-parallel
+	// event interleaved in FIFO order (the heap head is always the next
+	// FIFO event, so stopping at the first mismatch preserves ordering).
+	batch := append(s.batch[:0], ev)
+	for s.queue.Len() > 0 {
+		next := s.queue[0]
+		if next.at != ev.at || next.compute == nil {
+			break
+		}
+		heap.Pop(&s.queue)
+		batch = append(batch, next)
+	}
+	s.batch = batch[:0] // retain scratch capacity, drop references below
+	if len(batch) == 1 {
+		s.stats.SoloParallel++
+		s.runOne(ev)
+		return true
+	}
+	s.runBatch(batch)
+	for i := range batch {
+		batch[i] = nil
+	}
+	return true
+}
+
+// runBatch fans compute phases out to min(workers, len(batch)) goroutines
+// coordinated by a WaitGroup and an atomic cursor, then commits in FIFO
+// order on the scheduler goroutine. A panicking compute is re-panicked
+// here after the pool drains, so the failure surfaces on the driving
+// goroutine like any sequential event panic.
+func (s *Scheduler) runBatch(batch []*scheduled) {
+	n := len(batch)
+	s.stats.Batches++
+	s.stats.BatchedEvents += uint64(n)
+	if n > s.stats.MaxBatch {
+		s.stats.MaxBatch = n
+	}
+	w := s.workers
+	if w > n {
+		w = n
+	}
+	var (
+		cursor atomic.Int64
+		wg     sync.WaitGroup
+	)
+	panics := make([]any, w)
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func(slot int) {
+			defer wg.Done()
+			for {
+				j := cursor.Add(1) - 1
+				if j >= int64(n) {
+					return
+				}
+				func() {
+					defer func() {
+						if p := recover(); p != nil && panics[slot] == nil {
+							panics[slot] = p
+						}
+					}()
+					batch[j].compute()
+				}()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	for _, ev := range batch {
+		s.ran++
+		s.pending--
+		fn := ev.fn
+		s.release(ev)
+		if fn != nil {
+			fn()
+		}
+	}
 }
 
 // RunUntil executes events until the clock would pass t; the clock is left
 // at exactly t. Events scheduled for t itself do fire.
 func (s *Scheduler) RunUntil(t time.Duration) {
-	for s.queue.Len() > 0 {
-		next := s.peek()
-		if next == nil {
-			break
-		}
-		if next.at > t {
-			break
-		}
-		s.Step()
+	for s.queue.Len() > 0 && s.queue[0].at <= t {
+		s.StepBatch()
 	}
 	if s.now < t {
 		s.now = t
@@ -125,19 +340,8 @@ func (s *Scheduler) RunUntil(t time.Duration) {
 
 // Run executes events until the queue drains.
 func (s *Scheduler) Run() {
-	for s.Step() {
+	for s.StepBatch() {
 	}
-}
-
-func (s *Scheduler) peek() *scheduled {
-	for s.queue.Len() > 0 {
-		if s.queue[0].cancelled {
-			heap.Pop(&s.queue)
-			continue
-		}
-		return s.queue[0]
-	}
-	return nil
 }
 
 // eventHeap orders by (time, sequence) so same-instant events fire FIFO.
@@ -176,6 +380,7 @@ type Ticker struct {
 	s      *Scheduler
 	period time.Duration
 	fn     func()
+	tick   func() // built once; re-arming allocates no closures
 	handle Handle
 	stop   bool
 }
@@ -186,12 +391,7 @@ func (s *Scheduler) NewTicker(period time.Duration, fn func()) *Ticker {
 		panic("event: non-positive ticker period")
 	}
 	t := &Ticker{s: s, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.handle = t.s.After(t.period, func() {
+	t.tick = func() {
 		if t.stop {
 			return
 		}
@@ -199,7 +399,13 @@ func (t *Ticker) arm() {
 		if !t.stop {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.handle = t.s.After(t.period, t.tick)
 }
 
 // Stop cancels the ticker.

@@ -176,15 +176,10 @@ func TestNilCallbackPanics(t *testing.T) {
 }
 
 // pendingScan is the O(n) definition Pending replaced: the number of
-// queued, non-cancelled events.
+// queued events. Since Cancel now removes its entry from the heap
+// immediately, every queued entry is live.
 func pendingScan(s *Scheduler) int {
-	n := 0
-	for _, e := range s.queue {
-		if !e.cancelled {
-			n++
-		}
-	}
-	return n
+	return len(s.queue)
 }
 
 // TestPendingCounterMatchesScan churns the scheduler through random

@@ -27,6 +27,13 @@ type Diff struct {
 	Changes []RouteChange
 }
 
+// NewDiff returns a diff builder for router with capacity for n changes
+// preallocated, so hot-path builders (the per-SPF-run diff) size the
+// change list once instead of growing it append by append.
+func NewDiff(router topo.NodeID, n int) *Diff {
+	return &Diff{Router: router, Changes: make([]RouteChange, 0, n)}
+}
+
 // Empty reports whether the diff carries no changes.
 func (d *Diff) Empty() bool { return d == nil || len(d.Changes) == 0 }
 

@@ -401,8 +401,15 @@ func (r *Router) collectAnnouncers(c *spfCache) (map[string][]announcer, map[str
 		byPrefix[k] = append(byPrefix[k], announcer{idx: aIdx, metric: l.Metric})
 		prefixOf[k] = l.Prefix
 	}
-	for _, fi := range c.fakeIdx {
-		l := c.slots[fi].fake
+	// Fakes are walked via the LSDB's sorted key order, not the fakeIdx
+	// map, so the per-prefix announcer lists (and any errors routeFor
+	// raises while scanning them) are ordered identically on every run.
+	for _, l := range r.db.ByType(TypeFake) {
+		fi, ok := c.fakeIdx[l.Header.Key()]
+		if !ok {
+			continue
+		}
+		l = c.slots[fi].fake
 		k := l.Prefix.String()
 		byPrefix[k] = append(byPrefix[k], announcer{idx: fi, metric: l.Metric, fake: l})
 		prefixOf[k] = l.Prefix
@@ -445,7 +452,7 @@ func (r *Router) routeFor(c *spfCache, p netip.Prefix, anns []announcer, selfIdx
 		if a.fake != nil && a.fake.AttachedTo == r.id {
 			via := RouterNode(a.fake.ForwardVia)
 			if _, ok := r.dom.topo.FindLink(r.node, via); !ok {
-				r.dom.protocolError(r.id, fmt.Errorf(
+				r.spfError(fmt.Errorf(
 					"ospf: fake LSA %s forwards via non-neighbor %d",
 					a.fake.Header.Key(), a.fake.ForwardVia))
 				continue

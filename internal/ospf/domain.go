@@ -46,7 +46,31 @@ type Domain struct {
 	// Errors collects protocol-level errors (bad packets, invalid lies).
 	Errors []error
 
+	// bufPool recycles packet encode buffers: a delivered packet's bytes
+	// are dead once HandlePacket returns (DecodePacket copies every field
+	// out), so flooding stops churning the allocator. The pool is touched
+	// only from scheduler events — never from SPF compute phases — so no
+	// locking is needed.
+	bufPool [][]byte
+
 	defaultDelay time.Duration
+}
+
+// getBuf returns an empty slice with recycled capacity for AppendEncode.
+func (d *Domain) getBuf() []byte {
+	if n := len(d.bufPool); n > 0 {
+		b := d.bufPool[n-1]
+		d.bufPool[n-1] = nil
+		d.bufPool = d.bufPool[:n-1]
+		return b[:0]
+	}
+	return nil
+}
+
+func (d *Domain) putBuf(b []byte) {
+	if cap(b) > 0 {
+		d.bufPool = append(d.bufPool, b)
+	}
 }
 
 // NewDomain builds the IGP domain for a topology: one router per non-host
@@ -92,8 +116,14 @@ func (d *Domain) Topology() *topo.Topology { return d.topo }
 // the loopback prefix, and Prefix LSAs for topology prefixes attached to
 // it; hello and refresh timers start ticking.
 func (d *Domain) Start() {
-	for _, r := range d.routers {
-		r := r
+	// Walk routers in topology-node order, not map order: origination and
+	// ticker phase are output-visible, and two runs of the same scenario
+	// must schedule identical event sequences.
+	for _, n := range d.topo.Nodes() {
+		r := d.routers[n.ID]
+		if r == nil {
+			continue
+		}
 		r.originateRouterLSA()
 		r.originatePrefix(0, topo.Prefix{Prefix: LoopbackPrefix(r.node)}, 0)
 		d.sched.NewTicker(d.cfg.HelloInterval, r.helloTick)
@@ -116,6 +146,7 @@ func (d *Domain) Start() {
 // the link's propagation delay. Packets on failed links are dropped.
 func (d *Domain) deliver(from RouterID, n *neighbor, data []byte, counts bool) {
 	if d.linkDown[n.link.ID] {
+		d.putBuf(data)
 		return
 	}
 	if d.LossRate > 0 && counts {
@@ -123,7 +154,8 @@ func (d *Domain) deliver(from RouterID, n *neighbor, data []byte, counts bool) {
 			d.lossRng = rand.New(rand.NewSource(0xf1bb))
 		}
 		if d.lossRng.Float64() < d.LossRate {
-			return // lost on the wire; retransmission recovers it
+			d.putBuf(data) // lost on the wire; retransmission recovers it
+			return
 		}
 	}
 	delay := n.link.Delay
@@ -138,13 +170,10 @@ func (d *Domain) deliver(from RouterID, n *neighbor, data []byte, counts bool) {
 		if counts {
 			d.inflight--
 		}
-		if to == nil {
-			return
+		if to != nil && !d.linkDown[n.link.ID] {
+			to.HandlePacket(from, data)
 		}
-		if d.linkDown[n.link.ID] {
-			return
-		}
-		to.HandlePacket(from, data)
+		d.putBuf(data)
 	})
 }
 
@@ -226,7 +255,7 @@ func (d *Domain) Converged() bool {
 // virtual clock passes limit. It returns the convergence time.
 func (d *Domain) RunUntilConverged(limit time.Duration) (time.Duration, error) {
 	for !d.Converged() {
-		if !d.sched.Step() {
+		if !d.sched.StepBatch() {
 			break
 		}
 		if d.sched.Now() > limit {

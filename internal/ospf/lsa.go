@@ -162,9 +162,18 @@ const (
 // the Fletcher-16 algorithm used by OSPF and stored in the header (the Age
 // field is excluded from the checksum so aging does not require
 // re-checksumming, as in OSPF).
-func (l *LSA) Encode() []byte {
-	body := l.encodeBody()
-	buf := make([]byte, headerLen+len(body))
+func (l *LSA) Encode() []byte { return l.AppendEncode(nil) }
+
+// AppendEncode serialises the LSA onto dst and returns the extended
+// slice. The flooding hot path passes recycled buffers so steady-state
+// LSA exchange allocates nothing.
+func (l *LSA) AppendEncode(dst []byte) []byte {
+	start := len(dst)
+	var zeros [headerLen]byte
+	dst = append(dst, zeros[:]...)
+	dst = l.appendBody(dst)
+	buf := dst[start:]
+	body := buf[headerLen:]
 	buf[0] = byte(l.Header.Type)
 	if l.Header.Type != TypeRouter && l.Prefix.Addr().Is6() {
 		buf[1] |= flagV6
@@ -174,44 +183,52 @@ func (l *LSA) Encode() []byte {
 	binary.BigEndian.PutUint32(buf[8:], l.Header.LSID)
 	binary.BigEndian.PutUint32(buf[12:], l.Header.Seq)
 	binary.BigEndian.PutUint16(buf[16:], uint16(len(buf)))
-	cks := Fletcher16(body)
-	binary.BigEndian.PutUint16(buf[18:], cks)
-	copy(buf[headerLen:], body)
-	return buf
+	binary.BigEndian.PutUint16(buf[18:], Fletcher16(body))
+	return dst
 }
 
-func (l *LSA) encodeBody() []byte {
+func (l *LSA) appendBody(dst []byte) []byte {
 	switch l.Header.Type {
 	case TypeRouter:
-		body := make([]byte, 2+8*len(l.RouterLinks))
-		binary.BigEndian.PutUint16(body, uint16(len(l.RouterLinks)))
-		for i, rl := range l.RouterLinks {
-			off := 2 + 8*i
-			binary.BigEndian.PutUint32(body[off:], uint32(rl.Neighbor))
-			binary.BigEndian.PutUint32(body[off+4:], rl.Metric)
+		var hdr [2]byte
+		binary.BigEndian.PutUint16(hdr[:], uint16(len(l.RouterLinks)))
+		dst = append(dst, hdr[:]...)
+		for _, rl := range l.RouterLinks {
+			var e [8]byte
+			binary.BigEndian.PutUint32(e[:], uint32(rl.Neighbor))
+			binary.BigEndian.PutUint32(e[4:], rl.Metric)
+			dst = append(dst, e[:]...)
 		}
-		return body
+		return dst
 	case TypePrefix:
-		addr := l.Prefix.Addr().AsSlice()
-		body := make([]byte, len(addr)+1+4)
-		copy(body, addr)
-		body[len(addr)] = byte(l.Prefix.Bits())
-		binary.BigEndian.PutUint32(body[len(addr)+1:], l.Metric)
-		return body
+		dst = appendAddr(dst, l.Prefix.Addr())
+		dst = append(dst, byte(l.Prefix.Bits()))
+		var m [4]byte
+		binary.BigEndian.PutUint32(m[:], l.Metric)
+		return append(dst, m[:]...)
 	case TypeFake:
-		addr := l.Prefix.Addr().AsSlice()
-		body := make([]byte, len(addr)+1+4+12)
-		copy(body, addr)
-		body[len(addr)] = byte(l.Prefix.Bits())
-		off := len(addr) + 1
-		binary.BigEndian.PutUint32(body[off:], l.Metric)
-		binary.BigEndian.PutUint32(body[off+4:], uint32(l.AttachedTo))
-		binary.BigEndian.PutUint32(body[off+8:], l.AttachCost)
-		binary.BigEndian.PutUint32(body[off+12:], uint32(l.ForwardVia))
-		return body
+		dst = appendAddr(dst, l.Prefix.Addr())
+		dst = append(dst, byte(l.Prefix.Bits()))
+		var m [16]byte
+		binary.BigEndian.PutUint32(m[:], l.Metric)
+		binary.BigEndian.PutUint32(m[4:], uint32(l.AttachedTo))
+		binary.BigEndian.PutUint32(m[8:], l.AttachCost)
+		binary.BigEndian.PutUint32(m[12:], uint32(l.ForwardVia))
+		return append(dst, m[:]...)
 	default:
 		panic(fmt.Sprintf("ospf: encoding unknown LSA type %d", l.Header.Type))
 	}
+}
+
+// appendAddr appends the address bytes without the intermediate slice
+// AsSlice would allocate (4 bytes for v4, 16 for v6, as on the wire).
+func appendAddr(dst []byte, a netip.Addr) []byte {
+	if a.Is4() {
+		b := a.As4()
+		return append(dst, b[:]...)
+	}
+	b := a.As16()
+	return append(dst, b[:]...)
 }
 
 // DecodeLSA parses one encoded LSA, verifying length and checksum.
@@ -335,24 +352,32 @@ type Packet struct {
 
 // Encode serialises the packet: type(1) from(4) count(2) then
 // length-prefixed LSAs or fixed-size ack headers.
-func (p *Packet) Encode() []byte {
-	out := make([]byte, 7)
-	out[0] = byte(p.Type)
-	binary.BigEndian.PutUint32(out[1:], uint32(p.From))
+func (p *Packet) Encode() []byte { return p.AppendEncode(nil) }
+
+// AppendEncode serialises the packet onto dst and returns the extended
+// slice; the domain's buffer pool feeds it recycled capacity.
+func (p *Packet) AppendEncode(dst []byte) []byte {
+	var hdr [7]byte
+	hdr[0] = byte(p.Type)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(p.From))
 	switch p.Type {
 	case PktHello:
-		binary.BigEndian.PutUint16(out[5:], 0)
+		return append(dst, hdr[:]...)
 	case PktLSUpdate:
-		binary.BigEndian.PutUint16(out[5:], uint16(len(p.LSAs)))
+		binary.BigEndian.PutUint16(hdr[5:], uint16(len(p.LSAs)))
+		out := append(dst, hdr[:]...)
 		for _, l := range p.LSAs {
-			enc := l.Encode()
-			var lp [2]byte
-			binary.BigEndian.PutUint16(lp[:], uint16(len(enc)))
-			out = append(out, lp[:]...)
-			out = append(out, enc...)
+			// Length-prefix backfilled after encoding in place.
+			lenAt := len(out)
+			out = append(out, 0, 0)
+			start := len(out)
+			out = l.AppendEncode(out)
+			binary.BigEndian.PutUint16(out[lenAt:], uint16(len(out)-start))
 		}
+		return out
 	case PktLSAck:
-		binary.BigEndian.PutUint16(out[5:], uint16(len(p.Acks)))
+		binary.BigEndian.PutUint16(hdr[5:], uint16(len(p.Acks)))
+		out := append(dst, hdr[:]...)
 		for _, h := range p.Acks {
 			var a [13]byte
 			a[0] = byte(h.Type)
@@ -361,10 +386,10 @@ func (p *Packet) Encode() []byte {
 			binary.BigEndian.PutUint32(a[9:], h.Seq)
 			out = append(out, a[:]...)
 		}
+		return out
 	default:
 		panic(fmt.Sprintf("ospf: encoding unknown packet type %d", p.Type))
 	}
-	return out
 }
 
 // DecodePacket parses one protocol message.

@@ -1,8 +1,10 @@
 package ospf
 
 import (
+	"cmp"
 	"fmt"
 	"net/netip"
+	"slices"
 	"time"
 
 	"fibbing.net/fibbing/internal/event"
@@ -68,12 +70,32 @@ type Router struct {
 	cfg  Config
 
 	nbrs map[RouterID]*neighbor
-	db   *LSDB
-	fib  *fib.Table
+	// nbrList holds the same adjacencies sorted by router ID: every
+	// output-visible iteration (flooding, hellos, LSA origination) walks
+	// the list so two runs of the same scenario emit identical event
+	// sequences (Go map order is randomised per process).
+	nbrList []*neighbor
+	db      *LSDB
+	fib     *fib.Table
 
 	ownSeq       map[Key]uint32
 	spfScheduled bool
 	spfRuns      uint64
+
+	// spfCompute/spfCommit are the two phases of the debounced SPF event,
+	// built once so re-arming the debounce allocates no closures. The
+	// compute phase is router-local (it may run on a worker goroutine
+	// alongside other routers' computes); the commit phase publishes the
+	// buffered results to the domain in FIFO order.
+	spfCompute, spfCommit func()
+
+	// Compute-phase emission buffers, flushed by spfCommit. The compute
+	// phase must not write shared domain state (Errors, subscribers), so
+	// FIB deltas and protocol errors raised during route computation are
+	// parked here.
+	pendingTable *fib.Table
+	pendingDiff  *fib.Diff
+	pendingErrs  []error
 
 	// flushed remembers recently MaxAged LSAs (key -> seq/instant of the
 	// flush) so a neighbor's crossing retransmission of an older positive
@@ -115,7 +137,35 @@ func newRouter(dom *Domain, node topo.NodeID, cfg Config) *Router {
 		flushed: make(map[Key]flushMark),
 	}
 	r.db.SetClock(dom.sched.Now)
+	r.spfCompute = func() {
+		r.spfScheduled = false
+		r.computeRoutes()
+	}
+	r.spfCommit = func() {
+		r.dom.spfPending--
+		r.flushSPF()
+	}
 	return r
+}
+
+// flushSPF publishes the compute phase's buffered emissions: protocol
+// errors first (matching the sequential emission order — errors surface
+// before the diff that followed them), then the FIB delta.
+func (r *Router) flushSPF() {
+	for _, err := range r.pendingErrs {
+		r.dom.protocolError(r.id, err)
+	}
+	r.pendingErrs = r.pendingErrs[:0]
+	if r.pendingDiff != nil {
+		t, d := r.pendingTable, r.pendingDiff
+		r.pendingTable, r.pendingDiff = nil, nil
+		r.dom.fibChanged(r.node, t, d)
+	}
+}
+
+// spfError buffers a protocol error raised inside the SPF compute phase.
+func (r *Router) spfError(err error) {
+	r.pendingErrs = append(r.pendingErrs, err)
 }
 
 // ageSweep purges LSAs that reached MaxAge without a refresh — their
@@ -164,12 +214,13 @@ func (r *Router) SPFFullRuns() uint64 { return r.spfFullRuns }
 // delta pipeline (incrementally patched tree, per-prefix recompute).
 func (r *Router) SPFIncrementalRuns() uint64 { return r.spfIncRuns }
 
-// Neighbors returns the IDs of adjacent routers that are currently up.
+// Neighbors returns the IDs of adjacent routers that are currently up,
+// in ascending router-ID order.
 func (r *Router) Neighbors() []RouterID {
 	var out []RouterID
-	for id, n := range r.nbrs {
+	for _, n := range r.nbrList {
 		if n.up {
-			out = append(out, id)
+			out = append(out, n.id)
 		}
 	}
 	return out
@@ -177,13 +228,16 @@ func (r *Router) Neighbors() []RouterID {
 
 func (r *Router) addNeighbor(link topo.Link) {
 	id := NodeRouterID(link.To)
-	r.nbrs[id] = &neighbor{
+	n := &neighbor{
 		id:      id,
 		node:    link.To,
 		link:    link,
 		up:      true,
 		unacked: make(map[Key]*pendingLSA),
 	}
+	r.nbrs[id] = n
+	r.nbrList = append(r.nbrList, n)
+	slices.SortFunc(r.nbrList, func(a, b *neighbor) int { return cmp.Compare(a.id, b.id) })
 }
 
 // --- Origination -------------------------------------------------------
@@ -197,7 +251,7 @@ func (r *Router) nextSeq(k Key) uint32 {
 // its live adjacencies.
 func (r *Router) originateRouterLSA() {
 	l := &LSA{Header: Header{Type: TypeRouter, AdvRouter: r.id, LSID: 0}}
-	for _, n := range r.nbrs {
+	for _, n := range r.nbrList {
 		if !n.up {
 			continue
 		}
@@ -260,7 +314,7 @@ func (r *Router) refreshOwn() {
 // --- Flooding ----------------------------------------------------------
 
 func (r *Router) floodExcept(l *LSA, except RouterID) {
-	for _, n := range r.nbrs {
+	for _, n := range r.nbrList {
 		if !n.up || n.id == except {
 			continue
 		}
@@ -297,7 +351,7 @@ func (r *Router) sendAck(n *neighbor, hs ...Header) {
 }
 
 func (r *Router) send(n *neighbor, pkt *Packet) {
-	data := pkt.Encode()
+	data := pkt.AppendEncode(r.dom.getBuf())
 	r.PacketsSent++
 	r.BytesSent += uint64(len(data))
 	r.dom.deliver(r.id, n, data, pkt.Type != PktHello)
@@ -417,7 +471,7 @@ func (r *Router) handleAck(n *neighbor, pkt *Packet) {
 
 func (r *Router) helloTick() {
 	now := r.dom.sched.Now()
-	for _, n := range r.nbrs {
+	for _, n := range r.nbrList {
 		if n.up && now-n.lastHello > r.cfg.DeadInterval && n.lastHello >= 0 {
 			n.up = false
 			for k, p := range n.unacked {
@@ -434,17 +488,20 @@ func (r *Router) helloTick() {
 
 // --- Route computation -------------------------------------------------
 
+// scheduleSPF arms the debounced recomputation as a two-phase parallel
+// event: when several routers' debounce windows expire at the same
+// instant (the common case after a flood round — every router schedules
+// at flood-arrival + SPFDelay), the scheduler fans their compute phases
+// out to the worker pool and then commits (FIB deltas, protocol errors,
+// spfPending bookkeeping) sequentially in FIFO order, so the output is
+// byte-identical to the sequential core.
 func (r *Router) scheduleSPF() {
 	if r.spfScheduled {
 		return
 	}
 	r.spfScheduled = true
 	r.dom.spfPending++
-	r.dom.sched.After(r.cfg.SPFDelay, func() {
-		r.spfScheduled = false
-		r.dom.spfPending--
-		r.computeRoutes()
-	})
+	r.dom.sched.AfterParallel(r.cfg.SPFDelay, r.spfCompute, r.spfCommit)
 }
 
 // computeRoutes updates the FIB from the LSDB. The default path is the
@@ -507,8 +564,17 @@ func (r *Router) computeRoutes() {
 	}
 
 	anns, prefixOf := r.collectAnnouncers(c)
-	diff := &fib.Diff{Router: r.node}
-	for k, alist := range anns {
+	// Iterate prefixes in sorted order: the diff's change order and any
+	// routeFor error order are output-visible, and map order is not
+	// reproducible across runs.
+	keys := make([]string, 0, len(anns))
+	for k := range anns {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	diff := fib.NewDiff(r.node, len(keys))
+	for _, k := range keys {
+		alist := anns[k]
 		if !touchedAll && !eff.dirtyPrefixes[k] && !announcerTouched(alist, touchedSet) {
 			continue
 		}
@@ -523,10 +589,14 @@ func (r *Router) computeRoutes() {
 		}
 	}
 	// Prefixes whose last announcement vanished from the LSDB.
+	gone := make([]string, 0, len(eff.dirtyPrefixes))
 	for k := range eff.dirtyPrefixes {
-		if _, still := anns[k]; still {
-			continue
+		if _, still := anns[k]; !still {
+			gone = append(gone, k)
 		}
+	}
+	slices.Sort(gone)
+	for _, k := range gone {
 		p, err := netip.ParsePrefix(k)
 		if err != nil {
 			continue
@@ -540,12 +610,12 @@ func (r *Router) computeRoutes() {
 	}
 	table := r.fib.Clone()
 	if err := table.ApplyDiff(diff); err != nil {
-		r.dom.protocolError(r.id, err)
+		r.spfError(err)
 		r.recomputeFull()
 		return
 	}
 	r.fib = table
-	r.dom.fibChanged(r.node, table, diff)
+	r.pendingTable, r.pendingDiff = table, diff
 }
 
 // announcerTouched reports whether any announcer sits in the touched set.
@@ -577,7 +647,7 @@ func (r *Router) buildFullState() (c *spfCache, table *fib.Table, ok bool) {
 			continue
 		}
 		if err := table.Install(route); err != nil {
-			r.dom.protocolError(r.id, err)
+			r.spfError(err)
 		}
 	}
 	return c, table, true
@@ -597,6 +667,6 @@ func (r *Router) recomputeFull() {
 	diff := fib.DiffTables(r.node, r.fib, table)
 	r.fib = table
 	if !diff.Empty() {
-		r.dom.fibChanged(r.node, table, diff)
+		r.pendingTable, r.pendingDiff = table, diff
 	}
 }

@@ -1,0 +1,148 @@
+package scenarios
+
+import (
+	"encoding/json"
+	"fmt"
+	"slices"
+	"strings"
+	"testing"
+
+	"fibbing.net/fibbing/internal/controller"
+	"fibbing.net/fibbing/internal/fib"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// parallelCapture is everything the determinism property compares between
+// worker counts: the ordered OnFIBDelta sequence, the final FIB of every
+// router, and the whole Report (scrubbed of the parallelism telemetry,
+// the only fields the contract allows to differ). Batches carries the
+// unscrubbed parallel-batch count for the non-vacuity check.
+type parallelCapture struct {
+	Deltas  string
+	FIBs    string
+	Report  string
+	Batches uint64
+}
+
+// runCaptured runs one cell at the given worker-pool width and snapshots
+// the determinism artifacts. It arms the package test hook, so callers
+// must be serial tests.
+func runCaptured(t *testing.T, spec Spec, workers int) parallelCapture {
+	t.Helper()
+	spec.Workers = workers
+	var (
+		sim   *controller.Sim
+		trace strings.Builder
+	)
+	testHookSimBuilt = func(s *controller.Sim) {
+		sim = s
+		// Chain-wrap the delta callback: record the diff, then forward it
+		// to the data plane as before.
+		prev := s.Domain.OnFIBDelta
+		s.Domain.OnFIBDelta = func(n topo.NodeID, tb *fib.Table, d *fib.Diff) {
+			fmt.Fprintf(&trace, "@%v %s\n", s.Sched.Now(), d)
+			if prev != nil {
+				prev(n, tb, d)
+			}
+		}
+	}
+	defer func() { testHookSimBuilt = nil }()
+	rep, err := Run(spec, true)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", spec.Name, workers, err)
+	}
+	batches := rep.ParallelBatches
+	rep.Workers, rep.MaxBatch = 0, 0
+	rep.ParallelBatches, rep.ParallelSPFRuns, rep.SequentialSPFRuns = 0, 0, 0
+	repJSON, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("%s workers=%d: marshal report: %v", spec.Name, workers, err)
+	}
+
+	plane := sim.Domain.Plane()
+	nodes := make([]topo.NodeID, 0, len(plane.Tables))
+	for n := range plane.Tables {
+		nodes = append(nodes, n)
+	}
+	slices.Sort(nodes)
+	var fibs strings.Builder
+	for _, n := range nodes {
+		fmt.Fprintf(&fibs, "# %s\n%s", sim.Topo.Name(n), plane.Tables[n].String())
+	}
+	return parallelCapture{
+		Deltas:  trace.String(),
+		FIBs:    fibs.String(),
+		Report:  string(repJSON),
+		Batches: batches,
+	}
+}
+
+// diffLine points at the first divergent line of two multi-line strings,
+// so a determinism failure names the exact delta or FIB entry instead of
+// dumping two full transcripts.
+func diffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var la, lb string
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if la != lb {
+			return fmt.Sprintf("line %d:\n  seq: %q\n  par: %q", i+1, la, lb)
+		}
+	}
+	return "equal"
+}
+
+// TestParallelCoreDeterminism is the zoo-wide determinism property of the
+// parallel simulation core: for every matrix cell — and every cell again
+// under a different seed — a run with a 4-wide worker pool must be
+// byte-identical to the sequential core in (a) the full ordered sequence
+// of OnFIBDelta emissions, (b) every router's final FIB, and (c) the
+// whole Report except the parallelism telemetry. Because the pool width
+// is a spec knob (not GOMAXPROCS), the parallel batch path is exercised
+// even on a single-CPU host, and `go test -race` interleaves the worker
+// goroutines over the shared SPF scratch pools and flood-buffer freelist.
+//
+// Serial on purpose: it arms the package test hook (see
+// TestAggregateReshareMatchesGlobalSolve for the ordering argument).
+func TestParallelCoreDeterminism(t *testing.T) {
+	specs := MatrixSpecs()
+	// A second seed per cell: reseeding shifts the Poisson arrivals and
+	// generator randomness so the property is not an artifact of the
+	// pinned matrix seeds.
+	for _, spec := range MatrixSpecs() {
+		spec.Seed += 7777
+		spec.Name += "/reseed"
+		specs = append(specs, spec)
+	}
+	var batched uint64
+	for _, spec := range specs {
+		seq := runCaptured(t, spec, 1)
+		par := runCaptured(t, spec, 4)
+		batched += par.Batches
+		if seq.Deltas != par.Deltas {
+			t.Errorf("%s: OnFIBDelta sequence diverged at %s", spec.Name, diffLine(seq.Deltas, par.Deltas))
+		}
+		if seq.FIBs != par.FIBs {
+			t.Errorf("%s: final FIBs diverged at %s", spec.Name, diffLine(seq.FIBs, par.FIBs))
+		}
+		if seq.Report != par.Report {
+			t.Errorf("%s: reports diverged:\n seq=%s\n par=%s", spec.Name, seq.Report, par.Report)
+		}
+		if seq.Batches != 0 {
+			t.Errorf("%s: sequential core reported %d parallel batches", spec.Name, seq.Batches)
+		}
+		if t.Failed() {
+			t.Fatalf("%s: parallel core is not byte-identical to sequential", spec.Name)
+		}
+	}
+	// Non-vacuity: the zoo must actually drive multi-event SPF batches
+	// through the pool, or the property proves nothing.
+	if batched == 0 {
+		t.Fatal("no matrix cell executed a parallel batch")
+	}
+}

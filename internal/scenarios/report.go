@@ -81,6 +81,17 @@ type Report struct {
 	ReshareFull        uint64 `json:"reshare_full_runs,omitempty"`
 	Aggregates         int    `json:"aggregates,omitempty"`
 
+	// Parallel-core telemetry: the scheduler's worker-pool width, how many
+	// multi-event SPF batches it executed, how many SPF runs rode inside
+	// them versus firing alone, and the largest batch. These fields are
+	// the only report content allowed to differ between worker counts —
+	// everything else is byte-identical by the determinism contract.
+	Workers           int    `json:"workers,omitempty"`
+	ParallelBatches   uint64 `json:"parallel_batches,omitempty"`
+	ParallelSPFRuns   uint64 `json:"parallel_spf_runs,omitempty"`
+	SequentialSPFRuns uint64 `json:"sequential_spf_runs,omitempty"`
+	MaxBatch          int    `json:"max_batch,omitempty"`
+
 	ControllerErrors []string `json:"controller_errors,omitempty"`
 	ProtocolErrors   []string `json:"protocol_errors,omitempty"`
 	// Notes carries non-fatal reporting degradations (e.g. the LP bound

@@ -94,6 +94,7 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 		SampleEvery:  500 * time.Millisecond,
 		VideoSample:  250 * time.Millisecond,
 		Monitor:      monitor.Config{HighThreshold: hotThreshold},
+		Workers:      spec.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)
@@ -220,6 +221,12 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	rep.ReshareFull = netStats.ReshareFull
 	rep.ReshareIncremental = netStats.ReshareIncremental
 	rep.Aggregates = netStats.Aggregates
+	par := sim.Sched.Parallel()
+	rep.Workers = par.Workers
+	rep.ParallelBatches = par.Batches
+	rep.ParallelSPFRuns = par.BatchedEvents
+	rep.SequentialSPFRuns = par.SoloParallel
+	rep.MaxBatch = par.MaxBatch
 	if len(demandsAtSettle) > 0 {
 		// The dense-simplex LP bound is for reporting only; beyond the
 		// controller's own LP size limit it would dominate the cell's

@@ -171,6 +171,11 @@ type Spec struct {
 	// names, e.g. "localecmp,ksp"; the withdraw strategy is implied).
 	// Empty keeps controller.DefaultStrategies.
 	Strategies []string `json:"strategies,omitempty"`
+	// Workers sets the simulation core's worker-pool width: 0 means
+	// GOMAXPROCS, 1 forces the sequential core. The run's outcome is
+	// byte-identical either way (only wall-clock and the parallelism
+	// telemetry change), so cells never need to pin it for determinism.
+	Workers int `json:"workers,omitempty"`
 }
 
 func (s Spec) withDefaults() Spec {

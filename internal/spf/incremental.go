@@ -71,7 +71,9 @@ func Incremental(g *Graph, prev *Tree, changes []GraphChange, skip func(topo.Nod
 		fDone
 		fSeen
 	)
-	flags := make([]uint8, n)
+	sc := getScratch()
+	defer sc.release()
+	flags := sc.flagSlice(n)
 	nDirty := 0
 	mark := func(v topo.NodeID) {
 		if v != src && flags[v]&fDirty == 0 {
@@ -168,7 +170,7 @@ func Incremental(g *Graph, prev *Tree, changes []GraphChange, skip func(topo.Nod
 		}
 	}
 
-	var h heap
+	h := &sc.h
 	relax := func(u topo.NodeID, du int64, e Edge) {
 		alt := du + e.Weight
 		if alt < 0 { // overflow guard

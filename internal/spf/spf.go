@@ -18,9 +18,49 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"sync"
 
 	"fibbing.net/fibbing/internal/topo"
 )
+
+// scratch is the reusable working state of one SPF run: the visited set
+// (Compute), the per-node flag vector (Incremental), and the binary-heap
+// backing array. The parallel simulation core runs many per-router SPF
+// computations per tick on worker goroutines, so the scratch is pooled —
+// effectively per worker — instead of allocated per run. Results (Dist,
+// preds) never alias scratch memory.
+type scratch struct {
+	done  []bool
+	flags []uint8
+	h     heap
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+
+func (s *scratch) release() {
+	s.h.a = s.h.a[:0]
+	scratchPool.Put(s)
+}
+
+func (s *scratch) boolSlice(n int) []bool {
+	if cap(s.done) < n {
+		s.done = make([]bool, n)
+	}
+	s.done = s.done[:n]
+	clear(s.done)
+	return s.done
+}
+
+func (s *scratch) flagSlice(n int) []uint8 {
+	if cap(s.flags) < n {
+		s.flags = make([]uint8, n)
+	}
+	s.flags = s.flags[:n]
+	clear(s.flags)
+	return s.flags
+}
 
 // Infinity is the distance reported for unreachable nodes.
 const Infinity int64 = math.MaxInt64
@@ -212,8 +252,10 @@ func Compute(g *Graph, src topo.NodeID, skip func(topo.NodeID) bool) *Tree {
 		t.Dist[i] = Infinity
 	}
 	t.Dist[src] = 0
-	done := make([]bool, n)
-	var h heap
+	sc := getScratch()
+	defer sc.release()
+	done := sc.boolSlice(n)
+	h := &sc.h
 	h.push(item{node: src, dist: 0})
 	for !h.empty() {
 		it := h.pop()
