@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fuzz matrix quickstart bench bench-gate scale docs-check
+.PHONY: all build test race vet fuzz matrix failover quickstart bench bench-gate scale docs-check
 
 all: vet build test
 
@@ -27,6 +27,11 @@ fuzz:
 matrix:
 	$(GO) run ./cmd/fiblab -matrix
 
+# The fast-failover cells as a CI gate: BFD+standby vs SNMP-poll twins
+# with 10x failure-to-commit latency and stall-ratio invariants.
+failover:
+	$(GO) run ./cmd/fiblab -failover
+
 # Example smoke: quickstart exercises the public API end to end (the CI
 # runs it so example drift fails the build).
 quickstart:
@@ -42,19 +47,22 @@ bench:
 	$(GO) run ./cmd/benchjson -o BENCH_baseline.json < bench.out.tmp; s=$$?; rm -f bench.out.tmp; exit $$s
 	@echo wrote BENCH_baseline.json
 
-# Regression gate on the delta hot paths, the Gbit-scale planner, and
-# the parallel simulation core: fails when ns/op of the incremental-SPF
-# benchmark, the aggregate traffic plane's 100k-viewer join benchmark,
-# the planner fan-out at 1 Gbit/s, or the worker-pool churn benchmarks
-# (fat-tree k=8 and the scale tier's k=16, both pool widths) regresses
-# >2x against the committed baseline (the planner benchmark also asserts
-# a plan commits, so the numerics ceiling cannot silently return). The
-# parallel benchmarks additionally gate allocs/op (limit 1.05x): the
-# worker pool must not buy wall-clock with garbage. -count 5 + best-of
-# in benchjson filters scheduler noise.
+# Regression gate on the delta hot paths, the Gbit-scale planner, the
+# failover reaction path, and the parallel simulation core: fails when
+# ns/op of the incremental-SPF benchmark, the aggregate traffic plane's
+# 100k-viewer join benchmark, the planner fan-out at 1 Gbit/s, the
+# failover-cell runs (BFD+standby and SNMP-poll detection), or the
+# worker-pool churn benchmarks (fat-tree k=8 and the scale tier's k=16,
+# both pool widths) regresses >2x against the committed baseline. The
+# planner benchmark also asserts a plan commits (so the numerics ceiling
+# cannot silently return) and the failover benchmarks assert the failure
+# was detected and a plan committed after it, so the fast-failover
+# pipeline cannot silently break. The parallel benchmarks additionally
+# gate allocs/op (limit 1.05x): the worker pool must not buy wall-clock
+# with garbage. -count 5 + best-of in benchjson filters scheduler noise.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalVsFull|BenchmarkReshareIncremental|BenchmarkPlannerGbit' -benchtime 1x -count 5 . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
-	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'IncrementalVsFull.*/incremental$$|ReshareIncremental/viewers=100000/join$$|PlannerGbit/1G$$' -max-ratio 2 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
+	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalVsFull|BenchmarkReshareIncremental|BenchmarkPlannerGbit|BenchmarkReactionLatency/failover' -benchtime 1x -count 5 . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'IncrementalVsFull.*/incremental$$|ReshareIncremental/viewers=100000/join$$|PlannerGbit/1G$$|ReactionLatency/failover/(bfd|snmp)$$' -max-ratio 2 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelSPF|BenchmarkScaleTier' -benchtime 1x -count 5 -benchmem . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'ParallelSPF/(seq|par)$$|ScaleTier/(seq|par)$$' -max-ratio 2 -max-allocs-ratio 1.05 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
 

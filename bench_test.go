@@ -102,12 +102,54 @@ func BenchmarkABRExtension(b *testing.B) {
 	})
 }
 
-// BenchmarkReactionLatency regenerates the reaction timeline (surge ->
-// decision -> full delivery per wave).
+// BenchmarkReactionLatency measures the control loop's reaction time.
+// "surge" regenerates the paper's reaction timeline (surge -> decision ->
+// full delivery per wave). The "failover" pair runs the fig1 fast-failover
+// cell end to end under each detection path — BFD liveness + standby cache
+// against SNMP-poll/IGP-timescale detection — and reports the
+// failure-to-commit latency as commit-latency-ms next to the usual wall
+// ns/op. Each iteration asserts the failure was detected and a plan
+// committed, so the gated benchmark doubles as a regression tripwire for
+// the failover pipeline (the way BenchmarkPlannerGbit guards the
+// numerics).
 func BenchmarkReactionLatency(b *testing.B) {
-	runChecked(b, func() (*experiments.Result, error) {
-		return experiments.ReactionLatency(60 * time.Second)
+	b.Run("surge", func(b *testing.B) {
+		runChecked(b, func() (*experiments.Result, error) {
+			return experiments.ReactionLatency(60 * time.Second)
+		})
 	})
+	base := scenarios.FailoverSpecs()[0] // fig1 steady/hotlink
+	for _, mode := range []struct {
+		name string
+		bfd  bool
+	}{{"failover/bfd", true}, {"failover/snmp", false}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			spec := base
+			if !mode.bfd {
+				spec.BFD = false
+				spec.StandbyK = 0
+			}
+			var latency time.Duration
+			for i := 0; i < b.N; i++ {
+				rep, err := scenarios.Run(spec, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.FailureAt < 0 {
+					b.Fatal("failure schedule never fired")
+				}
+				if rep.FailoverCommitAt < 0 {
+					b.Fatal("no plan committed after the failure")
+				}
+				if mode.bfd && rep.BFDLinkDowns == 0 {
+					b.Fatal("BFD never detected the failure")
+				}
+				latency = rep.FailoverLatency
+			}
+			b.ReportMetric(float64(latency)/float64(time.Millisecond), "commit-latency-ms")
+		})
+	}
 }
 
 // --- Ablation benchmarks for DESIGN.md's design choices -----------------

@@ -16,6 +16,9 @@
 //	fiblab -run abilene/surge -capacity 10G
 //	                                # the same relative problem at 10 Gbit/s
 //	fiblab -scale                   # scaling cells (Gbit-capacity defaults)
+//	fiblab -failover                # BFD+standby vs SNMP failover cells
+//	fiblab -topo fig1 -workload steady -failure hotlink -bfd -standby-k 3
+//	                                # ad-hoc run with fast failover enabled
 //
 // The exit status is non-zero when any executed cell violates its
 // invariants, so fiblab doubles as a CI gate.
@@ -52,6 +55,10 @@ func main() {
 		failure  = flag.String("failure", "", "ad-hoc run: failure schedule (hotlink, flap)")
 		viewers  = flag.Int("viewers", 0, "scale the crowd to about this many sessions (exact for surge; same total demand, finer slices; 0 keeps the default sizing)")
 		workers  = flag.Int("workers", 0, "simulation worker-pool width: 0 uses GOMAXPROCS, 1 forces the sequential core (output is byte-identical either way)")
+
+		failover = flag.Bool("failover", false, "run the fast-failover cells: each compares BFD+standby against SNMP-poll failure detection")
+		bfd      = flag.Bool("bfd", false, "attach BFD-style per-link liveness sessions (50ms hellos, detect multiplier 3) feeding the controller")
+		standbyK = flag.Int("standby-k", 0, "with -bfd, precompute failover plans for the K busiest links during controller idle time (0 disables the cache)")
 	)
 	flag.Parse()
 
@@ -88,6 +95,11 @@ func main() {
 
 	if *scale {
 		runScale(*duration, *jsonOut, strategyNames, *viewers, capOverride, *workers)
+		return
+	}
+
+	if *failover {
+		runFailover(*duration, *jsonOut, *workers)
 		return
 	}
 
@@ -131,6 +143,12 @@ func main() {
 			spec.Topo.Capacity = capOverride
 		}
 		spec.Workers = *workers
+		if *bfd {
+			spec.BFD = true
+		}
+		if *standbyK > 0 {
+			spec.StandbyK = *standbyK
+		}
 		cmp, err := scenarios.Compare(spec)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
@@ -158,6 +176,47 @@ func main() {
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "fiblab: invariant violations (see above)")
+		os.Exit(1)
+	}
+}
+
+// runFailover executes the fast-failover cells: each spec runs twice
+// with the controller on — BFD + standby cache against SNMP-poll
+// detection — and the comparison checks the order-of-magnitude latency
+// and stall-ratio invariants between them.
+func runFailover(duration time.Duration, jsonOut bool, workers int) {
+	var results []*scenarios.FailoverComparison
+	failed := false
+	for _, spec := range scenarios.FailoverSpecs() {
+		if duration > 0 {
+			spec.Duration = duration
+		}
+		spec.Workers = workers
+		cmp, err := scenarios.CompareFailover(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, cmp)
+		if len(cmp.Violations) > 0 {
+			failed = true
+		}
+		if !jsonOut {
+			var b strings.Builder
+			cmp.Render(&b)
+			fmt.Print(b.String())
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "fiblab: failover invariant violations (see above)")
 		os.Exit(1)
 	}
 }

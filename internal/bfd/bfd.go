@@ -1,0 +1,467 @@
+// Package bfd implements BFD-style link liveness (RFC 5880's three-state
+// machine, asynchronous mode) for the simulated network: one session per
+// symmetric router-router link, two endpoint halves exchanging control
+// packets over the link at millisecond intervals, with tx-interval /
+// detect-multiplier negotiation, jittered hello timers on the virtual
+// scheduler, and flap damping on the session's aggregated liveness.
+//
+// The engine is the fast half of the failover subsystem: where the SNMP
+// poller notices a dead link only once EWMA'd counters stop moving (poll
+// timescale, seconds), a BFD session misses DetectMult consecutive hellos
+// and reports the failure in a few tx intervals (milliseconds). Detected
+// transitions surface through the OnDown/OnUp callbacks, which
+// controller.NewSim wires straight into the controller's typed event
+// pipeline — bypassing the poll path entirely.
+//
+// Everything runs on the event.Scheduler and draws randomness from
+// per-endpoint seeded PRNGs, so runs are deterministic and byte-identical
+// at any worker-pool width (BFD events are plain sequential events).
+package bfd
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// State is a session endpoint's RFC 5880 state.
+type State uint8
+
+const (
+	// StateDown: no recent hello from the peer (or never any).
+	StateDown State = iota
+	// StateInit: we hear the peer, but it does not yet hear us.
+	StateInit
+	// StateUp: two-way liveness established.
+	StateUp
+)
+
+// String names the state for logs.
+func (s State) String() string {
+	switch s {
+	case StateDown:
+		return "down"
+	case StateInit:
+		return "init"
+	case StateUp:
+		return "up"
+	}
+	return "unknown"
+}
+
+// ControlPacket is one BFD control message: the sender's state plus its
+// timer parameters, from which the receiver negotiates its detection
+// time (max(local MinRx, remote TxInterval) × remote DetectMult).
+type ControlPacket struct {
+	State      State
+	TxInterval time.Duration // sender's desired min transmit interval
+	MinRx      time.Duration // sender's required min receive interval
+	DetectMult int
+}
+
+// Config parameterises an Engine.
+type Config struct {
+	// TxInterval is the desired hello transmit interval (default 50ms).
+	// Actual transmissions are jittered to 75–100% of it (RFC 5880
+	// §6.8.7), so sessions never phase-lock.
+	TxInterval time.Duration
+	// MinRx is the slowest hello rate this end accepts (default =
+	// TxInterval). The detection time is max(MinRx, remote TxInterval) ×
+	// remote DetectMult.
+	MinRx time.Duration
+	// DetectMult is how many hello intervals may be missed before the
+	// session is declared down (default 3).
+	DetectMult int
+	// Seed drives the per-endpoint jitter PRNGs.
+	Seed int64
+
+	// Flap damping: every session down adds FlapPenalty to a decaying
+	// penalty (half-life HalfLife); while the penalty is at or above
+	// SuppressAt, up-notifications are withheld until it decays below
+	// ReuseBelow. Down-notifications are never suppressed — a consumer
+	// must always learn the link is gone. Defaults: 1000 / 2000 / 750 /
+	// 8s, i.e. a single failure never suppresses, rapid repeated flaps
+	// do.
+	FlapPenalty float64
+	SuppressAt  float64
+	ReuseBelow  float64
+	HalfLife    time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.TxInterval <= 0 {
+		c.TxInterval = 50 * time.Millisecond
+	}
+	if c.MinRx <= 0 {
+		c.MinRx = c.TxInterval
+	}
+	if c.DetectMult <= 0 {
+		c.DetectMult = 3
+	}
+	if c.FlapPenalty <= 0 {
+		c.FlapPenalty = 1000
+	}
+	if c.SuppressAt <= 0 {
+		c.SuppressAt = 2000
+	}
+	if c.ReuseBelow <= 0 {
+		c.ReuseBelow = 750
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = 8 * time.Second
+	}
+	return c
+}
+
+// Stats counts what the engine has seen and reported.
+type Stats struct {
+	Sessions      int
+	PacketsTx     uint64
+	PacketsRx     uint64
+	DownEvents    uint64 // OnDown notifications emitted
+	UpEvents      uint64 // OnUp notifications emitted
+	SuppressedUps uint64 // up transitions withheld by flap damping
+}
+
+// Engine runs one liveness session per symmetric router-router link of a
+// topology. Construct with New, wire the callbacks, then Start.
+type Engine struct {
+	topo  *topo.Topology
+	sched *event.Scheduler
+	cfg   Config
+
+	// Blocked reports whether a directed link currently drops packets —
+	// the transport ground truth, typically ospf.(*Domain).LinkBlocked.
+	// nil means "never blocked".
+	Blocked func(topo.LinkID) bool
+	// OnDown fires when a session that had been announced up loses
+	// liveness; the link is the session's canonical (lower-ID) half.
+	// Never suppressed by damping.
+	OnDown func(topo.Link)
+	// OnUp fires when liveness returns (subject to flap damping). The
+	// first-ever establishment of a session is not announced: the link
+	// was never reported down.
+	OnUp func(topo.Link)
+
+	sessions map[topo.LinkID]*Session // keyed by the pair's lower LinkID
+	stats    Stats
+	started  bool
+}
+
+// New builds an engine over the topology's router-router links.
+func New(t *topo.Topology, sched *event.Scheduler, cfg Config) *Engine {
+	return &Engine{
+		topo:     t,
+		sched:    sched,
+		cfg:      cfg.withDefaults(),
+		sessions: make(map[topo.LinkID]*Session),
+	}
+}
+
+// Start creates the sessions and begins transmitting hellos. Idempotent.
+func (e *Engine) Start() {
+	if e.started {
+		return
+	}
+	e.started = true
+	for _, l := range e.topo.Links() {
+		if l.Reverse == topo.NoLink || l.Reverse < l.ID {
+			continue // one session per pair, keyed by the lower half
+		}
+		if e.topo.Node(l.From).Host || e.topo.Node(l.To).Host {
+			continue // hosts run no IGP, so no liveness sessions either
+		}
+		s := &Session{eng: e, link: l}
+		s.a = endpoint{sess: s, out: l.ID}
+		s.b = endpoint{sess: s, out: l.Reverse}
+		s.a.peer, s.b.peer = &s.b, &s.a
+		seed := e.cfg.Seed*1_000_003 + int64(l.ID)
+		s.a.rng = rand.New(rand.NewSource(seed*2 + 1))
+		s.b.rng = rand.New(rand.NewSource(seed*2 + 2))
+		e.sessions[l.ID] = s
+		e.stats.Sessions++
+		s.a.armTx()
+		s.b.armTx()
+	}
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Session returns the session covering the given directed link (either
+// half of the pair), if one exists.
+func (e *Engine) Session(id topo.LinkID) (*Session, bool) {
+	if id < 0 || int(id) >= e.topo.NumLinks() {
+		return nil, false
+	}
+	if s, ok := e.sessions[id]; ok {
+		return s, true
+	}
+	if r := e.topo.Link(id).Reverse; r != topo.NoLink {
+		s, ok := e.sessions[r]
+		return s, ok
+	}
+	return nil, false
+}
+
+// Session is the liveness session over one symmetric link: two endpoint
+// halves plus the aggregated, damped link verdict.
+type Session struct {
+	eng  *Engine
+	link topo.Link // canonical (lower-ID) half
+	a, b endpoint  // a transmits on link.ID, b on link.Reverse
+
+	up        bool // both endpoints Up
+	everUp    bool // handshake completed at least once
+	announced bool // what the consumer believes (true after first up)
+
+	penalty    float64       // decaying flap penalty
+	penaltyAt  time.Duration // instant penalty was last folded
+	suppressed bool          // an up-announcement is pending decay
+}
+
+// Link returns the session's canonical link.
+func (s *Session) Link() topo.Link { return s.link }
+
+// Up reports the aggregated (undamped) liveness verdict.
+func (s *Session) Up() bool { return s.up }
+
+// States returns both endpoints' states (the link.From side first).
+func (s *Session) States() (State, State) { return s.a.state, s.b.state }
+
+// Suppressed reports whether flap damping is currently withholding an
+// up-announcement.
+func (s *Session) Suppressed() bool { return s.suppressed }
+
+// endpoint is one half of a session: it transmits hellos on its directed
+// link and runs the RFC 5880 state machine on what it hears back.
+type endpoint struct {
+	sess *Session
+	out  topo.LinkID // directed link toward the peer
+	peer *endpoint
+	rng  *rand.Rand
+
+	state       State
+	remote      ControlPacket // last packet heard from the peer
+	haveRemote  bool
+	detect      event.Handle
+	detectArmed bool
+}
+
+// transition applies RFC 5880 §6.8.6's three-state machine to a received
+// remote state. Detection timeouts are handled separately (detectExpired)
+// and always force StateDown.
+func transition(local, remote State) State {
+	switch local {
+	case StateDown:
+		switch remote {
+		case StateDown:
+			return StateInit // the peer hears nothing yet; we hear it
+		case StateInit:
+			return StateUp // the peer hears us; two-way confirmed
+		default:
+			return StateDown // remote Up without a handshake: ignore
+		}
+	case StateInit:
+		if remote == StateInit || remote == StateUp {
+			return StateUp
+		}
+		return StateInit
+	default: // StateUp
+		if remote == StateDown {
+			return StateDown // the peer lost us; drop immediately
+		}
+		return StateUp
+	}
+}
+
+// armTx schedules the next hello at 75–100% of the tx interval (RFC 5880
+// §6.8.7 jitter), drawn from this endpoint's deterministic PRNG.
+func (ep *endpoint) armTx() {
+	iv := ep.sess.eng.cfg.TxInterval
+	d := time.Duration((0.75 + 0.25*ep.rng.Float64()) * float64(iv))
+	ep.sess.eng.sched.After(d, ep.txTick)
+}
+
+func (ep *endpoint) txTick() {
+	ep.transmit()
+	ep.armTx()
+}
+
+// transmit sends one control packet toward the peer. A blocked link eats
+// the packet — that is exactly how the peer's detection timer learns of
+// the failure.
+func (ep *endpoint) transmit() {
+	eng := ep.sess.eng
+	eng.stats.PacketsTx++
+	if eng.Blocked != nil && eng.Blocked(ep.out) {
+		return
+	}
+	pkt := ControlPacket{
+		State:      ep.state,
+		TxInterval: eng.cfg.TxInterval,
+		MinRx:      eng.cfg.MinRx,
+		DetectMult: eng.cfg.DetectMult,
+	}
+	delay := eng.topo.Link(ep.out).Delay
+	eng.sched.After(delay, func() {
+		if eng.Blocked != nil && eng.Blocked(ep.out) {
+			return // the link failed while the packet was in flight
+		}
+		ep.peer.receive(pkt)
+	})
+}
+
+// receive runs the state machine on one heard packet and re-arms the
+// negotiated detection timer.
+func (ep *endpoint) receive(pkt ControlPacket) {
+	ep.sess.eng.stats.PacketsRx++
+	ep.remote, ep.haveRemote = pkt, true
+	ep.setState(transition(ep.state, pkt.State))
+	ep.armDetect()
+}
+
+// detectTime is the negotiated detection interval: the slower of what we
+// demand (MinRx) and what the peer offers (its TxInterval), times the
+// peer's detect multiplier.
+func (ep *endpoint) detectTime() time.Duration {
+	eng := ep.sess.eng
+	iv := ep.remote.TxInterval
+	if eng.cfg.MinRx > iv {
+		iv = eng.cfg.MinRx
+	}
+	mult := ep.remote.DetectMult
+	if mult <= 0 {
+		mult = 1
+	}
+	return time.Duration(mult) * iv
+}
+
+func (ep *endpoint) armDetect() {
+	eng := ep.sess.eng
+	if ep.detectArmed {
+		eng.sched.Cancel(ep.detect)
+	}
+	ep.detect = eng.sched.After(ep.detectTime(), ep.detectExpired)
+	ep.detectArmed = true
+}
+
+func (ep *endpoint) detectExpired() {
+	ep.detectArmed = false
+	ep.haveRemote = false
+	ep.setState(StateDown)
+}
+
+func (ep *endpoint) setState(next State) {
+	if next == ep.state {
+		return
+	}
+	ep.state = next
+	ep.sess.refresh()
+}
+
+// refresh recomputes the session's aggregated liveness and emits the
+// engine callbacks on transitions, applying flap damping to
+// up-announcements.
+func (s *Session) refresh() {
+	up := s.a.state == StateUp && s.b.state == StateUp
+	if up == s.up {
+		return
+	}
+	s.up = up
+	now := s.eng.sched.Now()
+	if !up {
+		s.suppressed = false // a pending damped up is moot now
+		if !s.everUp {
+			return
+		}
+		s.addPenalty(now)
+		if s.announced {
+			s.announced = false
+			s.eng.stats.DownEvents++
+			if s.eng.OnDown != nil {
+				s.eng.OnDown(s.link)
+			}
+		}
+		return
+	}
+	if !s.everUp {
+		// Initial establishment: the consumer never heard the link was
+		// down, so there is nothing to announce.
+		s.everUp, s.announced = true, true
+		return
+	}
+	if s.decayedPenalty(now) >= s.eng.cfg.SuppressAt {
+		s.suppressed = true
+		s.eng.stats.SuppressedUps++
+		s.scheduleReuse(now)
+		return
+	}
+	s.announceUp()
+}
+
+func (s *Session) announceUp() {
+	s.suppressed = false
+	s.announced = true
+	s.eng.stats.UpEvents++
+	if s.eng.OnUp != nil {
+		s.eng.OnUp(s.link)
+	}
+}
+
+// scheduleReuse re-examines a damped session once the penalty will have
+// decayed below the reuse threshold.
+func (s *Session) scheduleReuse(now time.Duration) {
+	p := s.decayedPenalty(now)
+	wait := time.Millisecond
+	if p > s.eng.cfg.ReuseBelow {
+		// Solve p · 2^(-t/halfLife) = ReuseBelow for t.
+		wait = time.Duration(math.Log2(p/s.eng.cfg.ReuseBelow) * float64(s.eng.cfg.HalfLife))
+		if wait < time.Millisecond {
+			wait = time.Millisecond
+		}
+	}
+	s.eng.sched.After(wait, func() {
+		if !s.suppressed || !s.up {
+			return // went down again (down was announced) or already reused
+		}
+		if n := s.eng.sched.Now(); s.decayedPenalty(n) >= s.eng.cfg.ReuseBelow {
+			s.scheduleReuse(n) // numeric slack: not quite below yet
+			return
+		}
+		s.announceUp()
+	})
+}
+
+func (s *Session) decayedPenalty(now time.Duration) float64 {
+	if s.penalty == 0 {
+		return 0
+	}
+	dt := now - s.penaltyAt
+	return s.penalty * math.Exp2(-float64(dt)/float64(s.eng.cfg.HalfLife))
+}
+
+func (s *Session) addPenalty(now time.Duration) {
+	s.penalty = s.decayedPenalty(now) + s.eng.cfg.FlapPenalty
+	s.penaltyAt = now
+}
+
+// DetectTime reports the engine's nominal detection latency: how long a
+// failed link stays unnoticed in the worst case (with symmetric configs,
+// TxInterval × DetectMult).
+func (e *Engine) DetectTime() time.Duration {
+	iv := e.cfg.TxInterval
+	if e.cfg.MinRx > iv {
+		iv = e.cfg.MinRx
+	}
+	return time.Duration(e.cfg.DetectMult) * iv
+}
+
+// String renders a compact engine summary for logs.
+func (e *Engine) String() string {
+	return fmt.Sprintf("bfd: %d sessions, detect %v", e.stats.Sessions, e.DetectTime())
+}

@@ -23,6 +23,8 @@ import (
 	"strings"
 	"time"
 
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/fibbing"
 	"fibbing.net/fibbing/internal/southbound"
 	"fibbing.net/fibbing/internal/topo"
 )
@@ -134,6 +136,31 @@ type Controller struct {
 	// raised tracks links with active congestion alarms.
 	raised map[topo.LinkID]bool
 
+	// failed tracks links the liveness layer (internal/bfd) has declared
+	// dead, keyed by the pair's canonical (lower) LinkID. Planning runs
+	// over the topology minus these links.
+	failed map[topo.LinkID]bool
+	// preFailure snapshots the installed lie set at the first link
+	// failure: failover plans are temporary detours, and when every
+	// failed link has healed the controller reverts to this state if it
+	// still evaluates better than the detour (see reactToRecovery).
+	preFailure map[string][]fibbing.Lie
+
+	// Fast-failover state (zero unless WithStandby enables the cache):
+	// sched drives the idle-precompute debounce; standby caches one plan
+	// per likely failed link, stamped with the generation of the inputs
+	// it was computed from; standbyGen bumps on any demand change,
+	// commit, or topology change, invalidating every older entry.
+	sched           *event.Scheduler
+	standbyK        int
+	standby         map[topo.LinkID]*standbyEntry
+	standbyGen      uint64
+	precompute      event.Handle
+	precomputeArmed bool
+
+	// Standby counts the cache's life (see StandbyStats).
+	Standby StandbyStats
+
 	// futile memoises planning rounds that produced no plan: planning
 	// is a pure function of (event link, demands, installed lies), so
 	// while none of those change, repeated alarms (the monitor's
@@ -178,6 +205,7 @@ func New(t *topo.Topology, lies *southbound.LieManager, now func() time.Duration
 		demand:     make(map[string]map[topo.NodeID]float64),
 		demandPeak: make(map[string]map[topo.NodeID]float64),
 		raised:     make(map[topo.LinkID]bool),
+		failed:     make(map[topo.LinkID]bool),
 		futile:     make(map[string]bool),
 	}
 	for _, opt := range opts {
@@ -203,6 +231,21 @@ func (c *Controller) Handle(ev Event) {
 		delete(c.raised, ev.Alarm.Link)
 		if len(c.raised) == 0 {
 			c.plan(ev)
+		}
+	case EventLinkDown:
+		if c.markFailed(ev.Link, true) {
+			if len(c.failed) == 1 {
+				// First failure of this episode: remember the healthy
+				// lie set so heals can restore it.
+				c.preFailure = c.lies.InstalledAll()
+			}
+			c.reactToFailure(ev)
+		}
+	case EventLinkUp:
+		if c.markFailed(ev.Link, false) {
+			c.reactToRecovery()
+			c.invalidateStandby()
+			c.armPrecompute()
 		}
 	}
 }
@@ -246,6 +289,9 @@ func (c *Controller) applyDemand(ev Event) {
 		delete(pk, ev.Ingress)
 	}
 	clear(c.futile) // changed demands may make a rejected plan viable
+	// Standby plans were computed for the old demands.
+	c.invalidateStandby()
+	c.armPrecompute()
 }
 
 // Demands snapshots the current demand model.
@@ -279,6 +325,19 @@ func (c *Controller) plan(ev Event) {
 	if ev.Kind == EventAlarmRaised && len(demands) == 0 {
 		return
 	}
+	// Plan over the topology minus liveness-failed links, remapping the
+	// alarm into the clone's ID space (node IDs are shared). An alarm on
+	// a failed link itself is obsolete: the failover path owns it.
+	pt := c.topo
+	if len(c.failed) > 0 {
+		pt = c.planningTopo()
+		l := c.topo.Link(ev.Alarm.Link)
+		nl, ok := pt.FindLink(l.From, l.To)
+		if !ok {
+			return
+		}
+		ev.Alarm.Link = nl.ID
+	}
 	// Check the memo before building the context: a hit means identical
 	// inputs to an earlier no-plan round, so even the base-utilisation
 	// evaluation (a full fluid routing) would come out the same.
@@ -286,7 +345,7 @@ func (c *Controller) plan(ev Event) {
 	if c.futile[key] {
 		return
 	}
-	ctx := buildPlanContext(c.topo, demands, c.lies.InstalledAll(), ev, c.cfg, len(c.raised))
+	ctx := buildPlanContext(pt, demands, c.lies.InstalledAll(), ev, c.cfg, len(c.raised))
 	if ev.Kind == EventAlarmRaised && ctx.BaseUtil <= c.cfg.target {
 		return // stale alarm
 	}
@@ -334,6 +393,10 @@ func (c *Controller) commit(plan *Plan) {
 		return // the plan was already installed; the IGP saw no traffic
 	}
 	c.log(strings.Join(prefixes, ","), plan.Strategy, plan.TotalLies(), plan.Rationale)
+	// The installed lie set changed; standby plans were computed over
+	// the previous one.
+	c.invalidateStandby()
+	c.armPrecompute()
 }
 
 func (c *Controller) log(prefix, strategy string, lies int, detail string) {

@@ -16,6 +16,13 @@ const (
 	// EventDemandChanged: a video session joined (positive DeltaRate) or
 	// left (negative DeltaRate) at an ingress.
 	EventDemandChanged
+	// EventLinkDown: a BFD session declared a link dead, milliseconds
+	// after the failure — long before the SNMP poller or the IGP dead
+	// interval would notice.
+	EventLinkDown
+	// EventLinkUp: a BFD session re-established (and cleared flap
+	// damping) on a previously failed link.
+	EventLinkUp
 )
 
 // String names the kind for logs.
@@ -27,6 +34,10 @@ func (k EventKind) String() string {
 		return "alarm-cleared"
 	case EventDemandChanged:
 		return "demand-changed"
+	case EventLinkDown:
+		return "link-down"
+	case EventLinkUp:
+		return "link-up"
 	}
 	return "unknown"
 }
@@ -45,6 +56,9 @@ type Event struct {
 	Prefix    string
 	Ingress   topo.NodeID
 	DeltaRate float64
+	// Link is set for EventLinkDown / EventLinkUp: the failed (or
+	// recovered) link, in the controller topology's ID space.
+	Link topo.Link
 }
 
 // AlarmEvent wraps a monitor alarm into the matching event.
@@ -61,3 +75,9 @@ func AlarmEvent(a monitor.Alarm) Event {
 func DemandEvent(prefix string, ingress topo.NodeID, rate float64) Event {
 	return Event{Kind: EventDemandChanged, Prefix: prefix, Ingress: ingress, DeltaRate: rate}
 }
+
+// LinkDownEvent wraps a liveness-detected link failure.
+func LinkDownEvent(l topo.Link) Event { return Event{Kind: EventLinkDown, Link: l} }
+
+// LinkUpEvent wraps a liveness-detected link recovery.
+func LinkUpEvent(l topo.Link) Event { return Event{Kind: EventLinkUp, Link: l} }

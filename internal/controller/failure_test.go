@@ -11,9 +11,11 @@ import (
 // TestLinkFailureDuringAugmentedState is the stress case beyond the demo:
 // the controller has already installed fB (ECMP at B); then the B-R3 link
 // — which only exists in the forwarding state because of the lie — fails.
-// The IGP must fall back to B-R2 without blackholing, flows must keep
-// being delivered (at the bottleneck rate), and healing must restore the
-// split without any controller intervention.
+// The IGP must fall back to B-R2 without blackholing, and the controller —
+// which learns of the failure from IGP flooding at dead-interval timescale
+// — must re-plan around the dead link so full delivery returns. Healing
+// must leave the network consistent (no stale failed-link state, no
+// errors) with delivery still complete.
 func TestLinkFailureDuringAugmentedState(t *testing.T) {
 	sim, err := NewSim(SimOpts{WithCtrl: true})
 	if err != nil {
@@ -58,20 +60,30 @@ func TestLinkFailureDuringAugmentedState(t *testing.T) {
 	if rate := bR3.At(29 * time.Second); rate != 0 {
 		t.Fatalf("B-R3 still carrying %v byte/s while down", rate)
 	}
-	if tt := sim.Net.TotalThroughput(); tt > topo.DefaultFig1Capacity*1.01 {
-		t.Fatalf("throughput %v exceeds the single remaining path", tt)
+
+	// The controller heard about the failure from the IGP (the dead
+	// interval expires ~4s in) and reacted with a failover plan.
+	reacted := false
+	for _, d := range sim.Ctrl.Decisions {
+		if d.At >= 15*time.Second {
+			reacted = true
+		}
+	}
+	if !reacted {
+		t.Fatalf("controller never reacted to the failure: %+v", sim.Ctrl.Decisions)
 	}
 
-	// Heal: the fake path returns and the split resumes.
+	// Heal: the link returns; the controller's replanned routing already
+	// delivers everything, so the only requirement is consistency.
 	if err := sim.SetLinkState("B", "R3", true); err != nil {
 		t.Fatal(err)
 	}
 	sim.Run(50 * time.Second)
-	if rate := bR3.At(49 * time.Second); rate == 0 {
-		t.Fatalf("B-R3 idle after heal")
-	}
 	if tt := sim.Net.TotalThroughput(); tt < 31*0.5e6*0.99 {
 		t.Fatalf("full delivery not restored: %v", tt)
+	}
+	if len(sim.Ctrl.failed) != 0 {
+		t.Fatalf("failed-link set not cleared after heal: %v", sim.Ctrl.failed)
 	}
 	if len(sim.Ctrl.Errors) > 0 {
 		t.Fatalf("controller errors: %v", sim.Ctrl.Errors)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"fibbing.net/fibbing/internal/bfd"
 	"fibbing.net/fibbing/internal/event"
 	"fibbing.net/fibbing/internal/fib"
 	"fibbing.net/fibbing/internal/flashcrowd"
@@ -29,6 +30,8 @@ type Sim struct {
 	Lies   *southbound.LieManager
 	Ctrl   *Controller
 	Runner *flashcrowd.Runner
+	// BFD is the liveness engine (nil unless SimOpts.BFD enables it).
+	BFD *bfd.Engine
 
 	Sessions    []*video.SimSession
 	ABRSessions []*video.ABRSimSession
@@ -55,6 +58,16 @@ type SimOpts struct {
 	// GOMAXPROCS, 1 selects the pure sequential core. Output is
 	// byte-identical either way; only wall-clock changes.
 	Workers int
+	// BFD enables per-link liveness sessions; link failures then reach
+	// the controller as LinkDown/LinkUp events milliseconds after the
+	// fact, instead of at SNMP-poll timescale. The zero Config is valid
+	// (50ms hellos, detect multiplier 3): pass &bfd.Config{} to enable
+	// with defaults.
+	BFD *bfd.Config
+	// StandbyK, with BFD, precomputes failover plans for the K links
+	// carrying the highest aggregate rate (see WithStandby); 0 plans
+	// every failure from scratch.
+	StandbyK int
 }
 
 // NewSim assembles the emulation. The IGP starts immediately; flows can
@@ -110,11 +123,36 @@ func NewSim(o SimOpts) (*Sim, error) {
 		return nil, fmt.Errorf("controller: attach node %q is not a router", o.AttachAt)
 	}
 	s.Lies = southbound.NewLieManager(southbound.DirectInjector{Router: pop}, ospf.ControllerIDBase)
-	s.Ctrl = New(s.Topo, s.Lies, s.Sched.Now,
-		WithConfig(o.Controller), WithStrategies(o.Strategies...))
+	ctrlOpts := []Option{WithConfig(o.Controller), WithStrategies(o.Strategies...)}
+	if o.BFD != nil && o.StandbyK > 0 {
+		ctrlOpts = append(ctrlOpts, WithStandby(s.Sched, o.StandbyK))
+	}
+	s.Ctrl = New(s.Topo, s.Lies, s.Sched.Now, ctrlOpts...)
 	if o.WithCtrl {
 		// The monitor's bare callback becomes a typed controller event.
 		s.Poller.OnAlarm = func(a monitor.Alarm) { s.Ctrl.Handle(AlarmEvent(a)) }
+		// Participating in IGP flooding, the controller learns topology
+		// changes at dead-interval timescale; the controller dedupes the
+		// per-endpoint detections (and BFD's earlier announcement, when
+		// enabled, wins the race).
+		s.Domain.OnAdjacencyChange = func(l topo.Link, up bool) {
+			if up {
+				s.Ctrl.Handle(LinkUpEvent(l))
+			} else {
+				s.Ctrl.Handle(LinkDownEvent(l))
+			}
+		}
+	}
+	if o.BFD != nil {
+		// Liveness sessions probe over the same administrative link state
+		// the IGP transport honours, and feed the controller directly —
+		// the fast path past both the SNMP poller and the dead interval.
+		s.BFD = bfd.New(s.Topo, s.Sched, *o.BFD)
+		s.BFD.Blocked = s.Domain.LinkBlocked
+		if o.WithCtrl {
+			s.BFD.OnDown = func(l topo.Link) { s.Ctrl.Handle(LinkDownEvent(l)) }
+			s.BFD.OnUp = func(l topo.Link) { s.Ctrl.Handle(LinkUpEvent(l)) }
+		}
 	}
 
 	s.Runner = &flashcrowd.Runner{
@@ -146,6 +184,9 @@ func NewSim(o SimOpts) (*Sim, error) {
 
 	s.Domain.Start()
 	s.Poller.Start()
+	if s.BFD != nil {
+		s.BFD.Start()
+	}
 	return s, nil
 }
 

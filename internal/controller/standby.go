@@ -1,0 +1,531 @@
+package controller
+
+// Fast failover: react to liveness-detected link failures (internal/bfd
+// feeding EventLinkDown/EventLinkUp) by committing a *precomputed*
+// standby plan instead of running the strategy fan-out from scratch.
+//
+// During idle time the controller ranks links by carried aggregate rate,
+// computes an admissibility-checked failover plan for the top-k single
+// failures, and caches them keyed by failed link. When BFD declares a
+// link dead — milliseconds after the failure, long before the IGP dead
+// interval — the matching plan commits as one southbound transaction.
+// Cache entries carry the generation of the inputs they were computed
+// from; any demand change, commit, or topology change bumps the
+// generation, so a stale entry is detected on read and the from-scratch
+// planner takes over (a miss, not a wrong plan).
+//
+// The plans themselves are TI-LFA-flavoured: pin the post-failure IGP
+// paths with lies compiled against the topology the routers still
+// believe in (pre-failure), so traffic leaves the dead link immediately
+// instead of blackholing until the IGP converges.
+
+import (
+	"fmt"
+	"slices"
+	"time"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/te"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// standbyIdleDelay debounces precompute: cache refills run this long
+// after the last state change, so event bursts (a joining flash crowd)
+// do not recompute k plans per event.
+const standbyIdleDelay = 500 * time.Millisecond
+
+// StandbyStats counts the standby cache's life: plans precomputed, and
+// how failures were served.
+type StandbyStats struct {
+	// Precomputed counts plans computed into the cache over the run.
+	Precomputed int
+	// Hits: failures answered by a current cached plan.
+	Hits int
+	// Stale: a cached plan existed but its generation was outdated.
+	Stale int
+	// Misses: failures planned from scratch (includes the stale ones).
+	Misses int
+}
+
+// standbyEntry is one cached failover reaction. plan may be nil: the
+// failure was examined and needs no lie change (still a valid hit).
+type standbyEntry struct {
+	gen  uint64
+	plan *Plan
+}
+
+// WithStandby enables the fast-failover cache: during idle time the
+// controller precomputes failover plans for the k links carrying the
+// highest aggregate rate, keyed by failed link. sched drives the idle
+// debounce; nil sched or k <= 0 leaves the feature off.
+func WithStandby(sched *event.Scheduler, k int) Option {
+	return func(c *Controller) {
+		if sched == nil || k <= 0 {
+			return
+		}
+		c.sched = sched
+		c.standbyK = k
+		c.standby = make(map[topo.LinkID]*standbyEntry)
+	}
+}
+
+// canonicalLink names a symmetric link pair by its lower-numbered half,
+// so both directions of a failure share one cache key.
+func canonicalLink(l topo.Link) topo.LinkID {
+	if l.Reverse != topo.NoLink && l.Reverse < l.ID {
+		return l.Reverse
+	}
+	return l.ID
+}
+
+// markFailed records the liveness layer's view of a link and reports
+// whether it changed. Duplicates are expected — both endpoints detect a
+// symmetric failure, and BFD and the IGP dead interval announce the
+// same event at different timescales — and must not re-trigger the
+// reaction. On a change the futile memo is cleared: the planning
+// universe moved.
+func (c *Controller) markFailed(l topo.Link, down bool) bool {
+	id := canonicalLink(l)
+	if c.failed[id] == down {
+		return false
+	}
+	if down {
+		c.failed[id] = true
+	} else {
+		delete(c.failed, id)
+	}
+	clear(c.futile)
+	return true
+}
+
+// planningTopo is the topology the controller should plan over: the
+// configured one minus every link the liveness layer has declared dead.
+func (c *Controller) planningTopo() *topo.Topology {
+	if len(c.failed) == 0 {
+		return c.topo
+	}
+	ids := make([]topo.LinkID, 0, len(c.failed))
+	for id := range c.failed {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return c.topo.CloneWithoutLinks(ids...)
+}
+
+// invalidateStandby marks every cached plan stale (generation bump; the
+// entries are dropped lazily on read or at the next refill).
+func (c *Controller) invalidateStandby() {
+	if c.standby == nil {
+		return
+	}
+	c.standbyGen++
+}
+
+// armPrecompute (re)schedules the idle-time cache refill. Each call
+// pushes the deadline out, so the refill runs once per quiet period.
+func (c *Controller) armPrecompute() {
+	if c.standby == nil {
+		return
+	}
+	if c.precomputeArmed {
+		c.sched.Cancel(c.precompute)
+	}
+	gen := c.standbyGen
+	c.precomputeArmed = true
+	c.precompute = c.sched.After(standbyIdleDelay, func() {
+		c.precomputeArmed = false
+		if gen != c.standbyGen {
+			return // superseded by later churn; a newer timer is armed
+		}
+		c.PrecomputeStandby()
+	})
+}
+
+// PrecomputeStandby refills the standby cache synchronously: rank links
+// by carried aggregate rate, compute a failover plan for each of the
+// top-k, and cache the admissible results. Normally driven by the idle
+// debounce; exported so harnesses can warm the cache deterministically.
+func (c *Controller) PrecomputeStandby() {
+	if c.standby == nil {
+		return
+	}
+	clear(c.standby)
+	gen := c.standbyGen
+	for _, l := range c.topCarriedLinks(c.standbyK) {
+		plan, err := c.failoverPlan(l)
+		if err != nil {
+			continue // unprotectable (e.g. failure would partition)
+		}
+		c.standby[canonicalLink(l)] = &standbyEntry{gen: gen, plan: plan}
+		c.Standby.Precomputed++
+	}
+}
+
+// StandbyPlans lists the links with a currently valid cached plan.
+func (c *Controller) StandbyPlans() []topo.LinkID {
+	var out []topo.LinkID
+	for id, e := range c.standby {
+		if e.gen == c.standbyGen {
+			out = append(out, id)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// topCarriedLinks ranks router-router link pairs by carried aggregate
+// rate (max of the two directions) under the current demands and lies,
+// and returns the top k in the controller topology's ID space.
+func (c *Controller) topCarriedLinks(k int) []topo.Link {
+	demands := c.Demands()
+	if len(demands) == 0 {
+		return nil
+	}
+	pt := c.planningTopo()
+	loads, err := te.LoadsWithLies(pt, c.lies.InstalledAll(), demands)
+	if err != nil {
+		return nil
+	}
+	type cand struct {
+		l    topo.Link
+		load float64
+	}
+	var cands []cand
+	for _, l := range pt.Links() {
+		if pt.Node(l.From).Host || pt.Node(l.To).Host {
+			continue
+		}
+		if l.Reverse != topo.NoLink && l.Reverse < l.ID {
+			continue // one candidate per symmetric pair
+		}
+		load := loads[l.ID]
+		if l.Reverse != topo.NoLink && loads[l.Reverse] > load {
+			load = loads[l.Reverse]
+		}
+		if load <= 0 {
+			continue
+		}
+		// Map back into the controller topology's ID space (node IDs are
+		// shared between the clone and the original).
+		rl, ok := c.topo.FindLink(l.From, l.To)
+		if !ok {
+			continue
+		}
+		cands = append(cands, cand{l: rl, load: load})
+	}
+	slices.SortFunc(cands, func(a, b cand) int {
+		switch {
+		case a.load > b.load:
+			return -1
+		case a.load < b.load:
+			return 1
+		case a.l.ID < b.l.ID:
+			return -1
+		case a.l.ID > b.l.ID:
+			return 1
+		}
+		return 0
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	out := make([]topo.Link, len(cands))
+	for i, cd := range cands {
+		out[i] = cd.l
+	}
+	return out
+}
+
+// reactToFailure answers a liveness-detected link failure: commit the
+// cached standby plan when one is current, otherwise plan from scratch.
+// Either way the cache is invalidated (its plans assumed this link was
+// alive) and a refill is armed for the new topology.
+func (c *Controller) reactToFailure(ev Event) {
+	if c.standby != nil {
+		key := canonicalLink(ev.Link)
+		if e, ok := c.standby[key]; ok {
+			delete(c.standby, key)
+			if e.gen == c.standbyGen {
+				c.Standby.Hits++
+				if e.plan != nil {
+					c.commit(e.plan)
+				}
+				c.invalidateStandby()
+				c.armPrecompute()
+				return
+			}
+			c.Standby.Stale++
+		}
+		c.Standby.Misses++
+	}
+	plan, err := c.failoverPlan(ev.Link)
+	switch {
+	case err != nil:
+		c.Errors = append(c.Errors, fmt.Errorf("controller: failover %s-%s: %w",
+			c.topo.Name(ev.Link.From), c.topo.Name(ev.Link.To), err))
+	case plan != nil:
+		c.commit(plan)
+	}
+	c.invalidateStandby()
+	c.armPrecompute()
+}
+
+// reactToRecovery reassesses routing the moment a failed link returns.
+// Failover plans committed while it was down pinned traffic onto the
+// reduced topology; waiting for the next SNMP alarm would leave that
+// detour saturating the restored network for seconds. When the last
+// failure heals, the pre-failure lie set is restored if it evaluates
+// better than the detour (the make-before-break revert of traditional
+// TE); otherwise the alarm path the monitor would eventually take runs
+// immediately — and plan() itself bails when the current state is
+// already at target, so a clean recovery commits nothing.
+func (c *Controller) reactToRecovery() {
+	demands := c.Demands()
+	snap := c.preFailure
+	if len(c.failed) == 0 {
+		c.preFailure = nil
+	}
+	if len(demands) == 0 {
+		return
+	}
+	installed := c.lies.InstalledAll()
+	if len(c.failed) == 0 && snap != nil {
+		if plan := c.revertPlan(snap, installed, demands); plan != nil {
+			c.commit(plan)
+			return
+		}
+	}
+	pt := c.planningTopo()
+	loads, err := te.LoadsWithLies(pt, installed, demands)
+	if err != nil {
+		return
+	}
+	alarm, ok := HottestLinkAlarm(pt, loads)
+	if !ok {
+		return
+	}
+	// Map into the controller topology's ID space; plan() maps back into
+	// the planning clone when other links are still down.
+	l := pt.Link(alarm.Link)
+	rl, ok := c.topo.FindLink(l.From, l.To)
+	if !ok {
+		return
+	}
+	alarm.Link = rl.ID
+	c.plan(AlarmEvent(alarm))
+}
+
+// revertPlan builds the plan restoring the pre-failure lie set, if doing
+// so strictly improves the analytic utilisation under current demands.
+// Prefixes that gained lies during the failure episode get explicit
+// empty entries so the commit withdraws them.
+func (c *Controller) revertPlan(snap, installed map[string][]fibbing.Lie, demands []topo.Demand) *Plan {
+	overlay := make(map[string][]fibbing.Lie, len(snap))
+	for prefix, lies := range snap {
+		overlay[prefix] = lies
+	}
+	for prefix := range installed {
+		if _, ok := overlay[prefix]; !ok {
+			overlay[prefix] = nil
+		}
+	}
+	cur, err := analyticMaxUtil(c.topo, installed, demands)
+	if err != nil {
+		return nil
+	}
+	old, err := analyticMaxUtil(c.topo, overlay, demands)
+	if err != nil || old >= cur {
+		return nil
+	}
+	return &Plan{
+		Strategy:      "failover-revert",
+		Lies:          overlay,
+		PredictedUtil: old,
+		LieCost:       liveLiesAfter(installed, &Plan{Lies: overlay}),
+		Rationale:     fmt.Sprintf("restored pre-failure plan after heal (%.2f -> %.2f)", cur, old),
+	}
+}
+
+// analyticMaxUtil evaluates a lie set's max link utilisation for the
+// demands over a topology with the fluid routing model.
+func analyticMaxUtil(t *topo.Topology, lies map[string][]fibbing.Lie, demands []topo.Demand) (float64, error) {
+	loads, err := te.LoadsWithLies(t, lies, demands)
+	if err != nil {
+		return 0, err
+	}
+	return te.MaxUtilOfLoads(t, loads), nil
+}
+
+// failoverPlan computes the reaction to one link pair's failure. The
+// lies are compiled against the *pre-failure* topology — what the
+// routers believe until the IGP dead interval expires — so traffic
+// leaves the dead link the moment the plan commits, instead of
+// blackholing through the convergence window.
+func (c *Controller) failoverPlan(link topo.Link) (*Plan, error) {
+	demands := c.Demands()
+	if len(demands) == 0 {
+		return nil, nil
+	}
+	// base: the controller topology minus *other* already-failed links
+	// (the IGP has noticed or will notice those); the link under study
+	// stays in, because routers still route over it right now.
+	key := canonicalLink(link)
+	var others []topo.LinkID
+	for id := range c.failed {
+		if id != key {
+			others = append(others, id)
+		}
+	}
+	slices.Sort(others)
+	base, bl := c.topo, link
+	if len(others) > 0 {
+		base = c.topo.CloneWithoutLinks(others...)
+		var ok bool
+		if bl, ok = base.FindLink(link.From, link.To); !ok {
+			return nil, fmt.Errorf("link not in planning topology")
+		}
+	}
+	reduced := base.CloneWithoutLinks(bl.ID)
+	if err := reduced.Validate(); err != nil {
+		return nil, fmt.Errorf("failure partitions the network: %w", err)
+	}
+	// Evaluate over the reduced topology (where traffic will physically
+	// flow) but compile against base (what the routers believe).
+	ctx := buildPlanContext(reduced, demands, c.lies.InstalledAll(), LinkDownEvent(bl), c.cfg, len(c.raised))
+	ctx.FailedLink = bl
+	ctx.BaseTopo = base
+
+	plan, perr := (FailoverPinStrategy{}).Propose(ctx)
+	if perr == nil && plan != nil {
+		plan.LieCost = liveLiesAfter(ctx.Installed, plan)
+		return plan, nil
+	}
+	// Fallback (cache miss semantics): from-scratch strategy fan-out over
+	// the reduced topology, triggered by its hottest link. These lies
+	// only steer correctly once the IGP has converged on the reduced
+	// topology, which is exactly the slow path being replaced.
+	loads, err := te.LoadsWithLies(reduced, c.lies.InstalledAll(), demands)
+	if err != nil {
+		return nil, err
+	}
+	alarm, ok := HottestLinkAlarm(reduced, loads)
+	if !ok {
+		return nil, perr
+	}
+	ctx.Event = AlarmEvent(alarm)
+	p2, errs := c.planner.Plan(ctx)
+	if p2 == nil {
+		if perr != nil {
+			return nil, perr
+		}
+		if len(errs) > 0 {
+			return nil, errs[0]
+		}
+		return nil, nil
+	}
+	return p2, nil
+}
+
+// --- failover-pin -------------------------------------------------------
+
+// FailoverPinStrategy pins the post-failure IGP paths: for each prefix it
+// reads the IGP's routing on the reduced topology (ctx.Topo, without the
+// failed link), widens the split at the failed link's endpoints — the
+// routers inheriting the rerouted traffic — with their unused downhill
+// neighbours, and compiles the resulting DAG into lies against
+// ctx.BaseTopo, the topology the routers still believe in. The result
+// steers traffic off the dead link immediately and keeps steering it
+// after the IGP converges.
+type FailoverPinStrategy struct{}
+
+// Name implements Strategy.
+func (FailoverPinStrategy) Name() string { return "failover-pin" }
+
+// Propose implements Strategy.
+func (s FailoverPinStrategy) Propose(ctx PlanContext) (*Plan, error) {
+	if ctx.Event.Kind != EventLinkDown || ctx.BaseTopo == nil || len(ctx.Demands) == 0 {
+		return nil, nil
+	}
+	overlay := make(map[string][]fibbing.Lie)
+	for _, prefix := range ctx.Prefixes {
+		lies, ok := failoverPinLies(ctx.BaseTopo, ctx.Topo, prefix, ctx.FailedLink)
+		if !ok {
+			return nil, nil // abstain whole-plan; the fallback planner owns it
+		}
+		overlay[prefix] = lies
+	}
+	if len(overlay) == 0 {
+		return nil, nil
+	}
+	util, err := ctx.Evaluate(overlay)
+	if err != nil {
+		return nil, fmt.Errorf("failover-pin: %w", err)
+	}
+	return &Plan{
+		Strategy:      s.Name(),
+		Lies:          overlay,
+		PredictedUtil: util,
+		Rationale: fmt.Sprintf("pinned post-failure paths around %s-%s",
+			ctx.BaseTopo.Name(ctx.FailedLink.From), ctx.BaseTopo.Name(ctx.FailedLink.To)),
+	}, nil
+}
+
+// failoverPinLies builds and compiles one prefix's pin DAG: the reduced
+// topology's IGP next hops for every transit router, widened at the
+// failed link's endpoints, compiled and verified against base.
+func failoverPinLies(base, reduced *topo.Topology, prefix string, failed topo.Link) ([]fibbing.Lie, bool) {
+	views, err := fibbing.IGPView(reduced, prefix)
+	if err != nil {
+		return nil, false
+	}
+	dag := fibbing.DAG{}
+	for n, v := range views {
+		if v.Local || len(v.NextHops) == 0 || reduced.Node(n).Host {
+			continue
+		}
+		nhs := make(fibbing.NextHopWeights, len(v.NextHops))
+		for nh, w := range v.NextHops {
+			nhs[nh] = w
+		}
+		dag[n] = nhs
+	}
+	if len(dag) == 0 {
+		return nil, false
+	}
+	// Widen at the failure's endpoints: recruit every unused downhill
+	// neighbour (same criterion as local-ecmp) so the rerouted aggregate
+	// does not all land on one backup path.
+	for _, end := range [2]topo.NodeID{failed.From, failed.To} {
+		v, ok := views[end]
+		nhs := dag[end]
+		if !ok || v.Local || nhs == nil {
+			continue
+		}
+		for _, lid := range reduced.OutLinks(end) {
+			u := reduced.Link(lid).To
+			if reduced.Node(u).Host || nhs[u] > 0 {
+				continue
+			}
+			uv, ok := views[u]
+			if !ok {
+				continue
+			}
+			if uv.Local || (len(uv.NextHops) > 0 && uv.Dist < v.Dist) {
+				nhs[u] = 1
+			}
+		}
+	}
+	aug, err := fibbing.AugmentPinAll(base, prefix, dag)
+	if err != nil {
+		return nil, false
+	}
+	aug, err = fibbing.ReduceLies(base, prefix, aug, dag)
+	if err != nil {
+		return nil, false
+	}
+	if err := fibbing.Verify(base, prefix, aug.Lies, dag); err != nil {
+		return nil, false
+	}
+	return aug.Lies, true
+}

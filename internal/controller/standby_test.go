@@ -1,0 +1,296 @@
+package controller
+
+import (
+	"fmt"
+	"reflect"
+	"slices"
+	"sort"
+	"strings"
+	"testing"
+
+	"fibbing.net/fibbing/internal/event"
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/ospf"
+	"fibbing.net/fibbing/internal/southbound"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// recordingInjector fails the Nth Inject call (1-based, counted from
+// zero; failAt <= 0 never fails) and records every accepted LSA, so
+// tests can replay the wire state after a rollback.
+type recordingInjector struct {
+	failAt   int
+	calls    int
+	accepted []*ospf.LSA
+}
+
+func (f *recordingInjector) Inject(l *ospf.LSA) error {
+	f.calls++
+	if f.failAt > 0 && f.calls == f.failAt {
+		return fmt.Errorf("injector down (call %d)", f.calls)
+	}
+	f.accepted = append(f.accepted, l)
+	return nil
+}
+
+// liveLSIDs replays the accepted LSAs (latest origination wins, MaxAge
+// removes) and returns the surviving LSIDs sorted.
+func (f *recordingInjector) liveLSIDs() []uint32 {
+	live := make(map[uint32]*ospf.LSA)
+	for _, l := range f.accepted {
+		if cur, ok := live[l.Header.LSID]; ok && cur.Header.Seq > l.Header.Seq {
+			continue
+		}
+		if l.Header.Age >= ospf.MaxAgeSeconds {
+			delete(live, l.Header.LSID)
+			continue
+		}
+		live[l.Header.LSID] = l
+	}
+	out := make([]uint32, 0, len(live))
+	for id := range live {
+		out = append(out, id)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// standbyRig is a controller with the standby cache enabled over Fig1,
+// demand from B and A toward the blue prefix at C.
+type standbyRig struct {
+	tp    *topo.Topology
+	sched *event.Scheduler
+	inj   *recordingInjector
+	mgr   *southbound.LieManager
+	c     *Controller
+}
+
+func newStandbyRig(t *testing.T, k int) *standbyRig {
+	t.Helper()
+	r := &standbyRig{
+		tp:    topo.Fig1(topo.Fig1Opts{}),
+		sched: event.NewScheduler(),
+		inj:   &recordingInjector{},
+	}
+	r.mgr = southbound.NewLieManager(r.inj, ospf.ControllerIDBase)
+	r.c = New(r.tp, r.mgr, r.sched.Now, WithStandby(r.sched, k))
+	r.c.Handle(DemandEvent(topo.Fig1BluePrefixName, r.tp.MustNode(topo.Fig1B), 10e6))
+	r.c.Handle(DemandEvent(topo.Fig1BluePrefixName, r.tp.MustNode(topo.Fig1A), 6e6))
+	return r
+}
+
+// victim picks the hottest protected link: the first cached plan's key.
+func (r *standbyRig) victim(t *testing.T) topo.Link {
+	t.Helper()
+	plans := r.c.StandbyPlans()
+	if len(plans) == 0 {
+		t.Fatal("standby cache is empty")
+	}
+	return r.tp.Link(plans[0])
+}
+
+// TestStandbyIdlePrecompute: demand events arm the idle debounce; once
+// the quiet period passes, the cache holds plans for the top-k links.
+func TestStandbyIdlePrecompute(t *testing.T) {
+	r := newStandbyRig(t, 3)
+	if got := r.c.StandbyPlans(); len(got) != 0 {
+		t.Fatalf("cache filled before the idle delay: %v", got)
+	}
+	r.sched.RunUntil(2 * standbyIdleDelay)
+	if got := r.c.StandbyPlans(); len(got) == 0 || len(got) > 3 {
+		t.Fatalf("cache after idle = %v, want 1..3 plans", got)
+	}
+	if r.c.Standby.Precomputed == 0 {
+		t.Fatal("Precomputed counter not advanced")
+	}
+	// The ranking must only offer router-router links.
+	for _, id := range r.c.StandbyPlans() {
+		l := r.tp.Link(id)
+		if r.tp.Node(l.From).Host || r.tp.Node(l.To).Host {
+			t.Fatalf("host link %d cached", id)
+		}
+	}
+}
+
+// TestStandbyHitCommitsPrecomputedPlan: a liveness failure on a cached
+// link commits the standby plan — no from-scratch planning — and the
+// commit is logged as a decision.
+func TestStandbyHitCommitsPrecomputedPlan(t *testing.T) {
+	r := newStandbyRig(t, 3)
+	r.sched.RunUntil(2 * standbyIdleDelay)
+	v := r.victim(t)
+
+	r.c.Handle(LinkDownEvent(v))
+	if r.c.Standby.Hits != 1 || r.c.Standby.Misses != 0 {
+		t.Fatalf("stats = %+v, want one hit", r.c.Standby)
+	}
+	if len(r.c.Decisions) != 1 {
+		t.Fatalf("decisions = %v, want the standby commit", r.c.Decisions)
+	}
+	if d := r.c.Decisions[0]; d.Strategy != "failover-pin" {
+		t.Fatalf("committed strategy %q, want failover-pin", d.Strategy)
+	}
+	if r.mgr.LieCount() == 0 {
+		t.Fatal("no lies installed by the standby plan")
+	}
+	if len(r.c.Errors) != 0 {
+		t.Fatalf("errors: %v", r.c.Errors)
+	}
+}
+
+// TestStandbyStaleEntryReplans: a demand change after precompute bumps
+// the generation; the next failure finds the entry stale and replans
+// from scratch (stale + miss, no hit) — never committing an outdated
+// plan.
+func TestStandbyStaleEntryReplans(t *testing.T) {
+	r := newStandbyRig(t, 3)
+	r.sched.RunUntil(2 * standbyIdleDelay)
+	v := r.victim(t)
+	// Invalidate without letting the debounce refill.
+	r.c.Handle(DemandEvent(topo.Fig1BluePrefixName, r.tp.MustNode(topo.Fig1B), 1e6))
+
+	r.c.Handle(LinkDownEvent(v))
+	if r.c.Standby.Hits != 0 || r.c.Standby.Stale != 1 || r.c.Standby.Misses != 1 {
+		t.Fatalf("stats = %+v, want stale miss", r.c.Standby)
+	}
+	if len(r.c.Decisions) == 0 {
+		t.Fatal("from-scratch failover did not commit")
+	}
+}
+
+// TestStandbyColdMissReplans: with a cold cache the failure is planned
+// from scratch and still commits.
+func TestStandbyColdMissReplans(t *testing.T) {
+	r := newStandbyRig(t, 3)
+	v, _ := r.tp.FindLink(r.tp.MustNode(topo.Fig1B), r.tp.MustNode(topo.Fig1R2))
+	r.c.Handle(LinkDownEvent(v))
+	if r.c.Standby.Hits != 0 || r.c.Standby.Misses != 1 {
+		t.Fatalf("stats = %+v, want one miss", r.c.Standby)
+	}
+	if len(r.c.Decisions) == 0 {
+		t.Fatal("cold-miss failover did not commit")
+	}
+}
+
+// TestStandbyRecoveryRearms: the link coming back clears the failed set
+// and re-arms precompute for the healed topology.
+func TestStandbyRecoveryRearms(t *testing.T) {
+	r := newStandbyRig(t, 3)
+	r.sched.RunUntil(2 * standbyIdleDelay)
+	v := r.victim(t)
+	r.c.Handle(LinkDownEvent(v))
+	r.c.Handle(LinkUpEvent(v))
+	r.sched.RunUntil(r.sched.Now() + 2*standbyIdleDelay)
+	// After recovery the cache must again protect the healed topology's
+	// hottest links, including possibly the old victim.
+	if len(r.c.StandbyPlans()) == 0 {
+		t.Fatal("cache not refilled after recovery")
+	}
+}
+
+// lieSetFingerprint canonically serialises the installed lie set, so
+// byte-identity before/after a rollback is a string comparison.
+func lieSetFingerprint(installed map[string][]fibbing.Lie) string {
+	prefixes := make([]string, 0, len(installed))
+	for p := range installed {
+		prefixes = append(prefixes, p)
+	}
+	sort.Strings(prefixes)
+	var b strings.Builder
+	for _, p := range prefixes {
+		lies := append([]fibbing.Lie(nil), installed[p]...)
+		sort.Slice(lies, func(i, j int) bool {
+			a, c := lies[i], lies[j]
+			if a.Attach != c.Attach {
+				return a.Attach < c.Attach
+			}
+			if a.Via != c.Via {
+				return a.Via < c.Via
+			}
+			return a.Cost < c.Cost
+		})
+		fmt.Fprintf(&b, "%s=%+v;", p, lies)
+	}
+	return b.String()
+}
+
+// TestStandbyCommitRollbackByteIdentical is the satellite's injector
+// test: the injector dies at every possible call position inside a
+// standby-plan commit; each time, the rollback must leave the installed
+// lie set byte-identical to the pre-failure state and the replayed wire
+// state must hold exactly the pre-failure LSAs.
+func TestStandbyCommitRollbackByteIdentical(t *testing.T) {
+	for failAt := 1; ; failAt++ {
+		r := newStandbyRig(t, 3)
+		// Pre-state: an earlier (hand-made) plan is installed, so rollback
+		// must restore lies, not merely clear them.
+		baseline := []fibbing.Lie{{
+			Prefix: topo.Fig1BluePrefix,
+			Attach: r.tp.MustNode(topo.Fig1B),
+			Via:    r.tp.MustNode(topo.Fig1R3),
+			Cost:   2,
+		}}
+		if _, err := r.mgr.Apply(topo.Fig1BluePrefixName, baseline); err != nil {
+			t.Fatal(err)
+		}
+		r.c.PrecomputeStandby()
+		v := r.victim(t)
+
+		before := lieSetFingerprint(r.mgr.InstalledAll())
+		beforeWire := r.inj.liveLSIDs()
+		beforeAccepted := len(r.inj.accepted)
+
+		r.inj.failAt = r.inj.calls + failAt
+		r.c.Handle(LinkDownEvent(v))
+		if len(r.c.Errors) == 0 {
+			// failAt exceeded the commit's call count: the whole commit
+			// succeeded, so every failure position has been exercised.
+			if failAt == 1 {
+				t.Fatal("commit made no injector calls; nothing was tested")
+			}
+			if r.c.Standby.Hits != 1 {
+				t.Fatalf("stats = %+v, want a hit on the final clean run", r.c.Standby)
+			}
+			break
+		}
+		if got := lieSetFingerprint(r.mgr.InstalledAll()); got != before {
+			t.Fatalf("failAt=%d: lie set changed across rollback:\n before %s\n after  %s",
+				failAt, before, got)
+		}
+		if got := r.inj.liveLSIDs(); !reflect.DeepEqual(got, beforeWire) {
+			t.Fatalf("failAt=%d: wire LSAs %v after rollback, want %v", failAt, got, beforeWire)
+		}
+		if len(r.c.Decisions) != 0 {
+			t.Fatalf("failAt=%d: failed commit logged a decision", failAt)
+		}
+		_ = beforeAccepted
+	}
+}
+
+// TestPlanningSkipsFailedLinks: once a link is liveness-failed, alarm
+// planning runs over the reduced topology — a plan can no longer route
+// over the dead link — and alarms on the dead link itself are ignored.
+func TestPlanningSkipsFailedLinks(t *testing.T) {
+	r := newStandbyRig(t, 0) // standby off: exercise the failed-set remap alone
+	b, r2 := r.tp.MustNode(topo.Fig1B), r.tp.MustNode(topo.Fig1R2)
+	v, _ := r.tp.FindLink(b, r2)
+	r.c.Handle(LinkDownEvent(v))
+
+	// An alarm naming the dead link is obsolete: no plan, no error.
+	decisionsBefore := len(r.c.Decisions)
+	r.c.Handle(AlarmEvent(alarmOn(t, r.tp, topo.Fig1B, topo.Fig1R2, 1.2)))
+	if len(r.c.Decisions) != decisionsBefore {
+		t.Fatal("alarm on a failed link still produced a commit")
+	}
+
+	// An alarm elsewhere plans over the reduced topology: no committed
+	// lie may steer over the dead B-R2 pair.
+	r.c.Handle(AlarmEvent(alarmOn(t, r.tp, topo.Fig1A, topo.Fig1B, 1.2)))
+	for prefix, lies := range r.mgr.InstalledAll() {
+		for _, lie := range lies {
+			if (lie.Attach == b && lie.Via == r2) || (lie.Attach == r2 && lie.Via == b) {
+				t.Fatalf("prefix %s: lie %+v steers over the dead link", prefix, lie)
+			}
+		}
+	}
+}

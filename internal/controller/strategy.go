@@ -30,6 +30,14 @@ type PlanContext struct {
 	Installed map[string][]fibbing.Lie
 	// RaisedAlarms counts links with an active congestion alarm.
 	RaisedAlarms int
+	// FailedLink and BaseTopo are set for EventLinkDown planning
+	// (standby.go): Topo is then the reduced topology (failed link
+	// removed, where traffic will physically flow) and BaseTopo the
+	// pre-failure one the routers still believe in — failover lies must
+	// compile and verify against BaseTopo to take effect before the IGP
+	// converges. FailedLink lives in BaseTopo's ID space.
+	FailedLink topo.Link
+	BaseTopo   *topo.Topology
 	// BaseUtil is the predicted max utilisation of the no-op plan:
 	// current demands routed over the installed lies.
 	BaseUtil float64

@@ -131,10 +131,20 @@ type Poller struct {
 
 	state  map[topo.LinkID]*linkState
 	ticker *event.Ticker
-	// Errors collects poll failures (an unreachable agent must not kill
-	// the loop).
+	// Errors keeps the first maxPollErrors poll failures for diagnosis
+	// (an unreachable agent must not kill the loop — nor, over a long
+	// run, grow an unbounded error list). PollFailures counts every
+	// failure regardless.
 	Errors []error
+	// PollFailures counts failed link polls over the poller's lifetime.
+	PollFailures metrics.Counter
 }
+
+// maxPollErrors bounds the retained error list: an agent that stays
+// unreachable fails every link on every tick, and a multi-day run must
+// not turn that into gigabytes of identical errors. The counter keeps
+// the true total.
+const maxPollErrors = 32
 
 type linkState struct {
 	last     uint64
@@ -184,7 +194,10 @@ func (p *Poller) poll() {
 		st := p.state[wl.Link]
 		count, err := p.client.GetCounter(wl.OID)
 		if err != nil {
-			p.Errors = append(p.Errors, fmt.Errorf("monitor: poll %s: %w", wl.Name, err))
+			p.PollFailures.Add(1)
+			if len(p.Errors) < maxPollErrors {
+				p.Errors = append(p.Errors, fmt.Errorf("monitor: poll %s: %w", wl.Name, err))
+			}
 			continue
 		}
 		if !st.seeded {

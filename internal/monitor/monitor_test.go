@@ -257,3 +257,22 @@ func TestPollerHCCounterCrosses32BitBoundary(t *testing.T) {
 		}
 	}
 }
+
+// TestPollErrorsCappedAndCounted: a permanently unreachable agent keeps
+// failing every link on every tick; the retained error list stops at
+// maxPollErrors while the metrics counter keeps the true total.
+func TestPollErrorsCappedAndCounted(t *testing.T) {
+	r := newRig(t, Config{Interval: time.Second, Alpha: 1})
+	mib := snmp.NewMIB()
+	snmp.BindIFMIB(mib, r.net, topo.NoNode)
+	badClient := snmp.NewClient(snmp.DirectTransport{Agent: snmp.NewAgent("secret", mib)}, "wrong")
+	pol := NewPoller(badClient, r.sched, Config{Interval: time.Second, Alpha: 1}, WatchAllLinks(r.tp))
+	pol.Start()
+	r.sched.RunUntil(60 * time.Second)
+	if len(pol.Errors) != maxPollErrors {
+		t.Fatalf("retained errors = %d, want capped at %d", len(pol.Errors), maxPollErrors)
+	}
+	if got := pol.PollFailures.Value(); got <= uint64(maxPollErrors) {
+		t.Fatalf("PollFailures = %d, want the uncapped total (> %d)", got, maxPollErrors)
+	}
+}

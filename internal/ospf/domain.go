@@ -43,6 +43,15 @@ type Domain struct {
 	// silent.
 	OnFIBDelta func(n topo.NodeID, t *fib.Table, d *fib.Diff)
 
+	// OnAdjacencyChange, when set, is invoked when a router declares a
+	// neighbor dead (after the dead interval) or re-forms a previously
+	// dead adjacency. The link is directed detector -> neighbor; a
+	// symmetric failure fires once per endpoint. This is the IGP-visible
+	// topology feed a fibbing controller gets for free by participating
+	// in flooding — failure news at dead-interval timescale (the
+	// internal/bfd liveness engine is the fast alternative).
+	OnAdjacencyChange func(l topo.Link, up bool)
+
 	// Errors collects protocol-level errors (bad packets, invalid lies).
 	Errors []error
 
@@ -181,6 +190,12 @@ func (d *Domain) protocolError(at RouterID, err error) {
 	d.Errors = append(d.Errors, fmt.Errorf("router %d: %w", at, err))
 }
 
+func (d *Domain) adjacencyChanged(l topo.Link, up bool) {
+	if d.OnAdjacencyChange != nil {
+		d.OnAdjacencyChange(l, up)
+	}
+}
+
 func (d *Domain) fibChanged(n topo.NodeID, t *fib.Table, diff *fib.Diff) {
 	if d.OnFIBDelta != nil {
 		d.OnFIBDelta(n, t, diff)
@@ -232,6 +247,12 @@ func (d *Domain) SetLinkState(a, b topo.NodeID, up bool) error {
 	}
 	return nil
 }
+
+// LinkBlocked reports whether a directed link is administratively failed
+// (packets on it are silently dropped). Liveness probes (internal/bfd)
+// use it as the transport ground truth instead of exchanging real
+// packets through the flooding machinery.
+func (d *Domain) LinkBlocked(id topo.LinkID) bool { return d.linkDown[id] }
 
 // Converged reports whether no protocol messages are in flight, no SPF
 // runs are pending, and every flooded LSA has been acknowledged (so lost

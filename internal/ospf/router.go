@@ -52,6 +52,7 @@ type neighbor struct {
 	node      topo.NodeID
 	link      topo.Link // directed link self -> neighbor
 	up        bool
+	wasDown   bool // declared dead at least once (gates the up callback)
 	lastHello time.Duration
 	unacked   map[Key]*pendingLSA
 }
@@ -394,6 +395,10 @@ func (r *Router) handleHello(n *neighbor) {
 		for _, l := range r.db.All() {
 			r.sendUpdate(n, l)
 		}
+		if n.wasDown {
+			n.wasDown = false
+			r.dom.adjacencyChanged(n.link, true)
+		}
 	}
 }
 
@@ -474,11 +479,13 @@ func (r *Router) helloTick() {
 	for _, n := range r.nbrList {
 		if n.up && now-n.lastHello > r.cfg.DeadInterval && n.lastHello >= 0 {
 			n.up = false
+			n.wasDown = true
 			for k, p := range n.unacked {
 				r.dom.sched.Cancel(p.handle)
 				delete(n.unacked, k)
 			}
 			r.originateRouterLSA()
+			r.dom.adjacencyChanged(n.link, false)
 		}
 		// Hellos are sent even on down adjacencies so a healed link
 		// re-forms the adjacency.

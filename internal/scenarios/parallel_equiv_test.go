@@ -119,6 +119,10 @@ func TestParallelCoreDeterminism(t *testing.T) {
 		spec.Name += "/reseed"
 		specs = append(specs, spec)
 	}
+	// The failover cells ride along: BFD's jittered per-link hellos and
+	// the standby cache's idle precompute add two more event sources the
+	// worker pool must keep in deterministic order.
+	specs = append(specs, FailoverSpecs()...)
 	var batched uint64
 	for _, spec := range specs {
 		seq := runCaptured(t, spec, 1)

@@ -92,6 +92,27 @@ type Report struct {
 	SequentialSPFRuns uint64 `json:"sequential_spf_runs,omitempty"`
 	MaxBatch          int    `json:"max_batch,omitempty"`
 
+	// Fast failover (meaningful when the spec schedules a failure).
+	// FailureAt is the first scheduled link-down instant; FailoverCommitAt
+	// the first plan committed at or after it; FailoverLatency their
+	// difference — the failure-to-commit reaction time the BFD + standby
+	// path is built to shrink. FailoverStallSeconds is the viewer stall
+	// time accrued inside the failover window (failure to failure +
+	// failoverWindow). All durations are -1 when not applicable.
+	FailureAt            time.Duration `json:"failure_at"`
+	FailoverCommitAt     time.Duration `json:"failover_commit_at"`
+	FailoverLatency      time.Duration `json:"failover_latency"`
+	FailoverStallSeconds float64       `json:"failover_stall_seconds,omitempty"`
+	// Standby cache counters (zero unless Spec.StandbyK enabled it).
+	StandbyPrecomputed int `json:"standby_precomputed,omitempty"`
+	StandbyHits        int `json:"standby_hits,omitempty"`
+	StandbyMisses      int `json:"standby_misses,omitempty"`
+	StandbyStale       int `json:"standby_stale,omitempty"`
+	// BFD liveness counters (zero unless Spec.BFD enabled the engine).
+	BFDSessions  int    `json:"bfd_sessions,omitempty"`
+	BFDLinkDowns uint64 `json:"bfd_link_downs,omitempty"`
+	BFDLinkUps   uint64 `json:"bfd_link_ups,omitempty"`
+
 	ControllerErrors []string `json:"controller_errors,omitempty"`
 	ProtocolErrors   []string `json:"protocol_errors,omitempty"`
 	// Notes carries non-fatal reporting degradations (e.g. the LP bound

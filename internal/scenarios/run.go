@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"fibbing.net/fibbing/internal/bfd"
 	"fibbing.net/fibbing/internal/controller"
 	"fibbing.net/fibbing/internal/fibbing"
 	"fibbing.net/fibbing/internal/monitor"
@@ -84,6 +85,10 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	// The alarm threshold is set explicitly so the report's first-hot
 	// detection below measures against the same value the monitor uses.
 	const hotThreshold = 0.85
+	var bfdCfg *bfd.Config
+	if spec.BFD {
+		bfdCfg = &bfd.Config{Seed: spec.Seed}
+	}
 	sim, err := controller.NewSim(controller.SimOpts{
 		Topology:     tp,
 		Prefix:       prefix,
@@ -95,6 +100,8 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 		VideoSample:  250 * time.Millisecond,
 		Monitor:      monitor.Config{HighThreshold: hotThreshold},
 		Workers:      spec.Workers,
+		BFD:          bfdCfg,
+		StandbyK:     spec.StandbyK,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)
@@ -147,13 +154,16 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	}
 
 	rep := &Report{
-		Scenario:        spec.Name,
-		Controller:      withCtrl,
-		Duration:        spec.Duration,
-		TargetPrefix:    prefix,
-		FirstHotAt:      -1,
-		FirstReactionAt: -1,
-		ReactionLatency: -1,
+		Scenario:         spec.Name,
+		Controller:       withCtrl,
+		Duration:         spec.Duration,
+		TargetPrefix:     prefix,
+		FirstHotAt:       -1,
+		FirstReactionAt:  -1,
+		ReactionLatency:  -1,
+		FailureAt:        -1,
+		FailoverCommitAt: -1,
+		FailoverLatency:  -1,
 	}
 
 	// Failure schedule.
@@ -199,6 +209,25 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 		stallAtSettle = stallTotal()
 		demandsAtSettle = sim.Ctrl.Demands()
 	})
+
+	// Failover window accounting: stall totals at the first link-down
+	// instant and failoverWindow later bracket the stalls the failure
+	// itself causes — the figure the fast-failover invariant compares.
+	var stallAtFailure, stallAfterFailover float64
+	for _, f := range failures {
+		if !f.Up {
+			rep.FailureAt = f.At
+			break
+		}
+	}
+	if rep.FailureAt >= 0 {
+		sim.Sched.At(rep.FailureAt, func() { stallAtFailure = stallTotal() })
+		end := rep.FailureAt + failoverWindow
+		if end > spec.Duration {
+			end = spec.Duration
+		}
+		sim.Sched.At(end, func() { stallAfterFailover = stallTotal() })
+	}
 
 	if err := sim.Runner.Schedule(waves); err != nil {
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)
@@ -279,6 +308,28 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 		for _, d := range rep.Decisions {
 			rep.StrategyWins[d.Strategy]++
 		}
+	}
+	if rep.FailureAt >= 0 {
+		rep.FailoverStallSeconds = stallAfterFailover - stallAtFailure
+		for _, d := range rep.Decisions {
+			if d.At >= rep.FailureAt {
+				rep.FailoverCommitAt = d.At
+				break
+			}
+		}
+		if rep.FailoverCommitAt >= 0 {
+			rep.FailoverLatency = rep.FailoverCommitAt - rep.FailureAt
+		}
+	}
+	rep.StandbyPrecomputed = sim.Ctrl.Standby.Precomputed
+	rep.StandbyHits = sim.Ctrl.Standby.Hits
+	rep.StandbyMisses = sim.Ctrl.Standby.Misses
+	rep.StandbyStale = sim.Ctrl.Standby.Stale
+	if sim.BFD != nil {
+		bfdStats := sim.BFD.Stats()
+		rep.BFDSessions = bfdStats.Sessions
+		rep.BFDLinkDowns = bfdStats.DownEvents
+		rep.BFDLinkUps = bfdStats.UpEvents
 	}
 	for _, err := range sim.Ctrl.Errors {
 		rep.ControllerErrors = append(rep.ControllerErrors, err.Error())

@@ -149,10 +149,12 @@ type FailureEvent struct {
 type Spec struct {
 	Name string   `json:"name"`
 	Topo TopoSpec `json:"topo"`
-	// Workload is one of "surge", "flash", "ramp", "dual".
+	// Workload is one of "surge", "flash", "ramp", "dual", "steady".
 	Workload string `json:"workload"`
 	// Failure is "" (none), "hotlink" (fail the primary ingress's
-	// shortest-path first hop mid-run) or "flap" (fail then heal it).
+	// shortest-path first hop mid-run), "flap" (fail then heal it) or
+	// "cascade" (fail it, then 4 s later fail the backup path's first
+	// hop too — two correlated failures).
 	Failure string `json:"failure,omitempty"`
 	// Duration is the virtual run length (default 30 s).
 	Duration time.Duration `json:"duration,omitempty"`
@@ -176,6 +178,15 @@ type Spec struct {
 	// byte-identical either way (only wall-clock and the parallelism
 	// telemetry change), so cells never need to pin it for determinism.
 	Workers int `json:"workers,omitempty"`
+	// BFD attaches per-link liveness sessions (default 50 ms hellos,
+	// detect multiplier 3): link failures reach the controller in
+	// milliseconds instead of at SNMP-poll timescale.
+	BFD bool `json:"bfd,omitempty"`
+	// StandbyK, with BFD, precomputes failover plans for the K links
+	// carrying the most traffic during controller idle time; a BFD down
+	// event then commits the cached plan instead of planning from
+	// scratch. 0 disables the cache.
+	StandbyK int `json:"standby_k,omitempty"`
 }
 
 func (s Spec) withDefaults() Spec {
@@ -186,6 +197,9 @@ func (s Spec) withDefaults() Spec {
 		s.Name = fmt.Sprintf("%s/%s", s.Topo.Family, s.Workload)
 		if s.Failure != "" {
 			s.Name += "+" + s.Failure
+		}
+		if s.BFD {
+			s.Name += "+bfd"
 		}
 	}
 	return s

@@ -38,6 +38,10 @@ type env struct {
 	// hop1A/hop1B name the first link of that shortest path (the failure
 	// schedules' victim).
 	hop1A, hop1B string
+	// hop2A/hop2B name the first link of the shortest path that remains
+	// once hop1 is gone: the second victim of the "cascade" schedule.
+	// Empty when hop1's loss disconnects the ingress.
+	hop2A, hop2B string
 }
 
 // buildEnv analyses a topology for the workload generators.
@@ -112,6 +116,30 @@ func buildEnv(tp *topo.Topology, prefix string) (*env, error) {
 		return nil, fmt.Errorf("scenarios: shortest path from %s has no capacitated link", e.primary)
 	}
 	e.hop1A, e.hop1B = tp.Name(path[0]), tp.Name(path[1])
+
+	// Second victim for the cascade schedule: where would the reroute go
+	// once hop1 is dead? The first link of the shortest surviving path
+	// whose loss does not partition the network — failing the reroute's
+	// very first hop can isolate a degree-two ingress, and a partition is
+	// a different experiment.
+	if hop1, ok := tp.FindLink(path[0], path[1]); ok {
+		reduced := tp.CloneWithoutLinks(hop1.ID)
+		rg := spf.FromTopology(reduced)
+		rt := spf.Compute(rg, src, nil)
+		if rpaths := rt.Paths(attach, 1); len(rpaths) > 0 && len(rpaths[0]) >= 2 {
+			rp := rpaths[0]
+			for i := 0; i+1 < len(rp); i++ {
+				l, ok := reduced.FindLink(rp[i], rp[i+1])
+				if !ok {
+					continue
+				}
+				if reduced.CloneWithoutLinks(l.ID).Validate() == nil {
+					e.hop2A, e.hop2B = reduced.Name(rp[i]), reduced.Name(rp[i+1])
+					break
+				}
+			}
+		}
+	}
 	return e, nil
 }
 
@@ -188,6 +216,16 @@ func buildWaves(kind string, e *env, duration time.Duration, seed int64) ([]flas
 			})
 		}
 		return waves, nil
+	case "steady":
+		// A fixed crowd sized to fit the surviving topology after a
+		// single-link failure (0.8x the primary path's bottleneck): the
+		// network sits comfortably below the alarm threshold before the
+		// failure, so every stall measured afterwards is the failure's
+		// fault. The failover cells use it to compare detection
+		// pipelines without the 1.7x overload drowning the signal.
+		return []flashcrowd.Wave{
+			{At: 1 * time.Second, Ingress: e.primary, Flows: e.flowsFor(0.8), Rate: rate},
+		}, nil
 	case "dual":
 		// Both ingresses surge, as in Figure 1b: overlap is only
 		// guaranteed on topologies like Fig1/Abilene where the two
@@ -226,6 +264,19 @@ func buildFailures(kind string, e *env, duration time.Duration) ([]FailureEvent,
 		return []FailureEvent{
 			{At: 14 * time.Second, A: e.hop1A, B: e.hop1B, Up: false},
 			{At: 19 * time.Second, A: e.hop1A, B: e.hop1B, Up: true},
+		}, nil
+	case "cascade":
+		// Two correlated failures: the primary path's first hop, then —
+		// once traffic has rerouted onto it — the backup path's first hop.
+		// Exercises the standby cache's miss + repopulation cycle: the
+		// second failure invalidated every plan computed before the first.
+		if e.hop2A == "" {
+			return nil, fmt.Errorf("scenarios: no second path from %s survives losing %s-%s; cascade impossible",
+				e.primary, e.hop1A, e.hop1B)
+		}
+		return []FailureEvent{
+			{At: 14 * time.Second, A: e.hop1A, B: e.hop1B, Up: false},
+			{At: 18 * time.Second, A: e.hop2A, B: e.hop2B, Up: false},
 		}, nil
 	default:
 		return nil, fmt.Errorf("scenarios: unknown failure schedule %q", kind)

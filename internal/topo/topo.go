@@ -328,6 +328,61 @@ func (t *Topology) Clone() *Topology {
 	return c
 }
 
+// CloneWithoutLinks returns a deep copy of the topology with the given
+// directed links — and their reverse halves — removed. Node IDs, names
+// and prefixes are preserved, so routes, lies and demands expressed in
+// node space stay valid against the clone; link IDs are re-densified and
+// therefore differ from the original's. The failover planner uses it to
+// answer "what if this link were gone" without mutating the live
+// topology.
+func (t *Topology) CloneWithoutLinks(drop ...LinkID) *Topology {
+	gone := make(map[LinkID]bool, 2*len(drop))
+	for _, id := range drop {
+		if id < 0 || int(id) >= len(t.links) {
+			continue
+		}
+		gone[id] = true
+		if r := t.links[id].Reverse; r != NoLink {
+			gone[r] = true
+		}
+	}
+	c := &Topology{
+		nodes:    append([]Node(nil), t.nodes...),
+		out:      make([][]LinkID, len(t.out)),
+		in:       make([][]LinkID, len(t.in)),
+		byName:   make(map[string]NodeID, len(t.byName)),
+		prefixes: make([]Prefix, len(t.prefixes)),
+	}
+	for k, v := range t.byName {
+		c.byName[k] = v
+	}
+	remap := make(map[LinkID]LinkID, len(t.links))
+	for _, l := range t.links {
+		if gone[l.ID] {
+			continue
+		}
+		nl := l
+		nl.ID = LinkID(len(c.links))
+		remap[l.ID] = nl.ID
+		c.links = append(c.links, nl)
+		c.out[nl.From] = append(c.out[nl.From], nl.ID)
+		c.in[nl.To] = append(c.in[nl.To], nl.ID)
+	}
+	// Both halves of a symmetric pair survive or neither does, so every
+	// surviving Reverse has a remap entry.
+	for i := range c.links {
+		if r := c.links[i].Reverse; r != NoLink {
+			c.links[i].Reverse = remap[r]
+		}
+	}
+	for i, p := range t.prefixes {
+		cp := p
+		cp.Attachments = append([]Attachment(nil), p.Attachments...)
+		c.prefixes[i] = cp
+	}
+	return c
+}
+
 // Validate checks structural invariants: weights >= 1, reverse pointers
 // consistent, every prefix attached to at least one node, and that the
 // router subgraph is connected (hosts may be leaves).

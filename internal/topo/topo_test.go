@@ -368,3 +368,51 @@ func TestSetWeight(t *testing.T) {
 	}()
 	tp.SetWeight(l.ID, 0)
 }
+
+func TestCloneWithoutLinks(t *testing.T) {
+	tp := Fig1(Fig1Opts{})
+	victim := tp.MustLinkBetween(Fig1B, Fig1R2)
+	c := tp.CloneWithoutLinks(victim.ID)
+
+	if c.NumNodes() != tp.NumNodes() {
+		t.Fatalf("clone nodes = %d, want %d", c.NumNodes(), tp.NumNodes())
+	}
+	if c.NumLinks() != tp.NumLinks()-2 {
+		t.Fatalf("clone links = %d, want %d (pair removed)", c.NumLinks(), tp.NumLinks()-2)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone invalid: %v", err)
+	}
+	// Node IDs are preserved: names resolve identically in both.
+	for _, n := range tp.Nodes() {
+		if c.Name(n.ID) != n.Name {
+			t.Fatalf("node %d renamed %q -> %q", n.ID, n.Name, c.Name(n.ID))
+		}
+	}
+	// The dropped pair is gone in both directions.
+	if _, ok := c.FindLink(tp.MustNode(Fig1B), tp.MustNode(Fig1R2)); ok {
+		t.Fatalf("dropped link still present")
+	}
+	if _, ok := c.FindLink(tp.MustNode(Fig1R2), tp.MustNode(Fig1B)); ok {
+		t.Fatalf("dropped reverse still present")
+	}
+	// Every surviving link keeps its endpoints/attributes and a
+	// consistent reverse pointer under the new dense IDs.
+	for _, l := range c.Links() {
+		orig, ok := tp.FindLink(l.From, l.To)
+		if !ok {
+			t.Fatalf("clone link %s->%s not in original", c.Name(l.From), c.Name(l.To))
+		}
+		if orig.Weight != l.Weight || orig.Capacity != l.Capacity || orig.Delay != l.Delay {
+			t.Fatalf("clone link %s->%s attributes changed", c.Name(l.From), c.Name(l.To))
+		}
+	}
+	// Prefixes survive with their attachments.
+	if len(c.Prefixes()) != len(tp.Prefixes()) {
+		t.Fatalf("clone prefixes = %d, want %d", len(c.Prefixes()), len(tp.Prefixes()))
+	}
+	// The original is untouched.
+	if _, ok := tp.FindLink(tp.MustNode(Fig1B), tp.MustNode(Fig1R2)); !ok {
+		t.Fatalf("original mutated")
+	}
+}
