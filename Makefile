@@ -2,6 +2,12 @@
 
 GO ?= go
 
+# PR number stamped onto the per-PR benchmark snapshot `make bench`
+# writes next to the committed baseline (BENCH_pr$(PR).json): the
+# baseline tracks "current expected cost", the snapshots keep the
+# trajectory across PRs diffable.
+PR ?= 9
+
 .PHONY: all build test race vet fuzz matrix failover quickstart bench bench-gate scale docs-check
 
 all: vet build test
@@ -41,28 +47,35 @@ quickstart:
 # and deterministic enough for trajectory tracking; bump it locally when
 # measuring a specific optimisation. The bench run and the JSON
 # conversion are separate steps so a failing benchmark aborts before the
-# baseline is overwritten.
+# baseline is overwritten. Alongside the baseline it writes a per-PR
+# snapshot (BENCH_pr$(PR).json) from the same run, so the cost
+# trajectory stays diffable PR over PR.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . > bench.out.tmp || { rm -f bench.out.tmp; exit 1; }
-	$(GO) run ./cmd/benchjson -o BENCH_baseline.json < bench.out.tmp; s=$$?; rm -f bench.out.tmp; exit $$s
-	@echo wrote BENCH_baseline.json
+	$(GO) run ./cmd/benchjson -o BENCH_baseline.json < bench.out.tmp || { rm -f bench.out.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -o BENCH_pr$(PR).json < bench.out.tmp; s=$$?; rm -f bench.out.tmp; exit $$s
+	@echo wrote BENCH_baseline.json and BENCH_pr$(PR).json
 
 # Regression gate on the delta hot paths, the Gbit-scale planner, the
-# failover reaction path, and the parallel simulation core: fails when
-# ns/op of the incremental-SPF benchmark, the aggregate traffic plane's
-# 100k-viewer join benchmark, the planner fan-out at 1 Gbit/s, the
-# failover-cell runs (BFD+standby and SNMP-poll detection), or the
-# worker-pool churn benchmarks (fat-tree k=8 and the scale tier's k=16,
-# both pool widths) regresses >2x against the committed baseline. The
-# planner benchmark also asserts a plan commits (so the numerics ceiling
-# cannot silently return) and the failover benchmarks assert the failure
-# was detected and a plan committed after it, so the fast-failover
-# pipeline cannot silently break. The parallel benchmarks additionally
-# gate allocs/op (limit 1.05x): the worker pool must not buy wall-clock
-# with garbage. -count 5 + best-of in benchjson filters scheduler noise.
+# failover reaction path, the planner amortisation layer, and the
+# parallel simulation core: fails when ns/op of the incremental-SPF
+# benchmark, the aggregate traffic plane's 100k-viewer join benchmark,
+# the planner fan-out at 1 Gbit/s, the failover-cell runs (BFD+standby
+# and SNMP-poll detection), the repeated-planning benchmark (cold
+# rebuild vs warm PlanArtifacts reuse — the warm row's baseline sits
+# far below cold, so losing the memoisation trips the gate), the
+# component-partitioned reshare at both pool widths, or the worker-pool
+# churn benchmarks (fat-tree k=8 and the scale tier's k=16, both pool
+# widths) regresses >2x against the committed baseline. The planner
+# benchmark also asserts a plan commits (so the numerics ceiling cannot
+# silently return) and the failover benchmarks assert the failure was
+# detected and a plan committed after it, so the fast-failover pipeline
+# cannot silently break. The parallel benchmarks additionally gate
+# allocs/op (limit 1.05x): the worker pool must not buy wall-clock with
+# garbage. -count 5 + best-of in benchjson filters scheduler noise.
 bench-gate:
-	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalVsFull|BenchmarkReshareIncremental|BenchmarkPlannerGbit|BenchmarkReactionLatency/failover' -benchtime 1x -count 5 . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
-	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'IncrementalVsFull.*/incremental$$|ReshareIncremental/viewers=100000/join$$|PlannerGbit/1G$$|ReactionLatency/failover/(bfd|snmp)$$' -max-ratio 2 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
+	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalVsFull|BenchmarkReshareIncremental|BenchmarkPlannerGbit|BenchmarkPlannerRepeat|BenchmarkReactionLatency/failover' -benchtime 1x -count 5 . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
+	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'IncrementalVsFull.*/incremental$$|ReshareIncremental/viewers=100000/join$$|ReshareIncremental/viewers=100000/components/workers=(1|4)$$|PlannerGbit/1G$$|PlannerRepeat/(cold|warm)$$|ReactionLatency/failover/(bfd|snmp)$$' -max-ratio 2 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelSPF|BenchmarkScaleTier' -benchtime 1x -count 5 -benchmem . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'ParallelSPF/(seq|par)$$|ScaleTier/(seq|par)$$' -max-ratio 2 -max-allocs-ratio 1.05 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
 

@@ -19,6 +19,8 @@
 //	fiblab -failover                # BFD+standby vs SNMP failover cells
 //	fiblab -topo fig1 -workload steady -failure hotlink -bfd -standby-k 3
 //	                                # ad-hoc run with fast failover enabled
+//	fiblab -run ring/surge -cache-stats
+//	                                # plus planner amortisation telemetry
 //
 // The exit status is non-zero when any executed cell violates its
 // invariants, so fiblab doubles as a CI gate.
@@ -55,6 +57,8 @@ func main() {
 		failure  = flag.String("failure", "", "ad-hoc run: failure schedule (hotlink, flap)")
 		viewers  = flag.Int("viewers", 0, "scale the crowd to about this many sessions (exact for surge; same total demand, finer slices; 0 keeps the default sizing)")
 		workers  = flag.Int("workers", 0, "simulation worker-pool width: 0 uses GOMAXPROCS, 1 forces the sequential core (output is byte-identical either way)")
+
+		cacheStats = flag.Bool("cache-stats", false, "after each cell, print the planner amortisation telemetry: plan-cache hit/miss, warm-LP warm/cold/fallback solves, parallel reshare component count, and per-strategy propose timings (always present in -json output)")
 
 		failover = flag.Bool("failover", false, "run the fast-failover cells: each compares BFD+standby against SNMP-poll failure detection")
 		bfd      = flag.Bool("bfd", false, "attach BFD-style per-link liveness sessions (50ms hellos, detect multiplier 3) feeding the controller")
@@ -94,7 +98,7 @@ func main() {
 	}
 
 	if *scale {
-		runScale(*duration, *jsonOut, strategyNames, *viewers, capOverride, *workers)
+		runScale(*duration, *jsonOut, strategyNames, *viewers, capOverride, *workers, *cacheStats)
 		return
 	}
 
@@ -161,6 +165,9 @@ func main() {
 		if !*jsonOut {
 			var b strings.Builder
 			cmp.Render(&b)
+			if *cacheStats {
+				cmp.On.RenderCacheStats(&b, "  ")
+			}
 			fmt.Print(b.String())
 		}
 	}
@@ -230,7 +237,7 @@ type scaleResult struct {
 // runScale executes the large-topology cells (controller on, no
 // counterfactual side: these measure cost, not invariants) and prints
 // per-cell wall-clock and scheduler events executed.
-func runScale(duration time.Duration, jsonOut bool, strategyNames []string, viewers int, capOverride float64, workers int) {
+func runScale(duration time.Duration, jsonOut bool, strategyNames []string, viewers int, capOverride float64, workers int, cacheStats bool) {
 	var results []scaleResult
 	for _, spec := range scenarios.ScaleSpecs() {
 		if duration > 0 {
@@ -262,6 +269,11 @@ func runScale(duration time.Duration, jsonOut bool, strategyNames []string, view
 				rep.Sessions, rep.Aggregates, rep.SettledUtilisation, rep.Lies,
 				rep.Workers, rep.ParallelBatches, rep.ParallelSPFRuns,
 				rep.ParallelSPFRuns+rep.SequentialSPFRuns, rep.MaxBatch)
+			if cacheStats {
+				var b strings.Builder
+				rep.RenderCacheStats(&b, "  ")
+				fmt.Print(b.String())
+			}
 		}
 	}
 	if jsonOut {

@@ -1,0 +1,433 @@
+package controller
+
+// The planner's amortisation layer. Every strategy in a ProposeAll
+// fan-out — and every successive planner invocation between state
+// changes — used to recompute the same expensive inputs from scratch:
+// per-source SPF trees, Yen k-shortest-path sets, the believed-topology
+// compilation (fibbing.Evaluate: one SPF per router per prefix), and the
+// fluid load estimates behind PlanContext.Evaluate. PlanArtifacts
+// memoises all of them, keyed by value-complete cache keys (topology
+// binding by pointer, lie sets and demand volumes encoded into the key),
+// so a stale entry is impossible by construction; the controller
+// additionally drops the whole cache whenever its generation triple
+// (topology gen, demand gen, lie gen — the same triple the standby cache
+// tracks) moves, which bounds memory to one planning epoch.
+//
+// Hit/miss accounting is deterministic under concurrency: a lookup that
+// finds an entry counts a hit immediately, and a computed result counts
+// a miss only if it inserts a new key at store time — when two strategies
+// race to compute the same key, exactly one miss is recorded regardless
+// of interleaving, so the counters are byte-identical across scheduler
+// worker widths and safe to publish in scenario Reports.
+
+import (
+	"slices"
+	"strconv"
+	"strings"
+	"sync"
+
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/spf"
+	"fibbing.net/fibbing/internal/te"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// ArtifactStats counts PlanArtifacts cache traffic. Hits and Misses are
+// deterministic for a given event sequence (see the package comment on
+// store-time accounting), so they appear in scenario Reports unscrubbed.
+type ArtifactStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+}
+
+// viewsEntry caches one fibbing.Evaluate outcome (errors included, so a
+// failing prefix does not re-run the per-router SPF sweep every retry).
+type viewsEntry struct {
+	views map[topo.NodeID]fibbing.RouteView
+	err   error
+}
+
+// loadsEntry caches one fluid routing of a full lie set: the per-link
+// loads and the max utilisation derived from them.
+type loadsEntry struct {
+	loads map[topo.LinkID]float64
+	util  float64
+	err   error
+}
+
+type minmaxEntry struct {
+	res *te.MinMaxResult
+	err error
+}
+
+// augEntry caches one compileDAG outcome: the verified augmentation (or
+// the compile/verify error) for a requirement DAG on one prefix.
+type augEntry struct {
+	aug    *fibbing.Augmentation
+	pinned bool
+	err    error
+}
+
+// PlanArtifacts memoises the expensive planner inputs for one topology.
+// It is safe for concurrent use (the strategy fan-out shares one
+// instance); computations run outside the lock, so concurrent strategies
+// never serialise on each other's cache fills. Cached values are shared —
+// callers must treat returned trees, paths, views and load maps as
+// read-only.
+type PlanArtifacts struct {
+	mu    sync.Mutex
+	topo  *topo.Topology
+	graph *spf.Graph
+	skip  func(topo.NodeID) bool
+	trees map[topo.NodeID]*spf.Tree
+	ksp   map[string][][]topo.NodeID
+	views map[string]viewsEntry
+	loads map[string]loadsEntry
+	mmx   map[string]minmaxEntry
+	augs  map[string]augEntry
+
+	// lp and stats are shared across cache generations (and with the
+	// ephemeral failover artifacts): the warm-start basis must survive a
+	// demand-gen reset — volume-only changes are exactly the warm case —
+	// and the counters are cumulative per controller.
+	lp    *te.MinMaxSolver
+	stats *ArtifactStats
+}
+
+// NewPlanArtifacts returns an empty cache bound to t, with fresh stats
+// and a fresh warm-LP solver.
+func NewPlanArtifacts(t *topo.Topology) *PlanArtifacts {
+	return newPlanArtifacts(t, &ArtifactStats{}, te.NewMinMaxSolver())
+}
+
+func newPlanArtifacts(t *topo.Topology, stats *ArtifactStats, lp *te.MinMaxSolver) *PlanArtifacts {
+	if stats == nil {
+		stats = &ArtifactStats{}
+	}
+	if lp == nil {
+		lp = te.NewMinMaxSolver()
+	}
+	return &PlanArtifacts{
+		topo:  t,
+		trees: make(map[topo.NodeID]*spf.Tree),
+		ksp:   make(map[string][][]topo.NodeID),
+		views: make(map[string]viewsEntry),
+		loads: make(map[string]loadsEntry),
+		mmx:   make(map[string]minmaxEntry),
+		augs:  make(map[string]augEntry),
+		lp:    lp,
+		stats: stats,
+	}
+}
+
+// rebind returns a fresh cache for t carrying over the cumulative stats
+// and the warm-LP solver (its structure key decides reusability itself).
+func (a *PlanArtifacts) rebind(t *topo.Topology) *PlanArtifacts {
+	return newPlanArtifacts(t, a.stats, a.lp)
+}
+
+// Topology returns the topology this cache is bound to.
+func (a *PlanArtifacts) Topology() *topo.Topology { return a.topo }
+
+// Stats snapshots the cumulative hit/miss counters.
+func (a *PlanArtifacts) Stats() ArtifactStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return *a.stats
+}
+
+// LPStats snapshots the warm-LP solver's counters.
+func (a *PlanArtifacts) LPStats() te.WarmLPStats { return a.lp.Stats() }
+
+// Graph returns the memoised spf.Graph and host-skip for the bound
+// topology.
+func (a *PlanArtifacts) Graph() (*spf.Graph, func(topo.NodeID) bool) {
+	a.mu.Lock()
+	if a.graph != nil {
+		a.stats.Hits++
+		g, skip := a.graph, a.skip
+		a.mu.Unlock()
+		return g, skip
+	}
+	a.mu.Unlock()
+	g := spf.FromTopology(a.topo)
+	skip := spf.HostSkip(a.topo)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.graph != nil {
+		a.stats.Hits++
+		return a.graph, a.skip
+	}
+	a.stats.Misses++
+	a.graph, a.skip = g, skip
+	return g, skip
+}
+
+// Tree returns the memoised SPF tree rooted at src.
+func (a *PlanArtifacts) Tree(src topo.NodeID) *spf.Tree {
+	a.mu.Lock()
+	if t, ok := a.trees[src]; ok {
+		a.stats.Hits++
+		a.mu.Unlock()
+		return t
+	}
+	a.mu.Unlock()
+	g, skip := a.Graph()
+	t := spf.Compute(g, src, skip)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.trees[src]; ok {
+		a.stats.Hits++
+		return prev
+	}
+	a.stats.Misses++
+	a.trees[src] = t
+	return t
+}
+
+// KShortest returns the memoised Yen k-shortest-path set.
+func (a *PlanArtifacts) KShortest(src, dst topo.NodeID, k, spurLimit int) [][]topo.NodeID {
+	key := strconv.FormatInt(int64(src), 10) + "|" + strconv.FormatInt(int64(dst), 10) +
+		"|" + strconv.Itoa(k) + "|" + strconv.Itoa(spurLimit)
+	a.mu.Lock()
+	if p, ok := a.ksp[key]; ok {
+		a.stats.Hits++
+		a.mu.Unlock()
+		return p
+	}
+	a.mu.Unlock()
+	g, skip := a.Graph()
+	paths := spf.KShortestSpurLimit(g, src, dst, k, spurLimit, skip)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.ksp[key]; ok {
+		a.stats.Hits++
+		return prev
+	}
+	a.stats.Misses++
+	a.ksp[key] = paths
+	return paths
+}
+
+// Views returns the memoised believed-topology compilation for one
+// prefix under the given lie set (nil lies = the plain IGP view). This is
+// the planner's dominant repeated cost: fibbing.Evaluate runs one SPF per
+// router over the augmented graph.
+func (a *PlanArtifacts) Views(prefix string, lies []fibbing.Lie) (map[topo.NodeID]fibbing.RouteView, error) {
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	encodeLies(&sb, lies)
+	key := sb.String()
+	a.mu.Lock()
+	if e, ok := a.views[key]; ok {
+		a.stats.Hits++
+		a.mu.Unlock()
+		return e.views, e.err
+	}
+	a.mu.Unlock()
+	views, err := fibbing.Evaluate(a.topo, prefix, lies)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.views[key]; ok {
+		a.stats.Hits++
+		return prev.views, prev.err
+	}
+	a.stats.Misses++
+	a.views[key] = viewsEntry{views: views, err: err}
+	return views, err
+}
+
+// MaxUtil routes demands over the full lie set (all prefixes, merged)
+// with the fluid model and returns the max link utilisation, memoised on
+// the (lies, demands) value. The per-prefix views inside the routing go
+// through Views, so two lie sets differing in one prefix share the other
+// prefixes' compilations.
+func (a *PlanArtifacts) MaxUtil(lies map[string][]fibbing.Lie, demands []topo.Demand) (float64, error) {
+	e := a.loadsFor(lies, demands)
+	return e.util, e.err
+}
+
+// Loads is MaxUtil's sibling returning the per-link load map itself
+// (read-only; shared with the cache).
+func (a *PlanArtifacts) Loads(lies map[string][]fibbing.Lie, demands []topo.Demand) (map[topo.LinkID]float64, error) {
+	e := a.loadsFor(lies, demands)
+	return e.loads, e.err
+}
+
+func (a *PlanArtifacts) loadsFor(lies map[string][]fibbing.Lie, demands []topo.Demand) loadsEntry {
+	key := loadsKey(lies, demands)
+	a.mu.Lock()
+	if e, ok := a.loads[key]; ok {
+		a.stats.Hits++
+		a.mu.Unlock()
+		return e
+	}
+	a.mu.Unlock()
+	e := a.computeLoads(lies, demands)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.loads[key]; ok {
+		a.stats.Hits++
+		return prev
+	}
+	a.stats.Misses++
+	a.loads[key] = e
+	return e
+}
+
+func (a *PlanArtifacts) computeLoads(lies map[string][]fibbing.Lie, demands []topo.Demand) loadsEntry {
+	views := make(map[string]map[topo.NodeID]fibbing.RouteView)
+	for _, d := range demands {
+		if _, ok := views[d.PrefixName]; ok {
+			continue
+		}
+		v, err := a.Views(d.PrefixName, lies[d.PrefixName])
+		if err != nil {
+			return loadsEntry{err: err}
+		}
+		views[d.PrefixName] = v
+	}
+	loads, err := te.LinkLoads(a.topo, views, demands)
+	if err != nil {
+		return loadsEntry{err: err}
+	}
+	return loadsEntry{loads: loads, util: te.MaxUtilOfLoads(a.topo, loads)}
+}
+
+// SolveMinMax returns the memoised min-max LP optimum for the demand
+// set. A repeated demand set within one cache generation is a pure
+// lookup; a changed one re-solves through the shared warm-start solver,
+// which re-enters simplex from the previous basis when only volumes
+// moved.
+func (a *PlanArtifacts) SolveMinMax(demands []topo.Demand) (*te.MinMaxResult, error) {
+	var sb strings.Builder
+	encodeDemands(&sb, demands)
+	key := sb.String()
+	a.mu.Lock()
+	if e, ok := a.mmx[key]; ok {
+		a.stats.Hits++
+		a.mu.Unlock()
+		return e.res, e.err
+	}
+	a.mu.Unlock()
+	res, err := a.lp.Solve(a.topo, demands)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.mmx[key]; ok {
+		a.stats.Hits++
+		return prev.res, prev.err
+	}
+	a.stats.Misses++
+	a.mmx[key] = minmaxEntry{res: res, err: err}
+	return res, err
+}
+
+// CompileDAG returns the memoised compileDAG outcome for a requirement
+// DAG on one prefix: the add-paths-then-pin-all compilation plus the
+// Verify sweep, each of which runs fibbing.Evaluate (one SPF per router)
+// internally. The KSP strategy's greedy path accumulation retries the
+// same candidate DAGs on every invocation, making this the planner's
+// second-largest repeated cost after the view compilations. The returned
+// augmentation is shared — callers must treat it as read-only.
+func (a *PlanArtifacts) CompileDAG(prefix string, dag fibbing.DAG) (*fibbing.Augmentation, bool, error) {
+	var sb strings.Builder
+	sb.WriteString(prefix)
+	encodeDAG(&sb, dag)
+	key := sb.String()
+	a.mu.Lock()
+	if e, ok := a.augs[key]; ok {
+		a.stats.Hits++
+		a.mu.Unlock()
+		return e.aug, e.pinned, e.err
+	}
+	a.mu.Unlock()
+	aug, pinned, err := compileDAG(a.topo, prefix, dag)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.augs[key]; ok {
+		a.stats.Hits++
+		return prev.aug, prev.pinned, prev.err
+	}
+	a.stats.Misses++
+	a.augs[key] = augEntry{aug: aug, pinned: pinned, err: err}
+	return aug, pinned, err
+}
+
+// encodeDAG appends a canonical encoding of a requirement DAG: routers in
+// id order, each with its next-hop weights in id order. Weights are kept
+// un-normalised — {B:1,R1:2} and {B:2,R1:4} would compile to the same
+// lies, but a duplicate entry is cheaper than normalising here.
+func encodeDAG(sb *strings.Builder, dag fibbing.DAG) {
+	routers := make([]topo.NodeID, 0, len(dag))
+	for u := range dag {
+		routers = append(routers, u)
+	}
+	slices.Sort(routers)
+	for _, u := range routers {
+		sb.WriteByte('|')
+		sb.WriteString(strconv.FormatInt(int64(u), 10))
+		sb.WriteByte('=')
+		nhs := make([]topo.NodeID, 0, len(dag[u]))
+		for v := range dag[u] {
+			nhs = append(nhs, v)
+		}
+		slices.Sort(nhs)
+		for _, v := range nhs {
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatInt(int64(v), 10))
+			sb.WriteByte(':')
+			sb.WriteString(strconv.Itoa(dag[u][v]))
+		}
+	}
+}
+
+// encodeLies appends a value-complete encoding of one prefix's lie list.
+// Lie lists are built deterministically by the compilers, so the order
+// is stable and kept significant (a reordered but equal set would only
+// cost a duplicate cache entry, never a wrong hit).
+func encodeLies(sb *strings.Builder, lies []fibbing.Lie) {
+	for _, l := range lies {
+		sb.WriteByte('|')
+		sb.WriteString(l.Prefix.String())
+		sb.WriteByte('@')
+		sb.WriteString(strconv.FormatInt(int64(l.Attach), 10))
+		sb.WriteByte('>')
+		sb.WriteString(strconv.FormatInt(int64(l.Via), 10))
+		sb.WriteByte('$')
+		sb.WriteString(strconv.FormatInt(l.Cost, 10))
+	}
+}
+
+// encodeDemands appends a value-complete encoding of a demand set
+// (exact float bits for the volumes).
+func encodeDemands(sb *strings.Builder, demands []topo.Demand) {
+	for _, d := range demands {
+		sb.WriteByte(';')
+		sb.WriteString(d.PrefixName)
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatInt(int64(d.Ingress), 10))
+		sb.WriteByte(':')
+		sb.WriteString(strconv.FormatFloat(d.Volume, 'x', -1, 64))
+	}
+}
+
+// loadsKey encodes (full lie set, demand set): prefixes in sorted order
+// for a canonical map encoding.
+func loadsKey(lies map[string][]fibbing.Lie, demands []topo.Demand) string {
+	names := make([]string, 0, len(lies))
+	for name, ls := range lies {
+		if len(ls) > 0 {
+			names = append(names, name)
+		}
+	}
+	slices.Sort(names)
+	var sb strings.Builder
+	for _, name := range names {
+		sb.WriteByte('#')
+		sb.WriteString(name)
+		encodeLies(&sb, lies[name])
+	}
+	sb.WriteByte('~')
+	encodeDemands(&sb, demands)
+	return sb.String()
+}

@@ -26,8 +26,18 @@ import (
 	"fibbing.net/fibbing/internal/event"
 	"fibbing.net/fibbing/internal/fibbing"
 	"fibbing.net/fibbing/internal/southbound"
+	"fibbing.net/fibbing/internal/te"
 	"fibbing.net/fibbing/internal/topo"
 )
+
+// planGens is the planning-input invalidation triple. The struct is
+// comparable: two equal triples mean demands, installed lies and the
+// liveness topology are all unchanged since the stamp was taken.
+type planGens struct {
+	topo   uint64
+	demand uint64
+	lie    uint64
+}
 
 // DefaultTargetUtilisation is the post-reaction utilisation the
 // controller aims for when Config.TargetUtilisation is unset. Exported
@@ -146,15 +156,38 @@ type Controller struct {
 	// still evaluates better than the detour (see reactToRecovery).
 	preFailure map[string][]fibbing.Lie
 
+	// gens is the planning-input generation triple: demand changes,
+	// lie-set changes (commits) and topology changes (liveness failures
+	// and heals) each bump their own counter. A standby entry or an
+	// artifact cache stamped with an older triple is stale. Maintained
+	// unconditionally (the artifact cache needs it even without the
+	// standby feature).
+	gens planGens
+
+	// Artifact cache for the planner hot path: arts memoises SPF trees,
+	// believed-topology compilations, k-shortest paths, load estimates
+	// and LP solves for the current (planning topology, gens) epoch;
+	// artStats and lpSolver survive epoch changes so the counters stay
+	// cumulative and the warm LP basis carries across demand bumps.
+	arts     *PlanArtifacts
+	artsGens planGens
+	artStats *ArtifactStats
+	lpSolver *te.MinMaxSolver
+
+	// planningTopo memo: building the reduced clone is O(topology) and
+	// planning happens per alarm, so the clone is cached per failure
+	// epoch (failedEpoch bumps whenever the failed-link set changes).
+	ptCache     *topo.Topology
+	ptEpoch     uint64
+	failedEpoch uint64
+
 	// Fast-failover state (zero unless WithStandby enables the cache):
 	// sched drives the idle-precompute debounce; standby caches one plan
-	// per likely failed link, stamped with the generation of the inputs
-	// it was computed from; standbyGen bumps on any demand change,
-	// commit, or topology change, invalidating every older entry.
+	// per likely failed link, stamped with the gens triple it was
+	// computed from.
 	sched           *event.Scheduler
 	standbyK        int
 	standby         map[topo.LinkID]*standbyEntry
-	standbyGen      uint64
 	precompute      event.Handle
 	precomputeArmed bool
 
@@ -207,6 +240,8 @@ func New(t *topo.Topology, lies *southbound.LieManager, now func() time.Duration
 		raised:     make(map[topo.LinkID]bool),
 		failed:     make(map[topo.LinkID]bool),
 		futile:     make(map[string]bool),
+		artStats:   &ArtifactStats{},
+		lpSolver:   te.NewMinMaxSolver(),
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -244,11 +279,30 @@ func (c *Controller) Handle(ev Event) {
 	case EventLinkUp:
 		if c.markFailed(ev.Link, false) {
 			c.reactToRecovery()
-			c.invalidateStandby()
+			c.gens.topo++
 			c.armPrecompute()
 		}
 	}
 }
+
+// ensureArtifacts returns the artifact cache for the given planning
+// topology, rebinding (and thereby dropping every memo) when the
+// topology instance or the gens triple moved since the cache was built.
+// The cumulative stats and the warm-LP solver survive the rebind.
+func (c *Controller) ensureArtifacts(pt *topo.Topology) *PlanArtifacts {
+	if c.arts != nil && c.arts.topo == pt && c.artsGens == c.gens {
+		return c.arts
+	}
+	c.arts = newPlanArtifacts(pt, c.artStats, c.lpSolver)
+	c.artsGens = c.gens
+	return c.arts
+}
+
+// ArtifactStats snapshots the cumulative plan-cache hit/miss counters.
+func (c *Controller) ArtifactStats() ArtifactStats { return *c.artStats }
+
+// LPStats snapshots the warm-started LP solver's counters.
+func (c *Controller) LPStats() te.WarmLPStats { return c.lpSolver.Stats() }
 
 // ClientJoined registers a new video session (convenience wrapper around
 // a demand event).
@@ -289,8 +343,9 @@ func (c *Controller) applyDemand(ev Event) {
 		delete(pk, ev.Ingress)
 	}
 	clear(c.futile) // changed demands may make a rejected plan viable
-	// Standby plans were computed for the old demands.
-	c.invalidateStandby()
+	// Standby plans and cached artifacts were computed for the old
+	// demands.
+	c.gens.demand++
 	c.armPrecompute()
 }
 
@@ -345,7 +400,7 @@ func (c *Controller) plan(ev Event) {
 	if c.futile[key] {
 		return
 	}
-	ctx := buildPlanContext(pt, demands, c.lies.InstalledAll(), ev, c.cfg, len(c.raised))
+	ctx := buildPlanContext(c.ensureArtifacts(pt), pt, demands, c.lies.InstalledAll(), ev, c.cfg, len(c.raised))
 	if ev.Kind == EventAlarmRaised && ctx.BaseUtil <= c.cfg.target {
 		return // stale alarm
 	}
@@ -393,9 +448,9 @@ func (c *Controller) commit(plan *Plan) {
 		return // the plan was already installed; the IGP saw no traffic
 	}
 	c.log(strings.Join(prefixes, ","), plan.Strategy, plan.TotalLies(), plan.Rationale)
-	// The installed lie set changed; standby plans were computed over
-	// the previous one.
-	c.invalidateStandby()
+	// The installed lie set changed; standby plans and cached artifacts
+	// were computed over the previous one.
+	c.gens.lie++
 	c.armPrecompute()
 }
 

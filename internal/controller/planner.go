@@ -5,6 +5,7 @@ import (
 	"math"
 	"slices"
 	"sync"
+	"time"
 
 	"fibbing.net/fibbing/internal/fibbing"
 	"fibbing.net/fibbing/internal/monitor"
@@ -38,6 +39,24 @@ func utilEps(vals ...float64) float64 {
 // deterministic tie-break.
 type Planner struct {
 	strategies []Strategy
+
+	// perf accumulates per-strategy telemetry across the planner's life:
+	// proposals made, wins, and cumulative Propose wall-time. Proposals
+	// and Wins are deterministic for a given event sequence; Nanos is
+	// wall-clock and scrubbed from determinism comparisons.
+	perfMu sync.Mutex
+	perf   map[string]*StrategyPerf
+}
+
+// StrategyPerf is one strategy's cumulative planner telemetry.
+type StrategyPerf struct {
+	// Proposals counts Propose calls that returned a plan (abstentions
+	// and errors are not proposals).
+	Proposals int `json:"proposals"`
+	// Wins counts proposals that Select picked.
+	Wins int `json:"wins"`
+	// Nanos is the cumulative Propose wall-time, including abstentions.
+	Nanos int64 `json:"nanos"`
 }
 
 // NewPlanner builds a planner over the given strategies (registration
@@ -47,11 +66,31 @@ func NewPlanner(strategies ...Strategy) *Planner {
 	if len(strategies) == 0 {
 		strategies = DefaultStrategies()
 	}
-	return &Planner{strategies: strategies}
+	return &Planner{strategies: strategies, perf: make(map[string]*StrategyPerf)}
 }
 
 // Strategies returns the registered strategy names in order.
 func (p *Planner) Strategies() []string { return StrategyNames(p.strategies) }
+
+// Perf snapshots the per-strategy telemetry accumulated so far.
+func (p *Planner) Perf() map[string]StrategyPerf {
+	p.perfMu.Lock()
+	defer p.perfMu.Unlock()
+	out := make(map[string]StrategyPerf, len(p.perf))
+	for name, sp := range p.perf {
+		out[name] = *sp
+	}
+	return out
+}
+
+func (p *Planner) perfFor(name string) *StrategyPerf {
+	sp := p.perf[name]
+	if sp == nil {
+		sp = &StrategyPerf{}
+		p.perf[name] = sp
+	}
+	return sp
+}
 
 // ProposeAll fans every registered strategy out concurrently and returns
 // their plans in registration order (strategies that abstain contribute
@@ -64,7 +103,16 @@ func (p *Planner) ProposeAll(ctx PlanContext) ([]*Plan, []error) {
 		wg.Add(1)
 		go func(i int, s Strategy) {
 			defer wg.Done()
+			start := time.Now()
 			plan, err := s.Propose(ctx)
+			elapsed := time.Since(start)
+			p.perfMu.Lock()
+			sp := p.perfFor(s.Name())
+			sp.Nanos += elapsed.Nanoseconds()
+			if plan != nil && err == nil {
+				sp.Proposals++
+			}
+			p.perfMu.Unlock()
 			if err != nil {
 				errs[i] = fmt.Errorf("strategy %s: %w", s.Name(), err)
 				return
@@ -115,6 +163,11 @@ func (p *Planner) Select(ctx PlanContext, plans []*Plan) *Plan {
 			best = plan
 		}
 	}
+	if best != nil {
+		p.perfMu.Lock()
+		p.perfFor(best.Strategy).Wins++
+		p.perfMu.Unlock()
+	}
 	return best
 }
 
@@ -162,25 +215,41 @@ func liveLiesAfter(installed map[string][]fibbing.Lie, plan *Plan) int {
 
 // AnalyticPlanContext builds a PlanContext outside a running simulation —
 // for one-shot what-if planning (cmd/fibsim), tests, and benchmarks. The
-// installed map may be nil; cfg uses its usual defaults.
+// installed map may be nil; cfg uses its usual defaults. The context
+// carries a fresh artifact cache, so one fan-out shares its SPF and
+// evaluation work; repeat callers who want cross-invocation reuse pass a
+// persistent cache to AnalyticPlanContextCached instead.
 func AnalyticPlanContext(t *topo.Topology, demands []topo.Demand,
+	installed map[string][]fibbing.Lie, ev Event, cfg Config) PlanContext {
+	return AnalyticPlanContextCached(NewPlanArtifacts(t), t, demands, installed, ev, cfg)
+}
+
+// AnalyticPlanContextCached is AnalyticPlanContext with a caller-owned
+// artifact cache: successive contexts built over the same cache (same
+// topology, unchanged demands/lies) reuse each other's SPF trees,
+// believed-topology compilations, k-shortest-path sets, LP bases and
+// load estimates. The caller owns invalidation — pass a fresh or rebound
+// cache whenever topology, demands or installed lies change.
+func AnalyticPlanContextCached(arts *PlanArtifacts, t *topo.Topology, demands []topo.Demand,
 	installed map[string][]fibbing.Lie, ev Event, cfg Config) PlanContext {
 	raised := 0
 	if ev.Kind == EventAlarmRaised {
 		raised = 1
 	}
-	return buildPlanContext(t, demands, installed, ev, cfg.resolve(), raised)
+	return buildPlanContext(arts, t, demands, installed, ev, cfg.resolve(), raised)
 }
 
 // buildPlanContext is the single assembly point for PlanContexts: the
 // running controller and the analytic what-if path both go through it,
 // so the evaluator wiring and base-utilisation semantics cannot diverge.
-func buildPlanContext(t *topo.Topology, demands []topo.Demand,
+// arts may be nil (everything computes directly) or bound to a different
+// topology (helpers fall back per call).
+func buildPlanContext(arts *PlanArtifacts, t *topo.Topology, demands []topo.Demand,
 	installed map[string][]fibbing.Lie, ev Event, r resolved, raisedAlarms int) PlanContext {
 	if installed == nil {
 		installed = map[string][]fibbing.Lie{}
 	}
-	eval := newEvaluator(t, installed, demands)
+	eval := newEvaluator(arts, t, installed, demands)
 	base := 0.0
 	if len(demands) > 0 {
 		if u, err := eval(nil); err == nil {
@@ -191,6 +260,7 @@ func buildPlanContext(t *topo.Topology, demands []topo.Demand,
 	}
 	return PlanContext{
 		Topo:          t,
+		Artifacts:     arts,
 		Event:         ev,
 		Demands:       demands,
 		Prefixes:      prefixNamesOf(demands),
@@ -231,7 +301,14 @@ func HottestLinkAlarm(t *topo.Topology, loads map[topo.LinkID]float64) (monitor.
 
 // newEvaluator builds the PlanContext.Evaluate closure: overlay-aware
 // fluid routing of demands over installed lies. Safe for concurrent use.
-func newEvaluator(t *topo.Topology, installed map[string][]fibbing.Lie, demands []topo.Demand) func(map[string][]fibbing.Lie) (float64, error) {
+// With an artifact cache bound to t, evaluations are memoised on the
+// merged lie set (per-prefix believed views and whole-set load maps), so
+// repeated evaluations of the same overlay — across strategies or across
+// planner invocations — cost a lookup.
+func newEvaluator(arts *PlanArtifacts, t *topo.Topology, installed map[string][]fibbing.Lie, demands []topo.Demand) func(map[string][]fibbing.Lie) (float64, error) {
+	if arts != nil && arts.topo != t {
+		arts = nil // bound elsewhere; compute directly
+	}
 	return func(overlay map[string][]fibbing.Lie) (float64, error) {
 		merged := make(map[string][]fibbing.Lie, len(installed)+len(overlay))
 		for prefix, lies := range installed {
@@ -243,6 +320,9 @@ func newEvaluator(t *topo.Topology, installed map[string][]fibbing.Lie, demands 
 				continue
 			}
 			merged[prefix] = lies
+		}
+		if arts != nil {
+			return arts.MaxUtil(merged, demands)
 		}
 		loads, err := te.LoadsWithLies(t, merged, demands)
 		if err != nil {

@@ -51,7 +51,7 @@ type StandbyStats struct {
 // standbyEntry is one cached failover reaction. plan may be nil: the
 // failure was examined and needs no lie change (still a valid hit).
 type standbyEntry struct {
-	gen  uint64
+	gen  planGens
 	plan *Plan
 }
 
@@ -96,30 +96,33 @@ func (c *Controller) markFailed(l topo.Link, down bool) bool {
 		delete(c.failed, id)
 	}
 	clear(c.futile)
+	// The reduced-clone memo is for the previous failed set. Note this
+	// bumps only failedEpoch, never gens.topo: standby entries must stay
+	// servable at the very failure they were precomputed for —
+	// reactToFailure bumps gens.topo after consuming the entry.
+	c.failedEpoch++
 	return true
 }
 
 // planningTopo is the topology the controller should plan over: the
 // configured one minus every link the liveness layer has declared dead.
+// The reduced clone is memoised per failure epoch — alarms arrive far
+// more often than the failed set changes.
 func (c *Controller) planningTopo() *topo.Topology {
 	if len(c.failed) == 0 {
 		return c.topo
+	}
+	if c.ptCache != nil && c.ptEpoch == c.failedEpoch {
+		return c.ptCache
 	}
 	ids := make([]topo.LinkID, 0, len(c.failed))
 	for id := range c.failed {
 		ids = append(ids, id)
 	}
 	slices.Sort(ids)
-	return c.topo.CloneWithoutLinks(ids...)
-}
-
-// invalidateStandby marks every cached plan stale (generation bump; the
-// entries are dropped lazily on read or at the next refill).
-func (c *Controller) invalidateStandby() {
-	if c.standby == nil {
-		return
-	}
-	c.standbyGen++
+	c.ptCache = c.topo.CloneWithoutLinks(ids...)
+	c.ptEpoch = c.failedEpoch
+	return c.ptCache
 }
 
 // armPrecompute (re)schedules the idle-time cache refill. Each call
@@ -131,11 +134,11 @@ func (c *Controller) armPrecompute() {
 	if c.precomputeArmed {
 		c.sched.Cancel(c.precompute)
 	}
-	gen := c.standbyGen
+	gens := c.gens
 	c.precomputeArmed = true
 	c.precompute = c.sched.After(standbyIdleDelay, func() {
 		c.precomputeArmed = false
-		if gen != c.standbyGen {
+		if gens != c.gens {
 			return // superseded by later churn; a newer timer is armed
 		}
 		c.PrecomputeStandby()
@@ -151,13 +154,13 @@ func (c *Controller) PrecomputeStandby() {
 		return
 	}
 	clear(c.standby)
-	gen := c.standbyGen
+	gens := c.gens
 	for _, l := range c.topCarriedLinks(c.standbyK) {
 		plan, err := c.failoverPlan(l)
 		if err != nil {
 			continue // unprotectable (e.g. failure would partition)
 		}
-		c.standby[canonicalLink(l)] = &standbyEntry{gen: gen, plan: plan}
+		c.standby[canonicalLink(l)] = &standbyEntry{gen: gens, plan: plan}
 		c.Standby.Precomputed++
 	}
 }
@@ -166,7 +169,7 @@ func (c *Controller) PrecomputeStandby() {
 func (c *Controller) StandbyPlans() []topo.LinkID {
 	var out []topo.LinkID
 	for id, e := range c.standby {
-		if e.gen == c.standbyGen {
+		if e.gen == c.gens {
 			out = append(out, id)
 		}
 	}
@@ -183,7 +186,7 @@ func (c *Controller) topCarriedLinks(k int) []topo.Link {
 		return nil
 	}
 	pt := c.planningTopo()
-	loads, err := te.LoadsWithLies(pt, c.lies.InstalledAll(), demands)
+	loads, err := c.ensureArtifacts(pt).Loads(c.lies.InstalledAll(), demands)
 	if err != nil {
 		return nil
 	}
@@ -246,12 +249,12 @@ func (c *Controller) reactToFailure(ev Event) {
 		key := canonicalLink(ev.Link)
 		if e, ok := c.standby[key]; ok {
 			delete(c.standby, key)
-			if e.gen == c.standbyGen {
+			if e.gen == c.gens {
 				c.Standby.Hits++
 				if e.plan != nil {
 					c.commit(e.plan)
 				}
-				c.invalidateStandby()
+				c.gens.topo++
 				c.armPrecompute()
 				return
 			}
@@ -267,7 +270,7 @@ func (c *Controller) reactToFailure(ev Event) {
 	case plan != nil:
 		c.commit(plan)
 	}
-	c.invalidateStandby()
+	c.gens.topo++
 	c.armPrecompute()
 }
 
@@ -297,7 +300,7 @@ func (c *Controller) reactToRecovery() {
 		}
 	}
 	pt := c.planningTopo()
-	loads, err := te.LoadsWithLies(pt, installed, demands)
+	loads, err := c.ensureArtifacts(pt).Loads(installed, demands)
 	if err != nil {
 		return
 	}
@@ -391,8 +394,13 @@ func (c *Controller) failoverPlan(link topo.Link) (*Plan, error) {
 		return nil, fmt.Errorf("failure partitions the network: %w", err)
 	}
 	// Evaluate over the reduced topology (where traffic will physically
-	// flow) but compile against base (what the routers believe).
-	ctx := buildPlanContext(reduced, demands, c.lies.InstalledAll(), LinkDownEvent(bl), c.cfg, len(c.raised))
+	// flow) but compile against base (what the routers believe). The
+	// artifact cache is ephemeral — the reduced topology is this call's
+	// own — but shares the controller's cumulative stats; the LP solver
+	// is private so reduced-topology structure keys do not thrash the
+	// main planning basis.
+	arts := newPlanArtifacts(reduced, c.artStats, nil)
+	ctx := buildPlanContext(arts, reduced, demands, c.lies.InstalledAll(), LinkDownEvent(bl), c.cfg, len(c.raised))
 	ctx.FailedLink = bl
 	ctx.BaseTopo = base
 
@@ -405,7 +413,7 @@ func (c *Controller) failoverPlan(link topo.Link) (*Plan, error) {
 	// the reduced topology, triggered by its hottest link. These lies
 	// only steer correctly once the IGP has converged on the reduced
 	// topology, which is exactly the slow path being replaced.
-	loads, err := te.LoadsWithLies(reduced, c.lies.InstalledAll(), demands)
+	loads, err := arts.Loads(c.lies.InstalledAll(), demands)
 	if err != nil {
 		return nil, err
 	}
@@ -449,7 +457,11 @@ func (s FailoverPinStrategy) Propose(ctx PlanContext) (*Plan, error) {
 	}
 	overlay := make(map[string][]fibbing.Lie)
 	for _, prefix := range ctx.Prefixes {
-		lies, ok := failoverPinLies(ctx.BaseTopo, ctx.Topo, prefix, ctx.FailedLink)
+		views, err := ctx.PrefixViews(prefix, nil)
+		if err != nil {
+			return nil, nil // abstain whole-plan; the fallback planner owns it
+		}
+		lies, ok := failoverPinLies(ctx.BaseTopo, ctx.Topo, views, prefix, ctx.FailedLink)
 		if !ok {
 			return nil, nil // abstain whole-plan; the fallback planner owns it
 		}
@@ -472,13 +484,10 @@ func (s FailoverPinStrategy) Propose(ctx PlanContext) (*Plan, error) {
 }
 
 // failoverPinLies builds and compiles one prefix's pin DAG: the reduced
-// topology's IGP next hops for every transit router, widened at the
-// failed link's endpoints, compiled and verified against base.
-func failoverPinLies(base, reduced *topo.Topology, prefix string, failed topo.Link) ([]fibbing.Lie, bool) {
-	views, err := fibbing.IGPView(reduced, prefix)
-	if err != nil {
-		return nil, false
-	}
+// topology's IGP next hops for every transit router (views, fetched
+// memoised by the caller), widened at the failed link's endpoints,
+// compiled and verified against base.
+func failoverPinLies(base, reduced *topo.Topology, views map[topo.NodeID]fibbing.RouteView, prefix string, failed topo.Link) ([]fibbing.Lie, bool) {
 	dag := fibbing.DAG{}
 	for n, v := range views {
 		if v.Local || len(v.NextHops) == 0 || reduced.Node(n).Host {

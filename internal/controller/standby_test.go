@@ -267,6 +267,46 @@ func TestStandbyCommitRollbackByteIdentical(t *testing.T) {
 	}
 }
 
+// TestStandbyInterleavedInvalidation: a demand change AND a lie change
+// landing in the same batch tick (no debounce refill in between) must each
+// register in the generation triple — the next failure finds the entry
+// stale and replans instead of committing a plan computed against either
+// outdated input. A precompute stamped after both changes serves hits
+// again.
+func TestStandbyInterleavedInvalidation(t *testing.T) {
+	r := newStandbyRig(t, 3)
+	r.sched.RunUntil(2 * standbyIdleDelay)
+	v := r.victim(t)
+
+	// Same instant, no scheduler steps: the demand shift and an
+	// alarm-committed lie delta interleave before any refill can run.
+	r.c.Handle(DemandEvent(topo.Fig1BluePrefixName, r.tp.MustNode(topo.Fig1B), 12e6))
+	decisionsBefore := len(r.c.Decisions)
+	r.c.Handle(AlarmEvent(alarmOn(t, r.tp, topo.Fig1B, topo.Fig1R2, 1.2)))
+	if len(r.c.Decisions) == decisionsBefore {
+		t.Fatal("alarm did not commit a lie change; the interleaving is not exercised")
+	}
+
+	r.c.Handle(LinkDownEvent(v))
+	if r.c.Standby.Hits != 0 || r.c.Standby.Stale != 1 || r.c.Standby.Misses != 1 {
+		t.Fatalf("stats = %+v, want the doubly-invalidated entry stale", r.c.Standby)
+	}
+	if len(r.c.Decisions) == decisionsBefore+1 {
+		t.Fatal("from-scratch failover did not commit")
+	}
+
+	// A precompute stamped at the post-change generations must hit.
+	r.c.PrecomputeStandby()
+	plans := r.c.StandbyPlans()
+	if len(plans) == 0 {
+		t.Fatal("re-precompute cached nothing")
+	}
+	r.c.Handle(LinkDownEvent(r.tp.Link(plans[0])))
+	if r.c.Standby.Hits != 1 {
+		t.Fatalf("stats = %+v, want a hit after re-precompute", r.c.Standby)
+	}
+}
+
 // TestPlanningSkipsFailedLinks: once a link is liveness-failed, alarm
 // planning runs over the reduced topology — a plan can no longer route
 // over the dead link — and alarms on the dead link itself are ignored.

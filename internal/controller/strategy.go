@@ -19,6 +19,13 @@ import (
 // out in parallel.
 type PlanContext struct {
 	Topo *topo.Topology
+	// Artifacts is the shared memoisation layer for the expensive
+	// planner inputs (SPF trees, k-shortest paths, believed-topology
+	// compilations, LP solves, load estimates). May be nil, or bound to
+	// a different topology than Topo; strategies access it through the
+	// SPFTree/KShortestPaths/PrefixViews/SolveMinMax helpers, which fall
+	// back to direct computation in either case.
+	Artifacts *PlanArtifacts
 	// Event is what triggered planning; Event.Alarm carries the hot link
 	// for raise events.
 	Event Event
@@ -51,6 +58,78 @@ type PlanContext struct {
 	// key replaces that prefix's installed lies (empty clears them),
 	// absent prefixes keep theirs. Evaluate(nil) == BaseUtil.
 	Evaluate func(overlay map[string][]fibbing.Lie) (float64, error)
+}
+
+// cachedArts returns the artifact cache when it is usable for this
+// context's topology, nil otherwise (e.g. a failover context whose
+// cache is bound to the reduced topology while a helper is asked about
+// BaseTopo would miss the binding check and compute directly).
+func (ctx *PlanContext) cachedArts() *PlanArtifacts {
+	if ctx.Artifacts != nil && ctx.Artifacts.topo == ctx.Topo {
+		return ctx.Artifacts
+	}
+	return nil
+}
+
+// SPFGraph returns the context topology's SPF graph and host-skip,
+// memoised when an artifact cache is bound.
+func (ctx *PlanContext) SPFGraph() (*spf.Graph, func(topo.NodeID) bool) {
+	if a := ctx.cachedArts(); a != nil {
+		return a.Graph()
+	}
+	return spf.FromTopology(ctx.Topo), spf.HostSkip(ctx.Topo)
+}
+
+// SPFTree returns the shortest-path tree rooted at src, memoised per
+// source when an artifact cache is bound.
+func (ctx *PlanContext) SPFTree(src topo.NodeID) *spf.Tree {
+	if a := ctx.cachedArts(); a != nil {
+		return a.Tree(src)
+	}
+	g, skip := ctx.SPFGraph()
+	return spf.Compute(g, src, skip)
+}
+
+// KShortestPaths returns up to k loopless shortest paths src->dst (Yen
+// with the given spur limit), memoised per query when an artifact cache
+// is bound.
+func (ctx *PlanContext) KShortestPaths(src, dst topo.NodeID, k, spurLimit int) [][]topo.NodeID {
+	if a := ctx.cachedArts(); a != nil {
+		return a.KShortest(src, dst, k, spurLimit)
+	}
+	g, skip := ctx.SPFGraph()
+	return spf.KShortestSpurLimit(g, src, dst, k, spurLimit, skip)
+}
+
+// PrefixViews returns the believed-topology route views for one prefix
+// under the given lie set (nil lies = the plain IGP view), memoised when
+// an artifact cache is bound. The returned map is shared: read-only.
+func (ctx *PlanContext) PrefixViews(prefix string, lies []fibbing.Lie) (map[topo.NodeID]fibbing.RouteView, error) {
+	if a := ctx.cachedArts(); a != nil {
+		return a.Views(prefix, lies)
+	}
+	return fibbing.Evaluate(ctx.Topo, prefix, lies)
+}
+
+// SolveMinMax returns the min-max LP optimum for the context's demands,
+// memoised — and warm-started across demand changes — when an artifact
+// cache is bound.
+func (ctx *PlanContext) SolveMinMax() (*te.MinMaxResult, error) {
+	if a := ctx.cachedArts(); a != nil {
+		return a.SolveMinMax(ctx.Demands)
+	}
+	return te.SolveMinMax(ctx.Topo, ctx.Demands)
+}
+
+// CompileDAG compiles and verifies a requirement DAG into lies (add-paths
+// first, pin-all + reduction when paths must be removed), memoised when
+// an artifact cache is bound. The returned augmentation is shared with
+// the cache — treat it as read-only.
+func (ctx *PlanContext) CompileDAG(prefix string, dag fibbing.DAG) (*fibbing.Augmentation, bool, error) {
+	if a := ctx.cachedArts(); a != nil {
+		return a.CompileDAG(prefix, dag)
+	}
+	return compileDAG(ctx.Topo, prefix, dag)
 }
 
 // Plan is one strategy's proposed reaction: typed per-prefix lie sets
@@ -193,7 +272,11 @@ func (s LocalECMPStrategy) Propose(ctx PlanContext) (*Plan, error) {
 	hot := ctx.Topo.Link(ctx.Event.Alarm.Link).From
 	overlay := make(map[string][]fibbing.Lie)
 	for _, prefix := range ctx.Prefixes {
-		lies, ok := localSpreadLies(ctx.Topo, prefix, hot)
+		views, err := ctx.PrefixViews(prefix, nil)
+		if err != nil {
+			continue
+		}
+		lies, ok := localSpreadLies(ctx.Topo, views, prefix, hot)
 		if ok {
 			overlay[prefix] = lies
 		}
@@ -216,13 +299,10 @@ func (s LocalECMPStrategy) Propose(ctx PlanContext) (*Plan, error) {
 
 // localSpreadLies builds the local-spreading requirement for one prefix:
 // the hot router keeps its IGP next hops and adds every unused downhill
-// neighbor, evenly. ok is false when no spread exists or it fails to
-// compile/verify.
-func localSpreadLies(t *topo.Topology, prefix string, hot topo.NodeID) ([]fibbing.Lie, bool) {
-	views, err := fibbing.IGPView(t, prefix)
-	if err != nil {
-		return nil, false
-	}
+// neighbor, evenly. views is the prefix's plain-IGP view set (the caller
+// fetches it, memoised, through ctx.PrefixViews). ok is false when no
+// spread exists or it fails to compile/verify.
+func localSpreadLies(t *topo.Topology, views map[topo.NodeID]fibbing.RouteView, prefix string, hot topo.NodeID) ([]fibbing.Lie, bool) {
 	hv, ok := views[hot]
 	if !ok || hv.Local || len(hv.NextHops) == 0 {
 		return nil, false
@@ -281,7 +361,7 @@ func (s LPOptimalStrategy) Propose(ctx PlanContext) (*Plan, error) {
 	if n := routerCount(ctx.Topo); n > ctx.MaxLPRouters {
 		return nil, nil // guard: abstain rather than stall
 	}
-	opt, err := te.SolveMinMax(ctx.Topo, ctx.Demands)
+	opt, err := ctx.SolveMinMax()
 	if err != nil {
 		return nil, fmt.Errorf("lp-optimal: %w", err)
 	}
@@ -297,7 +377,7 @@ func (s LPOptimalStrategy) Propose(ctx PlanContext) (*Plan, error) {
 		for _, at := range p.Attachments {
 			delete(dag, at.Node)
 		}
-		aug, wasPinned, err := compileDAG(ctx.Topo, prefix, dag)
+		aug, wasPinned, err := ctx.CompileDAG(prefix, dag)
 		if err != nil {
 			return nil, fmt.Errorf("lp-optimal: %s: %w", prefix, err)
 		}
@@ -388,9 +468,7 @@ func (s KSPStrategy) Propose(ctx PlanContext) (*Plan, error) {
 		spurLimit = 0 // unbounded
 	}
 	hot := ctx.Topo.Link(ctx.Event.Alarm.Link).From
-	g := spf.FromTopology(ctx.Topo)
-	skip := spf.HostSkip(ctx.Topo)
-	tree := spf.Compute(g, hot, skip)
+	tree := ctx.SPFTree(hot)
 
 	overlay := make(map[string][]fibbing.Lie)
 	pathsUsed := 0
@@ -403,7 +481,7 @@ func (s KSPStrategy) Propose(ctx PlanContext) (*Plan, error) {
 		if !ok || dst == hot {
 			continue
 		}
-		paths := spf.KShortestSpurLimit(g, hot, dst, k, spurLimit, skip)
+		paths := ctx.KShortestPaths(hot, dst, k, spurLimit)
 		if len(paths) < 2 {
 			continue // no alternative beyond the IGP path
 		}
@@ -415,7 +493,7 @@ func (s KSPStrategy) Propose(ctx PlanContext) (*Plan, error) {
 		accepted := 0
 		for _, path := range paths {
 			cand := addPathToDAG(dag, path)
-			a, _, err := compileDAG(ctx.Topo, prefix, normalizeDAG(cand))
+			a, _, err := ctx.CompileDAG(prefix, normalizeDAG(cand))
 			if err != nil {
 				continue
 			}

@@ -383,20 +383,56 @@ func (n *Network) solveAll() {
 	n.solve(aggs, links)
 }
 
-// solve runs weighted max-min progressive filling over the given scope.
+// solveLink is one capacitated link materialized for a solve: capacity
+// plus its member aggregates in id order.
+type solveLink struct {
+	capacity float64
+	members  []*Aggregate
+}
+
+// component is one connected component of the link<->aggregate incidence
+// graph: an independent weighted max-min problem. Aggregates and links are
+// in id order, so the per-component solve is deterministic.
+type component struct {
+	aggs  []*Aggregate
+	links []solveLink
+}
+
+// solve partitions the scope into connected components of the
+// link<->aggregate incidence graph and solves each independently, fanning
+// the per-component progressive fillings across the scheduler's worker
+// pool. Rates couple only through shared links, and the max-min allocation
+// is unique, so the partitioned solve equals the combined solve exactly —
+// at every pool width, including the sequential core, which runs the same
+// components inline in the same (min-aggregate-id) order.
+//
 // Every aggregate incident to a scope link must be in aggs (guaranteed by
 // component closure), so allocations outside the scope are untouched. An
 // aggregate of weight w behaves exactly like w identical per-flow shares:
 // the solution equals the per-flow global solve restricted to the scope.
+//
+// Components touch disjoint aggregates and pre-materialized links, so the
+// parallel tasks are race-free; no shared Network state (maps included) is
+// read inside them.
 func (n *Network) solve(aggs []*Aggregate, linkIDs []topo.LinkID) {
 	slices.SortFunc(aggs, func(x, y *Aggregate) int { return cmp.Compare(x.id, y.id) })
 	slices.Sort(linkIDs)
 	for i, a := range aggs {
 		a.solveIdx = i
 	}
-	type solveLink struct {
-		capacity float64
-		members  []*Aggregate
+	// Union-find over scratch indices: each link unions its members. The
+	// final partition is iteration-order independent, so building it from
+	// map-ordered member sets stays deterministic.
+	parent := make([]int, len(aggs))
+	for i := range parent {
+		parent[i] = i
+	}
+	find := func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
 	}
 	links := make([]solveLink, 0, len(linkIDs))
 	for _, lid := range linkIDs {
@@ -408,10 +444,61 @@ func (n *Network) solve(aggs []*Aggregate, linkIDs []topo.LinkID) {
 		for _, a := range ls.aggs {
 			members = append(members, a)
 		}
-		slices.SortFunc(members, func(x, y *Aggregate) int { return cmp.Compare(x.id, y.id) })
+		// Members stay map-ordered here; solveComponent sorts them. The
+		// sort is the scope materialisation's dominant cost, and inside
+		// the component task it rides the worker pool.
 		links = append(links, solveLink{capacity: ls.capacity, members: members})
+		root := find(members[0].solveIdx)
+		for _, m := range members[1:] {
+			parent[find(m.solveIdx)] = root
+		}
 	}
+	// Group into components, ordered by smallest aggregate id. Scanning
+	// aggs in id order makes both the component order and each component's
+	// internal order deterministic.
+	slot := make([]int, len(aggs)) // root index -> component index + 1
+	var comps []*component
+	for _, a := range aggs {
+		r := find(a.solveIdx)
+		ci := slot[r]
+		if ci == 0 {
+			comps = append(comps, &component{})
+			ci = len(comps)
+			slot[r] = ci
+		}
+		comps[ci-1].aggs = append(comps[ci-1].aggs, a)
+	}
+	for _, l := range links {
+		c := comps[slot[find(l.members[0].solveIdx)]-1]
+		c.links = append(c.links, l)
+	}
+	n.stats.ReshareComponents += uint64(len(comps))
+	if len(comps) == 1 {
+		n.solveComponent(comps[0])
+		return
+	}
+	tasks := make([]func(), len(comps))
+	for i := range comps {
+		c := comps[i]
+		tasks[i] = func() { n.solveComponent(c) }
+	}
+	n.sched.RunParallel(tasks)
+}
 
+// solveComponent runs weighted max-min progressive filling over one
+// component. It touches only the component's own aggregates and
+// materialized links, so concurrent calls on disjoint components are safe.
+func (n *Network) solveComponent(comp *component) {
+	aggs, links := comp.aggs, comp.links
+	for i, a := range aggs {
+		a.solveIdx = i
+	}
+	// Deterministic member order per link: headroom sums floats in member
+	// order, and float addition does not associate — an unsorted
+	// (map-ordered) scan could freeze links differently run to run.
+	for _, l := range links {
+		slices.SortFunc(l.members, func(x, y *Aggregate) int { return cmp.Compare(x.id, y.id) })
+	}
 	frozen := make([]bool, len(aggs)) // indexed bitset, one allocation per solve
 	nFrozen := 0
 	headroom := func(l solveLink) (remaining float64, unfrozen int) {

@@ -54,6 +54,13 @@ func runCaptured(t *testing.T, spec Spec, workers int) parallelCapture {
 	batches := rep.ParallelBatches
 	rep.Workers, rep.MaxBatch = 0, 0
 	rep.ParallelBatches, rep.ParallelSPFRuns, rep.SequentialSPFRuns = 0, 0, 0
+	// Strategy wall-time is real time, not virtual: scrub it. The proposal
+	// and win counts — and every cache/LP/component counter — stay in the
+	// compared payload; they are deterministic by construction.
+	for name, perf := range rep.StrategyPerf {
+		perf.Nanos = 0
+		rep.StrategyPerf[name] = perf
+	}
 	repJSON, err := json.Marshal(rep)
 	if err != nil {
 		t.Fatalf("%s workers=%d: marshal report: %v", spec.Name, workers, err)

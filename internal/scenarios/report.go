@@ -61,6 +61,10 @@ type Report struct {
 	// carries its winner's name).
 	Strategies      []string              `json:"strategies,omitempty"`
 	StrategyWins    map[string]int        `json:"strategy_wins,omitempty"`
+	// StrategyPerf is the planner's per-strategy telemetry: proposals,
+	// wins, and cumulative Propose wall-time. Nanos is real time, so the
+	// determinism harness scrubs it alongside Workers before comparing.
+	StrategyPerf map[string]controller.StrategyPerf `json:"strategy_perf,omitempty"`
 	Decisions       []controller.Decision `json:"decisions,omitempty"`
 	FirstHotAt      time.Duration         `json:"first_hot_at"`      // first sample >= alarm threshold; -1 if never
 	FirstReactionAt time.Duration         `json:"first_reaction_at"` // first decision; -1 if none
@@ -79,7 +83,21 @@ type Report struct {
 	// against Sessions it shows the aggregate plane's compression.
 	ReshareIncremental uint64 `json:"reshare_incremental_runs,omitempty"`
 	ReshareFull        uint64 `json:"reshare_full_runs,omitempty"`
-	Aggregates         int    `json:"aggregates,omitempty"`
+	// ReshareComponents counts the independent max-min components solved
+	// across all reshares; the count is worker-width invariant because the
+	// partition depends only on the incidence graph.
+	ReshareComponents uint64 `json:"reshare_components,omitempty"`
+	Aggregates        int    `json:"aggregates,omitempty"`
+
+	// Planner amortisation telemetry: the PlanContext artifact cache's
+	// hit/miss split (deterministic by store-time accounting, so it is
+	// compared across worker widths) and the warm-started LP solver's
+	// warm/cold/fallback solve counts.
+	PlanCacheHits    uint64 `json:"plan_cache_hits,omitempty"`
+	PlanCacheMisses  uint64 `json:"plan_cache_misses,omitempty"`
+	LPWarmSolves     uint64 `json:"lp_warm_solves,omitempty"`
+	LPColdSolves     uint64 `json:"lp_cold_solves,omitempty"`
+	LPFallbackSolves uint64 `json:"lp_fallback_solves,omitempty"`
 
 	// Parallel-core telemetry: the scheduler's worker-pool width, how many
 	// multi-event SPF batches it executed, how many SPF runs rode inside
@@ -163,5 +181,28 @@ func (c *Comparison) Render(b *strings.Builder) {
 	fmt.Fprintf(b, "%s\n  %s\n  %s\n", c.Spec.Name, c.On.Summary(), c.Off.Summary())
 	for _, v := range c.Violations {
 		fmt.Fprintf(b, "  VIOLATION: %s\n", v)
+	}
+}
+
+// RenderCacheStats writes the planner amortisation telemetry — the
+// PlanContext artifact cache's hit/miss split, the warm-started LP
+// solver's warm/cold/fallback counts, the parallel reshare's component
+// count, and the per-strategy propose timings — as indented lines.
+// fiblab prints it under -cache-stats; all fields are also present in
+// the JSON report.
+func (r *Report) RenderCacheStats(b *strings.Builder, indent string) {
+	fmt.Fprintf(b, "%splan-cache %d hit / %d miss; lp %d warm / %d cold / %d fallback; reshare components %d\n",
+		indent, r.PlanCacheHits, r.PlanCacheMisses,
+		r.LPWarmSolves, r.LPColdSolves, r.LPFallbackSolves,
+		r.ReshareComponents)
+	names := make([]string, 0, len(r.StrategyPerf))
+	for name := range r.StrategyPerf {
+		names = append(names, name)
+	}
+	slices.Sort(names)
+	for _, name := range names {
+		p := r.StrategyPerf[name]
+		fmt.Fprintf(b, "%sstrategy %-10s proposals=%d wins=%d propose=%s\n",
+			indent, name, p.Proposals, p.Wins, time.Duration(p.Nanos))
 	}
 }

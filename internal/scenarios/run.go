@@ -249,6 +249,7 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	netStats := sim.Net.Stats()
 	rep.ReshareFull = netStats.ReshareFull
 	rep.ReshareIncremental = netStats.ReshareIncremental
+	rep.ReshareComponents = netStats.ReshareComponents
 	rep.Aggregates = netStats.Aggregates
 	par := sim.Sched.Parallel()
 	rep.Workers = par.Workers
@@ -299,6 +300,11 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	}
 	rep.Decisions = sim.Ctrl.Decisions
 	rep.Strategies = sim.Ctrl.Planner().Strategies()
+	rep.StrategyPerf = sim.Ctrl.Planner().Perf()
+	artStats := sim.Ctrl.ArtifactStats()
+	rep.PlanCacheHits, rep.PlanCacheMisses = artStats.Hits, artStats.Misses
+	lpStats := sim.Ctrl.LPStats()
+	rep.LPWarmSolves, rep.LPColdSolves, rep.LPFallbackSolves = lpStats.Warm, lpStats.Cold, lpStats.Fallback
 	if len(rep.Decisions) > 0 {
 		rep.FirstReactionAt = rep.Decisions[0].At
 		if rep.FirstHotAt >= 0 && rep.FirstReactionAt >= rep.FirstHotAt {

@@ -1,0 +1,118 @@
+package scenarios
+
+import (
+	"math"
+	"testing"
+
+	"fibbing.net/fibbing/internal/te"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// TestWarmLPEqualsColdAcrossMatrix is the zoo-wide property test for the
+// warm-started LP: on every matrix topology, a MinMaxSolver driven through
+// a train of demand-volume changes must agree with an independent cold
+// SolveMinMax on the objective and every per-link flow, within the
+// solver's own tolerance. The multipliers span six orders of magnitude so
+// the warm path also crosses ProblemScale renormalisations.
+func TestWarmLPEqualsColdAcrossMatrix(t *testing.T) {
+	t.Parallel()
+	for _, ts := range MatrixTopologies() {
+		t.Run(ts.Family, func(t *testing.T) {
+			t.Parallel()
+			tp, prefix, err := ts.Build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := matrixDemands(t, tp, prefix)
+
+			solver := te.NewMinMaxSolver()
+			warmSeen := false
+			for _, f := range []float64{1, 1.7, 0.3, 1e-3, 1e3, 42} {
+				demands := append([]topo.Demand(nil), base...)
+				for i := range demands {
+					demands[i].Volume *= f
+				}
+				warm, err := solver.Solve(tp, demands)
+				if err != nil {
+					t.Fatalf("warm solve (f=%v): %v", f, err)
+				}
+				cold, err := te.SolveMinMax(tp, demands)
+				if err != nil {
+					t.Fatalf("cold solve (f=%v): %v", f, err)
+				}
+				assertMinMaxAgree(t, tp, warm, cold)
+				warmSeen = warmSeen || solver.Stats().Warm > 0
+			}
+			// The structure never changes inside one family, so after the
+			// first cold solve every revisit must ride the warm path.
+			st := solver.Stats()
+			if st.Warm == 0 {
+				t.Fatalf("no warm solves on %s: %+v", ts.Family, st)
+			}
+		})
+	}
+}
+
+// matrixDemands builds a deterministic demand set toward the family's
+// target prefix from up to three distinct ingress routers.
+func matrixDemands(t *testing.T, tp *topo.Topology, prefix string) []topo.Demand {
+	t.Helper()
+	pfx, ok := tp.PrefixByName(prefix)
+	if !ok {
+		t.Fatalf("prefix %q missing", prefix)
+	}
+	attached := make(map[topo.NodeID]bool)
+	for _, a := range pfx.Attachments {
+		attached[a.Node] = true
+	}
+	var demands []topo.Demand
+	for _, n := range tp.Nodes() {
+		if n.Host || attached[n.ID] {
+			continue
+		}
+		// Stagger volumes so the optimal split is not symmetric.
+		demands = append(demands, topo.Demand{
+			Ingress:    n.ID,
+			PrefixName: prefix,
+			Volume:     4e6 + 1e6*float64(len(demands)),
+		})
+		if len(demands) == 3 {
+			break
+		}
+	}
+	if len(demands) == 0 {
+		t.Fatalf("no ingress router available for %q", prefix)
+	}
+	return demands
+}
+
+// assertMinMaxAgree mirrors the te package's warm-vs-cold comparison:
+// objectives and per-link flows within SolverRelTol of each commodity's
+// own magnitude, and no extra flow on the warm side.
+func assertMinMaxAgree(t *testing.T, tp *topo.Topology, got, want *te.MinMaxResult) {
+	t.Helper()
+	if math.Abs(got.MaxUtilisation-want.MaxUtilisation) > te.SolverRelTol*math.Max(1, want.MaxUtilisation) {
+		t.Fatalf("warm θ* = %v, cold θ* = %v", got.MaxUtilisation, want.MaxUtilisation)
+	}
+	for name, flows := range want.Flow {
+		volScale := 0.0
+		for _, v := range flows {
+			if v > volScale {
+				volScale = v
+			}
+		}
+		tol := te.SolverRelTol * math.Max(1, volScale)
+		for id, v := range flows {
+			if math.Abs(got.Flow[name][id]-v) > tol {
+				l := tp.Link(id)
+				t.Fatalf("warm flow[%s][%s->%s] = %v, cold = %v",
+					name, tp.Name(l.From), tp.Name(l.To), got.Flow[name][id], v)
+			}
+		}
+		for id, v := range got.Flow[name] {
+			if _, ok := flows[id]; !ok && v > tol {
+				t.Fatalf("warm has extra flow %v on link %v of %s", v, id, name)
+			}
+		}
+	}
+}

@@ -39,13 +39,40 @@ type MinMaxResult struct {
 // except as demand entry points is not needed because demands enter at
 // routers directly.
 func SolveMinMax(t *topo.Topology, demands []topo.Demand) (*MinMaxResult, error) {
-	// Collect commodities: destination prefix -> ingress -> volume.
-	type commodity struct {
-		name    string
-		sinks   map[topo.NodeID]bool
-		ingress map[topo.NodeID]float64
+	p, err := buildMinMax(t, demands)
+	if err != nil {
+		return nil, err
 	}
-	byName := make(map[string]*commodity)
+	sol, obj, status := p.bld.Solve()
+	if status != Optimal {
+		return nil, fmt.Errorf("te: min-max LP %v", status)
+	}
+	return p.extract(t, sol, obj), nil
+}
+
+// minMaxCommodity is one destination prefix's aggregated demand.
+type minMaxCommodity struct {
+	name    string
+	sinks   map[topo.NodeID]bool
+	ingress map[topo.NodeID]float64
+}
+
+// minMaxProblem is a built min-max LP plus the metadata needed to turn
+// its solution vector back into flows and splits.
+type minMaxProblem struct {
+	bld    *LPBuilder
+	links  []topo.Link
+	order  []string
+	byName map[string]*minMaxCommodity
+	x      map[string][]int
+	scale  float64
+}
+
+// buildMinMax assembles the min-max LP for the demand set without solving
+// it, so cold (Solve) and warm (SolveFromBasis) paths share one build.
+func buildMinMax(t *topo.Topology, demands []topo.Demand) (*minMaxProblem, error) {
+	// Collect commodities: destination prefix -> ingress -> volume.
+	byName := make(map[string]*minMaxCommodity)
 	var order []string
 	for _, d := range demands {
 		p, ok := t.PrefixByName(d.PrefixName)
@@ -54,7 +81,7 @@ func SolveMinMax(t *topo.Topology, demands []topo.Demand) (*MinMaxResult, error)
 		}
 		c := byName[d.PrefixName]
 		if c == nil {
-			c = &commodity{
+			c = &minMaxCommodity{
 				name:    d.PrefixName,
 				sinks:   make(map[topo.NodeID]bool),
 				ingress: make(map[topo.NodeID]float64),
@@ -138,11 +165,20 @@ func SolveMinMax(t *topo.Topology, demands []topo.Demand) (*MinMaxResult, error)
 		bld.AddLe(terms, 0)
 	}
 
-	sol, obj, status := bld.Solve()
-	if status != Optimal {
-		return nil, fmt.Errorf("te: min-max LP %v", status)
-	}
+	return &minMaxProblem{
+		bld:    bld,
+		links:  links,
+		order:  order,
+		byName: byName,
+		x:      x,
+		scale:  scale,
+	}, nil
+}
 
+// extract converts an optimal solution vector of the built LP back into a
+// MinMaxResult in bit/s.
+func (p *minMaxProblem) extract(t *topo.Topology, sol []float64, obj float64) *MinMaxResult {
+	links, order, byName, x, scale := p.links, p.order, p.byName, p.x, p.scale
 	res := &MinMaxResult{
 		MaxUtilisation: obj,
 		Flow:           make(map[string]map[topo.LinkID]float64, len(order)),
@@ -174,7 +210,7 @@ func SolveMinMax(t *topo.Topology, demands []topo.Demand) (*MinMaxResult, error)
 		}
 		res.Flow[name] = flow
 	}
-	return res, nil
+	return res
 }
 
 // removeCycles cancels flow cycles in place (LP optima may contain

@@ -9,6 +9,8 @@ package te
 import (
 	"fmt"
 	"math"
+	"slices"
+	"strconv"
 )
 
 // SimplexStatus reports the outcome of an LP solve.
@@ -54,9 +56,16 @@ const simplexEps = SolverRelTol
 // against the magnitudes of the entries involved (SolverRelTol), so the
 // solve is invariant under uniform rescaling of the problem.
 func SolveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, SimplexStatus) {
+	x, obj, status, _ := solveLP(c, a, b)
+	return x, obj, status
+}
+
+// solveLP is SolveLP plus the final basis (one column index per row;
+// artificial columns appear as indices >= len(c) on redundant rows).
+func solveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, SimplexStatus, []int) {
 	m := len(a)
 	if m == 0 {
-		return make([]float64, len(c)), 0, Optimal
+		return make([]float64, len(c)), 0, Optimal, []int{}
 	}
 	n := len(c)
 	for i := range a {
@@ -99,9 +108,9 @@ func SolveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, Simpl
 	}
 	switch runSimplex(tab, basis, phase1, total) {
 	case simplexStalled:
-		return nil, 0, Stalled
+		return nil, 0, Stalled, nil
 	case simplexUnbounded:
-		return nil, 0, Unbounded // cannot happen in phase 1, defensive
+		return nil, 0, Unbounded, nil // cannot happen in phase 1, defensive
 	}
 	// Check feasibility, relative to the problem's right-hand-side
 	// magnitude: residual artificial mass that is pure roundoff at scale
@@ -120,7 +129,7 @@ func SolveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, Simpl
 		}
 	}
 	if sum > FeasibilityRelTol*bScale {
-		return nil, 0, Infeasible
+		return nil, 0, Infeasible, nil
 	}
 	// Drive remaining artificial variables out of the basis. The pivot
 	// element must be significant relative to its row, not in absolute
@@ -158,9 +167,9 @@ func SolveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, Simpl
 	}
 	switch runSimplex(tab, basis, phase2, total) {
 	case simplexStalled:
-		return nil, 0, Stalled
+		return nil, 0, Stalled, nil
 	case simplexUnbounded:
-		return nil, 0, Unbounded
+		return nil, 0, Unbounded, nil
 	}
 
 	x := make([]float64, n)
@@ -173,7 +182,108 @@ func SolveLP(c []float64, a [][]float64, b []float64) ([]float64, float64, Simpl
 	for j := 0; j < n; j++ {
 		obj += c[j] * x[j]
 	}
-	return x, obj, Optimal
+	return x, obj, Optimal, basis
+}
+
+// warmSolveLP re-solves min c·x, A·x = b, x >= 0 starting from a prior
+// optimal basis instead of a two-phase cold start. start is the column
+// set from a previous solveLP of a structurally identical problem (same
+// variable/constraint layout — see LPBuilder.StructureKey); coefficient
+// and right-hand-side values are free to differ, because the tableau is
+// refactorised onto the stored columns by Gauss-Jordan elimination before
+// phase-2 simplex resumes. ok = false means the basis could not be
+// reused — singular on the new coefficients, basic solution infeasible,
+// or the re-solve failed — and the caller must fall back to a cold solve.
+func warmSolveLP(c []float64, a [][]float64, b []float64, start []int) ([]float64, float64, SimplexStatus, []int, bool) {
+	m := len(a)
+	n := len(c)
+	if len(start) != m {
+		return nil, 0, Infeasible, nil, false
+	}
+	for _, j := range start {
+		if j < 0 || j >= n {
+			return nil, 0, Infeasible, nil, false
+		}
+	}
+	if m == 0 {
+		return make([]float64, n), 0, Optimal, []int{}, true
+	}
+	// Copy, normalised to b >= 0 (matching solveLP's row convention).
+	tab := make([][]float64, m)
+	for i := range a {
+		tab[i] = make([]float64, n+1)
+		copy(tab[i], a[i])
+		tab[i][n] = b[i]
+		if b[i] < 0 {
+			for j := range tab[i] {
+				tab[i][j] = -tab[i][j]
+			}
+		}
+	}
+	bScale := 1.0
+	for i := range tab {
+		if v := math.Abs(tab[i][n]); v > bScale {
+			bScale = v
+		}
+	}
+	// Refactorise: drive every stored basis column to a unit column,
+	// choosing the largest remaining pivot per column. Pivot significance
+	// is judged relative to the chosen row's magnitude, like the
+	// artificial drive-out in solveLP: a noise-sized pivot would blow the
+	// tableau up rather than reproduce the old basis.
+	basis := make([]int, m)
+	used := make([]bool, m)
+	for _, col := range start {
+		best, bestV := -1, 0.0
+		for i := 0; i < m; i++ {
+			if used[i] {
+				continue
+			}
+			if v := math.Abs(tab[i][col]); v > bestV {
+				best, bestV = i, v
+			}
+		}
+		if best == -1 {
+			return nil, 0, Infeasible, nil, false // duplicate or vanished column
+		}
+		rowScale := 1.0
+		for j := 0; j < n; j++ {
+			if v := math.Abs(tab[best][j]); v > rowScale {
+				rowScale = v
+			}
+		}
+		if bestV <= simplexEps*rowScale {
+			return nil, 0, Infeasible, nil, false // singular on the new coefficients
+		}
+		pivot(tab, basis, best, col, n)
+		used[best] = true
+	}
+	// The refactorised basic solution must be (near-)feasible; clamp pure
+	// roundoff negatives, bail on real ones.
+	for i := 0; i < m; i++ {
+		if tab[i][n] < 0 {
+			if tab[i][n] < -FeasibilityRelTol*bScale {
+				return nil, 0, Infeasible, nil, false
+			}
+			tab[i][n] = 0
+		}
+	}
+	// Phase 2 directly: no artificials exist, so total is just n.
+	switch runSimplex(tab, basis, c, n) {
+	case simplexStalled:
+		return nil, 0, Stalled, nil, false
+	case simplexUnbounded:
+		return nil, 0, Unbounded, nil, false
+	}
+	x := make([]float64, n)
+	for i, bi := range basis {
+		x[bi] = tab[i][n]
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += c[j] * x[j]
+	}
+	return x, obj, Optimal, basis, true
 }
 
 // simplexOutcome is runSimplex's termination reason.
@@ -344,9 +454,9 @@ func (bld *LPBuilder) addRow(kind byte, terms map[int]float64, rhs float64) {
 	bld.rhs = append(bld.rhs, rhs)
 }
 
-// Solve materialises the dense problem (adding slacks for <= rows) and
-// runs SolveLP. The returned vector contains only the original variables.
-func (bld *LPBuilder) Solve() ([]float64, float64, SimplexStatus) {
+// dense materialises the problem in standard form, adding one slack per
+// <= row after the declared variables.
+func (bld *LPBuilder) dense() (c []float64, a [][]float64, b []float64) {
 	slacks := 0
 	for _, t := range bld.types {
 		if t == 'l' {
@@ -354,10 +464,10 @@ func (bld *LPBuilder) Solve() ([]float64, float64, SimplexStatus) {
 		}
 	}
 	n := bld.nvars + slacks
-	c := make([]float64, n)
+	c = make([]float64, n)
 	copy(c, bld.obj)
-	a := make([][]float64, len(bld.terms))
-	b := append([]float64(nil), bld.rhs...)
+	a = make([][]float64, len(bld.terms))
+	b = append([]float64(nil), bld.rhs...)
 	si := bld.nvars
 	for i, row := range bld.terms {
 		a[i] = make([]float64, n)
@@ -369,9 +479,77 @@ func (bld *LPBuilder) Solve() ([]float64, float64, SimplexStatus) {
 			si++
 		}
 	}
+	return c, a, b
+}
+
+// Solve materialises the dense problem (adding slacks for <= rows) and
+// runs SolveLP. The returned vector contains only the original variables.
+func (bld *LPBuilder) Solve() ([]float64, float64, SimplexStatus) {
+	c, a, b := bld.dense()
 	x, obj, status := SolveLP(c, a, b)
 	if status != Optimal {
 		return nil, 0, status
 	}
 	return x[:bld.nvars], obj, status
+}
+
+// SolveBasis is Solve plus the final simplex basis, for warm-starting a
+// later solve of a structurally identical problem via SolveFromBasis. The
+// basis is nil when it cannot seed a warm start — the solve failed, or an
+// artificial variable stayed basic on a redundant row (the warm tableau
+// has no artificial columns to refactorise onto).
+func (bld *LPBuilder) SolveBasis() ([]float64, float64, SimplexStatus, []int) {
+	c, a, b := bld.dense()
+	x, obj, status, basis := solveLP(c, a, b)
+	if status != Optimal {
+		return nil, 0, status, nil
+	}
+	for _, bi := range basis {
+		if bi >= len(c) {
+			basis = nil
+			break
+		}
+	}
+	return x[:bld.nvars], obj, status, basis
+}
+
+// SolveFromBasis solves the problem warm, re-entering phase-2 simplex
+// from a basis returned by a previous SolveBasis of a problem with the
+// same StructureKey. Coefficient and right-hand-side values may differ.
+// ok = false means the basis was unusable (structure drifted, singular
+// refactorisation, infeasible basic point, or a failed re-solve); the
+// caller should fall back to SolveBasis.
+func (bld *LPBuilder) SolveFromBasis(start []int) ([]float64, float64, SimplexStatus, []int, bool) {
+	c, a, b := bld.dense()
+	x, obj, status, basis, ok := warmSolveLP(c, a, b, start)
+	if !ok || status != Optimal {
+		return nil, 0, status, nil, false
+	}
+	return x[:bld.nvars], obj, status, basis, true
+}
+
+// StructureKey canonically encodes the problem's shape — the variable
+// count and, per row, its type and sorted variable indices — ignoring
+// coefficient and right-hand-side values. Two builds with equal keys have
+// identical tableau layouts, so a simplex basis from one is meaningful in
+// the other (values may differ; SolveFromBasis refactorises).
+func (bld *LPBuilder) StructureKey() string {
+	sb := make([]byte, 0, 16*len(bld.terms))
+	sb = strconv.AppendInt(sb, int64(bld.nvars), 10)
+	var idx []int
+	for i, row := range bld.terms {
+		sb = append(sb, '|', bld.types[i], ':')
+		idx = idx[:0]
+		for _, t := range row {
+			idx = append(idx, t.idx)
+		}
+		// addRow fills rows from map iteration, so sort for a canonical
+		// encoding.
+		slices.Sort(idx)
+		for _, v := range idx {
+			sb = strconv.AppendInt(sb, int64(v), 10)
+			sb = append(sb, ',')
+		}
+	}
+	return string(sb)
 }

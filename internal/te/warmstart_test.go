@@ -1,0 +1,124 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// scaleDemands returns the demand set with every volume multiplied by f.
+func scaleDemands(demands []topo.Demand, f float64) []topo.Demand {
+	out := append([]topo.Demand(nil), demands...)
+	for i := range out {
+		out[i].Volume *= f
+	}
+	return out
+}
+
+// assertSameMinMax fails unless warm and cold agree on the objective and
+// every per-link flow within SolverRelTol of the problem's own scale.
+func assertSameMinMax(t *testing.T, tp *topo.Topology, got, want *MinMaxResult) {
+	t.Helper()
+	if math.Abs(got.MaxUtilisation-want.MaxUtilisation) > SolverRelTol*math.Max(1, want.MaxUtilisation) {
+		t.Fatalf("warm θ* = %v, cold θ* = %v", got.MaxUtilisation, want.MaxUtilisation)
+	}
+	for name, flows := range want.Flow {
+		volScale := 0.0
+		for _, v := range flows {
+			if v > volScale {
+				volScale = v
+			}
+		}
+		tol := SolverRelTol * math.Max(1, volScale)
+		for id, v := range flows {
+			if math.Abs(got.Flow[name][id]-v) > tol {
+				l := tp.Link(id)
+				t.Fatalf("warm flow[%s][%s->%s] = %v, cold = %v",
+					name, tp.Name(l.From), tp.Name(l.To), got.Flow[name][id], v)
+			}
+		}
+		for id, v := range got.Flow[name] {
+			if _, ok := flows[id]; !ok && v > tol {
+				t.Fatalf("warm has extra flow %v on link %v of %s", v, id, name)
+			}
+		}
+	}
+}
+
+// TestMinMaxSolverWarmEqualsCold drives a MinMaxSolver through a train of
+// demand-volume changes on a fixed topology and checks every warm solve
+// against an independent cold SolveMinMax. The volume multipliers span
+// six orders of magnitude, so the warm path is also exercised across
+// ProblemScale changes (the normalised coefficients shift between
+// solves, which the refactorisation must absorb).
+func TestMinMaxSolverWarmEqualsCold(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	base := topo.Fig1Demands(tp, 8e6)
+
+	s := NewMinMaxSolver()
+	for _, f := range []float64{1, 1.7, 0.3, 250, 1e-3, 1e3, 42} {
+		demands := scaleDemands(base, f)
+		warm, err := s.Solve(tp, demands)
+		if err != nil {
+			t.Fatalf("warm solve (f=%v): %v", f, err)
+		}
+		cold, err := SolveMinMax(tp, demands)
+		if err != nil {
+			t.Fatalf("cold solve (f=%v): %v", f, err)
+		}
+		assertSameMinMax(t, tp, warm, cold)
+	}
+	st := s.Stats()
+	if st.Warm == 0 {
+		t.Fatalf("no warm solves happened: %+v", st)
+	}
+	if st.Warm+st.Cold != 7 {
+		t.Fatalf("warm+cold = %d, want 7: %+v", st.Warm+st.Cold, st)
+	}
+}
+
+// TestMinMaxSolverStructureChangeSolvesCold removes a link between
+// solves and checks the solver notices the structural change instead of
+// reusing a basis whose column layout no longer matches.
+func TestMinMaxSolverStructureChangeSolvesCold(t *testing.T) {
+	tp := topo.Fig1(topo.Fig1Opts{})
+	demands := topo.Fig1Demands(tp, 8e6)
+
+	s := NewMinMaxSolver()
+	if _, err := s.Solve(tp, demands); err != nil {
+		t.Fatal(err)
+	}
+	first := s.Stats()
+	if first.Cold != 1 || first.Warm != 0 {
+		t.Fatalf("first solve not cold: %+v", first)
+	}
+
+	// Drop B-R3: the believed topology a failover plan solves over.
+	b, r3 := tp.MustNode(topo.Fig1B), tp.MustNode(topo.Fig1R3)
+	var drop []topo.LinkID
+	for _, l := range tp.Links() {
+		if (l.From == b && l.To == r3) || (l.From == r3 && l.To == b) {
+			drop = append(drop, l.ID)
+		}
+	}
+	reduced := tp.CloneWithoutLinks(drop...)
+	warm, err := s.Solve(reduced, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := SolveMinMax(reduced, demands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameMinMax(t, reduced, warm, cold)
+	st := s.Stats()
+	if st.Cold != 2 {
+		t.Fatalf("reduced-topology solve should be cold: %+v", st)
+	}
+	// Fallback would mean the key wrongly matched; the structure key must
+	// already differ.
+	if st.Fallback != 0 {
+		t.Fatalf("structure change hit the warm path: %+v", st)
+	}
+}
