@@ -6,9 +6,9 @@ GO ?= go
 # writes next to the committed baseline (BENCH_pr$(PR).json): the
 # baseline tracks "current expected cost", the snapshots keep the
 # trajectory across PRs diffable.
-PR ?= 9
+PR ?= 10
 
-.PHONY: all build test race vet fuzz matrix failover quickstart bench bench-gate scale docs-check
+.PHONY: all build test race vet fuzz matrix failover qoe quickstart bench bench-gate scale cover docs-check
 
 all: vet build test
 
@@ -24,10 +24,12 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Short fuzz passes over the BER decoder and the topology parser.
+# Short fuzz passes over the BER decoder, the topology parser and the
+# analytic QoE session predictor.
 fuzz:
 	$(GO) test -fuzz='^FuzzDecodeMessage$$' -fuzztime=30s ./internal/snmp
 	$(GO) test -fuzz='^FuzzParse$$' -fuzztime=30s ./internal/topo
+	$(GO) test -fuzz='^FuzzPredictSession$$' -fuzztime=30s ./internal/qoe
 
 # The scenario-matrix stress harness as a CI gate.
 matrix:
@@ -37,6 +39,13 @@ matrix:
 # with 10x failure-to-commit latency and stall-ratio invariants.
 failover:
 	$(GO) run ./cmd/fiblab -failover
+
+# The QoE comparison cells as a CI gate: each skew cell runs three
+# times (score-mode off/util/qoe) and the qoe run must deliver strictly
+# fewer stall-seconds — predicted and simulated — while staying
+# admissible (lies only on the crowd prefix, never worse than no-op).
+qoe:
+	$(GO) run ./cmd/fiblab -qoe
 
 # Example smoke: quickstart exercises the public API end to end (the CI
 # runs it so example drift fails the build).
@@ -63,7 +72,10 @@ bench:
 # the planner fan-out at 1 Gbit/s, the failover-cell runs (BFD+standby
 # and SNMP-poll detection), the repeated-planning benchmark (cold
 # rebuild vs warm PlanArtifacts reuse — the warm row's baseline sits
-# far below cold, so losing the memoisation trips the gate), the
+# far below cold, so losing the memoisation trips the gate; the
+# warm-qoe row is the same warm path with QoE scoring on — stall
+# predictor plus qoe-greedy in the fan-out — whose baseline sits within
+# 10% of plain warm, so the QoE memoisation cannot silently rot), the
 # component-partitioned reshare at both pool widths, or the worker-pool
 # churn benchmarks (fat-tree k=8 and the scale tier's k=16, both pool
 # widths) regresses >2x against the committed baseline. The planner
@@ -75,7 +87,7 @@ bench:
 # garbage. -count 5 + best-of in benchjson filters scheduler noise.
 bench-gate:
 	$(GO) test -run '^$$' -bench 'BenchmarkIncrementalVsFull|BenchmarkReshareIncremental|BenchmarkPlannerGbit|BenchmarkPlannerRepeat|BenchmarkReactionLatency/failover' -benchtime 1x -count 5 . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
-	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'IncrementalVsFull.*/incremental$$|ReshareIncremental/viewers=100000/join$$|ReshareIncremental/viewers=100000/components/workers=(1|4)$$|PlannerGbit/1G$$|PlannerRepeat/(cold|warm)$$|ReactionLatency/failover/(bfd|snmp)$$' -max-ratio 2 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
+	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'IncrementalVsFull.*/incremental$$|ReshareIncremental/viewers=100000/join$$|ReshareIncremental/viewers=100000/components/workers=(1|4)$$|PlannerGbit/1G$$|PlannerRepeat/(cold|warm|warm-qoe)$$|ReactionLatency/failover/(bfd|snmp)$$' -max-ratio 2 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
 	$(GO) test -run '^$$' -bench 'BenchmarkParallelSPF|BenchmarkScaleTier' -benchtime 1x -count 5 -benchmem . > bench.gate.tmp || { rm -f bench.gate.tmp; exit 1; }
 	$(GO) run ./cmd/benchjson -baseline BENCH_baseline.json -gate 'ParallelSPF/(seq|par)$$|ScaleTier/(seq|par)$$' -max-ratio 2 -max-allocs-ratio 1.05 < bench.gate.tmp; s=$$?; rm -f bench.gate.tmp; exit $$s
 
@@ -83,6 +95,30 @@ bench-gate:
 # (Gbit-capacity defaults; override with -capacity via `go run`).
 scale:
 	$(GO) run ./cmd/fiblab -scale
+
+# Per-package statement coverage with CI-failing floors on the packages
+# whose correctness rests on analytic claims rather than exercised
+# plumbing: internal/qoe (the stall predictor the planner trusts) and
+# internal/controller (admissibility and scoring). Floors sit a few
+# points under the seed numbers — 92.6% for internal/qoe and 69.6% for
+# internal/controller at the time the floors were pinned — so organic
+# refactors don't trip them but a dropped test file does.
+cover:
+	@$(GO) test -cover ./... | tee cover.out.tmp; s=$$?; \
+	if [ $$s -ne 0 ]; then rm -f cover.out.tmp; exit $$s; fi; \
+	for want in internal/qoe:88.0 internal/controller:68.0; do \
+	  pkg=$${want%%:*}; floor=$${want##*:}; \
+	  pct=$$(grep -E "fibbing.net/fibbing/$$pkg	" cover.out.tmp \
+	    | grep -oE '[0-9.]+% of statements' | cut -d'%' -f1); \
+	  if [ -z "$$pct" ]; then \
+	    echo "cover: no coverage line for $$pkg" >&2; rm -f cover.out.tmp; exit 1; \
+	  fi; \
+	  if ! awk -v p="$$pct" -v f="$$floor" 'BEGIN{exit !(p+0 >= f+0)}'; then \
+	    echo "cover: $$pkg at $$pct% is below the $$floor% floor" >&2; \
+	    rm -f cover.out.tmp; exit 1; \
+	  fi; \
+	  echo "cover: $$pkg $$pct% >= $$floor% floor"; \
+	done; rm -f cover.out.tmp
 
 # Documentation gate: vet plus a grep-based link-and-anchor check over
 # README.md and docs/ARCHITECTURE.md — every relative markdown link must

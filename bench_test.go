@@ -19,6 +19,7 @@ import (
 	"fibbing.net/fibbing/internal/fibbing"
 	"fibbing.net/fibbing/internal/netsim"
 	"fibbing.net/fibbing/internal/ospf"
+	"fibbing.net/fibbing/internal/qoe"
 	"fibbing.net/fibbing/internal/scenarios"
 	"fibbing.net/fibbing/internal/spf"
 	"fibbing.net/fibbing/internal/te"
@@ -678,6 +679,11 @@ func BenchmarkPlannerGbit(b *testing.B) {
 // SPF trees, K-shortest-path sets, believed-topology compilations, and
 // the LP basis all carry over. The committed baseline records the gap the
 // CI bench gate protects (the acceptance bar is >= 3x warm over cold).
+// "warm-qoe" is the warm path with QoE scoring switched on — the stall
+// predictor consulted per candidate plus the qoe-greedy strategy in the
+// fan-out — and its baseline must stay within 10% of plain warm: on hits
+// the QoE memo reduces scoring to one cache lookup per candidate, so
+// QoE-aware planning rides the amortisation layer nearly for free.
 func BenchmarkPlannerRepeat(b *testing.B) {
 	tp := topo.Abilene(1e9, time.Millisecond)
 	demands := []topo.Demand{
@@ -727,6 +733,31 @@ func BenchmarkPlannerRepeat(b *testing.B) {
 		st := arts.Stats()
 		if st.Hits == 0 {
 			b.Fatal("warm path never hit the artifact cache")
+		}
+	})
+	b.Run("warm-qoe", func(b *testing.B) {
+		planner := controller.NewPlanner()
+		arts := controller.NewPlanArtifacts(tp)
+		model := qoe.Model{Members: map[string]map[topo.NodeID]int{
+			"cdn-east": {tp.MustNode("Seattle"): 600, tp.MustNode("LosAngeles"): 400},
+			"cdn-west": {tp.MustNode("Chicago"): 500},
+		}}
+		cfg := controller.Config{ScoreMode: controller.ScoreQoE}
+		ctx := controller.AnalyticPlanContextCached(arts, tp, demands, nil, ev, cfg).WithQoE(model)
+		if plan, errs := planner.Plan(ctx); len(errs) > 0 || plan == nil {
+			b.Fatalf("warm-up plan=%v errs=%v", plan, errs)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx := controller.AnalyticPlanContextCached(arts, tp, demands, nil, ev, cfg).WithQoE(model)
+			if plan, errs := planner.Plan(ctx); len(errs) > 0 || plan == nil {
+				b.Fatalf("plan=%v errs=%v", plan, errs)
+			}
+		}
+		b.StopTimer()
+		if st := arts.Stats(); st.QoEHits == 0 {
+			b.Fatal("warm-qoe path never hit the QoE memo")
 		}
 	})
 }

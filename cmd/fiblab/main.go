@@ -17,6 +17,9 @@
 //	                                # the same relative problem at 10 Gbit/s
 //	fiblab -scale                   # scaling cells (Gbit-capacity defaults)
 //	fiblab -failover                # BFD+standby vs SNMP failover cells
+//	fiblab -qoe                     # qoe vs util score-mode comparison cells
+//	fiblab -run ring/surge -score-mode qoe
+//	                                # plan for fewer stalls, not cooler links
 //	fiblab -topo fig1 -workload steady -failure hotlink -bfd -standby-k 3
 //	                                # ad-hoc run with fast failover enabled
 //	fiblab -run ring/surge -cache-stats
@@ -48,12 +51,13 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of text")
 		duration = flag.Duration("duration", 0, "override the scenario duration")
 		strats   = flag.String("strategies", "", "comma-separated reaction strategies (e.g. localecmp,ksp,lpoptimal); empty keeps the stock set")
+		scoreMd  = flag.String("score-mode", "", "planner scoring objective: util (default), qoe (predicted stall-seconds first) or blended")
 
 		topoF    = flag.String("topo", "", "ad-hoc run: topology family (fig1, abilene, fattree, ring, grid, waxman, random)")
 		capacity = flag.String("capacity", "", "uniform link capacity, e.g. 1G or 10G (ad-hoc runs and overriding matrix/scale cells; empty keeps the cell's own)")
 		size     = flag.Int("size", 0, "ad-hoc run: topology size knob")
 		seed     = flag.Int64("seed", 0, "ad-hoc run: seed")
-		workload = flag.String("workload", "surge", "ad-hoc run: workload (surge, flash, ramp, dual)")
+		workload = flag.String("workload", "surge", "ad-hoc run: workload (surge, flash, ramp, dual, steady, skew)")
 		failure  = flag.String("failure", "", "ad-hoc run: failure schedule (hotlink, flap)")
 		viewers  = flag.Int("viewers", 0, "scale the crowd to about this many sessions (exact for surge; same total demand, finer slices; 0 keeps the default sizing)")
 		workers  = flag.Int("workers", 0, "simulation worker-pool width: 0 uses GOMAXPROCS, 1 forces the sequential core (output is byte-identical either way)")
@@ -61,6 +65,7 @@ func main() {
 		cacheStats = flag.Bool("cache-stats", false, "after each cell, print the planner amortisation telemetry: plan-cache hit/miss, warm-LP warm/cold/fallback solves, parallel reshare component count, and per-strategy propose timings (always present in -json output)")
 
 		failover = flag.Bool("failover", false, "run the fast-failover cells: each compares BFD+standby against SNMP-poll failure detection")
+		qoeCells = flag.Bool("qoe", false, "run the score-mode comparison cells: each runs qoe scoring against util scoring (and plain IGP) on the same schedule")
 		bfd      = flag.Bool("bfd", false, "attach BFD-style per-link liveness sessions (50ms hellos, detect multiplier 3) feeding the controller")
 		standbyK = flag.Int("standby-k", 0, "with -bfd, precompute failover plans for the K busiest links during controller idle time (0 disables the cache)")
 	)
@@ -76,6 +81,13 @@ func main() {
 			os.Exit(2)
 		}
 		capOverride = v
+	}
+
+	// Validate the score mode up front so a typo is a usage error, not a
+	// per-cell runtime failure.
+	if _, err := controller.ParseScoreMode(*scoreMd); err != nil {
+		fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
+		os.Exit(2)
 	}
 
 	// Resolve the strategy set once, up front: a bad name is a usage
@@ -104,6 +116,11 @@ func main() {
 
 	if *failover {
 		runFailover(*duration, *jsonOut, *workers)
+		return
+	}
+
+	if *qoeCells {
+		runQoE(*duration, *jsonOut, *workers, *cacheStats)
 		return
 	}
 
@@ -147,6 +164,9 @@ func main() {
 			spec.Topo.Capacity = capOverride
 		}
 		spec.Workers = *workers
+		if *scoreMd != "" {
+			spec.ScoreMode = *scoreMd
+		}
 		if *bfd {
 			spec.BFD = true
 		}
@@ -224,6 +244,51 @@ func runFailover(duration time.Duration, jsonOut bool, workers int) {
 	}
 	if failed {
 		fmt.Fprintln(os.Stderr, "fiblab: failover invariant violations (see above)")
+		os.Exit(1)
+	}
+}
+
+// runQoE executes the score-mode comparison cells: each spec runs three
+// times — controller off, utilisation scoring, QoE scoring — and the
+// comparison checks that stall-aware planning buys strictly fewer
+// stalled viewer-seconds (predicted and simulated) without worsening on
+// plain IGP.
+func runQoE(duration time.Duration, jsonOut bool, workers int, cacheStats bool) {
+	var results []*scenarios.ScoreModeComparison
+	failed := false
+	for _, spec := range scenarios.QoESpecs() {
+		if duration > 0 {
+			spec.Duration = duration
+		}
+		spec.Workers = workers
+		cmp, err := scenarios.CompareScoreModes(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
+			os.Exit(1)
+		}
+		results = append(results, cmp)
+		if len(cmp.Violations) > 0 {
+			failed = true
+		}
+		if !jsonOut {
+			var b strings.Builder
+			cmp.Render(&b)
+			if cacheStats {
+				cmp.QoE.RenderCacheStats(&b, "  ")
+			}
+			fmt.Print(b.String())
+		}
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "fiblab: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "fiblab: score-mode invariant violations (see above)")
 		os.Exit(1)
 	}
 }

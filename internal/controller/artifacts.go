@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/qoe"
 	"fibbing.net/fibbing/internal/spf"
 	"fibbing.net/fibbing/internal/te"
 	"fibbing.net/fibbing/internal/topo"
@@ -38,6 +39,12 @@ import (
 type ArtifactStats struct {
 	Hits   uint64 `json:"hits"`
 	Misses uint64 `json:"misses"`
+	// QoEHits/QoEMisses count the QoE-prediction memo separately from the
+	// routing artifacts: the predictor is consulted once per candidate
+	// overlay per planning round, so its hit rate measures how much the
+	// QoE scoring path amortises, independent of the SPF/load caches.
+	QoEHits   uint64 `json:"qoe_hits"`
+	QoEMisses uint64 `json:"qoe_misses"`
 }
 
 // viewsEntry caches one fibbing.Evaluate outcome (errors included, so a
@@ -68,6 +75,20 @@ type augEntry struct {
 	err    error
 }
 
+// qoeEntry caches one plan-level QoE prediction.
+type qoeEntry struct {
+	q   qoe.PlanQoE
+	err error
+}
+
+// qoePropEntry caches one qoe-greedy descent outcome: the chosen overlay
+// (nil = the strategy abstained) and its predicted stall score. Shared —
+// the overlay map and lie lists are read-only, like every cached value.
+type qoePropEntry struct {
+	overlay map[string][]fibbing.Lie
+	score   float64
+}
+
 // PlanArtifacts memoises the expensive planner inputs for one topology.
 // It is safe for concurrent use (the strategy fan-out shares one
 // instance); computations run outside the lock, so concurrent strategies
@@ -85,6 +106,9 @@ type PlanArtifacts struct {
 	loads map[string]loadsEntry
 	mmx   map[string]minmaxEntry
 	augs  map[string]augEntry
+	qoe   map[string]qoeEntry
+	cands map[string][][]fibbing.Lie
+	props map[string]qoePropEntry
 
 	// lp and stats are shared across cache generations (and with the
 	// ephemeral failover artifacts): the warm-start basis must survive a
@@ -115,6 +139,9 @@ func newPlanArtifacts(t *topo.Topology, stats *ArtifactStats, lp *te.MinMaxSolve
 		loads: make(map[string]loadsEntry),
 		mmx:   make(map[string]minmaxEntry),
 		augs:  make(map[string]augEntry),
+		qoe:   make(map[string]qoeEntry),
+		cands: make(map[string][][]fibbing.Lie),
+		props: make(map[string]qoePropEntry),
 		lp:    lp,
 		stats: stats,
 	}
@@ -353,6 +380,157 @@ func (a *PlanArtifacts) CompileDAG(prefix string, dag fibbing.DAG) (*fibbing.Aug
 	return aug, pinned, err
 }
 
+// PredictQoE maps the full lie set and demand set to the analytic
+// plan-level QoE prediction (qoe.PredictPlan over the memoised per-prefix
+// views), memoised on the (lies, demands, model) value with its own
+// hit/miss counters. Accounting follows the store-time rule, so
+// QoEHits/QoEMisses are byte-identical across scheduler worker widths.
+func (a *PlanArtifacts) PredictQoE(lies map[string][]fibbing.Lie, demands []topo.Demand, model qoe.Model) (qoe.PlanQoE, error) {
+	var sb strings.Builder
+	encodeModel(&sb, model)
+	return a.predictQoEKeyed(sb.String(), lies, demands, model)
+}
+
+// predictQoEKeyed is PredictQoE with the model's key encoding hoisted
+// out: the planner consults the predictor once per candidate overlay
+// under an unchanging model, so newQoEPredictor encodes the model once
+// per planning context instead of once per lookup.
+func (a *PlanArtifacts) predictQoEKeyed(modelKey string, lies map[string][]fibbing.Lie, demands []topo.Demand, model qoe.Model) (qoe.PlanQoE, error) {
+	var sb strings.Builder
+	sb.WriteString(loadsKey(lies, demands))
+	sb.WriteByte('!')
+	sb.WriteString(modelKey)
+	key := sb.String()
+	a.mu.Lock()
+	if e, ok := a.qoe[key]; ok {
+		a.stats.QoEHits++
+		a.mu.Unlock()
+		return e.q, e.err
+	}
+	a.mu.Unlock()
+	e := a.computeQoE(lies, demands, model)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.qoe[key]; ok {
+		a.stats.QoEHits++
+		return prev.q, prev.err
+	}
+	a.stats.QoEMisses++
+	a.qoe[key] = e
+	return e.q, e.err
+}
+
+// QoECandidates memoises the qoe-greedy strategy's per-prefix candidate
+// sweep. The candidate lie sets depend only on the topology (through the
+// SPF tree and attachment set), the prefix, the hot router and the path
+// count — all fixed within one cache generation — while building them
+// costs k DAG constructions plus k compile-memo key encodings per
+// planning round. An alarm train re-planning the same hot link skips all
+// of it. build runs outside the lock; accounting is store-time, like
+// every other table here.
+func (a *PlanArtifacts) QoECandidates(prefix string, hot topo.NodeID, k int, build func() [][]fibbing.Lie) [][]fibbing.Lie {
+	key := prefix + "|" + strconv.FormatInt(int64(hot), 10) + "|" + strconv.Itoa(k)
+	a.mu.Lock()
+	if c, ok := a.cands[key]; ok {
+		a.stats.Hits++
+		a.mu.Unlock()
+		return c
+	}
+	a.mu.Unlock()
+	c := build()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.cands[key]; ok {
+		a.stats.Hits++
+		return prev
+	}
+	a.stats.Misses++
+	a.cands[key] = c
+	return c
+}
+
+// qoeProposal memoises the qoe-greedy strategy's whole greedy descent.
+// The descent is a pure function of the candidate sets (topology-bound,
+// see QoECandidates), the installed lies, the demand set and the viewer
+// model — exactly what the key encodes — so an alarm train re-raising
+// the same hot link replays the chosen overlay (or the abstention) with
+// one lookup instead of a per-candidate predictor sweep. Accounting is
+// store-time, under the QoE counters.
+func (a *PlanArtifacts) qoeProposal(key string, build func() qoePropEntry) qoePropEntry {
+	a.mu.Lock()
+	if e, ok := a.props[key]; ok {
+		a.stats.QoEHits++
+		a.mu.Unlock()
+		return e
+	}
+	a.mu.Unlock()
+	e := build()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if prev, ok := a.props[key]; ok {
+		a.stats.QoEHits++
+		return prev
+	}
+	a.stats.QoEMisses++
+	a.props[key] = e
+	return e
+}
+
+func (a *PlanArtifacts) computeQoE(lies map[string][]fibbing.Lie, demands []topo.Demand, model qoe.Model) qoeEntry {
+	views := make(map[string]map[topo.NodeID]fibbing.RouteView)
+	for _, d := range demands {
+		if _, ok := views[d.PrefixName]; ok {
+			continue
+		}
+		v, err := a.Views(d.PrefixName, lies[d.PrefixName])
+		if err != nil {
+			return qoeEntry{err: err}
+		}
+		views[d.PrefixName] = v
+	}
+	q, err := qoe.PredictPlan(a.topo, views, demands, model)
+	return qoeEntry{q: q, err: err}
+}
+
+// encodeModel appends a value-complete encoding of a qoe.Model: member
+// counts in sorted (prefix, ingress) order, then the playback config and
+// horizon (exact float bits for the ladder).
+func encodeModel(sb *strings.Builder, m qoe.Model) {
+	prefixes := make([]string, 0, len(m.Members))
+	for name := range m.Members {
+		prefixes = append(prefixes, name)
+	}
+	slices.Sort(prefixes)
+	for _, name := range prefixes {
+		sb.WriteByte('&')
+		sb.WriteString(name)
+		nodes := make([]topo.NodeID, 0, len(m.Members[name]))
+		for n := range m.Members[name] {
+			nodes = append(nodes, n)
+		}
+		slices.Sort(nodes)
+		for _, n := range nodes {
+			sb.WriteByte(',')
+			sb.WriteString(strconv.FormatInt(int64(n), 10))
+			sb.WriteByte('=')
+			sb.WriteString(strconv.Itoa(m.Members[name][n]))
+		}
+	}
+	sb.WriteByte('/')
+	for _, r := range m.Session.Ladder {
+		sb.WriteByte(',')
+		sb.WriteString(strconv.FormatFloat(r, 'x', -1, 64))
+	}
+	sb.WriteByte('/')
+	sb.WriteString(strconv.FormatInt(int64(m.Session.SegmentDuration), 10))
+	sb.WriteByte('/')
+	sb.WriteString(strconv.FormatFloat(m.Session.SafetyFactor, 'x', -1, 64))
+	sb.WriteByte('/')
+	sb.WriteString(strconv.FormatFloat(m.Session.StartupBuffer, 'x', -1, 64))
+	sb.WriteByte('/')
+	sb.WriteString(strconv.FormatInt(int64(m.Horizon), 10))
+}
+
 // encodeDAG appends a canonical encoding of a requirement DAG: routers in
 // id order, each with its next-hop weights in id order. Weights are kept
 // un-normalised — {B:1,R1:2} and {B:2,R1:4} would compile to the same
@@ -384,11 +562,16 @@ func encodeDAG(sb *strings.Builder, dag fibbing.DAG) {
 // encodeLies appends a value-complete encoding of one prefix's lie list.
 // Lie lists are built deterministically by the compilers, so the order
 // is stable and kept significant (a reordered but equal set would only
-// cost a duplicate cache entry, never a wrong hit).
+// cost a duplicate cache entry, never a wrong hit). The prefix goes in
+// as raw address bytes plus mask length: Prefix.String showed up as the
+// single hottest piece of the planner's warm path (keys are encoded on
+// every memo hit).
 func encodeLies(sb *strings.Builder, lies []fibbing.Lie) {
 	for _, l := range lies {
 		sb.WriteByte('|')
-		sb.WriteString(l.Prefix.String())
+		addr := l.Prefix.Addr().As16()
+		sb.Write(addr[:])
+		sb.WriteByte(byte(l.Prefix.Bits()))
 		sb.WriteByte('@')
 		sb.WriteString(strconv.FormatInt(int64(l.Attach), 10))
 		sb.WriteByte('>')

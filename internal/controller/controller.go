@@ -25,6 +25,7 @@ import (
 
 	"fibbing.net/fibbing/internal/event"
 	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/qoe"
 	"fibbing.net/fibbing/internal/southbound"
 	"fibbing.net/fibbing/internal/te"
 	"fibbing.net/fibbing/internal/topo"
@@ -76,6 +77,12 @@ type Config struct {
 	// (default DefaultMaxLPRouters); on larger networks the LP abstains
 	// and the cheaper strategies compete.
 	MaxLPRouters int
+	// ScoreMode selects what the planner optimises: ScoreUtil (the zero
+	// value: max link utilisation, the historical behaviour), ScoreQoE
+	// (predicted viewer stall-seconds first) or ScoreBlended. Under
+	// ScoreQoE/ScoreBlended the controller equips every planning round
+	// with the QoE predictor over its tracked member counts.
+	ScoreMode ScoreMode
 }
 
 // Float wraps a float64 for Config's optional fields.
@@ -87,6 +94,7 @@ type resolved struct {
 	maxDenom      int
 	withdrawBelow float64
 	maxLPRouters  int
+	scoreMode     ScoreMode
 }
 
 func (c Config) resolve() resolved {
@@ -108,6 +116,7 @@ func (c Config) resolve() resolved {
 	if c.MaxLPRouters > 0 {
 		r.maxLPRouters = c.MaxLPRouters
 	}
+	r.scoreMode = c.ScoreMode
 	return r
 }
 
@@ -142,6 +151,13 @@ type Controller struct {
 	// accumulated float roundoff proportional to the peak (~Gbit/s for
 	// production crowds), not to any single event's delta.
 	demandPeak map[string]map[topo.NodeID]float64
+	// members mirrors demand with session counts: each positive-delta
+	// demand event is one viewer joining, each negative-delta one
+	// leaving. The counts parameterise the QoE predictor (a 100-session
+	// aggregate stalls very differently from one fat flow of the same
+	// volume) and are maintained unconditionally so reports can predict
+	// QoE even when the planner scores on utilisation.
+	members map[string]map[topo.NodeID]int
 
 	// raised tracks links with active congestion alarms.
 	raised map[topo.LinkID]bool
@@ -237,6 +253,7 @@ func New(t *topo.Topology, lies *southbound.LieManager, now func() time.Duration
 		planner:    NewPlanner(),
 		demand:     make(map[string]map[topo.NodeID]float64),
 		demandPeak: make(map[string]map[topo.NodeID]float64),
+		members:    make(map[string]map[topo.NodeID]int),
 		raised:     make(map[topo.LinkID]bool),
 		failed:     make(map[topo.LinkID]bool),
 		futile:     make(map[string]bool),
@@ -333,6 +350,19 @@ func (c *Controller) applyDemand(ev Event) {
 	if m[ev.Ingress] > pk[ev.Ingress] {
 		pk[ev.Ingress] = m[ev.Ingress]
 	}
+	// Session counting: one event, one viewer. Zero-delta events (rate
+	// renegotiations) leave the count alone.
+	mem := c.members[ev.Prefix]
+	if mem == nil {
+		mem = make(map[topo.NodeID]int)
+		c.members[ev.Prefix] = mem
+	}
+	switch {
+	case ev.DeltaRate > 0:
+		mem[ev.Ingress]++
+	case ev.DeltaRate < 0 && mem[ev.Ingress] > 0:
+		mem[ev.Ingress]--
+	}
 	// Scale-relative zero test against the entry's peak: a full drain
 	// leaves add/subtract roundoff proportional to the peak aggregate,
 	// far above an absolute cutoff (or the final leave's own delta) once
@@ -341,6 +371,7 @@ func (c *Controller) applyDemand(ev Event) {
 	if m[ev.Ingress] <= 1e-9*math.Max(1, pk[ev.Ingress]) {
 		delete(m, ev.Ingress)
 		delete(pk, ev.Ingress)
+		delete(mem, ev.Ingress)
 	}
 	clear(c.futile) // changed demands may make a rejected plan viable
 	// Standby plans and cached artifacts were computed for the old
@@ -368,6 +399,26 @@ func (c *Controller) Demands() []topo.Demand {
 		}
 	}
 	return out
+}
+
+// QoEModel snapshots the controller's viewer model: the tracked member
+// counts per aggregate with the default playback config (each session
+// plays a fixed rate equal to its aggregate's per-session share) over
+// the default prediction horizon. The snapshot is deep-copied, so
+// callers may hold it across further demand events.
+func (c *Controller) QoEModel() qoe.Model {
+	members := make(map[string]map[topo.NodeID]int, len(c.members))
+	for prefix, mem := range c.members {
+		if len(mem) == 0 {
+			continue
+		}
+		cp := make(map[topo.NodeID]int, len(mem))
+		for n, v := range mem {
+			cp[n] = v
+		}
+		members[prefix] = cp
+	}
+	return qoe.Model{Members: members, Horizon: qoe.DefaultHorizon}
 }
 
 // plan runs the planner for the event and commits the winning plan. A
@@ -403,6 +454,9 @@ func (c *Controller) plan(ev Event) {
 	ctx := buildPlanContext(c.ensureArtifacts(pt), pt, demands, c.lies.InstalledAll(), ev, c.cfg, len(c.raised))
 	if ev.Kind == EventAlarmRaised && ctx.BaseUtil <= c.cfg.target {
 		return // stale alarm
+	}
+	if c.cfg.scoreMode != ScoreUtil {
+		ctx = ctx.WithQoE(c.QoEModel())
 	}
 	plan, errs := c.planner.Plan(ctx)
 	if plan == nil {

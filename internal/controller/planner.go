@@ -153,9 +153,20 @@ func (p *Planner) Plan(ctx PlanContext) (*Plan, []error) {
 // the verdict call ProposeAll once and Select on the result instead of
 // paying the strategy fan-out twice.
 func (p *Planner) Select(ctx PlanContext, plans []*Plan) *Plan {
+	qoeActive := ctx.ScoreMode != ScoreUtil && ctx.PredictQoE != nil
 	var best *Plan
 	for _, plan := range plans {
 		plan.LieCost = liveLiesAfter(ctx.Installed, plan)
+		if qoeActive {
+			// Usually a memo hit: every overlay here was already predicted
+			// once, either by the proposing strategy or by an earlier
+			// planning round over the same state.
+			if q, err := ctx.PredictQoE(plan.Lies); err == nil {
+				plan.PredictedStall = q.Score()
+			} else {
+				plan.PredictedStall = math.Inf(1)
+			}
+		}
 		if ctx.Event.Kind == EventAlarmRaised && !admissible(ctx, plan) {
 			continue
 		}
@@ -173,10 +184,24 @@ func (p *Planner) Select(ctx PlanContext, plans []*Plan) *Plan {
 
 // admissible gates congestion-reaction plans: strictly improve on the
 // no-op plan, or reach the target without worsening it. Either way a
-// committed plan never increases the predicted max utilisation. All
-// comparisons use the relative utilEps, so the verdict is identical for
-// rescaled versions of the same problem.
+// committed plan never increases the predicted max utilisation. Under
+// QoE scoring the never-worsen rule is restated in viewer terms: a plan
+// may exceed the utilisation target (or even the no-op utilisation) only
+// when its predicted stall score strictly improves on the no-op plan's —
+// viewers trade a hotter link for fewer stalled seconds, never for more.
+// All comparisons use the relative utilEps, so the verdict is identical
+// for rescaled versions of the same problem.
 func admissible(ctx PlanContext, plan *Plan) bool {
+	if ctx.ScoreMode != ScoreUtil && ctx.PredictQoE != nil &&
+		plan.PredictedUtil > ctx.Target+utilEps(plan.PredictedUtil, ctx.Target) {
+		// QoE modes, above the target: only a strict stall improvement
+		// admits the plan. In particular a plan that merely improves the
+		// predicted utilisation (the util-mode gate below) is rejected when
+		// it gives those cooler links back by re-starving viewers — without
+		// this, a utilisation-motivated revert can undo a committed stall
+		// fix at the next alarm and the two objectives oscillate.
+		return plan.PredictedStall < ctx.BaseStall-utilEps(plan.PredictedStall, ctx.BaseStall)
+	}
 	if plan.PredictedUtil < ctx.BaseUtil-utilEps(plan.PredictedUtil, ctx.BaseUtil) {
 		return true
 	}
@@ -186,7 +211,37 @@ func admissible(ctx PlanContext, plan *Plan) bool {
 
 // better reports whether a beats b under the scoring order. Strict: on a
 // full tie the earlier-registered plan (b) is kept.
+//
+// ScoreUtil orders by target satisfaction, lie cost, predicted
+// utilisation. ScoreQoE puts the predicted stall score first — fewer
+// stalled viewer-seconds beat everything, with the utilisation order as
+// the tie-break. ScoreBlended keeps target satisfaction first (a plan
+// that cools the network below target still wins) and breaks ties on
+// the stall score before lie cost.
 func better(ctx PlanContext, a, b *Plan) bool {
+	if ctx.ScoreMode != ScoreUtil && ctx.PredictQoE != nil {
+		if ctx.ScoreMode == ScoreQoE {
+			if stallDiffers(a, b) {
+				return a.PredictedStall < b.PredictedStall
+			}
+			return betterUtil(ctx, a, b)
+		}
+		// Blended: target satisfaction first, then the stall score.
+		satA := a.PredictedUtil <= ctx.Target+utilEps(a.PredictedUtil, ctx.Target)
+		satB := b.PredictedUtil <= ctx.Target+utilEps(b.PredictedUtil, ctx.Target)
+		if satA != satB {
+			return satA
+		}
+		if stallDiffers(a, b) {
+			return a.PredictedStall < b.PredictedStall
+		}
+	}
+	return betterUtil(ctx, a, b)
+}
+
+// betterUtil is the utilisation scoring order: target satisfaction, lie
+// cost, predicted utilisation.
+func betterUtil(ctx PlanContext, a, b *Plan) bool {
 	satA := a.PredictedUtil <= ctx.Target+utilEps(a.PredictedUtil, ctx.Target)
 	satB := b.PredictedUtil <= ctx.Target+utilEps(b.PredictedUtil, ctx.Target)
 	if satA != satB {
@@ -199,6 +254,15 @@ func better(ctx PlanContext, a, b *Plan) bool {
 		return a.PredictedUtil < b.PredictedUtil
 	}
 	return false
+}
+
+// stallDiffers reports whether two plans' predicted stall scores differ
+// beyond comparison noise.
+func stallDiffers(a, b *Plan) bool {
+	if math.IsInf(a.PredictedStall, 1) || math.IsInf(b.PredictedStall, 1) {
+		return a.PredictedStall != b.PredictedStall
+	}
+	return math.Abs(a.PredictedStall-b.PredictedStall) > utilEps(a.PredictedStall, b.PredictedStall)
 }
 
 // liveLiesAfter counts the lies that would be live after committing the
@@ -271,6 +335,7 @@ func buildPlanContext(arts *PlanArtifacts, t *topo.Topology, demands []topo.Dema
 		WithdrawBelow: r.withdrawBelow,
 		MaxDenom:      r.maxDenom,
 		MaxLPRouters:  r.maxLPRouters,
+		ScoreMode:     r.scoreMode,
 		Evaluate:      eval,
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/qoe"
 	"fibbing.net/fibbing/internal/spf"
 	"fibbing.net/fibbing/internal/te"
 	"fibbing.net/fibbing/internal/topo"
@@ -58,6 +59,27 @@ type PlanContext struct {
 	// key replaces that prefix's installed lies (empty clears them),
 	// absent prefixes keep theirs. Evaluate(nil) == BaseUtil.
 	Evaluate func(overlay map[string][]fibbing.Lie) (float64, error)
+	// ScoreMode selects the planner's scoring order (utilisation, QoE,
+	// or blended); see the ScoreMode constants.
+	ScoreMode ScoreMode
+	// QoEModel describes the viewer population (member counts per
+	// aggregate, playback model) when QoE scoring is active; zero
+	// otherwise. Set by WithQoE.
+	QoEModel qoe.Model
+	// BaseStall is PredictQoE(nil).Score(): the no-op plan's predicted
+	// viewer pain, the baseline for QoE-terms admissibility. Zero when
+	// PredictQoE is nil.
+	BaseStall float64
+	// PredictQoE is Evaluate's QoE sibling: the predicted aggregate
+	// viewer experience under the overlaid lies (same overlay semantics).
+	// Nil unless WithQoE equipped the context; strategies and scoring
+	// must treat nil as "QoE unavailable" and fall back to utilisation.
+	PredictQoE func(overlay map[string][]fibbing.Lie) (qoe.PlanQoE, error)
+	// qoeModelKey is the memo-key encoding of QoEModel, computed once by
+	// WithQoE so per-candidate and per-proposal cache lookups never
+	// re-encode the (unchanging) viewer model. Empty when PredictQoE is
+	// nil or no artifact cache is bound.
+	qoeModelKey string
 }
 
 // cachedArts returns the artifact cache when it is usable for this
@@ -144,6 +166,11 @@ type Plan struct {
 	// PredictedUtil is Evaluate(Lies): the max utilisation this plan is
 	// predicted to leave.
 	PredictedUtil float64
+	// PredictedStall is PredictQoE(Lies).Score(): the total predicted
+	// viewer pain (stall + startup-wait seconds) this plan is predicted
+	// to leave. Filled by the Planner before scoring when QoE scoring is
+	// active; zero otherwise.
+	PredictedStall float64
 	// LieCost is the total number of live lies after committing the plan
 	// (filled by the Planner before scoring).
 	LieCost int
@@ -181,9 +208,10 @@ type Strategy interface {
 
 // DefaultStrategies is the stock strategy set, in priority (registration)
 // order: local ECMP spreading, the LP-optimal splits, k-shortest-path
-// spreading, and lie withdrawal.
+// spreading, QoE-greedy crowd placement (active only under QoE scoring),
+// and lie withdrawal.
 func DefaultStrategies() []Strategy {
-	return []Strategy{LocalECMPStrategy{}, LPOptimalStrategy{}, KSPStrategy{}, WithdrawStrategy{}}
+	return []Strategy{LocalECMPStrategy{}, LPOptimalStrategy{}, KSPStrategy{}, QoEGreedyStrategy{}, WithdrawStrategy{}}
 }
 
 // StrategyByName resolves a stock strategy from its name. Matching is

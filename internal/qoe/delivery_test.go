@@ -1,0 +1,127 @@
+package qoe
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/fibbing"
+	"fibbing.net/fibbing/internal/topo"
+)
+
+// starTopo builds the delivery tests' gadget: two ingress routers a and b
+// feeding a shared router m, which reaches the prefix router d over the
+// only capacitated link.
+func starTopo(capacity float64) (*topo.Topology, topo.NodeID, topo.NodeID) {
+	tp := topo.New()
+	a := tp.AddNode("a")
+	b := tp.AddNode("b")
+	m := tp.AddNode("m")
+	d := tp.AddNode("d")
+	tp.AddLink(a, m, 1, topo.LinkOpts{})
+	tp.AddLink(b, m, 1, topo.LinkOpts{})
+	tp.AddLink(m, d, 1, topo.LinkOpts{Capacity: capacity})
+	tp.AddPrefix(netip.MustParsePrefix("10.0.0.0/24"), "vid", topo.Attachment{Node: d})
+	return tp, a, b
+}
+
+// TestPredictPlanSingleMember pins the degenerate aggregate: one session,
+// enough capacity — the viewer waits out the startup buffer once and
+// never stalls.
+func TestPredictPlanSingleMember(t *testing.T) {
+	tp, a, _ := starTopo(10e6)
+	views, err := fibbing.Evaluate(tp, "vid", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := PredictPlan(tp,
+		map[string]map[topo.NodeID]fibbing.RouteView{"vid": views},
+		[]topo.Demand{{Ingress: a, PrefixName: "vid", Volume: 4e6}},
+		Model{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Sessions != 1 {
+		t.Fatalf("sessions = %d, want 1", q.Sessions)
+	}
+	if q.StallSeconds != 0 {
+		t.Errorf("uncongested single session stalls %.2fs, want 0", q.StallSeconds)
+	}
+	// Full rate: startup wait is exactly the startup buffer (2 media-s).
+	if math.Abs(q.StartupWaitSeconds-2) > 1e-9 {
+		t.Errorf("startup wait = %.3fs, want 2s", q.StartupWaitSeconds)
+	}
+}
+
+// TestPredictPlanProtectsThinSessions pins the water-filling pass: a thin
+// crowd and a fat crowd share one saturated link, and max-min fair
+// sharing must starve only the fat sessions. The expected figures are
+// closed-form: with thin demand fully satisfied, the fat sessions split
+// the residual capacity evenly.
+func TestPredictPlanProtectsThinSessions(t *testing.T) {
+	const cap = 10e6
+	tp, a, b := starTopo(cap)
+	views, err := fibbing.Evaluate(tp, "vid", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := []topo.Demand{
+		{Ingress: a, PrefixName: "vid", Volume: 5.5e6}, // 40 thin sessions
+		{Ingress: b, PrefixName: "vid", Volume: 5.5e6}, // 5 fat sessions
+	}
+	m := Model{Members: map[string]map[topo.NodeID]int{"vid": {a: 40, b: 5}}}
+	q, err := PredictPlan(tp, map[string]map[topo.NodeID]fibbing.RouteView{"vid": views}, demands, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Sessions != 45 {
+		t.Fatalf("sessions = %d, want 45", q.Sessions)
+	}
+	// Water-fill by hand: thin rate 137.5k < fair share, so the 40 thin
+	// sessions are whole (no stalls); the 5 fat sessions split the
+	// residual 4.5 Mbit/s: phi = 0.9/1.1 of their 1.1 Mbit/s rate.
+	f := (cap - 5.5e6) / 5 / (5.5e6 / 5)
+	T := DefaultHorizon.Seconds()
+	wantFatStall := 5 * (1 - f) * (T - 2/f)
+	wantWait := 40*2.0 + 5*(2/f) // thin at full rate wait 2s, fat wait B/f
+	if math.Abs(q.StallSeconds-wantFatStall) > 1e-6 {
+		t.Errorf("stalls = %.6fs, want %.6fs (fat sessions only)", q.StallSeconds, wantFatStall)
+	}
+	if math.Abs(q.StartupWaitSeconds-wantWait) > 1e-6 {
+		t.Errorf("startup wait = %.6fs, want %.6fs", q.StartupWaitSeconds, wantWait)
+	}
+}
+
+// TestPredictPlanDeterministic runs the same congested prediction twice
+// and expects bit-identical totals: every iteration in the delivery model
+// is explicitly sorted, so map layout must not leak into the floats.
+func TestPredictPlanDeterministic(t *testing.T) {
+	tp, a, b := starTopo(10e6)
+	views, err := fibbing.Evaluate(tp, "vid", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demands := []topo.Demand{
+		{Ingress: a, PrefixName: "vid", Volume: 7e6},
+		{Ingress: b, PrefixName: "vid", Volume: 6e6},
+	}
+	m := Model{
+		Members: map[string]map[topo.NodeID]int{"vid": {a: 17, b: 3}},
+		Session: SessionConfig{Ladder: []float64{0.2e6, 0.5e6, 1.0e6}},
+		Horizon: 17 * time.Second,
+	}
+	first, err := PredictPlan(tp, map[string]map[topo.NodeID]fibbing.RouteView{"vid": views}, demands, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := PredictPlan(tp, map[string]map[topo.NodeID]fibbing.RouteView{"vid": views}, demands, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != first {
+			t.Fatalf("run %d: %+v != %+v", i, again, first)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package qoe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fibbing.net/fibbing/internal/video"
+)
+
+// simAgreementTol is the stated tolerance of the calibration property:
+// per session, the analytic predictor and the full ABR simulation may
+// disagree by at most this fraction of the horizon on the pain score
+// (stall + startup-wait seconds). The residual is real model error —
+// the predictor's fluid duty cycle versus the simulation's discrete
+// segments, 100 ms ticker and buffer hysteresis — and stays well under
+// the differences the planner acts on (competing plans on the
+// comparison cells differ by 3x, not 10%).
+const simAgreementTol = 0.15
+
+// TestPredictorMatchesSimulation is the calibration property of the
+// analytic session model: across a table of ladder configurations and
+// randomised delivered rates and member counts, PredictSession must
+// agree with video.RunConstantRate — the real segment loop, EWMA
+// estimator, rung chooser and player buffer, fed by a constant-rate tap
+// — within simAgreementTol of the horizon per session. Failures print
+// the offending aggregate spec so the case can be replayed directly.
+func TestPredictorMatchesSimulation(t *testing.T) {
+	ladders := []struct {
+		name   string
+		ladder []float64
+	}{
+		{"fixed-1M", []float64{1e6}},
+		{"default", []float64{0.2e6, 0.5e6, 1.0e6}}, // video.DefaultLadder
+		{"two-rung", []float64{0.5e6, 2e6}},
+		{"dense", []float64{0.3e6, 0.7e6, 1.5e6, 4e6}},
+	}
+	const horizon = 30 * time.Second
+	rng := rand.New(rand.NewSource(1))
+	for _, lc := range ladders {
+		lc := lc
+		t.Run(lc.name, func(t *testing.T) {
+			top := lc.ladder[len(lc.ladder)-1]
+			for i := 0; i < 60; i++ {
+				// Rates sweep starvation through saturation: [0, 2.5x top
+				// rung], with a bias towards the contested band below the
+				// top rung where stalls actually happen.
+				rate := rng.Float64() * 2.5 * top
+				if i%3 == 0 {
+					rate = rng.Float64() * 1.2 * top
+				}
+				members := 1 + rng.Intn(200)
+
+				// Both models sort their ladder in place: give each its own
+				// copy so a shared backing array cannot couple the runs.
+				pred := PredictSession(SessionConfig{
+					Ladder: append([]float64(nil), lc.ladder...),
+				}, rate, horizon)
+				sim := video.RunConstantRate(video.ABRConfig{
+					Ladder: append([]float64(nil), lc.ladder...),
+				}, rate, horizon)
+
+				simWait := sim.StartupDelay.Seconds()
+				if sim.PlayedSec == 0 {
+					// Playback never began: the viewer waited out the whole
+					// run (the player leaves StartupDelay unset).
+					simWait = horizon.Seconds()
+				}
+				simPain := sim.StallTime.Seconds() + simWait
+				predPain := pred.Score()
+				tol := simAgreementTol * horizon.Seconds()
+				if diff := math.Abs(predPain - simPain); diff > tol {
+					t.Errorf("aggregate {ladder=%s(%v) rate=%.0fbit/s members=%d horizon=%v}: "+
+						"per-session pain: predicted %.2fs vs simulated %.2fs (|diff| %.2fs > tol %.2fs)\n"+
+						"  aggregate pain: predicted %.1fs vs simulated %.1fs\n"+
+						"  predicted %+v\n  simulated stall=%v startup=%v played=%.1fs switches=%d",
+						lc.name, lc.ladder, rate, members, horizon,
+						predPain, simPain, diff, tol,
+						float64(members)*predPain, float64(members)*simPain,
+						pred, sim.StallTime, sim.StartupDelay, sim.PlayedSec, sim.Switches)
+				}
+			}
+		})
+	}
+}

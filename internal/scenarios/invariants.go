@@ -36,6 +36,30 @@ const (
 	targetUtilisation = controller.DefaultTargetUtilisation
 )
 
+// MaxStallSeconds checks a single run's total stall time against a
+// budget, returning a violation line when it is exceeded (empty slice
+// means the budget holds). The score-mode cells use it to bound what a
+// QoE-scored run may leave on the table.
+func MaxStallSeconds(r *Report, budget float64) []string {
+	if r.StallSeconds > budget {
+		return []string{fmt.Sprintf("%s: %.2fs of stalls exceed the %.2fs budget",
+			r.Scenario, r.StallSeconds, budget)}
+	}
+	return nil
+}
+
+// StallNoWorseThan checks the never-worsen admissibility contract in QoE
+// terms: run r's simulated stall time may not exceed the baseline's by
+// more than slack seconds. It returns the violation lines (empty means
+// the contract holds).
+func StallNoWorseThan(r, baseline *Report, slack float64) []string {
+	if r.StallSeconds > baseline.StallSeconds+slack {
+		return []string{fmt.Sprintf("%s: %.2fs of stalls vs %.2fs baseline (%s) exceeds +%.2fs slack",
+			r.Scenario, r.StallSeconds, baseline.StallSeconds, baseline.Scenario, slack)}
+	}
+	return nil
+}
+
 // Violations checks every cross-run invariant of a scenario and returns
 // human-readable violations (empty means the cell holds).
 func Violations(spec Spec, on, off *Report) []string {

@@ -130,6 +130,19 @@ func TestParallelCoreDeterminism(t *testing.T) {
 	// the standby cache's idle precompute add two more event sources the
 	// worker pool must keep in deterministic order.
 	specs = append(specs, FailoverSpecs()...)
+	// The QoE-scored cells ride along too: the stall predictor's memoised
+	// artifacts (QoE hit/miss counters included — store-time accounting,
+	// like the plan cache's) and the qoe-greedy candidate sweep must not
+	// introduce worker-width dependence. The 100k-viewer scale cell stays
+	// out; the small cells carry the property.
+	for _, spec := range QoESpecs() {
+		if spec.Viewers >= 100_000 {
+			continue
+		}
+		spec.ScoreMode = "qoe"
+		spec.Name += "@qoe"
+		specs = append(specs, spec)
+	}
 	var batched uint64
 	for _, spec := range specs {
 		seq := runCaptured(t, spec, 1)

@@ -1,0 +1,34 @@
+package scenarios
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestScoreModeComparison is the CI gate of the QoE tentpole claim: on
+// every score-mode cell the qoe-scored run must end with strictly fewer
+// stall-seconds — simulated and predicted — than the utilisation-scored
+// run of the same topology and schedule, while never stalling viewers
+// more than plain IGP (the admissibility contract restated in QoE
+// terms). Cells run in parallel; each is three full simulations.
+func TestScoreModeComparison(t *testing.T) {
+	for _, spec := range QoESpecs() {
+		spec := spec
+		if spec.Viewers >= 100_000 && testing.Short() {
+			continue // ~the most expensive cell; -short keeps quick loops quick
+		}
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			c, err := CompareScoreModes(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			c.Render(&b)
+			t.Log("\n" + b.String())
+			for _, v := range c.Violations {
+				t.Errorf("violation: %s", v)
+			}
+		})
+	}
+}

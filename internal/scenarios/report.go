@@ -26,6 +26,9 @@ type Report struct {
 	// TargetPrefix is the destination prefix the workload aims at (and
 	// the only prefix lies may touch).
 	TargetPrefix string `json:"target_prefix"`
+	// ScoreMode is the planner's plan-scoring objective the run used
+	// ("util", "qoe" or "blended"; see controller.ScoreMode).
+	ScoreMode string `json:"score_mode,omitempty"`
 
 	// Utilisation. The fluid data plane caps link rates at capacity, so
 	// 1.0 means saturated (flows starve), not overloaded.
@@ -48,6 +51,12 @@ type Report struct {
 	StallSeconds     float64 `json:"stall_seconds"`
 	LateStallSeconds float64 `json:"late_stall_seconds"` // stalls accrued inside the settle window
 	MeanRebuffer     float64 `json:"mean_rebuffer"`
+	// PredictedStallSeconds is the analytic QoE predictor's stall
+	// estimate for the settled demands routed over the final routing
+	// state — the figure the qoe score mode plans against, reported for
+	// every run so the score-mode cells can check that predicted and
+	// simulated stalls move together. 0 when no demand settled.
+	PredictedStallSeconds float64 `json:"predicted_stall_seconds,omitempty"`
 
 	// Delivery.
 	DeliveredMbit float64        `json:"delivered_mbit"`
@@ -95,6 +104,11 @@ type Report struct {
 	// warm/cold/fallback solve counts.
 	PlanCacheHits    uint64 `json:"plan_cache_hits,omitempty"`
 	PlanCacheMisses  uint64 `json:"plan_cache_misses,omitempty"`
+	// QoECacheHits/Misses split the artifact cache's memoised QoE
+	// predictions (populated only when a QoE-aware score mode runs);
+	// store-time accounting keeps them worker-width deterministic too.
+	QoECacheHits   uint64 `json:"qoe_cache_hits,omitempty"`
+	QoECacheMisses uint64 `json:"qoe_cache_misses,omitempty"`
 	LPWarmSolves     uint64 `json:"lp_warm_solves,omitempty"`
 	LPColdSolves     uint64 `json:"lp_cold_solves,omitempty"`
 	LPFallbackSolves uint64 `json:"lp_fallback_solves,omitempty"`
@@ -191,8 +205,9 @@ func (c *Comparison) Render(b *strings.Builder) {
 // fiblab prints it under -cache-stats; all fields are also present in
 // the JSON report.
 func (r *Report) RenderCacheStats(b *strings.Builder, indent string) {
-	fmt.Fprintf(b, "%splan-cache %d hit / %d miss; lp %d warm / %d cold / %d fallback; reshare components %d\n",
+	fmt.Fprintf(b, "%splan-cache %d hit / %d miss; qoe %d hit / %d miss; lp %d warm / %d cold / %d fallback; reshare components %d\n",
 		indent, r.PlanCacheHits, r.PlanCacheMisses,
+		r.QoECacheHits, r.QoECacheMisses,
 		r.LPWarmSolves, r.LPColdSolves, r.LPFallbackSolves,
 		r.ReshareComponents)
 	names := make([]string, 0, len(r.StrategyPerf))

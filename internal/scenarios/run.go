@@ -9,6 +9,7 @@ import (
 	"fibbing.net/fibbing/internal/fibbing"
 	"fibbing.net/fibbing/internal/monitor"
 	"fibbing.net/fibbing/internal/netsim"
+	"fibbing.net/fibbing/internal/qoe"
 	"fibbing.net/fibbing/internal/te"
 	"fibbing.net/fibbing/internal/topo"
 	"fibbing.net/fibbing/internal/video"
@@ -82,6 +83,10 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}
+	scoreMode, err := controller.ParseScoreMode(spec.ScoreMode)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
 	// The alarm threshold is set explicitly so the report's first-hot
 	// detection below measures against the same value the monitor uses.
 	const hotThreshold = 0.85
@@ -99,6 +104,7 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 		SampleEvery:  500 * time.Millisecond,
 		VideoSample:  250 * time.Millisecond,
 		Monitor:      monitor.Config{HighThreshold: hotThreshold},
+		Controller:   controller.Config{ScoreMode: scoreMode},
 		Workers:      spec.Workers,
 		BFD:          bfdCfg,
 		StandbyK:     spec.StandbyK,
@@ -156,6 +162,7 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	rep := &Report{
 		Scenario:         spec.Name,
 		Controller:       withCtrl,
+		ScoreMode:        scoreMode.String(),
 		Duration:         spec.Duration,
 		TargetPrefix:     prefix,
 		FirstHotAt:       -1,
@@ -282,6 +289,32 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 		} else {
 			rep.Notes = append(rep.Notes, fmt.Sprintf("analytic bound unavailable: %v", err))
 		}
+		// Predicted QoE of the final routing state: the analytic stall
+		// predictor over the settled demands and the controller's member
+		// census — the same estimate the qoe score mode plans against.
+		// Reported for every run (any score mode, controller on or off)
+		// so the score-mode comparison cells can check that predicted and
+		// simulated stalls move together.
+		views := make(map[string]map[topo.NodeID]fibbing.RouteView, len(tp.Prefixes()))
+		var viewErr error
+		for _, pr := range tp.Prefixes() {
+			v, err := fibbing.Evaluate(tp, pr.Name, liesNow[pr.Name])
+			if err != nil {
+				viewErr = err
+				break
+			}
+			views[pr.Name] = v
+		}
+		if viewErr == nil {
+			if q, err := qoe.PredictPlan(tp, views, demandsAtSettle, sim.Ctrl.QoEModel()); err == nil {
+				rep.PredictedStallSeconds = q.StallSeconds
+			} else {
+				viewErr = err
+			}
+		}
+		if viewErr != nil {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("QoE prediction unavailable: %v", viewErr))
+		}
 	}
 
 	agg := video.AggregateQoE(sim.QoE())
@@ -303,6 +336,7 @@ func Run(spec Spec, withCtrl bool) (*Report, error) {
 	rep.StrategyPerf = sim.Ctrl.Planner().Perf()
 	artStats := sim.Ctrl.ArtifactStats()
 	rep.PlanCacheHits, rep.PlanCacheMisses = artStats.Hits, artStats.Misses
+	rep.QoECacheHits, rep.QoECacheMisses = artStats.QoEHits, artStats.QoEMisses
 	lpStats := sim.Ctrl.LPStats()
 	rep.LPWarmSolves, rep.LPColdSolves, rep.LPFallbackSolves = lpStats.Warm, lpStats.Cold, lpStats.Fallback
 	if len(rep.Decisions) > 0 {

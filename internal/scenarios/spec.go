@@ -149,7 +149,9 @@ type FailureEvent struct {
 type Spec struct {
 	Name string   `json:"name"`
 	Topo TopoSpec `json:"topo"`
-	// Workload is one of "surge", "flash", "ramp", "dual", "steady".
+	// Workload is one of "surge", "flash", "ramp", "dual", "steady",
+	// "skew" (a thin crowd and a fat crowd with very different
+	// per-session rates — the score-mode comparison cells' schedule).
 	Workload string `json:"workload"`
 	// Failure is "" (none), "hotlink" (fail the primary ingress's
 	// shortest-path first hop mid-run), "flap" (fail then heal it) or
@@ -173,6 +175,11 @@ type Spec struct {
 	// names, e.g. "localecmp,ksp"; the withdraw strategy is implied).
 	// Empty keeps controller.DefaultStrategies.
 	Strategies []string `json:"strategies,omitempty"`
+	// ScoreMode selects the planner's plan-scoring objective: "util"
+	// (default — the historical max-utilisation ordering), "qoe"
+	// (predicted stall score first, utilisation as tie-break) or
+	// "blended". Parsed with controller.ParseScoreMode.
+	ScoreMode string `json:"score_mode,omitempty"`
 	// Workers sets the simulation core's worker-pool width: 0 means
 	// GOMAXPROCS, 1 forces the sequential core. The run's outcome is
 	// byte-identical either way (only wall-clock and the parallelism
@@ -200,6 +207,9 @@ func (s Spec) withDefaults() Spec {
 		}
 		if s.BFD {
 			s.Name += "+bfd"
+		}
+		if s.ScoreMode != "" {
+			s.Name += "@" + s.ScoreMode
 		}
 	}
 	return s

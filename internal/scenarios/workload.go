@@ -226,6 +226,34 @@ func buildWaves(kind string, e *env, duration time.Duration, seed int64) ([]flas
 		return []flashcrowd.Wave{
 			{At: 1 * time.Second, Ingress: e.primary, Flows: e.flowsFor(0.8), Rate: rate},
 		}, nil
+	case "skew":
+		// Heterogeneous member density, the score-mode comparison cells'
+		// schedule: a large crowd of thin sessions at the primary ingress
+		// and a handful of fat sessions at the secondary, each crowd worth
+		// 1.1x its own path's bottleneck. Both default paths saturate on
+		// their own, and since the total demand exceeds what any routing
+		// can carry, some crowd must eat the shortfall — the choice
+		// utilisation scoring is blind to. Max-min fair sharing starves
+		// fat sessions before thin ones, so total stall time collapses
+		// when the crowds share links and explodes when a link carries
+		// thin sessions alone: the stall predictor sees the difference,
+		// the max-utilisation score (pinned at saturation either way)
+		// does not.
+		thin, fat := 80, 5
+		if e.viewers > 0 {
+			fat = e.viewers / 16
+			if fat < 2 {
+				fat = 2
+			}
+			thin = e.viewers - fat
+		}
+		const crowd = 1.1 // each crowd's demand relative to its path
+		waves := []flashcrowd.Wave{
+			{At: 1 * time.Second, Ingress: e.primary, Flows: 1, Rate: crowd * e.pathCap / float64(thin)},
+			{At: 5 * time.Second, Ingress: e.primary, Flows: thin - 1, Rate: crowd * e.pathCap / float64(thin)},
+			{At: 8 * time.Second, Ingress: e.secondary, Flows: fat, Rate: crowd * e.pathCap / float64(fat)},
+		}
+		return nonEmptyWaves(waves), nil
 	case "dual":
 		// Both ingresses surge, as in Figure 1b: overlap is only
 		// guaranteed on topologies like Fig1/Abilene where the two

@@ -70,8 +70,7 @@ type ABRSimSession struct {
 	Player *Player
 	cfg    ABRConfig
 
-	net    *netsim.Network
-	flow   netsim.FlowID
+	port   deliveryPort
 	ticker *event.Ticker
 	done   bool
 
@@ -100,11 +99,17 @@ func NewABRSimSession(sched *event.Scheduler, net *netsim.Network, flow netsim.F
 }
 
 func newABRSimSession(sched *event.Scheduler, net *netsim.Network, flow netsim.FlowID, cfg ABRConfig) *ABRSimSession {
+	return newABRPortSession(sched, flowPort{net: net, flow: flow}, cfg)
+}
+
+// newABRPortSession builds a session against any delivery port — the
+// fluid network in the scenarios, a constant-rate tap in the calibration
+// harness (RunConstantRate).
+func newABRPortSession(sched *event.Scheduler, port deliveryPort, cfg ABRConfig) *ABRSimSession {
 	s := &ABRSimSession{
 		Player:      NewPlayer(cfg.Ladder[0]), // Bitrate field unused for media accounting
 		cfg:         cfg,
-		net:         net,
-		flow:        flow,
+		port:        port,
 		rung:        0, // conservative start, as real players do
 		lastAt:      sched.Now(),
 		mediaByRung: make([]float64, len(cfg.Ladder)),
@@ -118,18 +123,18 @@ func newABRSimSession(sched *event.Scheduler, net *netsim.Network, flow netsim.F
 func (s *ABRSimSession) beginSegment(now time.Duration) {
 	rate := s.cfg.Ladder[s.rung]
 	s.segTarget = rate * s.cfg.SegmentDuration.Seconds() / 8
-	if d, ok := s.net.Delivered(s.flow); ok {
+	if d, ok := s.port.Delivered(); ok {
 		s.segStartBytes = d
 	}
 	s.segStartTime = now
-	s.net.SetFlowMaxRate(s.flow, rate*4)
+	s.port.SetMaxRate(rate * 4)
 }
 
 func (s *ABRSimSession) tick(now time.Duration) {
 	if s.done {
 		return
 	}
-	delivered, live := s.net.Delivered(s.flow)
+	delivered, live := s.port.Delivered()
 	if live {
 		for delivered-s.segStartBytes >= s.segTarget {
 			// Segment complete: credit media, estimate throughput,
@@ -188,7 +193,7 @@ func (s *ABRSimSession) beginSegmentContinue(now time.Duration) {
 	rate := s.cfg.Ladder[s.rung]
 	s.segTarget = rate * s.cfg.SegmentDuration.Seconds() / 8
 	s.segStartTime = now
-	s.net.SetFlowMaxRate(s.flow, rate*4)
+	s.port.SetMaxRate(rate * 4)
 }
 
 func (s *ABRSimSession) chooseRung(estimate float64) int {
